@@ -1,0 +1,219 @@
+//! CLARANS-style k-medoids (Ng & Han, VLDB 1994).
+//!
+//! CLARANS views clustering as a search on the graph whose nodes are
+//! k-subsets of the data (candidate medoid sets) and whose edges connect
+//! sets differing in one medoid. From a random node it examines up to
+//! `max_neighbor` random neighbors, moving whenever the neighbor has
+//! lower cost; a node with no improving sampled neighbor is a local
+//! optimum. The process restarts `num_local` times and keeps the best
+//! local optimum. PROCLUS generalizes exactly this search to projected
+//! clusters.
+
+use crate::model::FlatClustering;
+use proclus_math::{DistanceKind, Matrix};
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a CLARANS run.
+#[derive(Clone, Debug)]
+pub struct Clarans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Number of random restarts (`numlocal` in the paper; default 2).
+    pub num_local: usize,
+    /// Neighbors sampled before declaring a local optimum
+    /// (`maxneighbor`; default `max(250, 1.25% of k·(N−k))` like the
+    /// original paper recommends, capped for practicality).
+    pub max_neighbor: Option<usize>,
+    /// Distance metric (Manhattan by default, matching PROCLUS).
+    pub distance: DistanceKind,
+    /// PRNG seed.
+    pub rng_seed: u64,
+}
+
+impl Clarans {
+    /// Default configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            num_local: 2,
+            max_neighbor: None,
+            distance: DistanceKind::Manhattan,
+            rng_seed: 0,
+        }
+    }
+
+    /// Set the PRNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Set the number of random restarts.
+    pub fn num_local(mut self, v: usize) -> Self {
+        self.num_local = v;
+        self
+    }
+
+    /// Set the neighbor sampling budget.
+    pub fn max_neighbor(mut self, v: usize) -> Self {
+        self.max_neighbor = Some(v);
+        self
+    }
+
+    /// Set the distance metric.
+    pub fn distance(mut self, kind: DistanceKind) -> Self {
+        self.distance = kind;
+        self
+    }
+
+    /// Cluster `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > N`.
+    pub fn fit(&self, points: &Matrix) -> FlatClustering {
+        let n = points.rows();
+        assert!(self.k > 0 && self.k <= n, "need 0 < k <= N");
+        let mut rng = StdRng::seed_from_u64(self.rng_seed);
+        if self.k == n {
+            // Every point is its own medoid; there is no non-medoid to
+            // swap in, so the search graph has a single node.
+            return FlatClustering {
+                assignment: (0..n).collect(),
+                centers: (0..n).map(|p| points.row(p).to_vec()).collect(),
+                cost: 0.0,
+            };
+        }
+        let max_neighbor = self.max_neighbor.unwrap_or_else(|| {
+            let suggested = (0.0125 * (self.k * (n - self.k)) as f64) as usize;
+            suggested.clamp(250, 5_000).min(self.k * (n - self.k).max(1))
+        });
+
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        for _ in 0..self.num_local.max(1) {
+            let mut medoids: Vec<usize> = sample(&mut rng, n, self.k).into_iter().collect();
+            let mut cost = self.cost(points, &medoids);
+            let mut tried = 0usize;
+            while tried < max_neighbor {
+                // Random neighbor: swap one medoid for one non-medoid.
+                let slot = rng.random_range(0..self.k);
+                let replacement = loop {
+                    let c = rng.random_range(0..n);
+                    if !medoids.contains(&c) {
+                        break c;
+                    }
+                };
+                let old = medoids[slot];
+                medoids[slot] = replacement;
+                let new_cost = self.cost(points, &medoids);
+                if new_cost < cost {
+                    cost = new_cost;
+                    tried = 0; // moved: reset the neighbor counter
+                } else {
+                    medoids[slot] = old;
+                    tried += 1;
+                }
+            }
+            if best.as_ref().is_none_or(|(_, bc)| cost < *bc) {
+                best = Some((medoids, cost));
+            }
+        }
+
+        let (medoids, cost) = best.expect("num_local >= 1");
+        let assignment = self.assign(points, &medoids);
+        FlatClustering {
+            assignment,
+            centers: medoids.iter().map(|&m| points.row(m).to_vec()).collect(),
+            cost,
+        }
+    }
+
+    fn assign(&self, points: &Matrix, medoids: &[usize]) -> Vec<usize> {
+        (0..points.rows())
+            .map(|p| {
+                let row = points.row(p);
+                let mut best = 0;
+                let mut best_d = f64::INFINITY;
+                for (i, &m) in medoids.iter().enumerate() {
+                    let d = self.distance.eval(row, points.row(m));
+                    if d < best_d {
+                        best_d = d;
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    fn cost(&self, points: &Matrix, medoids: &[usize]) -> f64 {
+        (0..points.rows())
+            .map(|p| {
+                let row = points.row(p);
+                medoids
+                    .iter()
+                    .map(|&m| self.distance.eval(row, points.row(m)))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Matrix {
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        for i in 0..30 {
+            rows.push([(i % 6) as f64 * 0.1, (i / 6) as f64 * 0.1]);
+        }
+        for i in 0..30 {
+            rows.push([50.0 + (i % 6) as f64 * 0.1, 50.0 + (i / 6) as f64 * 0.1]);
+        }
+        Matrix::from_rows(&rows, 2)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let m = two_blobs();
+        let fc = Clarans::new(2).seed(3).fit(&m);
+        assert_eq!(fc.k(), 2);
+        // All of blob 0 together, all of blob 1 together.
+        let first = fc.assignment[0];
+        assert!(fc.assignment[..30].iter().all(|&a| a == first));
+        assert!(fc.assignment[30..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn cost_matches_recomputation() {
+        let m = two_blobs();
+        let fc = Clarans::new(2).seed(7).fit(&m);
+        let rc = fc.recompute_cost(&m, proclus_math::manhattan);
+        assert!((fc.cost - rc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = two_blobs();
+        let a = Clarans::new(2).seed(11).fit(&m);
+        let b = Clarans::new(2).seed(11).fit(&m);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn k_equals_n_is_perfect() {
+        let m = Matrix::from_rows(&[[0.0], [5.0], [9.0]], 1);
+        let fc = Clarans::new(3).seed(1).max_neighbor(10).fit(&m);
+        assert_eq!(fc.cost, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < k <= N")]
+    fn rejects_k_zero() {
+        let m = Matrix::from_rows(&[[0.0]], 1);
+        let _ = Clarans::new(0).fit(&m);
+    }
+}

@@ -1,0 +1,199 @@
+//! Lloyd's k-means with greedy farthest-point initialization.
+
+use crate::model::FlatClustering;
+use proclus_math::{euclidean, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a k-means run (Euclidean objective).
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations (default 100).
+    pub max_iter: usize,
+    /// Relative cost-improvement tolerance for convergence.
+    pub tol: f64,
+    /// PRNG seed (used for the initial center choice).
+    pub rng_seed: u64,
+}
+
+impl KMeans {
+    /// Default configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iter: 100,
+            tol: 1e-6,
+            rng_seed: 0,
+        }
+    }
+
+    /// Set the PRNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Set the iteration cap.
+    pub fn max_iter(mut self, v: usize) -> Self {
+        self.max_iter = v;
+        self
+    }
+
+    /// Cluster `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > N`.
+    pub fn fit(&self, points: &Matrix) -> FlatClustering {
+        let n = points.rows();
+        let d = points.cols();
+        assert!(self.k > 0 && self.k <= n, "need 0 < k <= N");
+        let mut rng = StdRng::seed_from_u64(self.rng_seed);
+
+        // Farthest-point initialization (deterministic given the seed).
+        let mut centers: Vec<Vec<f64>> = Vec::with_capacity(self.k);
+        centers.push(points.row(rng.random_range(0..n)).to_vec());
+        let mut dist: Vec<f64> = (0..n)
+            .map(|p| euclidean(points.row(p), &centers[0]))
+            .collect();
+        while centers.len() < self.k {
+            let far = (0..n)
+                .max_by(|&a, &b| dist[a].partial_cmp(&dist[b]).unwrap())
+                .unwrap();
+            centers.push(points.row(far).to_vec());
+            let new_c = centers.last().unwrap().clone();
+            for (p, slot) in dist.iter_mut().enumerate() {
+                let dd = euclidean(points.row(p), &new_c);
+                if dd < *slot {
+                    *slot = dd;
+                }
+            }
+        }
+
+        let mut assignment = vec![0usize; n];
+        let mut cost = f64::INFINITY;
+        for _ in 0..self.max_iter {
+            // Assignment step.
+            let mut new_cost = 0.0;
+            for (p, slot) in assignment.iter_mut().enumerate() {
+                let row = points.row(p);
+                let mut best = 0;
+                let mut best_d = f64::INFINITY;
+                for (i, c) in centers.iter().enumerate() {
+                    let dd = euclidean(row, c);
+                    if dd < best_d {
+                        best_d = dd;
+                        best = i;
+                    }
+                }
+                *slot = best;
+                new_cost += best_d;
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0; d]; self.k];
+            let mut counts = vec![0usize; self.k];
+            for (p, &a) in assignment.iter().enumerate() {
+                let row = points.row(p);
+                counts[a] += 1;
+                for (acc, v) in sums[a].iter_mut().zip(row) {
+                    *acc += v;
+                }
+            }
+            for i in 0..self.k {
+                if counts[i] > 0 {
+                    for v in sums[i].iter_mut() {
+                        *v /= counts[i] as f64;
+                    }
+                    centers[i] = sums[i].clone();
+                }
+                // Empty cluster keeps its previous center.
+            }
+            if cost.is_finite() && (cost - new_cost).abs() <= self.tol * cost.max(1.0) {
+                cost = new_cost;
+                break;
+            }
+            cost = new_cost;
+        }
+
+        FlatClustering {
+            assignment,
+            centers,
+            cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Matrix {
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        for c in [[0.0, 0.0], [100.0, 0.0], [0.0, 100.0]] {
+            for i in 0..20 {
+                rows.push([c[0] + (i % 5) as f64 * 0.1, c[1] + (i / 5) as f64 * 0.1]);
+            }
+        }
+        Matrix::from_rows(&rows, 2)
+    }
+
+    #[test]
+    fn separates_three_blobs() {
+        let m = three_blobs();
+        let fc = KMeans::new(3).seed(5).fit(&m);
+        for blob in 0..3 {
+            let first = fc.assignment[blob * 20];
+            assert!(
+                fc.assignment[blob * 20..(blob + 1) * 20]
+                    .iter()
+                    .all(|&a| a == first),
+                "blob {blob} split"
+            );
+        }
+        let mut reps: Vec<usize> = (0..3).map(|b| fc.assignment[b * 20]).collect();
+        reps.sort_unstable();
+        reps.dedup();
+        assert_eq!(reps.len(), 3, "blobs merged");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = three_blobs();
+        let a = KMeans::new(3).seed(2).fit(&m);
+        let b = KMeans::new(3).seed(2).fit(&m);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn centers_are_centroids() {
+        let m = three_blobs();
+        let fc = KMeans::new(3).seed(2).fit(&m);
+        let members = fc.members();
+        for (i, mem) in members.iter().enumerate() {
+            if mem.is_empty() {
+                continue;
+            }
+            let c = m.centroid_of(mem);
+            for (a, b) in c.iter().zip(&fc.centers[i]) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster_centroid() {
+        let m = Matrix::from_rows(&[[0.0], [2.0], [4.0]], 1);
+        let fc = KMeans::new(1).seed(0).fit(&m);
+        assert!((fc.centers[0][0] - 2.0).abs() < 1e-12);
+        assert!(fc.assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < k <= N")]
+    fn rejects_k_above_n() {
+        let m = Matrix::from_rows(&[[0.0]], 1);
+        let _ = KMeans::new(2).fit(&m);
+    }
+}

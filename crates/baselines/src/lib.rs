@@ -1,0 +1,42 @@
+//! Full-dimensional clustering baselines.
+//!
+//! The PROCLUS paper motivates projected clustering by the failure of
+//! full-dimensional methods on high-dimensional data, and borrows its
+//! hill-climbing search from **CLARANS** (Ng & Han, VLDB 1994). This
+//! crate provides:
+//!
+//! * [`Clarans`] — randomized k-medoids search: repeatedly try swapping
+//!   one medoid for one non-medoid and accept improving swaps, with
+//!   `num_local` random restarts and `max_neighbor` sampled swaps per
+//!   local search,
+//! * [`KMeans`] — Lloyd's algorithm with greedy farthest-point
+//!   initialization (deterministic under seed),
+//!
+//! both returning a [`FlatClustering`]. They are used by the benchmark
+//! harness to demonstrate the paper's Figure-1 motivation: on projected
+//! clusters, full-dimensional methods mix the clusters, while PROCLUS
+//! separates them.
+//!
+//! ```
+//! use proclus_baselines::KMeans;
+//! use proclus_math::Matrix;
+//!
+//! let points = Matrix::from_rows(
+//!     &[[0.0, 0.0], [1.0, 0.0], [100.0, 100.0], [101.0, 100.0]],
+//!     2,
+//! );
+//! let model = KMeans::new(2).seed(1).fit(&points);
+//! assert_eq!(model.assignment[0], model.assignment[1]);
+//! assert_ne!(model.assignment[0], model.assignment[2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clarans;
+pub mod kmeans;
+pub mod model;
+
+pub use clarans::Clarans;
+pub use kmeans::KMeans;
+pub use model::FlatClustering;

@@ -1,0 +1,77 @@
+//! Common output type for the full-dimensional baselines.
+
+use proclus_math::Matrix;
+
+/// A flat (full-dimensional, partitional) clustering.
+#[derive(Clone, Debug)]
+pub struct FlatClustering {
+    /// `assignment[p]` = cluster index of point `p`.
+    pub assignment: Vec<usize>,
+    /// Cluster centers: medoid coordinates for k-medoids, centroids for
+    /// k-means.
+    pub centers: Vec<Vec<f64>>,
+    /// Total cost the algorithm minimized (sum of distances to the
+    /// assigned center).
+    pub cost: f64,
+}
+
+impl FlatClustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Per-cluster member lists.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.k()];
+        for (p, &c) in self.assignment.iter().enumerate() {
+            out[c].push(p);
+        }
+        out
+    }
+
+    /// Recompute the cost of this clustering under a distance function
+    /// (sanity checks and tests).
+    pub fn recompute_cost<F: Fn(&[f64], &[f64]) -> f64>(
+        &self,
+        points: &Matrix,
+        dist: F,
+    ) -> f64 {
+        self.assignment
+            .iter()
+            .enumerate()
+            .map(|(p, &c)| dist(points.row(p), &self.centers[c]))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proclus_math::manhattan;
+
+    #[test]
+    fn members_partition_points() {
+        let fc = FlatClustering {
+            assignment: vec![0, 1, 0, 1, 1],
+            centers: vec![vec![0.0], vec![1.0]],
+            cost: 0.0,
+        };
+        let m = fc.members();
+        assert_eq!(m[0], vec![0, 2]);
+        assert_eq!(m[1], vec![1, 3, 4]);
+        assert_eq!(fc.k(), 2);
+    }
+
+    #[test]
+    fn recompute_cost_sums_distances() {
+        let points = Matrix::from_rows(&[[0.0], [3.0], [10.0]], 1);
+        let fc = FlatClustering {
+            assignment: vec![0, 0, 1],
+            centers: vec![vec![1.0], vec![10.0]],
+            cost: 0.0,
+        };
+        let c = fc.recompute_cost(&points, manhattan);
+        assert_eq!(c, 1.0 + 2.0 + 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion counterparts of the ablation binary: runtime cost of each
+//! design variant (quality is reported by `--bin ablations`; here we
+//! track that none of the knobs silently changes the cost profile).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proclus_core::{InitStrategy, Proclus};
+use proclus_data::SyntheticSpec;
+use proclus_math::DistanceKind;
+use std::hint::black_box;
+
+fn bench_variants(c: &mut Criterion) {
+    let data = SyntheticSpec::new(4_000, 20, 5, 4.0)
+        .fixed_dims(vec![4; 5])
+        .seed(13)
+        .generate();
+    let mut group = c.benchmark_group("proclus_variants");
+    group.sample_size(10);
+
+    let variants: Vec<(&str, Proclus)> = vec![
+        ("paper", Proclus::new(5, 4.0)),
+        (
+            "random_init",
+            Proclus::new(5, 4.0).init_strategy(InitStrategy::RandomOnly),
+        ),
+        (
+            "unstandardized",
+            Proclus::new(5, 4.0).standardize_dimensions(false),
+        ),
+        (
+            "euclidean",
+            Proclus::new(5, 4.0).distance(DistanceKind::Euclidean),
+        ),
+    ];
+    for (name, params) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    params
+                        .clone()
+                        .seed(1)
+                        .fit(&data.points)
+                        .expect("valid parameters"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Phase-level microbenchmarks for CLIQUE: gridding, dense-unit mining
+//! at increasing subspace dimensionality caps (the exponential blow-up
+//! Figure 8 measures), and full fits at two density thresholds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proclus_clique::grid::Grid;
+use proclus_clique::units::mine_dense_units;
+use proclus_clique::Clique;
+use proclus_data::SyntheticSpec;
+use std::hint::black_box;
+
+fn bench_clique(c: &mut Criterion) {
+    let data = SyntheticSpec::new(5_000, 20, 5, 5.0)
+        .fixed_dims(vec![5; 5])
+        .seed(7)
+        .generate();
+    let points = &data.points;
+
+    c.bench_function("grid_cells/5k", |b| {
+        b.iter(|| {
+            let grid = Grid::fit(points, 10);
+            black_box(grid.cells(points))
+        })
+    });
+
+    let grid = Grid::fit(points, 10);
+    let cells = grid.cells(points);
+    let n = points.rows();
+    let d = points.cols();
+    let min_support = 25; // 0.5% of 5k
+
+    let mut group = c.benchmark_group("mine_dense_units");
+    group.sample_size(10);
+    for level in [2usize, 3, 4] {
+        group.bench_function(format!("level{level}"), |b| {
+            b.iter(|| {
+                black_box(mine_dense_units(
+                    &cells,
+                    n,
+                    d,
+                    10,
+                    min_support,
+                    level,
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    let mut fit_group = c.benchmark_group("clique_fit");
+    fit_group.sample_size(10);
+    fit_group.bench_function("tau0.5%", |b| {
+        b.iter(|| {
+            black_box(
+                Clique::new(10, 0.005)
+                    .max_subspace_dim(Some(5))
+                    .fit(points),
+            )
+        })
+    });
+    fit_group.finish();
+}
+
+criterion_group!(benches, bench_clique);
+criterion_main!(benches);

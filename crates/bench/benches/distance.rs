@@ -1,0 +1,66 @@
+//! Microbenchmarks for the distance kernels: the innermost loops of
+//! every phase (assignment is O(N·k·l) segmental evaluations per pass).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use proclus_math::{euclidean, manhattan, manhattan_segmental};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_point(rng: &mut StdRng, d: usize) -> Vec<f64> {
+    (0..d).map(|_| rng.random_range(0.0..100.0)).collect()
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    for d in [20usize, 50] {
+        let a = random_point(&mut rng, d);
+        let b = random_point(&mut rng, d);
+        let dims: Vec<usize> = (0..d).step_by(3).collect();
+
+        c.bench_function(&format!("manhattan/d{d}"), |bench| {
+            bench.iter(|| manhattan(black_box(&a), black_box(&b)))
+        });
+        c.bench_function(&format!("euclidean/d{d}"), |bench| {
+            bench.iter(|| euclidean(black_box(&a), black_box(&b)))
+        });
+        c.bench_function(&format!("manhattan_segmental/d{d}"), |bench| {
+            bench.iter(|| {
+                manhattan_segmental(black_box(&a), black_box(&b), black_box(&dims))
+            })
+        });
+    }
+
+    // A full assignment-style sweep: 1000 points against 5 medoids.
+    let d = 20;
+    let points: Vec<Vec<f64>> = (0..1000).map(|_| random_point(&mut rng, d)).collect();
+    let medoids: Vec<Vec<f64>> = (0..5).map(|_| random_point(&mut rng, d)).collect();
+    let dim_sets: Vec<Vec<usize>> = (0..5)
+        .map(|i| (0..d).filter(|j| (j + i) % 4 == 0).collect())
+        .collect();
+    c.bench_function("assignment_sweep/1000x5", |bench| {
+        bench.iter_batched(
+            || (),
+            |_| {
+                let mut acc = 0usize;
+                for p in &points {
+                    let mut best = 0;
+                    let mut best_d = f64::INFINITY;
+                    for (i, (m, dims)) in medoids.iter().zip(&dim_sets).enumerate() {
+                        let dd = manhattan_segmental(p, m, dims);
+                        if dd < best_d {
+                            best_d = dd;
+                            best = i;
+                        }
+                    }
+                    acc += best;
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! End-to-end fits on shrunken versions of the paper's workloads: the
+//! criterion-tracked counterparts of Figures 7–9 (the full-size sweeps
+//! live in the `fig7_points` / `fig8_avg_dims` / `fig9_space_dims`
+//! binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proclus_clique::Clique;
+use proclus_core::Proclus;
+use proclus_data::SyntheticSpec;
+use std::hint::black_box;
+
+fn bench_scaling_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_vs_n");
+    group.sample_size(10);
+    for n in [2_000usize, 4_000, 8_000] {
+        let data = SyntheticSpec::new(n, 20, 5, 5.0)
+            .fixed_dims(vec![5; 5])
+            .seed(11)
+            .generate();
+        group.bench_with_input(BenchmarkId::new("proclus", n), &data, |b, data| {
+            b.iter(|| {
+                black_box(
+                    Proclus::new(5, 5.0)
+                        .seed(1)
+                        .fit(&data.points)
+                        .expect("valid parameters"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("clique", n), &data, |b, data| {
+            b.iter(|| {
+                black_box(
+                    Clique::new(10, 0.005)
+                        .max_subspace_dim(Some(5))
+                        .fit(&data.points),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proclus_vs_d");
+    group.sample_size(10);
+    for d in [20usize, 35, 50] {
+        let data = SyntheticSpec::new(4_000, d, 5, 5.0)
+            .fixed_dims(vec![5; 5])
+            .seed(11)
+            .generate();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &data, |b, data| {
+            b.iter(|| {
+                black_box(
+                    Proclus::new(5, 5.0)
+                        .seed(1)
+                        .fit(&data.points)
+                        .expect("valid parameters"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_n, bench_scaling_d);
+criterion_main!(benches);

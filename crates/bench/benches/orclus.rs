@@ -1,0 +1,46 @@
+//! Criterion benches for the generalized projected clustering
+//! extension: full ORCLUS fits and the Jacobi eigensolver substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proclus_data::SyntheticSpec;
+use proclus_math::linalg::{covariance_of, jacobi_eigen};
+use proclus_orclus::Orclus;
+use std::hint::black_box;
+
+fn bench_orclus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orclus_fit");
+    group.sample_size(10);
+    for n in [500usize, 1_000, 2_000] {
+        let data = SyntheticSpec::new(n, 10, 3, 3.0)
+            .fixed_dims(vec![3, 3, 3])
+            .seed(7)
+            .generate();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                black_box(
+                    Orclus::new(3, 3)
+                        .seed(1)
+                        .fit(&data.points)
+                        .expect("valid parameters"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_jacobi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi_eigen");
+    for d in [10usize, 20, 50] {
+        let data = SyntheticSpec::new(2_000, d, 2, 3.0).seed(3).generate();
+        let members: Vec<usize> = (0..2_000).collect();
+        let cov = covariance_of(&data.points, &members);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &cov, |b, cov| {
+            b.iter(|| black_box(jacobi_eigen(cov)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orclus, bench_jacobi);
+criterion_main!(benches);

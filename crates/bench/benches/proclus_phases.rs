@@ -1,0 +1,77 @@
+//! Phase-level microbenchmarks for PROCLUS: greedy initialization,
+//! locality analysis, FindDimensions, AssignPoints, and cluster
+//! evaluation, each on a fixed mid-size dataset. Together these account
+//! for one hill-climbing round; Figure 7/8/9 shapes follow from how
+//! their costs scale in N, l, and d.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proclus_core::assign::{assign_points, group_members};
+use proclus_core::dims::find_dimensions;
+use proclus_core::evaluate::evaluate_clusters;
+use proclus_core::greedy::greedy_select;
+use proclus_core::locality::{localities, medoid_deltas};
+use proclus_data::SyntheticSpec;
+use proclus_math::DistanceKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_phases(c: &mut Criterion) {
+    // Heavy fixtures: keep criterion's sampling modest.
+    let data = SyntheticSpec::new(10_000, 20, 5, 5.0)
+        .fixed_dims(vec![5; 5])
+        .seed(7)
+        .generate();
+    let points = &data.points;
+    let metric = DistanceKind::Manhattan;
+    let candidates: Vec<usize> = (0..points.rows()).step_by(7).collect();
+
+    c.bench_function("greedy_select/sample->15", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(greedy_select(points, &candidates, 15, &metric, &mut rng))
+        })
+    });
+
+    // A plausible medoid set for the downstream phases.
+    let mut rng = StdRng::seed_from_u64(3);
+    let medoids = greedy_select(points, &candidates, 5, &metric, &mut rng);
+
+    c.bench_function("medoid_deltas+localities/10k", |b| {
+        b.iter(|| {
+            let deltas = medoid_deltas(points, &medoids, metric);
+            black_box(localities(points, &medoids, &deltas, metric))
+        })
+    });
+
+    let deltas = medoid_deltas(points, &medoids, metric);
+    let locs = localities(points, &medoids, &deltas, metric);
+
+    c.bench_function("find_dimensions/10k", |b| {
+        b.iter(|| black_box(find_dimensions(points, &medoids, &locs, 25)))
+    });
+
+    let dims = find_dimensions(points, &medoids, &locs, 25);
+
+    c.bench_function("assign_points/10k", |b| {
+        b.iter(|| black_box(assign_points(points, &medoids, &dims, metric)))
+    });
+
+    let flat = assign_points(points, &medoids, &dims, metric);
+    let opt: Vec<Option<usize>> = flat.iter().map(|&a| Some(a)).collect();
+    let clusters = group_members(&opt, 5);
+
+    c.bench_function("evaluate_clusters/10k", |b| {
+        b.iter(|| {
+            black_box(evaluate_clusters(
+                points,
+                &clusters,
+                &dims,
+                points.rows(),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 7: scalability with the number of points.
+//!
+//! Paper setup: 5 clusters, each in a 5-dimensional subspace of a
+//! 20-dimensional space; N from 100 000 to 500 000; CLIQUE with ξ = 10,
+//! τ = 0.5%. Result: both algorithms scale linearly in N, with PROCLUS
+//! roughly 10× faster (log-scale y axis).
+//!
+//! Output: one row per N with PROCLUS seconds, CLIQUE seconds, and the
+//! speedup ratio. Shapes (linearity, PROCLUS ≪ CLIQUE) are the claim;
+//! absolute numbers depend on hardware.
+
+use proclus_bench::{table, time_it, Scale};
+use proclus_clique::Clique;
+use proclus_core::Proclus;
+use proclus_data::SyntheticSpec;
+
+fn main() {
+    let scale = Scale::from_args();
+    let paper_points = [100_000usize, 200_000, 300_000, 400_000, 500_000];
+    const RUNS: u64 = 3;
+    println!("Figure 7: running time vs number of points");
+    println!(
+        "d = 20, k = 5, 5-dimensional clusters; CLIQUE xi=10 tau=0.5%; \
+         PROCLUS mean of {RUNS} runs"
+    );
+    table::header(&[
+        ("N", 9),
+        ("PROCLUS(s)", 11),
+        ("CLIQUE(s)", 10),
+        ("ratio", 7),
+    ]);
+    for paper_n in paper_points {
+        let n = scale.n(paper_n, 2_000);
+        let spec = SyntheticSpec::new(n, 20, 5, 5.0)
+            .fixed_dims(vec![5; 5])
+            .seed(scale.seed);
+        let data = spec.generate();
+
+        let mut proclus_s = 0.0;
+        for run in 0..RUNS {
+            let (_, secs) = time_it(|| {
+                Proclus::new(5, 5.0)
+                    .seed(scale.seed + run)
+                    .fit(&data.points)
+                    .expect("valid parameters")
+            });
+            proclus_s += secs;
+        }
+        proclus_s /= RUNS as f64;
+        let (_, clique_s) = time_it(|| {
+            Clique::new(10, 0.005)
+                .max_subspace_dim(Some(6))
+                .fit(&data.points)
+        });
+        table::row(
+            &[
+                n.to_string(),
+                format!("{proclus_s:.2}"),
+                format!("{clique_s:.2}"),
+                format!("{:.1}x", clique_s / proclus_s.max(1e-9)),
+            ],
+            &[9, 11, 10, 7],
+        );
+    }
+}

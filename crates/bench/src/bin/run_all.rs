@@ -1,0 +1,42 @@
+//! Convenience driver: run every table/figure harness in sequence with
+//! the same `--scale` / `--seed`, printing section banners. Equivalent
+//! to invoking the individual binaries one after another.
+
+use std::env;
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "table1_2",
+    "table3_4",
+    "table5",
+    "fig7_points",
+    "fig8_avg_dims",
+    "fig9_space_dims",
+    "motivation",
+    "ablations",
+];
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let exe_dir = env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for bin in BINS {
+        println!("\n################ {bin} ################");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(*bin);
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("\nfailed harnesses: {failures:?}");
+        std::process::exit(1);
+    }
+    println!("\nall harnesses completed");
+}

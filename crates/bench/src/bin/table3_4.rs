@@ -1,0 +1,56 @@
+//! Tables 3 and 4: PROCLUS confusion matrices on the Case 1 and Case 2
+//! accuracy files.
+//!
+//! The paper's result: each output cluster row has one dominant entry
+//! (the natural clustering is recognized); output clusters absorb a few
+//! input outliers that the generator happened to place inside cluster
+//! regions; Case 2 additionally shows a small number of misplaced
+//! points that "would not significantly alter the result of any data
+//! mining application".
+
+use proclus_bench::{time_it, Scale};
+use proclus_core::Proclus;
+use proclus_data::SyntheticSpec;
+use proclus_eval::{
+    adjusted_rand_index, normalized_mutual_information, ConfusionMatrix,
+};
+
+fn main() {
+    let scale = Scale::from_args();
+    run_case(
+        "Table 3 (Case 1 confusion matrix)",
+        SyntheticSpec::paper_case1(scale.seed),
+        7.0,
+        scale,
+    );
+    println!();
+    run_case(
+        "Table 4 (Case 2 confusion matrix)",
+        SyntheticSpec::paper_case2(scale.seed),
+        4.0,
+        scale,
+    );
+}
+
+fn run_case(title: &str, mut spec: SyntheticSpec, l: f64, scale: Scale) {
+    spec.n = scale.n(spec.n, 2_000);
+    let data = spec.generate();
+    let (model, secs) = time_it(|| {
+        Proclus::new(spec.k, l)
+            .seed(scale.seed)
+            .fit(&data.points)
+            .expect("valid parameters")
+    });
+    let truth: Vec<Option<usize>> = data.labels.iter().map(|l| l.cluster()).collect();
+    let cm = ConfusionMatrix::build(model.assignment(), spec.k, &truth, spec.k);
+
+    println!("=== {title} ===  (N = {}, {secs:.2}s)", data.len());
+    print!("{cm}");
+    println!(
+        "matched accuracy = {:.4}   purity = {:.4}   ARI = {:.4}   NMI = {:.4}",
+        cm.matched_accuracy(),
+        cm.purity(),
+        adjusted_rand_index(model.assignment(), &truth),
+        normalized_mutual_information(model.assignment(), &truth),
+    );
+}

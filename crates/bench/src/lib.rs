@@ -1,0 +1,151 @@
+//! Shared harness utilities for the table/figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! PROCLUS paper. They share:
+//!
+//! * [`Scale`] — command-line scaling (`--scale 0.1` shrinks every
+//!   dataset tenfold so the full suite runs in CI time while preserving
+//!   the shapes the paper reports),
+//! * [`time_it`] — wall-clock timing,
+//! * [`table`] — fixed-width table printing in the style of the paper,
+//! * [`letters`] — the paper's A, B, C… input-cluster names.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Command-line options shared by all harness binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Multiplier applied to every dataset size (default 1.0 = the
+    /// paper's N).
+    pub factor: f64,
+    /// Base seed for data generation and algorithms.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Parse `--scale <f>` and `--seed <u>` from `std::env::args`.
+    /// Unknown arguments abort with a usage message.
+    pub fn from_args() -> Self {
+        let mut factor = 1.0f64;
+        let mut seed = 42u64;
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    factor = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--scale needs a float"));
+                    i += 2;
+                }
+                "--seed" => {
+                    seed = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                    i += 2;
+                }
+                other => usage(&format!("unknown argument {other}")),
+            }
+        }
+        if factor <= 0.0 {
+            usage("--scale must be positive");
+        }
+        Scale { factor, seed }
+    }
+
+    /// Scale a point count, keeping at least `min`.
+    pub fn n(&self, paper_n: usize, min: usize) -> usize {
+        ((paper_n as f64 * self.factor) as usize).max(min)
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <bin> [--scale <f64>] [--seed <u64>]");
+    std::process::exit(2);
+}
+
+/// Run `f` and return its result plus elapsed seconds.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// The paper's input-cluster letters: A, B, C, …
+pub fn letters(i: usize) -> String {
+    if i < 26 {
+        ((b'A' + i as u8) as char).to_string()
+    } else {
+        format!("C{i}")
+    }
+}
+
+/// Format a dimension list the way the paper prints it: `3, 4, 7, 9`.
+pub fn dim_list(dims: &[usize]) -> String {
+    dims.iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Minimal fixed-width table printer.
+pub mod table {
+    /// Print a header row followed by a rule.
+    pub fn header(cols: &[(&str, usize)]) {
+        let mut line = String::new();
+        for (name, w) in cols {
+            line.push_str(&format!("{name:>w$}  ", w = w));
+        }
+        println!("{line}");
+        println!("{}", "-".repeat(line.len().min(100)));
+    }
+
+    /// Print one row of already-formatted cells with the same widths.
+    pub fn row(cells: &[String], widths: &[usize]) {
+        let mut line = String::new();
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!("{cell:>w$}  ", w = w));
+        }
+        println!("{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_n_applies_factor_and_floor() {
+        let s = Scale {
+            factor: 0.1,
+            seed: 0,
+        };
+        assert_eq!(s.n(100_000, 1_000), 10_000);
+        assert_eq!(s.n(100, 1_000), 1_000);
+    }
+
+    #[test]
+    fn letters_match_paper() {
+        assert_eq!(letters(0), "A");
+        assert_eq!(letters(4), "E");
+    }
+
+    #[test]
+    fn dim_list_formats() {
+        assert_eq!(dim_list(&[3, 4, 7]), "3, 4, 7");
+        assert_eq!(dim_list(&[]), "");
+    }
+
+    #[test]
+    fn time_it_returns_result() {
+        let (v, secs) = time_it(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

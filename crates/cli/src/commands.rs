@@ -1,0 +1,8 @@
+//! CLI subcommands.
+
+pub mod clique;
+pub mod evaluate;
+pub mod fit;
+pub mod generate;
+pub mod inspect;
+pub mod orclus;

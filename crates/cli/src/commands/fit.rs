@@ -1,0 +1,136 @@
+//! `proclus fit` — run PROCLUS on a dataset file.
+
+use crate::args::{ArgError, Args};
+use crate::io::{assignment_labels, read_dataset, write_dataset};
+use proclus_core::Proclus;
+use proclus_math::DistanceKind;
+use std::error::Error;
+use std::io::Write;
+use std::path::PathBuf;
+
+pub const HELP: &str = "\
+proclus fit — PROCLUS projected clustering (SIGMOD 1999)
+
+  --input <path>    dataset file (.csv or binary) (required)
+  --k <usize>       number of clusters (required)
+  --l <f64>         average dimensions per cluster (required)
+  --seed <u64>      PRNG seed [default 0]
+  --restarts <n>    independent hill climbs [default 5]
+  --threads <n>     worker threads for heavy passes [default 1]
+  --metric <name>   manhattan | euclidean | chebyshev [default manhattan]
+  --min-deviation <f> bad-medoid threshold factor [default 0.1]
+  --paper-literal   disable the inner refinement (see DESIGN.md)
+  --out <path>      write points + assignment labels to this file
+";
+
+/// Parse a metric name.
+pub fn parse_metric(name: &str) -> Result<DistanceKind, ArgError> {
+    match name {
+        "manhattan" => Ok(DistanceKind::Manhattan),
+        "euclidean" => Ok(DistanceKind::Euclidean),
+        "chebyshev" => Ok(DistanceKind::Chebyshev),
+        other => Err(ArgError(format!(
+            "--metric: unknown metric {other:?} (use manhattan, euclidean, chebyshev)"
+        ))),
+    }
+}
+
+/// Run the command; prints the model summary.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
+    let input = PathBuf::from(args.require("input")?);
+    let k: usize = args.require_parsed("k")?;
+    let l: f64 = args.require_parsed("l")?;
+    let mut params = Proclus::new(k, l)
+        .seed(args.get_parsed("seed", 0u64)?)
+        .restarts(args.get_parsed("restarts", 5usize)?)
+        .threads(args.get_parsed("threads", 1usize)?)
+        .min_deviation(args.get_parsed("min-deviation", 0.1)?)
+        .distance(parse_metric(args.get("metric").unwrap_or("manhattan"))?);
+    if args.switch("paper-literal") {
+        params = params.inner_refinements(0);
+    }
+    let out_path = args.get("out").map(PathBuf::from);
+    args.reject_unknown()?;
+
+    let (points, _) = read_dataset(&input)?;
+    let model = params.fit(&points)?;
+    writeln!(out, "{model}")?;
+    if let Some(path) = out_path {
+        write_dataset(
+            &path,
+            &points,
+            Some(&assignment_labels(model.assignment())),
+        )?;
+        writeln!(out, "assignment written to {}", path.display())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proclus_data::SyntheticSpec;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("proclus-cli-fit-{name}-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn fits_and_writes_assignment() {
+        let input = tmp("in.csv");
+        let out = tmp("out.csv");
+        let data = SyntheticSpec::new(400, 6, 2, 3.0).seed(2).generate();
+        crate::io::write_dataset(input.as_ref(), &data.points, None).unwrap();
+
+        let args = Args::parse(
+            toks(&format!("--input {input} --k 2 --l 3 --seed 1 --out {out}")),
+            &["paper-literal"],
+        )
+        .unwrap();
+        run(&args, &mut Vec::new()).unwrap();
+        let (points, labels) = crate::io::read_dataset(out.as_ref()).unwrap();
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&out).ok();
+        assert_eq!(points.rows(), 400);
+        assert_eq!(labels.unwrap().len(), 400);
+    }
+
+    #[test]
+    fn metric_parsing() {
+        assert_eq!(parse_metric("manhattan").unwrap(), DistanceKind::Manhattan);
+        assert_eq!(parse_metric("euclidean").unwrap(), DistanceKind::Euclidean);
+        assert!(parse_metric("cosine").is_err());
+    }
+
+    #[test]
+    fn invalid_params_surface_as_errors() {
+        let input = tmp("bad.csv");
+        let data = SyntheticSpec::new(50, 4, 2, 2.0).seed(1).generate();
+        crate::io::write_dataset(input.as_ref(), &data.points, None).unwrap();
+        // l > d.
+        let args = Args::parse(
+            toks(&format!("--input {input} --k 2 --l 9")),
+            &["paper-literal"],
+        )
+        .unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
+        std::fs::remove_file(&input).ok();
+    }
+
+    #[test]
+    fn missing_input_file_errors() {
+        let args = Args::parse(
+            toks("--input /nonexistent/x.csv --k 2 --l 2"),
+            &["paper-literal"],
+        )
+        .unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! `proclus` — command-line interface to the projected-clustering
+//! toolkit: dataset generation, PROCLUS / CLIQUE / ORCLUS runs, and
+//! clustering evaluation.
+
+mod args;
+mod commands;
+mod io;
+
+use args::Args;
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+proclus — projected clustering toolkit (PROCLUS, SIGMOD 1999)
+
+usage: proclus <command> [options]
+
+commands:
+  generate   synthesize a projected-cluster dataset (paper 4.1)
+  fit        PROCLUS projected clustering
+  clique     CLIQUE subspace clustering baseline
+  orclus     generalized (oriented) projected clustering
+  evaluate   confusion matrix / ARI / NMI of two labeled files
+  inspect    summarize a dataset file
+  help       show this message (or `proclus <command> --help`)
+
+Dataset files ending in .csv are text; any other extension uses the
+compact binary format.
+";
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest: Vec<String> = argv.collect();
+    let wants_help = rest.iter().any(|a| a == "--help" || a == "-h");
+
+    let (help, switches, runner): (
+        &str,
+        &[&str],
+        fn(&Args, &mut dyn Write) -> Result<(), Box<dyn std::error::Error>>,
+    ) = match command.as_str() {
+        "generate" => (commands::generate::HELP, &["no-labels"], commands::generate::run),
+        "fit" => (commands::fit::HELP, &["paper-literal"], commands::fit::run),
+        "clique" => (commands::clique::HELP, &["descriptions", "mdl"], commands::clique::run),
+        "orclus" => (commands::orclus::HELP, &[], commands::orclus::run),
+        "evaluate" => (commands::evaluate::HELP, &[], commands::evaluate::run),
+        "inspect" => (commands::inspect::HELP, &[], commands::inspect::run),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if wants_help {
+        print!("{help}");
+        return ExitCode::SUCCESS;
+    }
+    let parsed = match Args::parse(rest, switches) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{help}");
+            return ExitCode::from(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let result = runner(&parsed, &mut out).and_then(|()| Ok(out.flush()?));
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        // A closed pipe (e.g. `proclus ... | head`) is not an error.
+        Err(e)
+            if e.downcast_ref::<std::io::Error>()
+                .is_some_and(|io| io.kind() == std::io::ErrorKind::BrokenPipe) =>
+        {
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Connecting dense units into clusters.
+//!
+//! Two dense units of the *same* subspace are adjacent when they share a
+//! face: their intervals agree on every dimension except one, where they
+//! differ by exactly 1. A CLIQUE cluster is a connected component of
+//! this adjacency graph.
+
+use crate::units::DenseUnit;
+use std::collections::HashMap;
+
+/// Group `units` (all of the same dimensionality, possibly different
+/// subspaces) into clusters: first by subspace, then into face-adjacent
+/// connected components. Returns lists of indices into `units`.
+pub fn connected_components(units: &[DenseUnit]) -> Vec<Vec<usize>> {
+    // Partition by subspace first.
+    let mut by_subspace: HashMap<&[usize], Vec<usize>> = HashMap::new();
+    for (i, u) in units.iter().enumerate() {
+        by_subspace.entry(&u.dims).or_default().push(i);
+    }
+
+    let mut components = Vec::new();
+    for (_, members) in by_subspace {
+        // Interval coordinates -> position in `members`.
+        let index: HashMap<&[u16], usize> = members
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| (units[i].intervals.as_slice(), pos))
+            .collect();
+        let mut seen = vec![false; members.len()];
+        for start in 0..members.len() {
+            if seen[start] {
+                continue;
+            }
+            // BFS over face neighbors.
+            let mut comp = Vec::new();
+            let mut queue = vec![start];
+            seen[start] = true;
+            while let Some(pos) = queue.pop() {
+                comp.push(members[pos]);
+                let itvs = &units[members[pos]].intervals;
+                let mut probe = itvs.clone();
+                for axis in 0..probe.len() {
+                    let orig = probe[axis];
+                    for delta in [-1i32, 1] {
+                        let cand = orig as i32 + delta;
+                        if cand < 0 {
+                            continue;
+                        }
+                        probe[axis] = cand as u16;
+                        if let Some(&npos) = index.get(probe.as_slice()) {
+                            if !seen[npos] {
+                                seen[npos] = true;
+                                queue.push(npos);
+                            }
+                        }
+                    }
+                    probe[axis] = orig;
+                }
+            }
+            comp.sort_unstable();
+            components.push(comp);
+        }
+    }
+    // Deterministic output order regardless of hash iteration.
+    components.sort_by(|a, b| {
+        let ua = &units[a[0]];
+        let ub = &units[b[0]];
+        (&ua.dims, &ua.intervals, a).cmp(&(&ub.dims, &ub.intervals, b))
+    });
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(dims: &[usize], itvs: &[u16]) -> DenseUnit {
+        DenseUnit {
+            dims: dims.to_vec(),
+            intervals: itvs.to_vec(),
+            support: 1,
+        }
+    }
+
+    #[test]
+    fn adjacent_units_merge() {
+        // A 2x1 strip plus an isolated unit in the same subspace.
+        let units = vec![
+            unit(&[0, 1], &[3, 3]),
+            unit(&[0, 1], &[4, 3]),
+            unit(&[0, 1], &[8, 8]),
+        ];
+        let comps = connected_components(&units);
+        assert_eq!(comps.len(), 2);
+        assert!(comps.contains(&vec![0, 1]));
+        assert!(comps.contains(&vec![2]));
+    }
+
+    #[test]
+    fn diagonal_units_do_not_merge() {
+        let units = vec![unit(&[0, 1], &[3, 3]), unit(&[0, 1], &[4, 4])];
+        let comps = connected_components(&units);
+        assert_eq!(comps.len(), 2, "corner contact is not a shared face");
+    }
+
+    #[test]
+    fn different_subspaces_never_merge() {
+        let units = vec![unit(&[0, 1], &[3, 3]), unit(&[0, 2], &[3, 3])];
+        let comps = connected_components(&units);
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn snake_component_is_one_cluster() {
+        // A connected L-shape: (0,0)-(1,0)-(1,1).
+        let units = vec![
+            unit(&[2, 5], &[0, 0]),
+            unit(&[2, 5], &[1, 0]),
+            unit(&[2, 5], &[1, 1]),
+        ];
+        let comps = connected_components(&units);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(connected_components(&[]).is_empty());
+    }
+
+    #[test]
+    fn one_dimensional_runs() {
+        // 1-d intervals 2,3,4 and 7 -> two components.
+        let units = vec![
+            unit(&[4], &[2]),
+            unit(&[4], &[3]),
+            unit(&[4], &[4]),
+            unit(&[4], &[7]),
+        ];
+        let comps = connected_components(&units);
+        assert_eq!(comps.len(), 2);
+        assert!(comps.contains(&vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let units = vec![
+            unit(&[1], &[5]),
+            unit(&[0], &[2]),
+            unit(&[0], &[9]),
+        ];
+        let a = connected_components(&units);
+        let b = connected_components(&units);
+        assert_eq!(a, b);
+        // Sorted by (dims, first interval): dim 0 comes first.
+        assert_eq!(a[0], vec![1]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Minimal cluster descriptions (the final phase of the original
+//! CLIQUE paper): cover each cluster's dense units with a small set of
+//! maximal axis-parallel hyper-rectangles, then drop redundant
+//! rectangles.
+//!
+//! The greedy growth heuristic from the paper: start from an uncovered
+//! unit, grow it greedily along each dimension in turn (keeping the
+//! rectangle inside the cluster's dense units), record the maximal
+//! rectangle, repeat until every unit is covered; finally remove any
+//! rectangle whose units are all covered by the others.
+
+use crate::units::DenseUnit;
+use std::collections::HashSet;
+
+/// An axis-parallel rectangle of grid units inside one subspace:
+/// interval range `lo[j] ..= hi[j]` on each subspace dimension.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Subspace dimensions (ascending, same for the whole cluster).
+    pub dims: Vec<usize>,
+    /// Inclusive lower interval per dimension.
+    pub lo: Vec<u16>,
+    /// Inclusive upper interval per dimension.
+    pub hi: Vec<u16>,
+}
+
+impl Region {
+    /// Does the region contain the unit with these interval
+    /// coordinates?
+    pub fn contains(&self, intervals: &[u16]) -> bool {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(intervals)
+            .all(|((l, h), v)| l <= v && v <= h)
+    }
+
+    /// Number of grid units covered.
+    pub fn unit_count(&self) -> usize {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| (h - l + 1) as usize)
+            .product()
+    }
+
+    /// Iterate the interval coordinates of every covered unit.
+    fn units(&self) -> Vec<Vec<u16>> {
+        let mut out = vec![Vec::new()];
+        for (l, h) in self.lo.iter().zip(&self.hi) {
+            let mut next = Vec::with_capacity(out.len() * (h - l + 1) as usize);
+            for prefix in &out {
+                for v in *l..=*h {
+                    let mut p = prefix.clone();
+                    p.push(v);
+                    next.push(p);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+/// Compute a minimal-ish rectangle cover of a cluster's dense units
+/// (all of the same subspace).
+///
+/// Guarantees: every unit is covered; every rectangle contains only
+/// cluster units; every rectangle is maximal (cannot grow in any
+/// direction); no rectangle is redundant (each covers at least one
+/// unit no other rectangle covers).
+///
+/// # Panics
+///
+/// Panics if `units` is empty or the units span different subspaces.
+pub fn minimal_descriptions(units: &[DenseUnit]) -> Vec<Region> {
+    assert!(!units.is_empty(), "no units to describe");
+    let dims = units[0].dims.clone();
+    assert!(
+        units.iter().all(|u| u.dims == dims),
+        "units must share one subspace"
+    );
+    let q = dims.len();
+    let cells: HashSet<&[u16]> = units.iter().map(|u| u.intervals.as_slice()).collect();
+
+    let mut covered: HashSet<Vec<u16>> = HashSet::new();
+    let mut regions: Vec<Region> = Vec::new();
+    for u in units {
+        if covered.contains(&u.intervals) {
+            continue;
+        }
+        // Grow a maximal rectangle from this seed, one dimension at a
+        // time (the paper's greedy growth).
+        let mut lo = u.intervals.clone();
+        let mut hi = u.intervals.clone();
+        for axis in 0..q {
+            // Extend downwards while every unit in the new slab exists.
+            loop {
+                if lo[axis] == 0 {
+                    break;
+                }
+                let cand = lo[axis] - 1;
+                if slab_inside(&lo, &hi, axis, cand, &cells) {
+                    lo[axis] = cand;
+                } else {
+                    break;
+                }
+            }
+            // Extend upwards likewise.
+            loop {
+                let cand = hi[axis] + 1;
+                if slab_inside(&lo, &hi, axis, cand, &cells) {
+                    hi[axis] = cand;
+                } else {
+                    break;
+                }
+            }
+        }
+        let region = Region {
+            dims: dims.clone(),
+            lo,
+            hi,
+        };
+        for cell in region.units() {
+            covered.insert(cell);
+        }
+        regions.push(region);
+    }
+
+    // Redundancy removal: drop any region fully covered by the rest.
+    let mut keep: Vec<bool> = vec![true; regions.len()];
+    for i in 0..regions.len() {
+        let others: Vec<&Region> = regions
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i && keep[*j])
+            .map(|(_, r)| r)
+            .collect();
+        let redundant = regions[i]
+            .units()
+            .iter()
+            .all(|cell| others.iter().any(|r| r.contains(cell)));
+        if redundant {
+            keep[i] = false;
+        }
+    }
+    regions
+        .into_iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(r, _)| r)
+        .collect()
+}
+
+/// Is the `axis = value` slab of the rectangle `[lo, hi]` entirely made
+/// of cluster cells?
+fn slab_inside(
+    lo: &[u16],
+    hi: &[u16],
+    axis: usize,
+    value: u16,
+    cells: &HashSet<&[u16]>,
+) -> bool {
+    // Enumerate all cells of the slab (axis fixed at `value`).
+    let q = lo.len();
+    let mut idx: Vec<u16> = lo.to_vec();
+    idx[axis] = value;
+    loop {
+        if !cells.contains(idx.as_slice()) {
+            return false;
+        }
+        // Advance odometer over all axes except `axis`.
+        let mut carry = true;
+        for a in 0..q {
+            if a == axis {
+                continue;
+            }
+            if !carry {
+                break;
+            }
+            if idx[a] < hi[a] {
+                idx[a] += 1;
+                carry = false;
+            } else {
+                idx[a] = lo[a];
+            }
+        }
+        if carry {
+            return true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(dims: &[usize], itvs: &[u16]) -> DenseUnit {
+        DenseUnit {
+            dims: dims.to_vec(),
+            intervals: itvs.to_vec(),
+            support: 1,
+        }
+    }
+
+    fn rect_units(dims: &[usize], lo: &[u16], hi: &[u16]) -> Vec<DenseUnit> {
+        Region {
+            dims: dims.to_vec(),
+            lo: lo.to_vec(),
+            hi: hi.to_vec(),
+        }
+        .units()
+        .into_iter()
+        .map(|itvs| unit(dims, &itvs))
+        .collect()
+    }
+
+    #[test]
+    fn single_rectangle_is_one_region() {
+        let units = rect_units(&[0, 1], &[2, 3], &[4, 5]);
+        let regions = minimal_descriptions(&units);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].lo, vec![2, 3]);
+        assert_eq!(regions[0].hi, vec![4, 5]);
+        assert_eq!(regions[0].unit_count(), 9);
+    }
+
+    #[test]
+    fn l_shape_needs_two_regions_and_covers_all() {
+        // L-shape: horizontal arm (0..=2, 0) + vertical arm (0, 0..=2).
+        let mut units = rect_units(&[3, 7], &[0, 0], &[2, 0]);
+        units.extend(rect_units(&[3, 7], &[0, 1], &[0, 2]));
+        let regions = minimal_descriptions(&units);
+        assert_eq!(regions.len(), 2);
+        for u in &units {
+            assert!(
+                regions.iter().any(|r| r.contains(&u.intervals)),
+                "unit {u:?} uncovered"
+            );
+        }
+        // Every region stays inside the cluster.
+        let cells: HashSet<Vec<u16>> =
+            units.iter().map(|u| u.intervals.clone()).collect();
+        for r in &regions {
+            for cell in r.units() {
+                assert!(cells.contains(&cell), "region leaks outside at {cell:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn regions_are_maximal() {
+        let units = rect_units(&[1], &[3], &[7]);
+        let regions = minimal_descriptions(&units);
+        assert_eq!(regions.len(), 1);
+        assert_eq!((regions[0].lo[0], regions[0].hi[0]), (3, 7));
+    }
+
+    #[test]
+    fn redundant_region_is_dropped() {
+        // A plus-shape: the greedy pass can generate three rectangles
+        // where two suffice; the final output must have no rectangle
+        // whose cells are all covered by others.
+        let mut units = rect_units(&[0, 1], &[0, 1], &[2, 1]); // horizontal bar
+        units.extend(rect_units(&[0, 1], &[1, 0], &[1, 2])); // vertical bar
+        let units: Vec<DenseUnit> = {
+            // Dedup the center cell.
+            let mut seen = HashSet::new();
+            units
+                .into_iter()
+                .filter(|u| seen.insert(u.intervals.clone()))
+                .collect()
+        };
+        let regions = minimal_descriptions(&units);
+        for (i, r) in regions.iter().enumerate() {
+            let others: Vec<&Region> = regions
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, r)| r)
+                .collect();
+            let redundant = r
+                .units()
+                .iter()
+                .all(|cell| others.iter().any(|o| o.contains(cell)));
+            assert!(!redundant, "region {i} is redundant: {r:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no units")]
+    fn empty_input_panics() {
+        let _ = minimal_descriptions(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one subspace")]
+    fn mixed_subspaces_panic() {
+        let units = vec![unit(&[0], &[1]), unit(&[1], &[1])];
+        let _ = minimal_descriptions(&units);
+    }
+
+    #[test]
+    fn region_contains_and_count() {
+        let r = Region {
+            dims: vec![0, 2],
+            lo: vec![1, 4],
+            hi: vec![3, 4],
+        };
+        assert!(r.contains(&[2, 4]));
+        assert!(!r.contains(&[0, 4]));
+        assert!(!r.contains(&[2, 5]));
+        assert_eq!(r.unit_count(), 3);
+    }
+}

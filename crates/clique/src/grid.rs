@@ -1,0 +1,181 @@
+//! The ξ-interval grid over the data's bounding box.
+
+use proclus_math::Matrix;
+
+/// An axis-aligned grid: every dimension of the data's bounding box is
+/// split into `xi` equal-width intervals.
+///
+/// The paper fixes `ξ = 10` in all experiments.
+#[derive(Clone, Debug)]
+pub struct Grid {
+    lo: Vec<f64>,
+    width: Vec<f64>,
+    xi: u16,
+}
+
+impl Grid {
+    /// Build the grid from the bounding box of `points`.
+    ///
+    /// Degenerate dimensions (constant value) get a unit-width cell so
+    /// that every point maps into interval 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xi == 0` or `points` is empty.
+    pub fn fit(points: &Matrix, xi: u16) -> Self {
+        assert!(xi > 0, "xi must be positive");
+        assert!(!points.is_empty(), "cannot grid an empty dataset");
+        let d = points.cols();
+        let mut lo = vec![f64::INFINITY; d];
+        let mut hi = vec![f64::NEG_INFINITY; d];
+        for row in points.iter_rows() {
+            for (j, &v) in row.iter().enumerate() {
+                if v < lo[j] {
+                    lo[j] = v;
+                }
+                if v > hi[j] {
+                    hi[j] = v;
+                }
+            }
+        }
+        let width = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| {
+                let span = h - l;
+                if span > 0.0 {
+                    span / xi as f64
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { lo, width, xi }
+    }
+
+    /// Number of intervals per dimension.
+    #[inline]
+    pub fn xi(&self) -> u16 {
+        self.xi
+    }
+
+    /// Dimensionality of the gridded space.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// The interval index of coordinate `v` on dimension `j`, clamped to
+    /// `[0, ξ)` (the right edge of the box belongs to the last
+    /// interval).
+    #[inline]
+    pub fn interval(&self, j: usize, v: f64) -> u16 {
+        let raw = ((v - self.lo[j]) / self.width[j]).floor();
+        if raw < 0.0 {
+            0
+        } else if raw >= self.xi as f64 {
+            self.xi - 1
+        } else {
+            raw as u16
+        }
+    }
+
+    /// The full cell-coordinate vector of a point.
+    pub fn cell_of(&self, point: &[f64]) -> Vec<u16> {
+        point
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| self.interval(j, v))
+            .collect()
+    }
+
+    /// Cell coordinates for every point, as one row-major matrix-like
+    /// buffer (rows of length `d`); the mining pass indexes this instead
+    /// of recomputing intervals.
+    pub fn cells(&self, points: &Matrix) -> Vec<u16> {
+        let mut out = Vec::with_capacity(points.rows() * points.cols());
+        for row in points.iter_rows() {
+            for (j, &v) in row.iter().enumerate() {
+                out.push(self.interval(j, v));
+            }
+        }
+        out
+    }
+
+    /// The coordinate range `[lo, hi)` covered by interval `itv` of
+    /// dimension `j` (useful for reporting cluster regions).
+    pub fn interval_bounds(&self, j: usize, itv: u16) -> (f64, f64) {
+        let lo = self.lo[j] + itv as f64 * self.width[j];
+        (lo, lo + self.width[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Matrix {
+        Matrix::from_rows(&[[0.0, -10.0], [5.0, 0.0], [10.0, 10.0]], 2)
+    }
+
+    #[test]
+    fn intervals_partition_the_box() {
+        let g = Grid::fit(&points(), 10);
+        assert_eq!(g.xi(), 10);
+        assert_eq!(g.dims(), 2);
+        assert_eq!(g.interval(0, 0.0), 0);
+        assert_eq!(g.interval(0, 0.999), 0);
+        assert_eq!(g.interval(0, 1.0), 1);
+        assert_eq!(g.interval(0, 9.99), 9);
+        // Right edge is clamped into the last interval.
+        assert_eq!(g.interval(0, 10.0), 9);
+    }
+
+    #[test]
+    fn out_of_box_values_clamp() {
+        let g = Grid::fit(&points(), 10);
+        assert_eq!(g.interval(0, -99.0), 0);
+        assert_eq!(g.interval(0, 99.0), 9);
+    }
+
+    #[test]
+    fn cell_of_and_cells_agree() {
+        let pts = points();
+        let g = Grid::fit(&pts, 4);
+        let flat = g.cells(&pts);
+        for i in 0..pts.rows() {
+            assert_eq!(&flat[i * 2..(i + 1) * 2], g.cell_of(pts.row(i)));
+        }
+    }
+
+    #[test]
+    fn degenerate_dimension_maps_to_interval_zero() {
+        let m = Matrix::from_rows(&[[1.0, 5.0], [2.0, 5.0]], 2);
+        let g = Grid::fit(&m, 10);
+        assert_eq!(g.interval(1, 5.0), 0);
+    }
+
+    #[test]
+    fn interval_bounds_tile_the_axis() {
+        let g = Grid::fit(&points(), 5);
+        let (lo0, hi0) = g.interval_bounds(0, 0);
+        let (lo1, _) = g.interval_bounds(0, 1);
+        assert_eq!(lo0, 0.0);
+        assert_eq!(hi0, lo1);
+        let (_, hi_last) = g.interval_bounds(0, 4);
+        assert!((hi_last - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "xi must be positive")]
+    fn zero_xi_panics() {
+        let _ = Grid::fit(&points(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let m = Matrix::zeros(0, 3);
+        let _ = Grid::fit(&m, 10);
+    }
+}

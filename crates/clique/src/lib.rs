@@ -1,0 +1,46 @@
+//! **CLIQUE** (Agrawal, Gehrke, Gunopulos, Raghavan — SIGMOD 1998), the
+//! grid/density subspace clustering algorithm PROCLUS is evaluated
+//! against.
+//!
+//! Each dimension is divided into `ξ` equal-width intervals; a *unit* in
+//! a subspace is a cross product of one interval per subspace dimension,
+//! and a unit is *dense* when it holds more than a `τ` fraction of the
+//! points. Dense units are mined bottom-up, level by level, with the
+//! Apriori candidate-generation/pruning strategy (density is
+//! anti-monotone: every projection of a dense unit is dense). Within
+//! each subspace, face-adjacent dense units are connected into clusters.
+//!
+//! Unlike PROCLUS, the output is **not** a partition: the projections of
+//! a higher-dimensional dense region are themselves dense and get
+//! reported, so points typically belong to several overlapping clusters
+//! and roughly half the points of a Gaussian cluster can be dropped as
+//! outliers (both effects are measured in the paper's §4.2 and
+//! reproduced by the Table 5 harness in `proclus-bench`).
+//!
+//! # Example
+//!
+//! ```
+//! use proclus_clique::Clique;
+//! use proclus_data::SyntheticSpec;
+//!
+//! let data = SyntheticSpec::new(2_000, 8, 2, 3.0).seed(1).generate();
+//! let model = Clique::new(10, 0.05).max_subspace_dim(Some(4)).fit(&data.points);
+//! assert!(model.clusters().len() >= 2);
+//! assert!(model.coverage() > 0.3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod descriptions;
+pub mod grid;
+pub mod mdl;
+pub mod model;
+pub mod params;
+pub mod units;
+
+pub use model::{CliqueModel, SubspaceCluster};
+pub use params::Clique;
+pub use descriptions::{minimal_descriptions, Region};
+pub use units::DenseUnit;

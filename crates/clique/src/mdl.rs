@@ -1,0 +1,144 @@
+//! MDL-based subspace pruning (the optional step of the original CLIQUE
+//! paper).
+//!
+//! After mining the dense units of one level, subspaces are ranked by
+//! *coverage* (the number of points inside their dense units) and split
+//! into a selected set `S` and a pruned set `P`. The cut is chosen by
+//! the minimal-description-length principle: encode each group by its
+//! mean coverage plus per-subspace deviations from that mean,
+//!
+//! ```text
+//! CL(i) = log2(mu_S) + Σ_{j in S} log2(|x_j − mu_S|)
+//!       + log2(mu_P) + Σ_{j in P} log2(|x_j − mu_P|)
+//! ```
+//!
+//! and the cut minimizing `CL` wins. Pruning trades completeness for
+//! speed: interesting-but-sparse subspaces may be dropped, which the
+//! original paper accepts explicitly.
+
+use std::collections::HashMap;
+
+/// `log2(x)` with the paper's convention that zero costs nothing.
+fn bits(x: f64) -> f64 {
+    if x < 1.0 {
+        0.0
+    } else {
+        x.log2()
+    }
+}
+
+/// Description length of one group given its coverages.
+fn group_cost(cov: &[f64]) -> f64 {
+    if cov.is_empty() {
+        return 0.0;
+    }
+    let mean = cov.iter().sum::<f64>() / cov.len() as f64;
+    bits(mean.round()) + cov.iter().map(|&x| bits((x - mean).abs().round())).sum::<f64>()
+}
+
+/// Given per-subspace coverages (any order), return the optimal number
+/// of subspaces to *keep* (the best MDL cut over the descending
+/// ranking). Always keeps at least one subspace.
+pub fn mdl_cut(coverages: &[f64]) -> usize {
+    if coverages.len() <= 1 {
+        return coverages.len();
+    }
+    let mut sorted: Vec<f64> = coverages.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let mut best_keep = sorted.len();
+    let mut best_cost = f64::INFINITY;
+    for keep in 1..=sorted.len() {
+        let cost = group_cost(&sorted[..keep]) + group_cost(&sorted[keep..]);
+        if cost < best_cost {
+            best_cost = cost;
+            best_keep = keep;
+        }
+    }
+    best_keep
+}
+
+/// Partition dense units of one level by subspace, compute coverages,
+/// and return only the units whose subspace survives the MDL cut.
+pub fn prune_level(units: Vec<crate::units::DenseUnit>) -> Vec<crate::units::DenseUnit> {
+    if units.is_empty() {
+        return units;
+    }
+    let mut coverage: HashMap<&[usize], f64> = HashMap::new();
+    for u in &units {
+        *coverage.entry(u.dims.as_slice()).or_default() += u.support as f64;
+    }
+    let mut ranked: Vec<(&[usize], f64)> =
+        coverage.iter().map(|(k, v)| (*k, *v)).collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(b.0)));
+    let covs: Vec<f64> = ranked.iter().map(|(_, c)| *c).collect();
+    let keep = mdl_cut(&covs);
+    let kept: std::collections::HashSet<Vec<usize>> = ranked[..keep]
+        .iter()
+        .map(|(k, _)| k.to_vec())
+        .collect();
+    units
+        .into_iter()
+        .filter(|u| kept.contains(&u.dims))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::DenseUnit;
+
+    fn unit(dims: &[usize], support: usize) -> DenseUnit {
+        DenseUnit {
+            dims: dims.to_vec(),
+            intervals: vec![0; dims.len()],
+            support,
+        }
+    }
+
+    #[test]
+    fn obvious_split_is_found() {
+        // Three heavy subspaces and three trivial ones.
+        let covs = [1000.0, 980.0, 990.0, 3.0, 2.0, 1.0];
+        assert_eq!(mdl_cut(&covs), 3);
+    }
+
+    #[test]
+    fn uniform_coverages_keep_everything() {
+        let covs = [500.0, 500.0, 500.0, 500.0];
+        assert_eq!(mdl_cut(&covs), 4);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mdl_cut(&[]), 0);
+        assert_eq!(mdl_cut(&[42.0]), 1);
+    }
+
+    #[test]
+    fn prune_level_drops_low_coverage_subspaces() {
+        let mut units = Vec::new();
+        // Heavy subspace {0,1}: 3 units of support 400.
+        for i in 0..3u16 {
+            let mut u = unit(&[0, 1], 400);
+            u.intervals = vec![i, i];
+            units.push(u);
+        }
+        // Trivial subspace {2,3}: one unit of support 2.
+        units.push(unit(&[2, 3], 2));
+        let kept = prune_level(units);
+        assert_eq!(kept.len(), 3);
+        assert!(kept.iter().all(|u| u.dims == vec![0, 1]));
+    }
+
+    #[test]
+    fn prune_level_keeps_everything_when_balanced() {
+        let units = vec![unit(&[0], 100), unit(&[1], 100), unit(&[2], 100)];
+        let kept = prune_level(units);
+        assert_eq!(kept.len(), 3);
+    }
+
+    #[test]
+    fn prune_level_empty_is_noop() {
+        assert!(prune_level(Vec::new()).is_empty());
+    }
+}

@@ -1,0 +1,245 @@
+//! The [`Clique`] parameter builder and `fit` entry point.
+
+use crate::cluster::connected_components;
+use crate::grid::Grid;
+use crate::model::{CliqueModel, SubspaceCluster};
+use crate::units::mine_dense_units_opt;
+use proclus_math::Matrix;
+use std::collections::HashSet;
+
+/// Configuration for a CLIQUE run.
+///
+/// The paper's experiments fix `ξ = 10` and vary the density threshold
+/// `τ`; we express `τ` as a *fraction of N* (the paper quotes percent:
+/// its "τ = 0.5" is `tau = 0.005` here).
+#[derive(Clone, Debug)]
+pub struct Clique {
+    /// Number of intervals per dimension (`ξ`).
+    pub xi: u16,
+    /// Density threshold as a fraction of the point count: a unit is
+    /// dense iff it holds at least `ceil(tau · N)` points.
+    pub tau: f64,
+    /// Cap on mined subspace dimensionality (`None` = up to `d`).
+    /// Mining cost grows exponentially with this value — exactly the
+    /// behavior Figure 8 of the PROCLUS paper measures.
+    pub max_dim: Option<usize>,
+    /// When set, only clusters of exactly this subspace dimensionality
+    /// are reported (the "find clusters only in 7 dimensions" option the
+    /// PROCLUS authors used for Table 5).
+    pub target_dim: Option<usize>,
+    /// Apply the original paper's optional MDL subspace pruning after
+    /// every mining level (default off): low-coverage subspaces are
+    /// dropped, trading completeness for speed.
+    pub mdl_pruning: bool,
+}
+
+impl Clique {
+    /// A configuration with the given grid resolution and density
+    /// threshold.
+    pub fn new(xi: u16, tau: f64) -> Self {
+        Self {
+            xi,
+            tau,
+            max_dim: None,
+            target_dim: None,
+            mdl_pruning: false,
+        }
+    }
+
+    /// Enable/disable MDL subspace pruning (default off).
+    pub fn mdl_pruning(mut self, v: bool) -> Self {
+        self.mdl_pruning = v;
+        self
+    }
+
+    /// Cap the mined subspace dimensionality.
+    pub fn max_subspace_dim(mut self, v: Option<usize>) -> Self {
+        self.max_dim = v;
+        self
+    }
+
+    /// Report only clusters of exactly this dimensionality.
+    pub fn target_subspace_dim(mut self, v: Option<usize>) -> Self {
+        self.target_dim = v;
+        self
+    }
+
+    /// Minimum support implied by `tau` for `n` points (at least 1).
+    pub fn min_support(&self, n: usize) -> usize {
+        ((self.tau * n as f64).ceil() as usize).max(1)
+    }
+
+    /// Run CLIQUE on `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset, `xi == 0`, or `tau` outside `(0, 1]`.
+    pub fn fit(&self, points: &Matrix) -> CliqueModel {
+        assert!(
+            self.tau > 0.0 && self.tau <= 1.0,
+            "tau must be in (0, 1], got {}",
+            self.tau
+        );
+        let n = points.rows();
+        let d = points.cols();
+        let grid = Grid::fit(points, self.xi);
+        let cells = grid.cells(points);
+        let max_level = self.max_dim.unwrap_or(d).min(d);
+        let min_support = self.min_support(n);
+
+        let levels = mine_dense_units_opt(
+            &cells,
+            n,
+            d,
+            self.xi,
+            min_support,
+            max_level,
+            self.mdl_pruning,
+        );
+
+        // Connect units into clusters, level by level, then attach
+        // member points.
+        let mut clusters = Vec::new();
+        for level in &levels {
+            let q = level[0].dims.len();
+            if let Some(t) = self.target_dim {
+                if q != t {
+                    continue;
+                }
+            }
+            for comp in connected_components(level) {
+                let units: Vec<_> = comp.iter().map(|&i| level[i].clone()).collect();
+                // Member points: those whose cell lies in any unit.
+                let keys: HashSet<(&[usize], Vec<u16>)> = units
+                    .iter()
+                    .map(|u| (u.dims.as_slice(), u.intervals.clone()))
+                    .collect();
+                let dims = units[0].dims.clone();
+                let mut members = Vec::new();
+                let mut proj = Vec::with_capacity(dims.len());
+                for p in 0..n {
+                    let cell = &cells[p * d..(p + 1) * d];
+                    proj.clear();
+                    proj.extend(dims.iter().map(|&j| cell[j]));
+                    if keys.contains(&(dims.as_slice(), proj.clone())) {
+                        members.push(p);
+                    }
+                }
+                clusters.push(SubspaceCluster {
+                    dims,
+                    units,
+                    members,
+                });
+            }
+        }
+        CliqueModel::new(clusters, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_support_rounds_up() {
+        let c = Clique::new(10, 0.005);
+        assert_eq!(c.min_support(1000), 5);
+        assert_eq!(c.min_support(1001), 6);
+        assert_eq!(c.min_support(10), 1);
+        // Never zero.
+        assert_eq!(Clique::new(10, 1e-9).min_support(10), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be in")]
+    fn fit_rejects_bad_tau() {
+        let m = Matrix::from_rows(&[[0.0]], 1);
+        let _ = Clique::new(10, 0.0).fit(&m);
+    }
+
+    #[test]
+    fn fit_finds_a_planted_box() {
+        // 40 points in a tight 2-d box around (5, 5), 10 spread points.
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        for i in 0..40 {
+            rows.push([5.0 + (i % 5) as f64 * 0.01, 5.0 + (i / 5) as f64 * 0.01]);
+        }
+        for i in 0..10 {
+            rows.push([i as f64 * 9.9, ((i * 3) % 10) as f64 * 9.7]);
+        }
+        let m = Matrix::from_rows(&rows, 2);
+        let model = Clique::new(10, 0.2).fit(&m);
+        // The planted box shows up at level 2 (and its projections at
+        // level 1).
+        let two_dim: Vec<_> = model
+            .clusters()
+            .iter()
+            .filter(|c| c.dims.len() == 2)
+            .collect();
+        assert_eq!(two_dim.len(), 1);
+        assert!(two_dim[0].members.len() >= 40);
+    }
+
+    #[test]
+    fn target_dim_filters_output() {
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        for i in 0..40 {
+            rows.push([5.0 + (i % 5) as f64 * 0.01, 5.0 + (i / 5) as f64 * 0.01]);
+        }
+        for i in 0..10 {
+            rows.push([i as f64 * 9.9, ((i * 3) % 10) as f64 * 9.7]);
+        }
+        let m = Matrix::from_rows(&rows, 2);
+        let model = Clique::new(10, 0.2)
+            .target_subspace_dim(Some(2))
+            .fit(&m);
+        assert!(model.clusters().iter().all(|c| c.dims.len() == 2));
+        assert_eq!(model.clusters().len(), 1);
+    }
+
+    #[test]
+    fn mdl_pruning_drops_sparse_subspaces() {
+        // A strong 2-d box in dims {0, 1} plus faint 2-d coincidences
+        // elsewhere: with pruning, the faint subspaces disappear.
+        let mut rows: Vec<[f64; 4]> = Vec::new();
+        for i in 0..60 {
+            rows.push([
+                5.0 + (i % 6) as f64 * 0.01,
+                5.0 + (i / 6) as f64 * 0.01,
+                (i % 10) as f64 * 9.9,
+                ((i * 7) % 10) as f64 * 9.9,
+            ]);
+        }
+        // A faint pocket in dims {2, 3}.
+        for _ in 0..4 {
+            rows.push([50.0, 50.0, 42.0, 42.0]);
+        }
+        let m = Matrix::from_rows(&rows, 4);
+        let unpruned = Clique::new(10, 0.05).max_subspace_dim(Some(2)).fit(&m);
+        let pruned = Clique::new(10, 0.05)
+            .max_subspace_dim(Some(2))
+            .mdl_pruning(true)
+            .fit(&m);
+        let count2d = |model: &CliqueModel| {
+            model
+                .clusters()
+                .iter()
+                .filter(|c| c.dims.len() == 2)
+                .count()
+        };
+        assert!(count2d(&pruned) <= count2d(&unpruned));
+        // The dominant subspace survives pruning.
+        assert!(pruned
+            .clusters()
+            .iter()
+            .any(|c| c.dims == vec![0, 1]));
+    }
+
+    #[test]
+    fn max_dim_caps_mining() {
+        let rows = vec![[1.0, 1.0, 1.0]; 30];
+        let m = Matrix::from_rows(&rows, 3);
+        let model = Clique::new(10, 0.5).max_subspace_dim(Some(2)).fit(&m);
+        assert!(model.clusters().iter().all(|c| c.dims.len() <= 2));
+    }
+}

@@ -1,0 +1,370 @@
+//! Bottom-up (Apriori) dense-unit mining.
+//!
+//! Density is anti-monotone over subspaces: every projection of a dense
+//! unit is dense. CLIQUE exploits this exactly like frequent-itemset
+//! mining — level `q` candidates are joins of level `q−1` dense units
+//! sharing their first `q−2` (dimension, interval) pairs, followed by a
+//! subset-pruning step, followed by one counting pass over the data.
+
+use std::collections::{HashMap, HashSet};
+
+/// A dense unit: one interval per subspace dimension, plus its support.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DenseUnit {
+    /// Subspace dimensions, sorted ascending.
+    pub dims: Vec<usize>,
+    /// Interval index on each dimension (parallel to `dims`).
+    pub intervals: Vec<u16>,
+    /// Number of points inside the unit.
+    pub support: usize,
+}
+
+impl DenseUnit {
+    /// The unit's (dimension, interval) pairs, the canonical "itemset"
+    /// representation used by the join.
+    fn items(&self) -> Vec<(usize, u16)> {
+        self.dims
+            .iter()
+            .copied()
+            .zip(self.intervals.iter().copied())
+            .collect()
+    }
+
+    /// Does `cell` (a full-space cell-coordinate vector) fall inside
+    /// this unit?
+    pub fn contains_cell(&self, cell: &[u16]) -> bool {
+        self.dims
+            .iter()
+            .zip(&self.intervals)
+            .all(|(&j, &itv)| cell[j] == itv)
+    }
+}
+
+/// Mine all dense units level by level.
+///
+/// * `cells` — row-major cell coordinates (`n × d`) from
+///   [`Grid::cells`](crate::grid::Grid::cells),
+/// * `min_support` — a unit is dense iff `support >= min_support`,
+/// * `max_level` — stop after this subspace dimensionality.
+///
+/// Returns `levels[q-1]` = the dense units of dimensionality `q`.
+/// Mining stops early at the first empty level.
+pub fn mine_dense_units(
+    cells: &[u16],
+    n: usize,
+    d: usize,
+    xi: u16,
+    min_support: usize,
+    max_level: usize,
+) -> Vec<Vec<DenseUnit>> {
+    mine_dense_units_opt(cells, n, d, xi, min_support, max_level, false)
+}
+
+/// [`mine_dense_units`] with optional per-level MDL subspace pruning
+/// (the original CLIQUE paper's optional speed/completeness trade-off;
+/// see [`crate::mdl`]). Pruned subspaces do not seed candidates for the
+/// next level.
+#[allow(clippy::too_many_arguments)]
+pub fn mine_dense_units_opt(
+    cells: &[u16],
+    n: usize,
+    d: usize,
+    xi: u16,
+    min_support: usize,
+    max_level: usize,
+    mdl_pruning: bool,
+) -> Vec<Vec<DenseUnit>> {
+    assert_eq!(cells.len(), n * d, "cells buffer shape mismatch");
+    let mut levels: Vec<Vec<DenseUnit>> = Vec::new();
+    if max_level == 0 || n == 0 {
+        return levels;
+    }
+
+    // Level 1: plain histograms.
+    let mut counts = vec![0usize; d * xi as usize];
+    for p in 0..n {
+        for j in 0..d {
+            counts[j * xi as usize + cells[p * d + j] as usize] += 1;
+        }
+    }
+    let mut level1 = Vec::new();
+    for j in 0..d {
+        for itv in 0..xi {
+            let s = counts[j * xi as usize + itv as usize];
+            if s >= min_support {
+                level1.push(DenseUnit {
+                    dims: vec![j],
+                    intervals: vec![itv],
+                    support: s,
+                });
+            }
+        }
+    }
+    if level1.is_empty() {
+        return levels;
+    }
+    // Level 1 is never pruned: every dimension must stay available.
+    levels.push(level1);
+
+    // Levels 2..=max_level: join, prune, count.
+    while levels.len() < max_level {
+        let prev = levels.last().unwrap();
+        let candidates = generate_candidates(prev);
+        if candidates.is_empty() {
+            break;
+        }
+        let mut dense = count_and_filter(&candidates, cells, n, d, min_support);
+        if mdl_pruning {
+            dense = crate::mdl::prune_level(dense);
+        }
+        if dense.is_empty() {
+            break;
+        }
+        levels.push(dense);
+    }
+    levels
+}
+
+/// Apriori join + prune. `prev` must all have the same dimensionality.
+fn generate_candidates(prev: &[DenseUnit]) -> Vec<DenseUnit> {
+    if prev.is_empty() {
+        return Vec::new();
+    }
+    let q = prev[0].dims.len() + 1;
+
+    // Canonically sorted items let us join on the first q-2 pairs.
+    let mut items: Vec<Vec<(usize, u16)>> = prev.iter().map(|u| u.items()).collect();
+    items.sort_unstable();
+    let dense_set: HashSet<&[(usize, u16)]> =
+        items.iter().map(|v| v.as_slice()).collect();
+
+    let mut out = Vec::new();
+    for a in 0..items.len() {
+        for b in (a + 1)..items.len() {
+            let (ia, ib) = (&items[a], &items[b]);
+            if ia[..q - 2] != ib[..q - 2] {
+                break; // sorted: no later b can match either
+            }
+            let (la, lb) = (ia[q - 2], ib[q - 2]);
+            if la.0 >= lb.0 {
+                continue; // same dimension (different interval) or misordered
+            }
+            let mut joined = ia.clone();
+            joined.push(lb);
+            // Prune: every (q-1)-subset must be dense.
+            let all_dense = (0..joined.len()).all(|skip| {
+                let sub: Vec<(usize, u16)> = joined
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, &x)| x)
+                    .collect();
+                dense_set.contains(sub.as_slice())
+            });
+            if all_dense {
+                let (dims, intervals) = joined.iter().copied().unzip();
+                out.push(DenseUnit {
+                    dims,
+                    intervals,
+                    support: 0,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One pass over the data counting every candidate's support, grouped by
+/// subspace so each point costs `O(q)` hashing per distinct subspace.
+fn count_and_filter(
+    candidates: &[DenseUnit],
+    cells: &[u16],
+    n: usize,
+    d: usize,
+    min_support: usize,
+) -> Vec<DenseUnit> {
+    // subspace dims -> (intervals -> candidate index)
+    let mut by_subspace: HashMap<&[usize], HashMap<&[u16], usize>> = HashMap::new();
+    for (idx, c) in candidates.iter().enumerate() {
+        by_subspace
+            .entry(&c.dims)
+            .or_default()
+            .insert(&c.intervals, idx);
+    }
+
+    let mut supports = vec![0usize; candidates.len()];
+    let mut proj: Vec<u16> = Vec::new();
+    for p in 0..n {
+        let cell = &cells[p * d..(p + 1) * d];
+        for (dims, units) in &by_subspace {
+            proj.clear();
+            proj.extend(dims.iter().map(|&j| cell[j]));
+            if let Some(&idx) = units.get(proj.as_slice()) {
+                supports[idx] += 1;
+            }
+        }
+    }
+
+    candidates
+        .iter()
+        .zip(supports)
+        .filter(|(_, s)| *s >= min_support)
+        .map(|(c, s)| DenseUnit {
+            dims: c.dims.clone(),
+            intervals: c.intervals.clone(),
+            support: s,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a cells buffer from explicit rows.
+    fn cells_of(rows: &[Vec<u16>]) -> (Vec<u16>, usize, usize) {
+        let n = rows.len();
+        let d = rows[0].len();
+        let mut flat = Vec::with_capacity(n * d);
+        for r in rows {
+            assert_eq!(r.len(), d);
+            flat.extend_from_slice(r);
+        }
+        (flat, n, d)
+    }
+
+    #[test]
+    fn level1_histograms() {
+        // 6 points in 1-d: intervals 0,0,0,1,1,2 with min_support 2.
+        let (cells, n, d) = cells_of(&[
+            vec![0],
+            vec![0],
+            vec![0],
+            vec![1],
+            vec![1],
+            vec![2],
+        ]);
+        let levels = mine_dense_units(&cells, n, d, 10, 2, 5);
+        assert_eq!(levels.len(), 1);
+        let l1 = &levels[0];
+        assert_eq!(l1.len(), 2);
+        assert_eq!(l1[0].intervals, vec![0]);
+        assert_eq!(l1[0].support, 3);
+        assert_eq!(l1[1].intervals, vec![1]);
+        assert_eq!(l1[1].support, 2);
+    }
+
+    #[test]
+    fn two_dim_dense_region_is_found() {
+        // 5 points stacked in cell (3, 7) of a 2-d space plus noise.
+        let mut rows = vec![vec![3u16, 7u16]; 5];
+        rows.push(vec![0, 0]);
+        rows.push(vec![9, 9]);
+        let (cells, n, d) = cells_of(&rows);
+        let levels = mine_dense_units(&cells, n, d, 10, 4, 5);
+        assert_eq!(levels.len(), 2);
+        let l2 = &levels[1];
+        assert_eq!(l2.len(), 1);
+        assert_eq!(l2[0].dims, vec![0, 1]);
+        assert_eq!(l2[0].intervals, vec![3, 7]);
+        assert_eq!(l2[0].support, 5);
+    }
+
+    #[test]
+    fn antimonotonicity_holds() {
+        // Random-ish cells; every dense unit's projections must be dense.
+        let rows: Vec<Vec<u16>> = (0..200)
+            .map(|i| {
+                vec![
+                    (i % 4) as u16,
+                    ((i / 2) % 3) as u16,
+                    ((i * 7) % 5) as u16,
+                ]
+            })
+            .collect();
+        let (cells, n, d) = cells_of(&rows);
+        let levels = mine_dense_units(&cells, n, d, 10, 15, 3);
+        for q in 1..levels.len() {
+            for unit in &levels[q] {
+                for skip in 0..unit.dims.len() {
+                    let sub_dims: Vec<usize> = unit
+                        .dims
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != skip)
+                        .map(|(_, &x)| x)
+                        .collect();
+                    let sub_itvs: Vec<u16> = unit
+                        .intervals
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != skip)
+                        .map(|(_, &x)| x)
+                        .collect();
+                    let found = levels[q - 1].iter().any(|u| {
+                        u.dims == sub_dims && u.intervals == sub_itvs
+                    });
+                    assert!(found, "projection of {unit:?} missing at level {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supports_match_brute_force() {
+        let rows: Vec<Vec<u16>> = (0..100)
+            .map(|i| vec![(i % 3) as u16, ((i / 3) % 3) as u16])
+            .collect();
+        let (cells, n, d) = cells_of(&rows);
+        let levels = mine_dense_units(&cells, n, d, 10, 5, 2);
+        for level in &levels {
+            for unit in level {
+                let brute = (0..n)
+                    .filter(|&p| unit.contains_cell(&cells[p * d..(p + 1) * d]))
+                    .count();
+                assert_eq!(unit.support, brute, "{unit:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_level_caps_mining() {
+        let rows = vec![vec![1u16, 1, 1]; 50];
+        let (cells, n, d) = cells_of(&rows);
+        let levels = mine_dense_units(&cells, n, d, 10, 10, 2);
+        assert_eq!(levels.len(), 2, "stopped at max_level");
+        let full = mine_dense_units(&cells, n, d, 10, 10, 10);
+        assert_eq!(full.len(), 3, "exhausts at d");
+    }
+
+    #[test]
+    fn empty_when_nothing_dense() {
+        let rows: Vec<Vec<u16>> = (0..10).map(|i| vec![i as u16]).collect();
+        let (cells, n, d) = cells_of(&rows);
+        let levels = mine_dense_units(&cells, n, d, 16, 2, 3);
+        assert!(levels.is_empty());
+    }
+
+    #[test]
+    fn dense_projections_do_not_imply_dense_joins() {
+        // Dense 1-d units whose 2-d combinations are all sparse: 20
+        // points share dim0 interval 0 but spread across all 10 dim1
+        // intervals, and 20 more mirror that on dim1.
+        let mut rows = Vec::new();
+        for i in 0..20u16 {
+            rows.push(vec![0u16, i % 10]);
+            rows.push(vec![i % 10, 9u16]);
+        }
+        let (cells, n, d) = cells_of(&rows);
+        let levels = mine_dense_units(&cells, n, d, 10, 15, 3);
+        // 1-d: dim0@0 holds 20 + 2 mirrored = 22, dim1@9 holds 22.
+        // Every 2-d unit holds at most a handful of points.
+        assert_eq!(levels.len(), 1, "no 2-d unit reaches support 15");
+        let found: Vec<(usize, u16)> = levels[0]
+            .iter()
+            .map(|u| (u.dims[0], u.intervals[0]))
+            .collect();
+        assert!(found.contains(&(0, 0)));
+        assert!(found.contains(&(1, 9)));
+    }
+}

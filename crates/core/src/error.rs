@@ -1,0 +1,69 @@
+//! Error type for PROCLUS runs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a [`Proclus::fit`](crate::Proclus::fit) call can fail.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProclusError {
+    /// The parameter combination is unusable (message explains why).
+    InvalidParameters(String),
+    /// The dataset has fewer points than the requested cluster count.
+    TooFewPoints {
+        /// Minimum number of points required.
+        needed: usize,
+        /// Points actually supplied.
+        got: usize,
+    },
+    /// The dataset dimensionality cannot support the requested average
+    /// cluster dimensionality.
+    DimensionalityTooLow {
+        /// Dimensionality of the supplied data.
+        d: usize,
+        /// The requested average dimensions per cluster.
+        l: f64,
+    },
+}
+
+impl fmt::Display for ProclusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProclusError::InvalidParameters(msg) => {
+                write!(f, "invalid PROCLUS parameters: {msg}")
+            }
+            ProclusError::TooFewPoints { needed, got } => write!(
+                f,
+                "dataset has {got} points but at least {needed} are required"
+            ),
+            ProclusError::DimensionalityTooLow { d, l } => write!(
+                f,
+                "data dimensionality {d} cannot host an average of {l} \
+                 dimensions per cluster (need 2 <= l <= d)"
+            ),
+        }
+    }
+}
+
+impl Error for ProclusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ProclusError::TooFewPoints { needed: 5, got: 3 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+        let e = ProclusError::DimensionalityTooLow { d: 4, l: 9.0 };
+        assert!(e.to_string().contains('4'));
+        let e = ProclusError::InvalidParameters("k must be positive".into());
+        assert!(e.to_string().contains("k must be positive"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error>(_: &E) {}
+        assert_err(&ProclusError::InvalidParameters(String::new()));
+    }
+}

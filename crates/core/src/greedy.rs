@@ -1,0 +1,174 @@
+//! The greedy farthest-point selection of Gonzalez (Figure 3).
+//!
+//! Starting from one random seed point, repeatedly add the candidate
+//! whose distance to the already-chosen set is largest. In full
+//! dimensionality with well-separated clusters this yields a *piercing*
+//! set; PROCLUS uses it only to shrink a random sample down to the
+//! candidate medoid set `M`, precisely because it also loves outliers.
+
+use proclus_math::{Distance, Matrix};
+use rand::Rng;
+
+/// Select `count` well-scattered members of `candidates` (global point
+/// indices into `points`) by greedy farthest-point traversal, seeded
+/// with a random candidate drawn from `rng`.
+///
+/// Returns fewer than `count` indices only when `candidates` has fewer
+/// than `count` entries (every candidate is then returned).
+pub fn greedy_select<D: Distance, R: Rng + ?Sized>(
+    points: &Matrix,
+    candidates: &[usize],
+    count: usize,
+    metric: &D,
+    rng: &mut R,
+) -> Vec<usize> {
+    if candidates.is_empty() || count == 0 {
+        return Vec::new();
+    }
+    if candidates.len() <= count {
+        return candidates.to_vec();
+    }
+
+    let mut chosen = Vec::with_capacity(count);
+    let first = candidates[rng.random_range(0..candidates.len())];
+    chosen.push(first);
+
+    // dist[c] = distance from candidates[c] to the closest chosen point.
+    let mut dist: Vec<f64> = candidates
+        .iter()
+        .map(|&c| metric.distance(points.row(c), points.row(first)))
+        .collect();
+
+    while chosen.len() < count {
+        // Farthest candidate from the chosen set.
+        let (next_pos, _) = dist
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .expect("candidates nonempty");
+        let next = candidates[next_pos];
+        chosen.push(next);
+        // Relax distances against the newly chosen point. The chosen
+        // point itself gets distance 0 and is never picked again.
+        let next_row = points.row(next);
+        for (slot, &c) in dist.iter_mut().zip(candidates) {
+            let d = metric.distance(points.row(c), next_row);
+            if d < *slot {
+                *slot = d;
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proclus_math::DistanceKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    /// Three tight groups on a line; greedy with count=3 must pick one
+    /// point from each group regardless of the random seed point.
+    #[test]
+    fn greedy_pierces_separated_groups() {
+        let pts: Vec<[f64; 1]> = vec![
+            [0.0],
+            [0.5],
+            [1.0], // group 0
+            [100.0],
+            [100.5],
+            [101.0], // group 1
+            [200.0],
+            [200.5],
+            [201.0], // group 2
+        ];
+        let m = Matrix::from_rows(&pts, 1);
+        let candidates: Vec<usize> = (0..9).collect();
+        for seed in 0..20 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let sel =
+                greedy_select(&m, &candidates, 3, &DistanceKind::Manhattan, &mut r);
+            let mut groups: Vec<usize> = sel.iter().map(|&i| i / 3).collect();
+            groups.sort_unstable();
+            assert_eq!(groups, vec![0, 1, 2], "seed {seed}: {sel:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_returns_requested_count_of_distinct_points() {
+        let m = Matrix::from_rows(
+            &(0..50).map(|i| [i as f64, (i * 7 % 13) as f64]).collect::<Vec<_>>(),
+            2,
+        );
+        let candidates: Vec<usize> = (0..50).collect();
+        let sel = greedy_select(&m, &candidates, 10, &DistanceKind::Manhattan, &mut rng());
+        assert_eq!(sel.len(), 10);
+        let mut dedup = sel.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "selection must be distinct");
+    }
+
+    #[test]
+    fn greedy_small_candidate_set_returns_all() {
+        let m = Matrix::from_rows(&[[0.0], [1.0]], 1);
+        let sel = greedy_select(&m, &[0, 1], 5, &DistanceKind::Manhattan, &mut rng());
+        assert_eq!(sel, vec![0, 1]);
+    }
+
+    #[test]
+    fn greedy_empty_inputs() {
+        let m = Matrix::from_rows(&[[0.0]], 1);
+        assert!(greedy_select(&m, &[], 3, &DistanceKind::Manhattan, &mut rng()).is_empty());
+        assert!(greedy_select(&m, &[0], 0, &DistanceKind::Manhattan, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn greedy_respects_candidate_subset() {
+        // Points 0..4 exist but only {1, 3} are candidates.
+        let m = Matrix::from_rows(&[[0.0], [1.0], [2.0], [3.0]], 1);
+        let sel = greedy_select(&m, &[1, 3], 2, &DistanceKind::Manhattan, &mut rng());
+        let mut s = sel.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![1, 3]);
+    }
+
+    /// The greedy rule: each added point maximizes min-distance to the
+    /// chosen prefix. Verify the invariant holds step by step.
+    #[test]
+    fn greedy_maximizes_min_distance_at_each_step() {
+        let pts: Vec<[f64; 2]> = (0..30)
+            .map(|i| [(i * 17 % 30) as f64, (i * 23 % 29) as f64])
+            .collect();
+        let m = Matrix::from_rows(&pts, 2);
+        let candidates: Vec<usize> = (0..30).collect();
+        let metric = DistanceKind::Manhattan;
+        let sel = greedy_select(&m, &candidates, 6, &metric, &mut rng());
+        for step in 1..sel.len() {
+            let chosen = &sel[..step];
+            let picked = sel[step];
+            let d_picked = chosen
+                .iter()
+                .map(|&c| metric.eval(m.row(picked), m.row(c)))
+                .fold(f64::INFINITY, f64::min);
+            for &other in &candidates {
+                if sel[..=step].contains(&other) {
+                    continue;
+                }
+                let d_other = chosen
+                    .iter()
+                    .map(|&c| metric.eval(m.row(other), m.row(c)))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    d_picked >= d_other - 1e-12,
+                    "step {step}: picked {picked} ({d_picked}) but {other} is farther ({d_other})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Initialization phase: random sample, then greedy reduction.
+//!
+//! The two-step construction (paper §2.1) exists because the greedy
+//! technique alone "tends to pick many outliers due to its distance
+//! based approach": sampling first dilutes the outliers, and the greedy
+//! pass then spreads the survivors across the natural clusters, so the
+//! resulting candidate set `M` of size `B·k` very likely contains a
+//! piercing set.
+
+use crate::greedy::greedy_select;
+use crate::params::Proclus;
+use proclus_math::Matrix;
+use rand::seq::index::sample;
+use rand::Rng;
+
+/// Run the initialization phase: returns the candidate medoid set `M`
+/// (global point indices), of size `min(B·k, A·k, N)`.
+pub fn candidate_medoids<R: Rng + ?Sized>(
+    params: &Proclus,
+    points: &Matrix,
+    rng: &mut R,
+) -> Vec<usize> {
+    let n = points.rows();
+    match params.init {
+        crate::params::InitStrategy::SampleGreedy => {
+            let sample_size = (params.sample_factor * params.k).min(n);
+            let target = (params.medoid_factor * params.k).min(sample_size);
+
+            // Step 1: random sample S of size A·k without replacement.
+            let s: Vec<usize> = sample(rng, n, sample_size).into_iter().collect();
+
+            // Step 2: greedy reduction of S to B·k candidates.
+            greedy_select(points, &s, target, &params.distance, rng)
+        }
+        crate::params::InitStrategy::RandomOnly => {
+            let target = (params.medoid_factor * params.k).min(n);
+            sample(rng, n, target).into_iter().collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid_points(n: usize, d: usize) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..d).map(|j| ((i * (j + 3)) % 101) as f64).collect())
+            .collect();
+        Matrix::from_rows(&rows, d)
+    }
+
+    #[test]
+    fn candidate_set_size_is_bk() {
+        let m = grid_points(1000, 4);
+        let p = Proclus::new(5, 3.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = candidate_medoids(&p, &m, &mut rng);
+        assert_eq!(c.len(), 15); // B*k = 3*5
+        let mut dedup = c.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 15);
+        assert!(c.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn small_dataset_caps_sizes() {
+        // n smaller than A*k and even B*k.
+        let m = grid_points(8, 2);
+        let p = Proclus::new(5, 2.0); // A*k = 150, B*k = 15 > 8
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = candidate_medoids(&p, &m, &mut rng);
+        assert_eq!(c.len(), 8, "all points become candidates");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = grid_points(500, 3);
+        let p = Proclus::new(4, 2.0);
+        let a = candidate_medoids(&p, &m, &mut StdRng::seed_from_u64(9));
+        let b = candidate_medoids(&p, &m, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    /// With clusters plus a few outliers, sampling + greedy should still
+    /// cover every natural cluster (the piercing-superset property).
+    #[test]
+    fn candidates_cover_all_natural_clusters() {
+        // 4 tight clusters of 100 points at corners of a square, plus
+        // 4 extreme outliers.
+        let mut rows: Vec<[f64; 2]> = Vec::new();
+        let centers = [[0.0, 0.0], [100.0, 0.0], [0.0, 100.0], [100.0, 100.0]];
+        for c in &centers {
+            for i in 0..100 {
+                rows.push([c[0] + (i % 10) as f64 * 0.01, c[1] + (i / 10) as f64 * 0.01]);
+            }
+        }
+        rows.push([500.0, 500.0]);
+        rows.push([-500.0, 500.0]);
+        rows.push([500.0, -500.0]);
+        rows.push([-500.0, -500.0]);
+        let m = Matrix::from_rows(&rows, 2);
+        let p = Proclus::new(4, 2.0);
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let c = candidate_medoids(&p, &m, &mut rng);
+            // Which natural clusters are represented?
+            let mut covered = [false; 4];
+            for &i in &c {
+                if i < 400 {
+                    covered[i / 100] = true;
+                }
+            }
+            assert!(
+                covered.iter().all(|&b| b),
+                "seed {seed}: candidates {c:?} missed a cluster"
+            );
+        }
+    }
+}

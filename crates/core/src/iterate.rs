@@ -1,0 +1,399 @@
+//! The iterative (hill climbing) phase and the overall driver
+//! (Figure 2's `Algorithm PROCLUS`).
+//!
+//! The search walks a graph whose vertices are k-subsets of the
+//! candidate medoid set `M`: each round evaluates the current vertex
+//! (localities → dimensions → assignment → objective) and, when it does
+//! not improve on the best vertex seen, retries from the best vertex
+//! with its *bad* medoids swapped for random unused candidates. The walk
+//! stops after `max_stale_rounds` consecutive non-improving rounds (or
+//! the absolute `max_rounds` cap), then hands over to the refinement
+//! phase.
+
+use crate::assign::group_members;
+use crate::dims::find_dimensions_opt;
+use crate::error::ProclusError;
+use crate::evaluate::{bad_medoids, evaluate_clusters};
+use crate::init::candidate_medoids;
+use crate::locality::medoid_deltas;
+use crate::model::ProclusModel;
+use crate::parallel::{assign_points_parallel, localities_parallel};
+use crate::params::Proclus;
+use crate::refine::refine_opt;
+use proclus_math::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Execute the full three-phase PROCLUS algorithm: `restarts`
+/// independent climbs, keeping the run with the lowest iterative
+/// objective.
+pub fn run(params: &Proclus, points: &Matrix) -> Result<ProclusModel, ProclusError> {
+    params.validate(points.rows(), points.cols())?;
+    let mut best: Option<ProclusModel> = None;
+    for r in 0..params.restarts.max(1) {
+        let seed = params
+            .rng_seed
+            .wrapping_add((r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let model = run_once(params, points, seed, None)?;
+        if best
+            .as_ref()
+            .is_none_or(|b| model.iterative_objective() < b.iterative_objective())
+        {
+            best = Some(model);
+        }
+    }
+    Ok(best.expect("restarts >= 1"))
+}
+
+/// Like [`run`] but hill climbing starts from a caller-supplied medoid
+/// set instead of the sampled/greedy initialization (single climb, no
+/// restarts — the start is fixed). The candidate pool for bad-medoid
+/// replacement is still built by the configured initialization, with
+/// the initial medoids added.
+///
+/// # Errors
+///
+/// Rejects out-of-range or duplicate medoids, a medoid count different
+/// from `k`, and the same shape errors as [`run`].
+pub fn run_from_medoids(
+    params: &Proclus,
+    points: &Matrix,
+    initial: &[usize],
+) -> Result<ProclusModel, ProclusError> {
+    params.validate(points.rows(), points.cols())?;
+    if initial.len() != params.k {
+        return Err(ProclusError::InvalidParameters(format!(
+            "expected {} initial medoids, got {}",
+            params.k,
+            initial.len()
+        )));
+    }
+    let mut sorted = initial.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != initial.len() {
+        return Err(ProclusError::InvalidParameters(
+            "initial medoids must be distinct".into(),
+        ));
+    }
+    if let Some(&bad) = initial.iter().find(|&&m| m >= points.rows()) {
+        return Err(ProclusError::InvalidParameters(format!(
+            "initial medoid {bad} out of range (N = {})",
+            points.rows()
+        )));
+    }
+    run_once(params, points, params.rng_seed, Some(initial))
+}
+
+/// One initialization + hill climb + refinement, from `seed`.
+/// `forced_start` pins the first vertex of the climb.
+fn run_once(
+    params: &Proclus,
+    points: &Matrix,
+    seed: u64,
+    forced_start: Option<&[usize]>,
+) -> Result<ProclusModel, ProclusError> {
+    let n = points.rows();
+    let k = params.k;
+    let total_dims = params.total_dimensions();
+    let metric = params.distance;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // ---- Phase 1: initialization --------------------------------------
+    let mut candidates = candidate_medoids(params, points, &mut rng);
+    debug_assert!(candidates.len() >= k);
+
+    // Starting vertex: forced, or a random k-subset of the candidates.
+    let mut current: Vec<usize> = match forced_start {
+        Some(m) => {
+            for &medoid in m {
+                if !candidates.contains(&medoid) {
+                    candidates.push(medoid);
+                }
+            }
+            m.to_vec()
+        }
+        None => sample(&mut rng, candidates.len(), k)
+            .into_iter()
+            .map(|i| candidates[i])
+            .collect(),
+    };
+
+    // ---- Phase 2: hill climbing ---------------------------------------
+    let mut best = current.clone();
+    let mut best_objective = f64::INFINITY;
+    let mut best_clusters: Vec<Vec<usize>> = Vec::new();
+    let mut rounds = 0usize;
+    let mut improvements = 0usize;
+    let mut stale = 0usize;
+
+    loop {
+        rounds += 1;
+        let deltas = medoid_deltas(points, &current, metric);
+        let locs =
+            localities_parallel(points, &current, &deltas, metric, params.threads);
+        let mut dims = find_dimensions_opt(
+            points,
+            &current,
+            &locs,
+            total_dims,
+            params.standardize_dimensions,
+        );
+        let flat = assign_points_parallel(points, &current, &dims, metric, params.threads);
+        let mut clusters = {
+            let opt: Vec<Option<usize>> = flat.iter().map(|&a| Some(a)).collect();
+            group_members(&opt, k)
+        };
+        // Sharpen the dimension estimates against the assigned clusters
+        // (see `Proclus::inner_refinements`): localities blur together
+        // in high dimensions, clusters do not.
+        for _ in 0..params.inner_refinements {
+            dims = find_dimensions_opt(
+                points,
+                &current,
+                &clusters,
+                total_dims,
+                params.standardize_dimensions,
+            );
+            let flat = assign_points_parallel(points, &current, &dims, metric, params.threads);
+            let opt: Vec<Option<usize>> = flat.iter().map(|&a| Some(a)).collect();
+            clusters = group_members(&opt, k);
+        }
+        let objective = evaluate_clusters(points, &clusters, &dims, n);
+
+        if objective < best_objective {
+            best_objective = objective;
+            best = current.clone();
+            best_clusters = clusters;
+            improvements += 1;
+            stale = 0;
+        } else {
+            stale += 1;
+        }
+
+        if stale >= params.max_stale_rounds || rounds >= params.max_rounds {
+            break;
+        }
+
+        // Replace the bad medoids of the best vertex with random unused
+        // candidates to form the next vertex.
+        let sizes: Vec<usize> = best_clusters.iter().map(Vec::len).collect();
+        let bad = bad_medoids(&sizes, n, params.min_deviation);
+        match replace_bad(&best, &bad, &candidates, &mut rng) {
+            Some(next) => current = next,
+            // Candidate pool exhausted (tiny datasets): nothing new to
+            // try, so stop climbing.
+            None => break,
+        }
+    }
+
+    // ---- Phase 3: refinement -------------------------------------------
+    let refined = refine_opt(
+        points,
+        &best,
+        &best_clusters,
+        total_dims,
+        metric,
+        params.standardize_dimensions,
+    );
+    let final_clusters = group_members(&refined.assignment, k);
+    let final_objective = evaluate_clusters(points, &final_clusters, &refined.dims, n);
+
+    Ok(ProclusModel::from_parts(
+        points,
+        best,
+        refined.dims,
+        refined.assignment,
+        refined.spheres,
+        (final_objective, best_objective),
+        rounds,
+        improvements,
+        metric,
+    ))
+}
+
+/// Build the next vertex: `base` with the medoids at positions `bad`
+/// replaced by random candidates not already in the vertex. Returns
+/// `None` when there are not enough unused candidates.
+fn replace_bad(
+    base: &[usize],
+    bad: &[usize],
+    candidates: &[usize],
+    rng: &mut StdRng,
+) -> Option<Vec<usize>> {
+    let mut next = base.to_vec();
+    let mut unused: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|c| !base.contains(c))
+        .collect();
+    if unused.len() < bad.len() {
+        return None;
+    }
+    unused.shuffle(rng);
+    for (slot, fresh) in bad.iter().zip(unused) {
+        next[*slot] = fresh;
+    }
+    Some(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proclus_data::SyntheticSpec;
+
+    #[test]
+    fn replace_bad_swaps_only_bad_positions() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = vec![10, 20, 30];
+        let candidates = vec![10, 20, 30, 40, 50, 60];
+        let next = replace_bad(&base, &[1], &candidates, &mut rng).unwrap();
+        assert_eq!(next[0], 10);
+        assert_eq!(next[2], 30);
+        assert!([40, 50, 60].contains(&next[1]));
+    }
+
+    #[test]
+    fn replace_bad_exhausted_pool_returns_none() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = vec![1, 2];
+        assert_eq!(replace_bad(&base, &[0], &[1, 2], &mut rng), None);
+    }
+
+    #[test]
+    fn replace_bad_produces_distinct_medoids() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = vec![1, 2, 3];
+        let candidates: Vec<usize> = (1..=10).collect();
+        for _ in 0..50 {
+            let next = replace_bad(&base, &[0, 2], &candidates, &mut rng).unwrap();
+            let mut sorted = next.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "{next:?}");
+        }
+    }
+
+    #[test]
+    fn fit_runs_end_to_end_and_is_deterministic() {
+        let data = SyntheticSpec::new(1_500, 10, 3, 3.0).seed(21).generate();
+        let params = Proclus::new(3, 3.0).seed(5);
+        let a = params.fit(&data.points).unwrap();
+        let b = params.fit(&data.points).unwrap();
+        assert_eq!(a.assignment(), b.assignment());
+        assert_eq!(a.objective(), b.objective());
+        assert_eq!(a.clusters().len(), 3);
+        // Dimension budget: sum |D_i| == k*l, each >= 2.
+        let total: usize = a.clusters().iter().map(|c| c.dimensions.len()).sum();
+        assert_eq!(total, 9);
+        assert!(a.clusters().iter().all(|c| c.dimensions.len() >= 2));
+    }
+
+    #[test]
+    fn fit_partitions_points() {
+        let data = SyntheticSpec::new(800, 8, 2, 3.0).seed(3).generate();
+        let model = Proclus::new(2, 3.0).seed(1).fit(&data.points).unwrap();
+        let in_clusters: usize = model.clusters().iter().map(|c| c.len()).sum();
+        assert_eq!(in_clusters + model.outliers().len(), 800);
+        // Assignment is consistent with membership lists.
+        for (i, c) in model.clusters().iter().enumerate() {
+            for &p in &c.members {
+                assert_eq!(model.assignment()[p], Some(i));
+            }
+        }
+        for &p in model.outliers() {
+            assert_eq!(model.assignment()[p], None);
+        }
+    }
+
+    #[test]
+    fn fit_rejects_bad_shapes() {
+        let data = SyntheticSpec::new(100, 5, 2, 3.0).seed(3).generate();
+        assert!(Proclus::new(0, 3.0).fit(&data.points).is_err());
+        assert!(Proclus::new(2, 9.0).fit(&data.points).is_err());
+        assert!(Proclus::new(101, 3.0).fit(&data.points).is_err());
+    }
+
+    #[test]
+    fn fit_k1_degenerates_gracefully() {
+        let data = SyntheticSpec::new(300, 6, 2, 3.0).seed(9).generate();
+        let model = Proclus::new(1, 3.0).seed(2).fit(&data.points).unwrap();
+        assert_eq!(model.clusters().len(), 1);
+        // Single medoid: infinite sphere, no outliers possible.
+        assert!(model.outliers().is_empty());
+        assert_eq!(model.clusters()[0].len(), 300);
+    }
+
+    #[test]
+    fn different_seeds_can_differ_but_both_are_valid() {
+        let data = SyntheticSpec::new(1_000, 10, 3, 3.0).seed(33).generate();
+        let a = Proclus::new(3, 3.0).seed(1).fit(&data.points).unwrap();
+        let b = Proclus::new(3, 3.0).seed(2).fit(&data.points).unwrap();
+        for m in [&a, &b] {
+            let covered: usize =
+                m.clusters().iter().map(|c| c.len()).sum::<usize>() + m.outliers().len();
+            assert_eq!(covered, 1_000);
+        }
+    }
+
+    #[test]
+    fn fit_with_initial_medoids_validates_and_runs() {
+        let data = SyntheticSpec::new(600, 8, 2, 3.0).seed(3).generate();
+        let params = Proclus::new(2, 3.0).seed(5);
+        // Valid start.
+        let model = params
+            .fit_with_initial_medoids(&data.points, &[10, 500])
+            .unwrap();
+        assert_eq!(model.clusters().len(), 2);
+        // Deterministic for a fixed start.
+        let model2 = params
+            .fit_with_initial_medoids(&data.points, &[10, 500])
+            .unwrap();
+        assert_eq!(model.assignment(), model2.assignment());
+        // Wrong count.
+        assert!(params
+            .fit_with_initial_medoids(&data.points, &[10])
+            .is_err());
+        // Duplicates.
+        assert!(params
+            .fit_with_initial_medoids(&data.points, &[10, 10])
+            .is_err());
+        // Out of range.
+        assert!(params
+            .fit_with_initial_medoids(&data.points, &[10, 600])
+            .is_err());
+    }
+
+    /// On cleanly separated projected clusters the hill climbing should
+    /// essentially always find the natural clustering.
+    #[test]
+    fn fit_recovers_planted_clusters() {
+        let data = SyntheticSpec::new(3_000, 15, 4, 4.0)
+            .seed(77)
+            .outlier_fraction(0.0)
+            .generate();
+        let model = Proclus::new(4, 4.0).seed(11).fit(&data.points).unwrap();
+        // Build the confusion between truth and output, require that
+        // each output cluster is dominated by one input cluster.
+        let mut dominated = 0;
+        for c in model.clusters() {
+            let mut counts = [0usize; 4];
+            for &p in &c.members {
+                if let Some(t) = data.labels[p].cluster() {
+                    counts[t] += 1;
+                }
+            }
+            let max = *counts.iter().max().unwrap();
+            let total: usize = counts.iter().sum();
+            if total > 0 && max as f64 >= 0.9 * total as f64 {
+                dominated += 1;
+            }
+        }
+        assert!(
+            dominated >= 3,
+            "at least 3 of 4 output clusters should be pure, got {dominated}"
+        );
+    }
+}

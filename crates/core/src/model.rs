@@ -1,0 +1,292 @@
+//! The fitted model returned by [`Proclus::fit`](crate::Proclus::fit).
+
+use proclus_math::{DistanceKind, Matrix};
+use std::fmt;
+
+/// One projected cluster: a medoid, the dimension set the cluster lives
+/// in, and its member points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProjectedCluster {
+    /// Index (into the training matrix) of the medoid point.
+    pub medoid_index: usize,
+    /// The medoid's coordinates (copied, so the model is self-contained).
+    pub medoid: Vec<f64>,
+    /// The cluster's dimensions `Dᵢ`, sorted ascending, `|Dᵢ| ≥ 2`.
+    pub dimensions: Vec<usize>,
+    /// Indices of the member points (ascending).
+    pub members: Vec<usize>,
+    /// Centroid of the member points (zero vector if empty).
+    pub centroid: Vec<f64>,
+    /// The medoid's *sphere of influence* `Δᵢ`: the smallest segmental
+    /// distance (under `Dᵢ`) to another medoid. Points farther than
+    /// this from every medoid are outliers.
+    pub sphere_of_influence: f64,
+}
+
+impl ProjectedCluster {
+    /// Number of member points.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the cluster captured no points.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// A fitted PROCLUS clustering.
+#[derive(Clone, Debug)]
+pub struct ProclusModel {
+    pub(crate) clusters: Vec<ProjectedCluster>,
+    pub(crate) outliers: Vec<usize>,
+    pub(crate) assignment: Vec<Option<usize>>,
+    pub(crate) objective: f64,
+    pub(crate) iterative_objective: f64,
+    pub(crate) rounds: usize,
+    pub(crate) improvements: usize,
+    pub(crate) distance: DistanceKind,
+}
+
+impl ProclusModel {
+    /// The `k` projected clusters.
+    pub fn clusters(&self) -> &[ProjectedCluster] {
+        &self.clusters
+    }
+
+    /// Indices of the points classified as outliers, ascending.
+    pub fn outliers(&self) -> &[usize] {
+        &self.outliers
+    }
+
+    /// Per-point assignment: `Some(cluster index)` or `None` (outlier).
+    pub fn assignment(&self) -> &[Option<usize>] {
+        &self.assignment
+    }
+
+    /// Final value of the paper's objective function (size-weighted
+    /// average centroid spread over each cluster's dimensions; lower is
+    /// better).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Best objective reached during the iterative phase, where every
+    /// point (including eventual outliers) is assigned to some cluster.
+    /// Unlike [`objective`](Self::objective) — which is computed after
+    /// outlier removal — this value is comparable across runs and is
+    /// what restart selection uses.
+    pub fn iterative_objective(&self) -> f64 {
+        self.iterative_objective
+    }
+
+    /// Number of hill-climbing rounds executed.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Number of rounds that improved the best objective.
+    pub fn improvements(&self) -> usize {
+        self.improvements
+    }
+
+    /// The metric the model was fitted with.
+    pub fn distance(&self) -> DistanceKind {
+        self.distance
+    }
+
+    /// Classify a new point with the fitted clusters: the cluster whose
+    /// medoid is segmentally closest, or `None` when the point falls
+    /// outside every medoid's sphere of influence (an outlier).
+    pub fn classify(&self, point: &[f64]) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        let mut inside_any = false;
+        for (i, c) in self.clusters.iter().enumerate() {
+            let d = self
+                .distance
+                .eval_segmental(point, &c.medoid, &c.dimensions);
+            if d <= c.sphere_of_influence {
+                inside_any = true;
+            }
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        if inside_any {
+            best.map(|(i, _)| i)
+        } else {
+            None
+        }
+    }
+
+    /// Convenience: assignment as plain labels where outliers map to
+    /// `usize::MAX` (useful for quick comparisons in tests/benches).
+    pub fn labels(&self) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .map(|a| a.unwrap_or(usize::MAX))
+            .collect()
+    }
+
+    /// Construct a model directly from parts — exposed for tests and
+    /// for the benchmark harness's ablation variants.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        points: &Matrix,
+        medoids: Vec<usize>,
+        dimensions: Vec<Vec<usize>>,
+        assignment: Vec<Option<usize>>,
+        spheres: Vec<f64>,
+        objectives: (f64, f64),
+        rounds: usize,
+        improvements: usize,
+        distance: DistanceKind,
+    ) -> Self {
+        let (objective, iterative_objective) = objectives;
+        let k = medoids.len();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut outliers = Vec::new();
+        for (p, a) in assignment.iter().enumerate() {
+            match a {
+                Some(i) => members[*i].push(p),
+                None => outliers.push(p),
+            }
+        }
+        let clusters = medoids
+            .into_iter()
+            .zip(dimensions)
+            .zip(members)
+            .zip(spheres)
+            .map(|(((m, dims), mem), sphere)| {
+                let centroid = points.centroid_of(&mem);
+                ProjectedCluster {
+                    medoid_index: m,
+                    medoid: points.row(m).to_vec(),
+                    dimensions: dims,
+                    members: mem,
+                    centroid,
+                    sphere_of_influence: sphere,
+                }
+            })
+            .collect();
+        Self {
+            clusters,
+            outliers,
+            assignment,
+            objective,
+            iterative_objective,
+            rounds,
+            improvements,
+            distance,
+        }
+    }
+}
+
+impl fmt::Display for ProclusModel {
+    /// Render a compact per-cluster summary, one line per cluster plus
+    /// an outlier line — convenient for examples and debugging.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "PROCLUS model: {} clusters, {} outliers, objective {:.4}",
+            self.clusters.len(),
+            self.outliers.len(),
+            self.objective
+        )?;
+        for (i, c) in self.clusters.iter().enumerate() {
+            writeln!(
+                f,
+                "  cluster {i}: {:>7} points, dims {:?}",
+                c.len(),
+                c.dimensions
+            )?;
+        }
+        write!(f, "  outliers: {:>6} points", self.outliers.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> ProclusModel {
+        let m = Matrix::from_rows(
+            &[[0.0, 0.0], [10.0, 10.0], [0.5, 0.0], [10.0, 9.0], [50.0, 50.0]],
+            2,
+        );
+        ProclusModel::from_parts(
+            &m,
+            vec![0, 1],
+            vec![vec![0, 1], vec![0, 1]],
+            vec![Some(0), Some(1), Some(0), Some(1), None],
+            vec![10.0, 10.0],
+            (0.5, 0.6),
+            7,
+            3,
+            DistanceKind::Manhattan,
+        )
+    }
+
+    #[test]
+    fn from_parts_groups_members_and_outliers() {
+        let m = toy_model();
+        assert_eq!(m.clusters()[0].members, vec![0, 2]);
+        assert_eq!(m.clusters()[1].members, vec![1, 3]);
+        assert_eq!(m.outliers(), &[4]);
+        assert_eq!(m.clusters()[0].medoid, vec![0.0, 0.0]);
+        assert_eq!(m.objective(), 0.5);
+        assert_eq!(m.rounds(), 7);
+        assert_eq!(m.improvements(), 3);
+    }
+
+    #[test]
+    fn centroid_is_member_mean() {
+        let m = toy_model();
+        assert_eq!(m.clusters()[0].centroid, vec![0.25, 0.0]);
+    }
+
+    #[test]
+    fn classify_inside_sphere() {
+        let m = toy_model();
+        assert_eq!(m.classify(&[1.0, 1.0]), Some(0));
+        assert_eq!(m.classify(&[9.0, 9.0]), Some(1));
+    }
+
+    #[test]
+    fn classify_outside_all_spheres_is_none() {
+        let m = toy_model();
+        assert_eq!(m.classify(&[500.0, 500.0]), None);
+    }
+
+    #[test]
+    fn labels_encode_outliers_as_max() {
+        let m = toy_model();
+        assert_eq!(
+            m.labels(),
+            vec![0, 1, 0, 1, usize::MAX]
+        );
+    }
+
+    #[test]
+    fn cluster_len_and_empty() {
+        let m = toy_model();
+        assert_eq!(m.clusters()[0].len(), 2);
+        assert!(!m.clusters()[0].is_empty());
+    }
+
+    #[test]
+    fn display_summarizes_model() {
+        let s = toy_model().to_string();
+        assert!(s.contains("2 clusters"));
+        assert!(s.contains("1 outliers"));
+        assert!(s.contains("cluster 0"));
+        assert!(s.contains("objective 0.5"));
+    }
+
+    #[test]
+    fn iterative_objective_accessor() {
+        let m = toy_model();
+        assert_eq!(m.objective(), 0.5);
+        assert_eq!(m.iterative_objective(), 0.6);
+    }
+}

@@ -1,0 +1,220 @@
+//! Compact binary dataset serialization.
+//!
+//! CSV (see [`crate::io`]) is interoperable but slow and ~3× larger
+//! than the raw matrix; the paper-scale files (500k × 20 f64 for
+//! Figure 7) are better stored in this little-endian binary format:
+//!
+//! ```text
+//! magic  b"PRCL"            4 bytes
+//! version u8 = 1
+//! flags   u8 (bit 0: labels present)
+//! rows    u64 LE
+//! cols    u64 LE
+//! data    rows*cols f64 LE, row-major
+//! labels  rows i64 LE (only when flagged): -1 = outlier, else cluster
+//! ```
+//!
+//! Reads validate the magic, version, and exact length, so truncated or
+//! foreign files are rejected rather than misinterpreted.
+
+use crate::label::Label;
+use bytes::{Buf, BufMut, BytesMut};
+use proclus_math::Matrix;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"PRCL";
+const VERSION: u8 = 1;
+
+/// Serialize `points` (and optional aligned `labels`) into the binary
+/// format.
+///
+/// # Panics
+///
+/// Panics if `labels` is present with a length different from the
+/// point count.
+pub fn encode(points: &Matrix, labels: Option<&[Label]>) -> Vec<u8> {
+    if let Some(ls) = labels {
+        assert_eq!(ls.len(), points.rows(), "labels/points length mismatch");
+    }
+    let mut buf = BytesMut::with_capacity(
+        4 + 2 + 16 + points.rows() * points.cols() * 8 + labels.map_or(0, |l| l.len() * 8),
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(u8::from(labels.is_some()));
+    buf.put_u64_le(points.rows() as u64);
+    buf.put_u64_le(points.cols() as u64);
+    for v in points.as_slice() {
+        buf.put_f64_le(*v);
+    }
+    if let Some(ls) = labels {
+        for l in ls {
+            buf.put_i64_le(match l {
+                Label::Cluster(i) => *i as i64,
+                Label::Outlier => -1,
+            });
+        }
+    }
+    buf.to_vec()
+}
+
+/// Deserialize a buffer produced by [`encode`].
+///
+/// # Errors
+///
+/// `InvalidData` on wrong magic/version, negative cluster ids other
+/// than −1, or a length that does not match the header.
+pub fn decode(mut buf: &[u8]) -> io::Result<(Matrix, Option<Vec<Label>>)> {
+    if buf.len() < 4 + 2 + 16 {
+        return Err(invalid("buffer too short for header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(invalid("bad magic (not a PRCL dataset)"));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(invalid(format!("unsupported version {version}")));
+    }
+    let flags = buf.get_u8();
+    let has_labels = flags & 1 != 0;
+    let rows = buf.get_u64_le() as usize;
+    let cols = buf.get_u64_le() as usize;
+    let want = rows
+        .checked_mul(cols)
+        .and_then(|c| c.checked_mul(8))
+        .and_then(|b| b.checked_add(if has_labels { rows * 8 } else { 0 }))
+        .ok_or_else(|| invalid("header sizes overflow"))?;
+    if buf.remaining() != want {
+        return Err(invalid(format!(
+            "payload length {} does not match header ({want} expected)",
+            buf.remaining()
+        )));
+    }
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        data.push(buf.get_f64_le());
+    }
+    let labels = if has_labels {
+        let mut ls = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let v = buf.get_i64_le();
+            ls.push(match v {
+                -1 => Label::Outlier,
+                i if i >= 0 => Label::Cluster(i as usize),
+                other => return Err(invalid(format!("bad label id {other}"))),
+            });
+        }
+        Some(ls)
+    } else {
+        None
+    };
+    Ok((Matrix::from_vec(data, rows, cols), labels))
+}
+
+/// Write the binary format to a file.
+pub fn write_binary(
+    path: &Path,
+    points: &Matrix,
+    labels: Option<&[Label]>,
+) -> io::Result<()> {
+    fs::write(path, encode(points, labels))
+}
+
+/// Read a file produced by [`write_binary`].
+pub fn read_binary(path: &Path) -> io::Result<(Matrix, Option<Vec<Label>>)> {
+    decode(&fs::read(path)?)
+}
+
+fn invalid(msg: impl ToString) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Matrix, Vec<Label>) {
+        let m = Matrix::from_rows(
+            &[[1.5, -2.0, f64::MIN_POSITIVE], [0.0, 1e300, -0.0]],
+            3,
+        );
+        let l = vec![Label::Cluster(3), Label::Outlier];
+        (m, l)
+    }
+
+    #[test]
+    fn roundtrip_with_labels_is_bit_exact() {
+        let (m, l) = sample();
+        let bytes = encode(&m, Some(&l));
+        let (m2, l2) = decode(&bytes).unwrap();
+        assert_eq!(m, m2);
+        assert_eq!(l2, Some(l));
+    }
+
+    #[test]
+    fn roundtrip_without_labels() {
+        let (m, _) = sample();
+        let bytes = encode(&m, None);
+        let (m2, l2) = decode(&bytes).unwrap();
+        assert_eq!(m, m2);
+        assert_eq!(l2, None);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (m, _) = sample();
+        let mut bytes = encode(&m, None);
+        bytes[0] = b'X';
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let (m, _) = sample();
+        let mut bytes = encode(&m, None);
+        bytes[4] = 99;
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let (m, l) = sample();
+        let bytes = encode(&m, Some(&l));
+        for cut in [0, 5, 10, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let (m, _) = sample();
+        let mut bytes = encode(&m, None);
+        bytes.push(0);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (m, l) = sample();
+        let path = std::env::temp_dir()
+            .join(format!("proclus-binio-{}.prcl", std::process::id()));
+        write_binary(&path, &m, Some(&l)).unwrap();
+        let (m2, l2) = read_binary(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(m, m2);
+        assert_eq!(l2, Some(l));
+    }
+
+    #[test]
+    fn empty_matrix_roundtrip() {
+        let m = Matrix::zeros(0, 4);
+        let bytes = encode(&m, None);
+        let (m2, _) = decode(&bytes).unwrap();
+        assert_eq!(m2.rows(), 0);
+        assert_eq!(m2.cols(), 4);
+    }
+}

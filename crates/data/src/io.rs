@@ -1,0 +1,202 @@
+//! Plain-text (CSV) dataset serialization.
+//!
+//! Format: one point per line, comma-separated coordinates; when labels
+//! are written, the last column is the label (`A`, `B`, … for clusters —
+//! matching the paper's tables — or `Out.` for outliers). A single
+//! header line `x0,x1,…[,label]` is always written.
+
+use crate::label::Label;
+use proclus_math::Matrix;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Write `points` (and optionally aligned `labels`) as CSV.
+///
+/// # Errors
+///
+/// Propagates any I/O failure. Panics if `labels` is present but not the
+/// same length as the point count.
+pub fn write_csv(
+    path: &Path,
+    points: &Matrix,
+    labels: Option<&[Label]>,
+) -> io::Result<()> {
+    if let Some(ls) = labels {
+        assert_eq!(ls.len(), points.rows(), "labels/points length mismatch");
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    for j in 0..points.cols() {
+        if j > 0 {
+            write!(w, ",")?;
+        }
+        write!(w, "x{j}")?;
+    }
+    if labels.is_some() {
+        write!(w, ",label")?;
+    }
+    writeln!(w)?;
+    for i in 0..points.rows() {
+        let row = points.row(i);
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                write!(w, ",")?;
+            }
+            write!(w, "{v}")?;
+        }
+        if let Some(ls) = labels {
+            write!(w, ",{}", label_token(ls[i]))?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Read a CSV produced by [`write_csv`] (header required).
+///
+/// Returns the points and, when a `label` column is present, the labels.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on ragged rows, unparsable numbers, or unknown
+/// label tokens.
+pub fn read_csv(path: &Path) -> io::Result<(Matrix, Option<Vec<Label>>)> {
+    let r = BufReader::new(File::open(path)?);
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| invalid("empty file"))??;
+    let columns: Vec<&str> = header.split(',').collect();
+    let has_labels = columns.last() == Some(&"label");
+    let d = if has_labels {
+        columns.len() - 1
+    } else {
+        columns.len()
+    };
+    if d == 0 {
+        return Err(invalid("no coordinate columns"));
+    }
+
+    let mut data: Vec<f64> = Vec::new();
+    let mut labels: Vec<Label> = Vec::new();
+    let mut rows = 0usize;
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        let expected = d + usize::from(has_labels);
+        if fields.len() != expected {
+            return Err(invalid(format!(
+                "line {}: expected {expected} fields, got {}",
+                lineno + 2,
+                fields.len()
+            )));
+        }
+        for f in &fields[..d] {
+            let v: f64 = f
+                .parse()
+                .map_err(|e| invalid(format!("line {}: {e}", lineno + 2)))?;
+            data.push(v);
+        }
+        if has_labels {
+            labels.push(parse_label(fields[d]).ok_or_else(|| {
+                invalid(format!("line {}: bad label {:?}", lineno + 2, fields[d]))
+            })?);
+        }
+        rows += 1;
+    }
+    Ok((
+        Matrix::from_vec(data, rows, d),
+        has_labels.then_some(labels),
+    ))
+}
+
+fn label_token(l: Label) -> String {
+    match l {
+        Label::Cluster(i) => format!("C{i}"),
+        Label::Outlier => "O".to_string(),
+    }
+}
+
+fn parse_label(tok: &str) -> Option<Label> {
+    match tok {
+        "O" | "Out." => Some(Label::Outlier),
+        _ => tok
+            .strip_prefix('C')
+            .and_then(|rest| rest.parse().ok())
+            .map(Label::Cluster),
+    }
+}
+
+fn invalid(msg: impl ToString) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::env;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        env::temp_dir().join(format!("proclus-data-io-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_with_labels() {
+        let path = tmp("labels.csv");
+        let m = Matrix::from_rows(&[[1.0, 2.5], [3.0, -4.0], [0.0, 100.0]], 2);
+        let labels = vec![Label::Cluster(0), Label::Outlier, Label::Cluster(12)];
+        write_csv(&path, &m, Some(&labels)).unwrap();
+        let (m2, l2) = read_csv(&path).unwrap();
+        assert_eq!(m, m2);
+        assert_eq!(l2, Some(labels));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_without_labels() {
+        let path = tmp("nolabels.csv");
+        let m = Matrix::from_rows(&[[1.0], [2.0]], 1);
+        write_csv(&path, &m, None).unwrap();
+        let (m2, l2) = read_csv(&path).unwrap();
+        assert_eq!(m, m2);
+        assert_eq!(l2, None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ragged_row_is_rejected() {
+        let path = tmp("ragged.csv");
+        std::fs::write(&path, "x0,x1\n1.0,2.0\n3.0\n").unwrap();
+        let err = read_csv(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_number_is_rejected() {
+        let path = tmp("badnum.csv");
+        std::fs::write(&path, "x0\nnot-a-number\n").unwrap();
+        assert!(read_csv(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_label_is_rejected() {
+        let path = tmp("badlabel.csv");
+        std::fs::write(&path, "x0,label\n1.0,wat\n").unwrap();
+        assert!(read_csv(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn label_tokens_parse() {
+        assert_eq!(parse_label("O"), Some(Label::Outlier));
+        assert_eq!(parse_label("Out."), Some(Label::Outlier));
+        assert_eq!(parse_label("C7"), Some(Label::Cluster(7)));
+        assert_eq!(parse_label("7"), None);
+        assert_eq!(parse_label("Cx"), None);
+    }
+}

@@ -1,0 +1,174 @@
+//! Partition agreement indices: Adjusted Rand Index and Normalized
+//! Mutual Information.
+//!
+//! These are not in the 1999 paper (which predates their ubiquity) but
+//! give a single-number summary of the confusion matrix; the harness
+//! reports them alongside the paper's own metrics. Both operate on
+//! `Option<usize>` labels: pairs where *either* side is `None`
+//! (an outlier) are excluded, so the indices measure agreement on the
+//! points both clusterings consider clusterable.
+
+use std::collections::HashMap;
+
+/// Select the positions where both labelings are `Some`, densified.
+fn paired(a: &[Option<usize>], b: &[Option<usize>]) -> (Vec<usize>, Vec<usize>) {
+    assert_eq!(a.len(), b.len(), "label slices must align");
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (x, y) in a.iter().zip(b) {
+        if let (Some(x), Some(y)) = (x, y) {
+            xs.push(*x);
+            ys.push(*y);
+        }
+    }
+    (xs, ys)
+}
+
+/// Joint and marginal count tables of two parallel label vectors.
+type Contingency = (
+    HashMap<(usize, usize), f64>,
+    HashMap<usize, f64>,
+    HashMap<usize, f64>,
+);
+
+fn contingency(xs: &[usize], ys: &[usize]) -> Contingency {
+    let mut joint: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut ma: HashMap<usize, f64> = HashMap::new();
+    let mut mb: HashMap<usize, f64> = HashMap::new();
+    for (&x, &y) in xs.iter().zip(ys) {
+        *joint.entry((x, y)).or_default() += 1.0;
+        *ma.entry(x).or_default() += 1.0;
+        *mb.entry(y).or_default() += 1.0;
+    }
+    (joint, ma, mb)
+}
+
+/// Adjusted Rand Index in `[-1, 1]`; 1 = identical partitions, ~0 =
+/// chance-level agreement. Returns 1.0 for fewer than 2 shared points
+/// (nothing to disagree about).
+pub fn adjusted_rand_index(a: &[Option<usize>], b: &[Option<usize>]) -> f64 {
+    let (xs, ys) = paired(a, b);
+    let n = xs.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let (joint, ma, mb) = contingency(&xs, &ys);
+    let c2 = |x: f64| x * (x - 1.0) / 2.0;
+    let sum_ij: f64 = joint.values().map(|&v| c2(v)).sum();
+    let sum_a: f64 = ma.values().map(|&v| c2(v)).sum();
+    let sum_b: f64 = mb.values().map(|&v| c2(v)).sum();
+    let total = c2(n as f64);
+    let expected = sum_a * sum_b / total;
+    let max = 0.5 * (sum_a + sum_b);
+    if (max - expected).abs() < 1e-12 {
+        // Degenerate: both partitions trivial (all one cluster or all
+        // singletons); identical ones score 1.
+        return if sum_ij == max { 1.0 } else { 0.0 };
+    }
+    (sum_ij - expected) / (max - expected)
+}
+
+/// Normalized Mutual Information in `[0, 1]` (arithmetic-mean
+/// normalization); 1 = identical partitions. Returns 1.0 when both
+/// partitions are trivial and identical, 0.0 when either entropy is 0
+/// but the partitions differ.
+pub fn normalized_mutual_information(a: &[Option<usize>], b: &[Option<usize>]) -> f64 {
+    let (xs, ys) = paired(a, b);
+    let n = xs.len() as f64;
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let (joint, ma, mb) = contingency(&xs, &ys);
+    let h = |m: &HashMap<usize, f64>| -> f64 {
+        m.values()
+            .map(|&c| {
+                let p = c / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = h(&ma);
+    let hb = h(&mb);
+    let mut mi = 0.0;
+    for (&(x, y), &cxy) in &joint {
+        let pxy = cxy / n;
+        let px = ma[&x] / n;
+        let py = mb[&y] / n;
+        mi += pxy * (pxy / (px * py)).ln();
+    }
+    let denom = 0.5 * (ha + hb);
+    if denom < 1e-12 {
+        // Both entropies zero: single-cluster vs single-cluster.
+        return if joint.len() == 1 { 1.0 } else { 0.0 };
+    }
+    (mi / denom).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lab(v: &[usize]) -> Vec<Option<usize>> {
+        v.iter().map(|&x| Some(x)).collect()
+    }
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = lab(&[0, 0, 1, 1, 2, 2]);
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeling_does_not_matter() {
+        let a = lab(&[0, 0, 1, 1]);
+        let b = lab(&[1, 1, 0, 0]);
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero() {
+        // Checkerboard: every cell of the contingency table equal.
+        let a = lab(&[0, 0, 1, 1, 0, 0, 1, 1]);
+        let b = lab(&[0, 1, 0, 1, 0, 1, 0, 1]);
+        assert!(adjusted_rand_index(&a, &b).abs() < 0.2);
+        assert!(normalized_mutual_information(&a, &b) < 0.2);
+    }
+
+    #[test]
+    fn known_ari_value() {
+        // Classic example: a = [0,0,1,1,1], b = [0,0,0,1,1].
+        let a = lab(&[0, 0, 1, 1, 1]);
+        let b = lab(&[0, 0, 0, 1, 1]);
+        // sum_ij = C(2,2)+C(1,2)+C(2,2) = 1+0+1 = 2; sum_a = 1+3 = 4;
+        // sum_b = 3+1 = 4; total = 10; exp = 1.6; max = 4.
+        let expect = (2.0 - 1.6) / (4.0 - 1.6);
+        assert!((adjusted_rand_index(&a, &b) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outliers_are_excluded() {
+        let a = vec![Some(0), Some(0), None, Some(1)];
+        let b = vec![Some(1), Some(1), Some(0), None];
+        // Only positions 0, 1 are shared; both constant -> identical
+        // trivial partitions.
+        assert_eq!(adjusted_rand_index(&a, &b), 1.0);
+        assert_eq!(normalized_mutual_information(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn trivial_vs_nontrivial_nmi_zero() {
+        let a = lab(&[0, 0, 0, 0]);
+        let b = lab(&[0, 0, 1, 1]);
+        assert_eq!(normalized_mutual_information(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_shared_support() {
+        let a = vec![None, Some(0)];
+        let b = vec![Some(0), None];
+        assert_eq!(adjusted_rand_index(&a, &b), 1.0);
+        assert_eq!(normalized_mutual_information(&a, &b), 1.0);
+    }
+}

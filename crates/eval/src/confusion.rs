@@ -1,0 +1,327 @@
+//! The paper's confusion matrix (Tables 3–4) and dominant matching.
+
+use std::fmt;
+
+/// Confusion matrix between an output clustering and ground truth.
+///
+/// Entry `(i, j)` counts points assigned to output cluster `i` that were
+/// generated in input cluster `j`. Row `k_out` is the output-outlier
+/// row; column `k_in` is the input-outlier column — exactly the layout
+/// of Tables 3 and 4 of the paper.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<usize>, // (k_out + 1) x (k_in + 1), row-major
+    k_out: usize,
+    k_in: usize,
+}
+
+impl ConfusionMatrix {
+    /// Build from parallel label slices (`None` = outlier on either
+    /// side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or a label exceeds
+    /// its `k`.
+    pub fn build(
+        output: &[Option<usize>],
+        k_out: usize,
+        truth: &[Option<usize>],
+        k_in: usize,
+    ) -> Self {
+        assert_eq!(output.len(), truth.len(), "label slices must align");
+        let cols = k_in + 1;
+        let mut counts = vec![0usize; (k_out + 1) * cols];
+        for (o, t) in output.iter().zip(truth) {
+            let i = o.map_or(k_out, |v| {
+                assert!(v < k_out, "output label {v} out of range");
+                v
+            });
+            let j = t.map_or(k_in, |v| {
+                assert!(v < k_in, "truth label {v} out of range");
+                v
+            });
+            counts[i * cols + j] += 1;
+        }
+        Self {
+            counts,
+            k_out,
+            k_in,
+        }
+    }
+
+    /// Number of output clusters (excluding the outlier row).
+    pub fn output_clusters(&self) -> usize {
+        self.k_out
+    }
+
+    /// Number of input clusters (excluding the outlier column).
+    pub fn input_clusters(&self) -> usize {
+        self.k_in
+    }
+
+    /// Entry `(i, j)`; `i == k_out` addresses the output-outlier row and
+    /// `j == k_in` the input-outlier column.
+    pub fn entry(&self, i: usize, j: usize) -> usize {
+        assert!(i <= self.k_out && j <= self.k_in);
+        self.counts[i * (self.k_in + 1) + j]
+    }
+
+    /// Sum of row `i` (size of output cluster `i`, or the outlier count
+    /// for `i == k_out`).
+    pub fn row_total(&self, i: usize) -> usize {
+        (0..=self.k_in).map(|j| self.entry(i, j)).sum()
+    }
+
+    /// Sum of column `j` (size of input cluster `j`, or the generated
+    /// outlier count for `j == k_in`).
+    pub fn col_total(&self, j: usize) -> usize {
+        (0..=self.k_out).map(|i| self.entry(i, j)).sum()
+    }
+
+    /// Total number of points.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Greedy dominant matching: repeatedly take the largest remaining
+    /// cell among real clusters (outlier row/column excluded), pairing
+    /// its output cluster with its input cluster.
+    ///
+    /// Returns `mapping[i] = Some(j)` when output cluster `i` was paired
+    /// with input cluster `j`. Unpaired outputs (possible when
+    /// `k_out > k_in`, or when a cluster holds only outlier points) map
+    /// to `None`. Ties break toward lower indices, so the matching is
+    /// deterministic.
+    pub fn dominant_matching(&self) -> Vec<Option<usize>> {
+        let mut cells: Vec<(usize, usize, usize)> = (0..self.k_out)
+            .flat_map(|i| (0..self.k_in).map(move |j| (i, j)))
+            .map(|(i, j)| (self.entry(i, j), i, j))
+            .collect();
+        cells.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut mapping = vec![None; self.k_out];
+        let mut used_in = vec![false; self.k_in];
+        for (count, i, j) in cells {
+            if count == 0 {
+                break;
+            }
+            if mapping[i].is_none() && !used_in[j] {
+                mapping[i] = Some(j);
+                used_in[j] = true;
+            }
+        }
+        mapping
+    }
+
+    /// Fraction of true cluster points (input outliers excluded) that
+    /// landed in the output cluster matched to their input cluster —
+    /// the headline accuracy implied by Tables 3 and 4.
+    pub fn matched_accuracy(&self) -> f64 {
+        let mapping = self.dominant_matching();
+        let mut correct = 0usize;
+        for (i, m) in mapping.iter().enumerate() {
+            if let Some(j) = m {
+                correct += self.entry(i, *j);
+            }
+        }
+        let cluster_points: usize = (0..self.k_in).map(|j| self.col_total(j)).sum();
+        if cluster_points == 0 {
+            0.0
+        } else {
+            correct as f64 / cluster_points as f64
+        }
+    }
+
+    /// Fraction of each output cluster's points that come from its
+    /// single largest input source (input outliers count as a source).
+    /// 1.0 means every output cluster is pure.
+    pub fn purity(&self) -> f64 {
+        let mut major = 0usize;
+        let mut total = 0usize;
+        for i in 0..self.k_out {
+            let row_max = (0..=self.k_in).map(|j| self.entry(i, j)).max().unwrap_or(0);
+            major += row_max;
+            total += self.row_total(i);
+        }
+        if total == 0 {
+            0.0
+        } else {
+            major as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    /// Renders in the layout of the paper's Tables 3–4: inputs as
+    /// lettered columns, outputs as numbered rows, outliers last.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let col_name = |j: usize| -> String {
+            if j == self.k_in {
+                "Out.".to_string()
+            } else if j < 26 {
+                ((b'A' + j as u8) as char).to_string()
+            } else {
+                format!("I{j}")
+            }
+        };
+        write!(f, "{:>10}", "Input")?;
+        for j in 0..=self.k_in {
+            write!(f, "{:>9}", col_name(j))?;
+        }
+        writeln!(f)?;
+        for i in 0..=self.k_out {
+            let row_name = if i == self.k_out {
+                "Outliers".to_string()
+            } else {
+                format!("{}", i + 1)
+            };
+            write!(f, "{row_name:>10}")?;
+            for j in 0..=self.k_in {
+                write!(f, "{:>9}", self.entry(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> ConfusionMatrix {
+        // 2 output clusters, 2 input clusters.
+        // Point layout: out0/in0 x3, out0/in1 x1, out1/in1 x2,
+        // out0/in-outlier x1, outlier-row/in0 x1, outlier/outlier x1.
+        let output = [
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(1),
+            Some(1),
+            Some(0),
+            None,
+            None,
+        ];
+        let truth = [
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(1),
+            Some(1),
+            Some(1),
+            None,
+            Some(0),
+            None,
+        ];
+        ConfusionMatrix::build(&output, 2, &truth, 2)
+    }
+
+    #[test]
+    fn entries_count_correctly() {
+        let c = toy();
+        assert_eq!(c.entry(0, 0), 3);
+        assert_eq!(c.entry(0, 1), 1);
+        assert_eq!(c.entry(1, 1), 2);
+        assert_eq!(c.entry(0, 2), 1); // output 0, input outlier
+        assert_eq!(c.entry(2, 0), 1); // output outlier, input 0
+        assert_eq!(c.entry(2, 2), 1); // both outliers
+        assert_eq!(c.total(), 9);
+    }
+
+    #[test]
+    fn marginals_sum() {
+        let c = toy();
+        assert_eq!(c.row_total(0), 5);
+        assert_eq!(c.row_total(1), 2);
+        assert_eq!(c.row_total(2), 2);
+        assert_eq!(c.col_total(0), 4);
+        assert_eq!(c.col_total(1), 3);
+        assert_eq!(c.col_total(2), 2);
+        let rows: usize = (0..=2).map(|i| c.row_total(i)).sum();
+        assert_eq!(rows, c.total());
+    }
+
+    #[test]
+    fn dominant_matching_pairs_largest_cells() {
+        let c = toy();
+        assert_eq!(c.dominant_matching(), vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn matched_accuracy_counts_matched_cells() {
+        let c = toy();
+        // matched cells: (0,0)=3 and (1,1)=2; cluster points = 7.
+        assert!((c.matched_accuracy() - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_uses_row_maxima() {
+        let c = toy();
+        // Row 0 max = 3 of 5; row 1 max = 2 of 2 -> (3+2)/7.
+        assert!((c.purity() - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_clustering_has_accuracy_one() {
+        let output = [Some(0), Some(0), Some(1), None];
+        let truth = [Some(1), Some(1), Some(0), None];
+        let c = ConfusionMatrix::build(&output, 2, &truth, 2);
+        assert_eq!(c.dominant_matching(), vec![Some(1), Some(0)]);
+        assert_eq!(c.matched_accuracy(), 1.0);
+        assert_eq!(c.purity(), 1.0);
+    }
+
+    #[test]
+    fn more_outputs_than_inputs_leaves_unmatched() {
+        let output = [Some(0), Some(1), Some(2)];
+        let truth = [Some(0), Some(0), Some(1)];
+        let c = ConfusionMatrix::build(&output, 3, &truth, 2);
+        let m = c.dominant_matching();
+        assert_eq!(m.iter().filter(|x| x.is_some()).count(), 2);
+    }
+
+    #[test]
+    fn display_contains_paper_layout() {
+        let c = toy();
+        let s = c.to_string();
+        assert!(s.contains("Input"));
+        assert!(s.contains('A'));
+        assert!(s.contains('B'));
+        assert!(s.contains("Out."));
+        assert!(s.contains("Outliers"));
+    }
+
+    #[test]
+    fn all_outlier_output_has_empty_matching() {
+        let output = [None, None, None];
+        let truth = [Some(0), Some(1), None];
+        let c = ConfusionMatrix::build(&output, 2, &truth, 2);
+        assert_eq!(c.dominant_matching(), vec![None, None]);
+        assert_eq!(c.matched_accuracy(), 0.0);
+        assert_eq!(c.purity(), 0.0);
+        assert_eq!(c.row_total(2), 3);
+    }
+
+    #[test]
+    fn zero_cluster_edge_case() {
+        // k_out = k_in = 0: only the outlier row/column exist.
+        let c = ConfusionMatrix::build(&[None, None], 0, &[None, None], 0);
+        assert_eq!(c.total(), 2);
+        assert_eq!(c.entry(0, 0), 2);
+        assert!(c.dominant_matching().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn build_rejects_out_of_range_labels() {
+        let _ = ConfusionMatrix::build(&[Some(5)], 2, &[Some(0)], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn build_rejects_mismatched_lengths() {
+        let _ = ConfusionMatrix::build(&[Some(0)], 2, &[], 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Dimension-set recovery metrics (Tables 1 and 2 of the paper).
+//!
+//! The paper reports a *perfect correspondence* between the dimension
+//! sets of matched input/output cluster pairs. These helpers quantify
+//! the correspondence: per-pair precision/recall/Jaccard of the
+//! recovered dimension set against the generated one, and an aggregate
+//! over a matching.
+
+use std::collections::HashSet;
+
+/// Precision/recall/Jaccard of one recovered dimension set against the
+/// true one.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DimensionMatch {
+    /// |found ∩ true| / |found| (1.0 when `found` is empty).
+    pub precision: f64,
+    /// |found ∩ true| / |true| (1.0 when `truth` is empty).
+    pub recall: f64,
+    /// |found ∩ true| / |found ∪ true| (1.0 when both are empty).
+    pub jaccard: f64,
+}
+
+impl DimensionMatch {
+    /// Compare a recovered set against the truth.
+    pub fn compare(found: &[usize], truth: &[usize]) -> Self {
+        let f: HashSet<usize> = found.iter().copied().collect();
+        let t: HashSet<usize> = truth.iter().copied().collect();
+        let inter = f.intersection(&t).count() as f64;
+        let union = f.union(&t).count() as f64;
+        DimensionMatch {
+            precision: if f.is_empty() { 1.0 } else { inter / f.len() as f64 },
+            recall: if t.is_empty() { 1.0 } else { inter / t.len() as f64 },
+            jaccard: if union == 0.0 { 1.0 } else { inter / union },
+        }
+    }
+
+    /// `true` iff the sets are identical.
+    pub fn is_exact(&self) -> bool {
+        self.jaccard == 1.0
+    }
+}
+
+/// Aggregate dimension recovery over a cluster matching:
+/// `mapping[i] = Some(j)` pairs output set `found[i]` with input set
+/// `truth[j]`. Returns the mean Jaccard over matched pairs (0.0 when
+/// nothing matched) and the number of exactly recovered sets.
+pub fn matched_dimension_recovery(
+    found: &[Vec<usize>],
+    truth: &[Vec<usize>],
+    mapping: &[Option<usize>],
+) -> (f64, usize) {
+    assert_eq!(found.len(), mapping.len());
+    let mut sum = 0.0;
+    let mut exact = 0usize;
+    let mut matched = 0usize;
+    for (i, m) in mapping.iter().enumerate() {
+        if let Some(j) = m {
+            let cmp = DimensionMatch::compare(&found[i], &truth[*j]);
+            sum += cmp.jaccard;
+            if cmp.is_exact() {
+                exact += 1;
+            }
+            matched += 1;
+        }
+    }
+    if matched == 0 {
+        (0.0, 0)
+    } else {
+        (sum / matched as f64, exact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match() {
+        let m = DimensionMatch::compare(&[3, 4, 7], &[7, 3, 4]);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.jaccard, 1.0);
+        assert!(m.is_exact());
+    }
+
+    #[test]
+    fn partial_match() {
+        let m = DimensionMatch::compare(&[1, 2, 3, 4], &[3, 4, 5]);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.jaccard - 0.4).abs() < 1e-12);
+        assert!(!m.is_exact());
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        let m = DimensionMatch::compare(&[1], &[2]);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.jaccard, 0.0);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let m = DimensionMatch::compare(&[], &[]);
+        assert!(m.is_exact());
+        let m = DimensionMatch::compare(&[], &[1]);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 0.0);
+    }
+
+    #[test]
+    fn aggregate_recovery() {
+        let found = vec![vec![0, 1], vec![2, 3], vec![9]];
+        let truth = vec![vec![2, 3], vec![0, 1]];
+        let mapping = vec![Some(1), Some(0), None];
+        let (mean_j, exact) = matched_dimension_recovery(&found, &truth, &mapping);
+        assert_eq!(mean_j, 1.0);
+        assert_eq!(exact, 2);
+    }
+
+    #[test]
+    fn aggregate_with_no_matches() {
+        let (mean_j, exact) =
+            matched_dimension_recovery(&[vec![0]], &[vec![1]], &[None]);
+        assert_eq!(mean_j, 0.0);
+        assert_eq!(exact, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Evaluation machinery reproducing the PROCLUS paper's accuracy
+//! methodology, plus standard external clustering indices.
+//!
+//! * [`ConfusionMatrix`] — the paper's §4.2 instrument: entry `(i, j)`
+//!   counts points assigned to output cluster `i` that were generated
+//!   in input cluster `j`, with an extra row/column for outliers
+//!   (Tables 3 and 4), plus the greedy dominant input↔output matching
+//!   used to pair up clusters in Tables 1 and 2.
+//! * [`dims_match`] — precision/recall/Jaccard between recovered and
+//!   true dimension sets (Tables 1 and 2's headline result).
+//! * [`overlap`] — the paper's *average overlap* `Σ|Cᵢ|/|∪Cᵢ|` and
+//!   coverage of possibly-overlapping outputs (CLIQUE, Table 5).
+//! * [`agreement`] — Adjusted Rand Index and Normalized Mutual
+//!   Information for partition-level comparisons beyond the paper's own
+//!   metrics.
+//!
+//! Everything here speaks `Option<usize>` labels (`None` = outlier), so
+//! the crate stays decoupled from the data generator.
+//!
+//! ```
+//! use proclus_eval::ConfusionMatrix;
+//!
+//! let found = [Some(0), Some(0), Some(1), None];
+//! let truth = [Some(1), Some(1), Some(0), None];
+//! let cm = ConfusionMatrix::build(&found, 2, &truth, 2);
+//! // Relabeled but perfect: the dominant matching pairs 0<->1.
+//! assert_eq!(cm.matched_accuracy(), 1.0);
+//! assert_eq!(cm.dominant_matching(), vec![Some(1), Some(0)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agreement;
+pub mod confusion;
+pub mod dims_match;
+pub mod overlap;
+pub mod silhouette;
+
+pub use agreement::{adjusted_rand_index, normalized_mutual_information};
+pub use confusion::ConfusionMatrix;
+pub use dims_match::DimensionMatch;
+pub use overlap::{average_overlap, coverage};
+pub use silhouette::projected_silhouette;

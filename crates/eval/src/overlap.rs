@@ -1,0 +1,96 @@
+//! Overlap and coverage of possibly-overlapping cluster outputs
+//! (the paper's §4.2 instruments for judging CLIQUE).
+
+/// The paper's **average overlap**: `Σᵢ |Cᵢ| / |∪ᵢ Cᵢ|`.
+///
+/// 1.0 means the clusters are disjoint (the output can be read as a
+/// partition); larger values mean points are reported in several
+/// clusters. Returns 0.0 when the union is empty.
+pub fn average_overlap(memberships: &[Vec<usize>], n: usize) -> f64 {
+    let mut in_any = vec![false; n];
+    let mut total = 0usize;
+    for c in memberships {
+        total += c.len();
+        for &p in c {
+            in_any[p] = true;
+        }
+    }
+    let union = in_any.iter().filter(|&&b| b).count();
+    if union == 0 {
+        0.0
+    } else {
+        total as f64 / union as f64
+    }
+}
+
+/// Fraction of the points in `universe` covered by at least one cluster.
+///
+/// With `universe = None` the universe is all `n` points; passing the
+/// indices of the true cluster points measures the paper's "percentage
+/// of cluster points discovered".
+pub fn coverage(memberships: &[Vec<usize>], n: usize, universe: Option<&[usize]>) -> f64 {
+    let mut in_any = vec![false; n];
+    for c in memberships {
+        for &p in c {
+            in_any[p] = true;
+        }
+    }
+    match universe {
+        None => {
+            if n == 0 {
+                0.0
+            } else {
+                in_any.iter().filter(|&&b| b).count() as f64 / n as f64
+            }
+        }
+        Some(u) => {
+            if u.is_empty() {
+                0.0
+            } else {
+                u.iter().filter(|&&p| in_any[p]).count() as f64 / u.len() as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_clusters_overlap_one() {
+        let m = vec![vec![0, 1], vec![2, 3]];
+        assert!((average_overlap(&m, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicated_clusters_overlap_two() {
+        let m = vec![vec![0, 1, 2], vec![0, 1, 2]];
+        assert!((average_overlap(&m, 5) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_output_overlap_zero() {
+        assert_eq!(average_overlap(&[], 5), 0.0);
+    }
+
+    #[test]
+    fn coverage_over_all_points() {
+        let m = vec![vec![0, 1], vec![1, 2]];
+        assert!((coverage(&m, 6, None) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_over_universe() {
+        // Universe = true cluster points {0, 1, 4}; covered = {0, 1}.
+        let m = vec![vec![0, 1, 3]];
+        let u = [0usize, 1, 4];
+        assert!((coverage(&m, 6, Some(&u)) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_empty_universe_is_zero() {
+        assert_eq!(coverage(&[vec![0]], 3, Some(&[])), 0.0);
+        assert_eq!(coverage(&[], 0, None), 0.0);
+    }
+}

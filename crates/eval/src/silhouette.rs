@@ -1,0 +1,230 @@
+//! Silhouette coefficient adapted to projected clusters.
+//!
+//! The classic silhouette compares a point's cohesion `a(p)` (mean
+//! distance to its own cluster) against its separation `b(p)` (mean
+//! distance to the best foreign cluster). For projected clusters the
+//! distances are **segmental**: cohesion is measured in the point's own
+//! cluster's dimension set, and the distance to a foreign cluster is
+//! measured in *that* cluster's dimension set — each cluster is judged
+//! in the subspace it claims.
+//!
+//! Not part of the 1999 paper; provided as a model-selection aid (e.g.
+//! sweeping `k` or `l`, see the `choose_l` example) since the paper's
+//! own objective is only comparable at fixed `l`.
+
+use proclus_math::{DistanceKind, Matrix};
+
+/// Mean projected silhouette over all clustered points, in `[-1, 1]`
+/// (higher = tighter, better-separated clusters).
+///
+/// `clusters[i]` = (member indices, dimension set). Outliers simply do
+/// not appear in any member list. Clusters with a single member
+/// contribute silhouette 0 (cohesion undefined), matching the common
+/// convention.
+///
+/// For clusters larger than `max_samples`, distances are estimated
+/// against an evenly strided sample of that cluster's members —
+/// deterministic, no RNG.
+pub fn projected_silhouette(
+    points: &Matrix,
+    clusters: &[(Vec<usize>, Vec<usize>)],
+    metric: DistanceKind,
+    max_samples: usize,
+) -> f64 {
+    let samples: Vec<Vec<usize>> = clusters
+        .iter()
+        .map(|(members, _)| stride_sample(members, max_samples.max(1)))
+        .collect();
+
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (i, (members, dims_i)) in clusters.iter().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        for &p in members {
+            if members.len() == 1 {
+                count += 1; // contributes 0
+                continue;
+            }
+            let a = mean_distance(points, p, &samples[i], dims_i, metric, Some(p));
+            let mut b = f64::INFINITY;
+            for (j, (other, dims_j)) in clusters.iter().enumerate() {
+                if j == i || other.is_empty() {
+                    continue;
+                }
+                let d = mean_distance(points, p, &samples[j], dims_j, metric, None);
+                if d < b {
+                    b = d;
+                }
+            }
+            if b.is_finite() {
+                let denom = a.max(b);
+                if denom > 0.0 {
+                    total += (b - a) / denom;
+                }
+                count += 1;
+            } else {
+                // Single cluster overall: silhouette undefined, count 0.
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Mean segmental distance from `p` to the sampled `members` under
+/// `dims`, optionally excluding one index (the point itself).
+fn mean_distance(
+    points: &Matrix,
+    p: usize,
+    members: &[usize],
+    dims: &[usize],
+    metric: DistanceKind,
+    exclude: Option<usize>,
+) -> f64 {
+    let row = points.row(p);
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &m in members {
+        if Some(m) == exclude {
+            continue;
+        }
+        sum += metric.eval_segmental(row, points.row(m), dims);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Deterministic evenly-strided sample of at most `cap` members.
+fn stride_sample(members: &[usize], cap: usize) -> Vec<usize> {
+    if members.len() <= cap {
+        return members.to_vec();
+    }
+    let step = members.len() as f64 / cap as f64;
+    (0..cap)
+        .map(|i| members[(i as f64 * step) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Clusters = Vec<(Vec<usize>, Vec<usize>)>;
+
+    fn two_tight_clusters() -> (Matrix, Clusters) {
+        // Cluster 0 near x = 0, cluster 1 near x = 100; dim set {0}.
+        let rows: Vec<[f64; 2]> = vec![
+            [0.0, 50.0],
+            [1.0, 10.0],
+            [2.0, 90.0],
+            [100.0, 20.0],
+            [101.0, 70.0],
+            [102.0, 40.0],
+        ];
+        let m = Matrix::from_rows(&rows, 2);
+        let clusters = vec![
+            (vec![0, 1, 2], vec![0]),
+            (vec![3, 4, 5], vec![0]),
+        ];
+        (m, clusters)
+    }
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let (m, clusters) = two_tight_clusters();
+        let s = projected_silhouette(&m, &clusters, DistanceKind::Manhattan, 64);
+        assert!(s > 0.9, "silhouette {s}");
+    }
+
+    #[test]
+    fn shuffled_assignment_scores_low() {
+        let (m, _) = two_tight_clusters();
+        let clusters = vec![
+            (vec![0, 3, 2], vec![0]),
+            (vec![1, 4, 5], vec![0]),
+        ];
+        let s = projected_silhouette(&m, &clusters, DistanceKind::Manhattan, 64);
+        assert!(s < 0.3, "silhouette {s}");
+    }
+
+    #[test]
+    fn projection_matters() {
+        // Clusters are identical on dim 0 but separated on dim 1; with
+        // dim sets {1} the silhouette is high, with {0} it is ~0.
+        let rows: Vec<[f64; 2]> = vec![
+            [5.0, 0.0],
+            [6.0, 1.0],
+            [5.0, 100.0],
+            [6.0, 101.0],
+        ];
+        let m = Matrix::from_rows(&rows, 2);
+        let good = vec![(vec![0, 1], vec![1]), (vec![2, 3], vec![1])];
+        let bad = vec![(vec![0, 1], vec![0]), (vec![2, 3], vec![0])];
+        let sg = projected_silhouette(&m, &good, DistanceKind::Manhattan, 64);
+        let sb = projected_silhouette(&m, &bad, DistanceKind::Manhattan, 64);
+        assert!(sg > 0.9, "good {sg}");
+        assert!(sb < 0.3, "bad {sb}");
+    }
+
+    #[test]
+    fn single_cluster_is_zero() {
+        let m = Matrix::from_rows(&[[0.0], [1.0]], 1);
+        let clusters = vec![(vec![0, 1], vec![0])];
+        assert_eq!(
+            projected_silhouette(&m, &clusters, DistanceKind::Manhattan, 8),
+            0.0
+        );
+    }
+
+    #[test]
+    fn singleton_and_empty_clusters_are_handled() {
+        let m = Matrix::from_rows(&[[0.0], [100.0], [101.0]], 1);
+        let clusters = vec![
+            (vec![0], vec![0]),
+            (vec![1, 2], vec![0]),
+            (vec![], vec![0]),
+        ];
+        let s = projected_silhouette(&m, &clusters, DistanceKind::Manhattan, 8);
+        // Singleton contributes 0; the pair scores near 1.
+        assert!(s > 0.5 && s <= 1.0, "silhouette {s}");
+    }
+
+    #[test]
+    fn sampling_approximates_full_computation() {
+        // 200-point clusters: capped vs uncapped must agree closely.
+        let mut rows: Vec<[f64; 1]> = Vec::new();
+        for i in 0..200 {
+            rows.push([i as f64 * 0.01]);
+        }
+        for i in 0..200 {
+            rows.push([50.0 + i as f64 * 0.01]);
+        }
+        let m = Matrix::from_rows(&rows, 1);
+        let clusters = vec![
+            ((0..200).collect(), vec![0]),
+            ((200..400).collect(), vec![0]),
+        ];
+        let full = projected_silhouette(&m, &clusters, DistanceKind::Manhattan, 10_000);
+        let capped = projected_silhouette(&m, &clusters, DistanceKind::Manhattan, 32);
+        assert!((full - capped).abs() < 0.02, "{full} vs {capped}");
+    }
+
+    #[test]
+    fn stride_sample_bounds() {
+        let members: Vec<usize> = (0..100).collect();
+        let s = stride_sample(&members, 10);
+        assert_eq!(s.len(), 10);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(stride_sample(&members, 1000).len(), 100);
+    }
+}

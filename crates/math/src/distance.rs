@@ -1,0 +1,286 @@
+//! Full-dimensional and segmental distance functions.
+//!
+//! The PROCLUS paper (§1.2) defines the **Manhattan segmental distance**
+//! relative to a dimension set `D`:
+//!
+//! ```text
+//! d_D(x, y) = ( Σ_{i ∈ D} |x_i − y_i| ) / |D|
+//! ```
+//!
+//! i.e. the L1 distance restricted to `D` and *normalized by |D|* so that
+//! distances computed in subspaces of different dimensionality remain
+//! comparable. The paper notes there is no comparably easy normalized
+//! variant of the Euclidean metric; we nevertheless provide a
+//! dimensionality-normalized Euclidean segmental distance for the
+//! ablation benchmarks.
+
+/// Which full-dimensional metric an algorithm should use.
+///
+/// PROCLUS as published uses [`DistanceKind::Manhattan`] everywhere; the
+/// other variants exist for ablation studies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DistanceKind {
+    /// L1 metric (the paper's choice).
+    #[default]
+    Manhattan,
+    /// L2 metric.
+    Euclidean,
+    /// L∞ metric.
+    Chebyshev,
+}
+
+impl DistanceKind {
+    /// Evaluate this metric on two equal-length points.
+    #[inline]
+    pub fn eval(self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            DistanceKind::Manhattan => manhattan(a, b),
+            DistanceKind::Euclidean => euclidean(a, b),
+            DistanceKind::Chebyshev => chebyshev(a, b),
+        }
+    }
+
+    /// Evaluate this metric restricted to `dims`, normalized by
+    /// `dims.len()` (the "segmental" form; for Manhattan this is exactly
+    /// the paper's Manhattan segmental distance).
+    #[inline]
+    pub fn eval_segmental(self, a: &[f64], b: &[f64], dims: &[usize]) -> f64 {
+        match self {
+            DistanceKind::Manhattan => manhattan_segmental(a, b, dims),
+            DistanceKind::Euclidean => euclidean_segmental(a, b, dims),
+            DistanceKind::Chebyshev => chebyshev_segmental(a, b, dims),
+        }
+    }
+}
+
+/// A pluggable distance function over full-dimensional points.
+pub trait Distance {
+    /// The distance between `a` and `b`.
+    ///
+    /// `a` and `b` must have equal length.
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64;
+}
+
+impl Distance for DistanceKind {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.eval(a, b)
+    }
+}
+
+impl<F: Fn(&[f64], &[f64]) -> f64> Distance for F {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        self(a, b)
+    }
+}
+
+/// L1 (Manhattan) distance: `Σ |a_i − b_i|`.
+#[inline]
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// L2 (Euclidean) distance: `sqrt(Σ (a_i − b_i)²)`.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// L∞ (Chebyshev) distance: `max |a_i − b_i|`.
+#[inline]
+pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// General Lp (Minkowski) distance: `(Σ |a_i − b_i|^p)^(1/p)` for `p ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `p < 1.0` (not a metric below 1).
+#[inline]
+pub fn minkowski(a: &[f64], b: &[f64], p: f64) -> f64 {
+    assert!(p >= 1.0, "Minkowski distance requires p >= 1, got {p}");
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs().powf(p))
+        .sum::<f64>()
+        .powf(1.0 / p)
+}
+
+/// The paper's **Manhattan segmental distance** relative to dimension set
+/// `dims`: `(Σ_{j ∈ dims} |a_j − b_j|) / |dims|`.
+///
+/// Returns `0.0` for an empty dimension set (an empty projection carries
+/// no distance information; callers in this workspace never pass one for
+/// clusters, since PROCLUS enforces `|Dᵢ| ≥ 2`).
+#[inline]
+pub fn manhattan_segmental(a: &[f64], b: &[f64], dims: &[usize]) -> f64 {
+    if dims.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = dims.iter().map(|&j| (a[j] - b[j]).abs()).sum();
+    sum / dims.len() as f64
+}
+
+/// Dimensionality-normalized Euclidean distance over `dims`:
+/// `sqrt(Σ_{j ∈ dims} (a_j − b_j)²) / sqrt(|dims|)`.
+///
+/// The `sqrt(|dims|)` normalization makes it scale like the Manhattan
+/// segmental distance under changes of `|dims|` (used only by ablations).
+#[inline]
+pub fn euclidean_segmental(a: &[f64], b: &[f64], dims: &[usize]) -> f64 {
+    if dims.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = dims
+        .iter()
+        .map(|&j| {
+            let d = a[j] - b[j];
+            d * d
+        })
+        .sum();
+    (sum / dims.len() as f64).sqrt()
+}
+
+/// Chebyshev distance restricted to `dims` (already scale-free in
+/// `|dims|`, so no normalization is applied).
+#[inline]
+pub fn chebyshev_segmental(a: &[f64], b: &[f64], dims: &[usize]) -> f64 {
+    dims.iter()
+        .map(|&j| (a[j] - b[j]).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Generic segmental distance dispatcher; see
+/// [`DistanceKind::eval_segmental`].
+#[inline]
+pub fn segmental(kind: DistanceKind, a: &[f64], b: &[f64], dims: &[usize]) -> f64 {
+    kind.eval_segmental(a, b, dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 4] = [1.0, 2.0, 3.0, 4.0];
+    const B: [f64; 4] = [2.0, 0.0, 3.0, 8.0];
+
+    #[test]
+    fn manhattan_basic() {
+        assert_eq!(manhattan(&A, &B), 1.0 + 2.0 + 0.0 + 4.0);
+    }
+
+    #[test]
+    fn euclidean_basic() {
+        assert!((euclidean(&A, &B) - (1.0f64 + 4.0 + 0.0 + 16.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev_basic() {
+        assert_eq!(chebyshev(&A, &B), 4.0);
+    }
+
+    #[test]
+    fn minkowski_specializes_to_l1_l2() {
+        assert!((minkowski(&A, &B, 1.0) - manhattan(&A, &B)).abs() < 1e-12);
+        assert!((minkowski(&A, &B, 2.0) - euclidean(&A, &B)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p >= 1")]
+    fn minkowski_rejects_p_below_one() {
+        let _ = minkowski(&A, &B, 0.5);
+    }
+
+    #[test]
+    fn segmental_is_mean_over_dims() {
+        // dims {0, 3}: (|1-2| + |4-8|)/2 = 2.5
+        assert_eq!(manhattan_segmental(&A, &B, &[0, 3]), 2.5);
+        // Single dimension: plain coordinate difference.
+        assert_eq!(manhattan_segmental(&A, &B, &[1]), 2.0);
+    }
+
+    #[test]
+    fn segmental_full_set_is_mean_manhattan() {
+        let dims = [0, 1, 2, 3];
+        let expect = manhattan(&A, &B) / 4.0;
+        assert!((manhattan_segmental(&A, &B, &dims) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segmental_empty_dims_is_zero() {
+        assert_eq!(manhattan_segmental(&A, &B, &[]), 0.0);
+        assert_eq!(euclidean_segmental(&A, &B, &[]), 0.0);
+    }
+
+    #[test]
+    fn euclidean_segmental_normalization() {
+        // On a single dimension it reduces to |a_j - b_j|.
+        assert!((euclidean_segmental(&A, &B, &[3]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev_segmental_ignores_other_dims() {
+        assert_eq!(chebyshev_segmental(&A, &B, &[0, 1]), 2.0);
+    }
+
+    #[test]
+    fn distance_kind_dispatch() {
+        assert_eq!(DistanceKind::Manhattan.eval(&A, &B), manhattan(&A, &B));
+        assert_eq!(DistanceKind::Euclidean.eval(&A, &B), euclidean(&A, &B));
+        assert_eq!(DistanceKind::Chebyshev.eval(&A, &B), chebyshev(&A, &B));
+        let dims = [0, 3];
+        assert_eq!(
+            DistanceKind::Manhattan.eval_segmental(&A, &B, &dims),
+            manhattan_segmental(&A, &B, &dims)
+        );
+    }
+
+    #[test]
+    fn segmental_dispatch_covers_all_kinds() {
+        let dims = [1, 3];
+        assert_eq!(
+            DistanceKind::Euclidean.eval_segmental(&A, &B, &dims),
+            euclidean_segmental(&A, &B, &dims)
+        );
+        assert_eq!(
+            DistanceKind::Chebyshev.eval_segmental(&A, &B, &dims),
+            chebyshev_segmental(&A, &B, &dims)
+        );
+        assert_eq!(
+            segmental(DistanceKind::Manhattan, &A, &B, &dims),
+            manhattan_segmental(&A, &B, &dims)
+        );
+    }
+
+    #[test]
+    fn default_kind_is_manhattan() {
+        assert_eq!(DistanceKind::default(), DistanceKind::Manhattan);
+    }
+
+    #[test]
+    fn closure_implements_distance() {
+        fn takes_distance<D: Distance>(d: &D, a: &[f64], b: &[f64]) -> f64 {
+            d.distance(a, b)
+        }
+        let f = |a: &[f64], b: &[f64]| manhattan(a, b) * 2.0;
+        assert_eq!(takes_distance(&f, &A, &B), 14.0);
+        assert_eq!(takes_distance(&DistanceKind::Manhattan, &A, &B), 7.0);
+    }
+}

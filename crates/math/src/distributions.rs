@@ -1,0 +1,190 @@
+//! Samplers for the distributions the paper's synthetic generator needs.
+//!
+//! The workspace deliberately depends only on `rand` (not `rand_distr`),
+//! so the three non-uniform distributions of §4.1 are implemented here:
+//!
+//! * Normal (Box–Muller polar method) — cluster-dimension coordinates,
+//! * Exponential (inverse CDF) — cluster-size proportions,
+//! * Poisson (Knuth's product method; mean values here are ≤ `d`, i.e.
+//!   tiny, so the O(λ) method is the right tool) — dimensions per
+//!   cluster.
+
+use rand::Rng;
+
+/// Sample a standard normal via the Marsaglia polar method.
+///
+/// Rejection loop accepts with probability π/4 per round, so the expected
+/// number of uniform pairs per sample is ~1.27.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random_range(-1.0..1.0);
+        let v: f64 = rng.random_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Sample `Normal(mean, std²)`.
+///
+/// # Panics
+///
+/// Panics if `std` is negative or non-finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    assert!(
+        std.is_finite() && std >= 0.0,
+        "standard deviation must be finite and non-negative, got {std}"
+    );
+    mean + std * standard_normal(rng)
+}
+
+/// Sample `Exponential(rate)` via inverse CDF. Mean is `1 / rate`.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive and finite.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "rate must be finite and positive, got {rate}"
+    );
+    // random() yields [0, 1); use 1 - u in (0, 1] so ln never sees 0.
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() / rate
+}
+
+/// Sample `Poisson(lambda)` with Knuth's product-of-uniforms method.
+///
+/// O(λ) per sample — fine for the small means (average cluster
+/// dimensionality, ≤ the space dimensionality) used in this workspace.
+///
+/// # Panics
+///
+/// Panics if `lambda` is not strictly positive and finite, or exceeds
+/// 700 (where `exp(-λ)` underflows and this method breaks down).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda > 0.0,
+        "lambda must be finite and positive, got {lambda}"
+    );
+    assert!(
+        lambda <= 700.0,
+        "Knuth's method underflows for lambda > 700, got {lambda}"
+    );
+    let threshold = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= threshold {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = normal(&mut r, 3.0, 2.0);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut r = rng();
+        assert_eq!(normal(&mut r, 7.0, 0.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn normal_rejects_negative_std() {
+        let mut r = rng();
+        let _ = normal(&mut r, 0.0, -1.0);
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let mut r = rng();
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = exponential(&mut r, 2.0);
+            assert!(x >= 0.0);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        let mut r = rng();
+        let _ = exponential(&mut r, 0.0);
+    }
+
+    #[test]
+    fn poisson_moments() {
+        let mut r = rng();
+        let n = 100_000;
+        let lambda = 4.0;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = poisson(&mut r, lambda) as f64;
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        // Poisson: mean == var == lambda.
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+        assert!((var - lambda).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_often_zero() {
+        let mut r = rng();
+        let zeros = (0..10_000)
+            .filter(|_| poisson(&mut r, 0.1) == 0)
+            .count() as f64;
+        // P(0) = e^-0.1 ≈ 0.905
+        assert!((zeros / 10_000.0 - 0.905).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflows")]
+    fn poisson_rejects_huge_lambda() {
+        let mut r = rng();
+        let _ = poisson(&mut r, 1e6);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

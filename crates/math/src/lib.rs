@@ -1,0 +1,44 @@
+//! Numeric substrate for the `proclus` workspace.
+//!
+//! This crate provides the low-level building blocks shared by every
+//! algorithm in the workspace:
+//!
+//! * [`Matrix`] — a dense, row-major point set (`n` points × `d`
+//!   dimensions) with cheap row access,
+//! * [`distance`] — full-dimensional metrics (Manhattan, Euclidean,
+//!   Minkowski, Chebyshev) and the paper's *Manhattan segmental distance*
+//!   evaluated over a dimension subset,
+//! * [`stats`] — means, sample variance, Welford online accumulators,
+//! * [`order`] — selection and order-statistics helpers (quickselect,
+//!   arg-min/max, top-k),
+//! * [`distributions`] — the Normal, Exponential and Poisson samplers the
+//!   synthetic generator of the paper needs (implemented here so the
+//!   workspace only depends on `rand` itself).
+//!
+//! Everything is `f64`-based; the PROCLUS paper operates on coordinates
+//! in `[0, 100]` and never needs more exotic element types.
+//!
+//! ```
+//! use proclus_math::{manhattan_segmental, Matrix};
+//!
+//! let points = Matrix::from_rows(&[[0.0, 0.0, 50.0], [3.0, 1.0, 90.0]], 3);
+//! // Manhattan segmental distance over dims {0, 1}: (3 + 1) / 2.
+//! let d = manhattan_segmental(points.row(0), points.row(1), &[0, 1]);
+//! assert_eq!(d, 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod distributions;
+pub mod linalg;
+pub mod matrix;
+pub mod order;
+pub mod stats;
+
+pub use distance::{
+    chebyshev, euclidean, manhattan, manhattan_segmental, minkowski, segmental, Distance,
+    DistanceKind,
+};
+pub use matrix::Matrix;

@@ -1,0 +1,336 @@
+//! Small dense linear algebra: covariance matrices, the cyclic Jacobi
+//! eigensolver for symmetric matrices, and subspace projection.
+//!
+//! This is the substrate for the *generalized* (arbitrarily oriented)
+//! projected clustering the PROCLUS paper names as future work (§5) —
+//! implemented in the `proclus-orclus` crate. Cluster subspaces there
+//! are spanned by the eigenvectors of the cluster covariance with the
+//! **smallest** eigenvalues (the directions of least spread).
+
+use crate::matrix::Matrix;
+
+/// Sample covariance matrix (`d × d`, denominator `n − 1`) of the rows
+/// of `points` selected by `members`. Returns the zero matrix for
+/// fewer than two members.
+pub fn covariance_of(points: &Matrix, members: &[usize]) -> Matrix {
+    let d = points.cols();
+    let mut cov = Matrix::zeros(d, d);
+    if members.len() < 2 {
+        return cov;
+    }
+    let mean = points.centroid_of(members);
+    let mut centered = vec![0.0; d];
+    for &m in members {
+        let row = points.row(m);
+        for (c, (v, mu)) in centered.iter_mut().zip(row.iter().zip(&mean)) {
+            *c = v - mu;
+        }
+        for i in 0..d {
+            let ci = centered[i];
+            // Accumulate the upper triangle only; mirror afterwards.
+            for (j, cj) in centered.iter().enumerate().skip(i) {
+                let v = cov.get(i, j) + ci * cj;
+                cov.set(i, j, v);
+            }
+        }
+    }
+    let inv = 1.0 / (members.len() - 1) as f64;
+    for i in 0..d {
+        for j in i..d {
+            let v = cov.get(i, j) * inv;
+            cov.set(i, j, v);
+            cov.set(j, i, v);
+        }
+    }
+    cov
+}
+
+/// Eigendecomposition of a symmetric matrix.
+#[derive(Clone, Debug)]
+pub struct Eigen {
+    /// Eigenvalues, ascending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as **rows**, parallel to `values`; orthonormal.
+    pub vectors: Matrix,
+}
+
+impl Eigen {
+    /// The `m` eigenvectors of smallest eigenvalue, as rows — the
+    /// least-spread subspace basis used by generalized projected
+    /// clustering.
+    pub fn smallest_subspace(&self, m: usize) -> Matrix {
+        let m = m.min(self.values.len());
+        let rows: Vec<usize> = (0..m).collect();
+        self.vectors.select_rows(&rows)
+    }
+}
+
+/// Cyclic Jacobi eigensolver for a symmetric matrix.
+///
+/// Runs sweeps of plane rotations until the off-diagonal Frobenius mass
+/// drops below `1e-12` times the diagonal mass (or 50 sweeps, ample for
+/// the d ≤ 100 matrices in this workspace). O(d³) per sweep.
+///
+/// # Panics
+///
+/// Panics if `a` is not square. Symmetry is debug-asserted.
+pub fn jacobi_eigen(a: &Matrix) -> Eigen {
+    let d = a.rows();
+    assert_eq!(d, a.cols(), "matrix must be square");
+    #[cfg(debug_assertions)]
+    for i in 0..d {
+        for j in 0..d {
+            debug_assert!(
+                (a.get(i, j) - a.get(j, i)).abs() <= 1e-9 * (1.0 + a.get(i, j).abs()),
+                "matrix must be symmetric"
+            );
+        }
+    }
+
+    let mut m = a.clone();
+    // Accumulated rotations; starts as identity, ends with eigenvectors
+    // as columns.
+    let mut v = Matrix::zeros(d, d);
+    for i in 0..d {
+        v.set(i, i, 1.0);
+    }
+
+    for _sweep in 0..50 {
+        let mut off = 0.0;
+        for i in 0..d {
+            for j in (i + 1)..d {
+                off += m.get(i, j) * m.get(i, j);
+            }
+        }
+        let diag: f64 = (0..d).map(|i| m.get(i, i) * m.get(i, i)).sum();
+        if off <= 1e-24 * diag.max(1e-300) {
+            break;
+        }
+        for p in 0..d {
+            for q in (p + 1)..d {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Rotation angle zeroing m[p][q].
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply rotation to rows/columns p and q.
+                for i in 0..d {
+                    let aip = m.get(i, p);
+                    let aiq = m.get(i, q);
+                    m.set(i, p, c * aip - s * aiq);
+                    m.set(i, q, s * aip + c * aiq);
+                }
+                for i in 0..d {
+                    let api = m.get(p, i);
+                    let aqi = m.get(q, i);
+                    m.set(p, i, c * api - s * aqi);
+                    m.set(q, i, s * api + c * aqi);
+                }
+                for i in 0..d {
+                    let vip = v.get(i, p);
+                    let viq = v.get(i, q);
+                    v.set(i, p, c * vip - s * viq);
+                    v.set(i, q, s * vip + c * viq);
+                }
+            }
+        }
+    }
+
+    // Collect (eigenvalue, column) pairs and sort ascending.
+    let mut order: Vec<usize> = (0..d).collect();
+    let diag: Vec<f64> = (0..d).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&x, &y| diag[x].partial_cmp(&diag[y]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(d, d);
+    for (row, &col) in order.iter().enumerate() {
+        for i in 0..d {
+            vectors.set(row, i, v.get(i, col));
+        }
+    }
+    Eigen { values, vectors }
+}
+
+/// Project `x − origin` onto a subspace given as orthonormal basis
+/// rows; returns the coefficient vector.
+pub fn project(x: &[f64], origin: &[f64], basis_rows: &Matrix) -> Vec<f64> {
+    let d = basis_rows.cols();
+    debug_assert_eq!(x.len(), d);
+    debug_assert_eq!(origin.len(), d);
+    basis_rows
+        .iter_rows()
+        .map(|b| {
+            b.iter()
+                .zip(x.iter().zip(origin))
+                .map(|(bv, (xv, ov))| bv * (xv - ov))
+                .sum()
+        })
+        .collect()
+}
+
+/// Euclidean distance between `x` and `origin` measured inside the
+/// subspace spanned by `basis_rows` (orthonormal rows), normalized by
+/// `sqrt(rank)` so subspaces of different dimensionality are
+/// comparable (the Euclidean analog of the Manhattan segmental
+/// normalization).
+pub fn projected_distance(x: &[f64], origin: &[f64], basis_rows: &Matrix) -> f64 {
+    let coeffs = project(x, origin, basis_rows);
+    if coeffs.is_empty() {
+        return 0.0;
+    }
+    (coeffs.iter().map(|c| c * c).sum::<f64>() / coeffs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() <= eps
+    }
+
+    #[test]
+    fn covariance_matches_hand_computation() {
+        // Points (0,0), (2,2), (4,4): perfectly correlated.
+        let m = Matrix::from_rows(&[[0.0, 0.0], [2.0, 2.0], [4.0, 4.0]], 2);
+        let cov = covariance_of(&m, &[0, 1, 2]);
+        assert!(approx(cov.get(0, 0), 4.0, 1e-12));
+        assert!(approx(cov.get(1, 1), 4.0, 1e-12));
+        assert!(approx(cov.get(0, 1), 4.0, 1e-12));
+        assert!(approx(cov.get(1, 0), 4.0, 1e-12));
+    }
+
+    #[test]
+    fn covariance_degenerate_members() {
+        let m = Matrix::from_rows(&[[1.0, 2.0]], 2);
+        let cov = covariance_of(&m, &[0]);
+        assert_eq!(cov.get(0, 0), 0.0);
+        let cov = covariance_of(&m, &[]);
+        assert_eq!(cov.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let mut a = Matrix::zeros(3, 3);
+        a.set(0, 0, 3.0);
+        a.set(1, 1, 1.0);
+        a.set(2, 2, 2.0);
+        let e = jacobi_eigen(&a);
+        assert!(approx(e.values[0], 1.0, 1e-12));
+        assert!(approx(e.values[1], 2.0, 1e-12));
+        assert!(approx(e.values[2], 3.0, 1e-12));
+        // Eigenvector of smallest value is e_1.
+        assert!(approx(e.vectors.get(0, 1).abs(), 1.0, 1e-9));
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[[2.0, 1.0], [1.0, 2.0]], 2);
+        let e = jacobi_eigen(&a);
+        assert!(approx(e.values[0], 1.0, 1e-10));
+        assert!(approx(e.values[1], 3.0, 1e-10));
+        // Eigenvector for 1 is (1, -1)/sqrt(2) up to sign.
+        let v0 = e.vectors.row(0);
+        assert!(approx(v0[0].abs(), (0.5f64).sqrt(), 1e-9));
+        assert!(approx(v0[1].abs(), (0.5f64).sqrt(), 1e-9));
+        assert!(v0[0] * v0[1] < 0.0);
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix() {
+        // Pseudo-random symmetric 6x6; check A = Σ λ_i v_i v_iᵀ.
+        let d = 6;
+        let mut a = Matrix::zeros(d, d);
+        let mut seedv = 1u64;
+        let mut next = || {
+            seedv = seedv.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seedv >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..d {
+            for j in i..d {
+                let v = next();
+                a.set(i, j, v);
+                a.set(j, i, v);
+            }
+        }
+        let e = jacobi_eigen(&a);
+        for i in 0..d {
+            for j in 0..d {
+                let mut rec = 0.0;
+                for (l, lam) in e.values.iter().enumerate() {
+                    rec += lam * e.vectors.get(l, i) * e.vectors.get(l, j);
+                }
+                assert!(
+                    approx(rec, a.get(i, j), 1e-8),
+                    "A[{i}][{j}] = {} vs reconstructed {rec}",
+                    a.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_vectors_are_orthonormal() {
+        let a = Matrix::from_rows(
+            &[[4.0, 1.0, 0.5], [1.0, 3.0, -1.0], [0.5, -1.0, 2.0]],
+            3,
+        );
+        let e = jacobi_eigen(&a);
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = e
+                    .vectors
+                    .row(i)
+                    .iter()
+                    .zip(e.vectors.row(j))
+                    .map(|(x, y)| x * y)
+                    .sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(approx(dot, expect, 1e-9), "v{i}·v{j} = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_subspace_selects_prefix() {
+        let mut a = Matrix::zeros(3, 3);
+        a.set(0, 0, 5.0);
+        a.set(1, 1, 0.1);
+        a.set(2, 2, 2.0);
+        let e = jacobi_eigen(&a);
+        let sub = e.smallest_subspace(1);
+        assert_eq!(sub.rows(), 1);
+        // Least-variance direction is axis 1.
+        assert!(approx(sub.get(0, 1).abs(), 1.0, 1e-9));
+    }
+
+    #[test]
+    fn projection_and_distance() {
+        // Basis = x-axis only; distance ignores the y component.
+        let basis = Matrix::from_rows(&[[1.0, 0.0]], 2);
+        let coeffs = project(&[3.0, 77.0], &[1.0, 0.0], &basis);
+        assert_eq!(coeffs, vec![2.0]);
+        assert!(approx(
+            projected_distance(&[3.0, 77.0], &[1.0, 0.0], &basis),
+            2.0,
+            1e-12
+        ));
+        // Empty basis -> zero distance.
+        let empty = Matrix::zeros(0, 2);
+        assert_eq!(projected_distance(&[1.0, 2.0], &[0.0, 0.0], &empty), 0.0);
+    }
+
+    #[test]
+    fn projected_distance_normalizes_by_rank() {
+        let basis2 = Matrix::from_rows(&[[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]], 3);
+        // Offsets 3 and 4 -> sqrt((9 + 16)/2).
+        let d = projected_distance(&[3.0, 4.0, 9.0], &[0.0, 0.0, 0.0], &basis2);
+        assert!(approx(d, (12.5f64).sqrt(), 1e-12));
+    }
+}

@@ -1,0 +1,231 @@
+//! Dense row-major point set.
+
+/// A dense, row-major matrix of `f64` used as the point-set container
+/// throughout the workspace: `rows` points in a `cols`-dimensional space.
+///
+/// Rows are contiguous, so [`Matrix::row`] returns a plain `&[f64]` slice
+/// and the inner loops of every distance computation stay branch-free and
+/// cache friendly.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(data: Vec<f64>, rows: usize, cols: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { data, rows, cols }
+    }
+
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Creates a matrix from per-row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have length `cols`.
+    pub fn from_rows<R: AsRef<[f64]>>(rows: &[R], cols: usize) -> Self {
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            let r = r.as_ref();
+            assert_eq!(r.len(), cols, "row length {} != cols {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self {
+            data,
+            rows: rows.len(),
+            cols,
+        }
+    }
+
+    /// Number of points (rows).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Dimensionality of the space (columns).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` if the matrix holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Borrow row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Single element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Single element write.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Iterate over rows as slices.
+    pub fn iter_rows(&self) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// The flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consume the matrix into its flat buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Component-wise mean of the rows whose indices appear in `members`
+    /// (the *centroid* of that subset, as defined in the paper).
+    ///
+    /// Returns a zero vector when `members` is empty.
+    pub fn centroid_of(&self, members: &[usize]) -> Vec<f64> {
+        let mut c = vec![0.0; self.cols];
+        if members.is_empty() {
+            return c;
+        }
+        for &m in members {
+            let row = self.row(m);
+            for (acc, v) in c.iter_mut().zip(row) {
+                *acc += v;
+            }
+        }
+        let inv = 1.0 / members.len() as f64;
+        for v in &mut c {
+            *v *= inv;
+        }
+        c
+    }
+
+    /// Centroid of *all* rows.
+    pub fn centroid(&self) -> Vec<f64> {
+        let members: Vec<usize> = (0..self.rows).collect();
+        self.centroid_of(&members)
+    }
+
+    /// Returns a new matrix containing only the selected rows, in order.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix::from_vec(data, indices.len(), self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let m = Matrix::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.get(1, 2), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Matrix::from_vec(vec![1.0; 5], 2, 3);
+    }
+
+    #[test]
+    fn from_rows_matches_from_vec() {
+        let a = Matrix::from_rows(&[[1.0, 2.0], [3.0, 4.0]], 2);
+        let b = Matrix::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut m = Matrix::zeros(3, 2);
+        m.set(2, 1, 7.5);
+        assert_eq!(m.get(2, 1), 7.5);
+        m.row_mut(0)[0] = -1.0;
+        assert_eq!(m.get(0, 0), -1.0);
+    }
+
+    #[test]
+    fn centroid_of_subset() {
+        let m = Matrix::from_rows(&[[0.0, 0.0], [2.0, 4.0], [4.0, 8.0]], 2);
+        assert_eq!(m.centroid_of(&[0, 2]), vec![2.0, 4.0]);
+        assert_eq!(m.centroid(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn centroid_of_empty_subset_is_zero() {
+        let m = Matrix::from_rows(&[[1.0, 1.0]], 2);
+        assert_eq!(m.centroid_of(&[]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn select_rows_preserves_order() {
+        let m = Matrix::from_rows(&[[0.0], [1.0], [2.0], [3.0]], 1);
+        let s = m.select_rows(&[3, 1]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.row(0), &[3.0]);
+        assert_eq!(s.row(1), &[1.0]);
+    }
+
+    #[test]
+    fn iter_rows_yields_all() {
+        let m = Matrix::from_rows(&[[1.0, 2.0], [3.0, 4.0]], 2);
+        let rows: Vec<&[f64]> = m.iter_rows().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Selection and order-statistic helpers.
+//!
+//! The robustness argument of the paper (Theorem 3.1) rests on a standard
+//! order-statistics fact; the algorithm itself needs arg-min/arg-max
+//! scans (greedy medoid selection) and "k smallest values" selection
+//! (dimension picking). These helpers centralize those patterns and keep
+//! NaN handling in one place: all comparators here treat NaN as *greater*
+//! than every number, so NaN inputs sink to the end instead of poisoning
+//! a sort.
+
+use std::cmp::Ordering;
+
+/// Total order on `f64` that places NaN after every real value.
+#[inline]
+pub fn total_cmp_nan_last(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).unwrap(),
+    }
+}
+
+/// Index of the minimum value, or `None` for an empty slice.
+/// Ties resolve to the first occurrence; NaNs lose to any real value.
+pub fn argmin(xs: &[f64]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| total_cmp_nan_last(**a, **b))
+        .map(|(i, _)| i)
+}
+
+/// Total order on `f64` that places NaN before every real value.
+#[inline]
+pub fn total_cmp_nan_first(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.partial_cmp(&b).unwrap(),
+    }
+}
+
+/// Index of the maximum value, or `None` for an empty slice.
+/// Ties resolve to the first occurrence; NaNs lose to any real value.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        match best {
+            None => best = Some(i),
+            Some(b) if total_cmp_nan_first(x, xs[b]) == Ordering::Greater => best = Some(i),
+            _ => {}
+        }
+    }
+    best
+}
+
+/// The `k`-th smallest value (0-indexed) via in-place quickselect.
+///
+/// Average O(n); mutates the scratch buffer. Returns `None` when
+/// `k >= xs.len()`.
+pub fn kth_smallest(xs: &mut [f64], k: usize) -> Option<f64> {
+    if k >= xs.len() {
+        return None;
+    }
+    let (_, kth, _) = xs.select_nth_unstable_by(k, |a, b| total_cmp_nan_last(*a, *b));
+    Some(*kth)
+}
+
+/// Indices of the `k` smallest values, in ascending value order.
+///
+/// Stable with respect to ties (lower index first). If `k >= xs.len()`,
+/// returns all indices sorted by value. O(n log n) — selection sizes in
+/// this workspace (k·l dimension picks) are tiny relative to n.
+pub fn k_smallest_indices(xs: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| total_cmp_nan_last(xs[a], xs[b]).then(a.cmp(&b)));
+    idx.truncate(k.min(xs.len()));
+    idx
+}
+
+/// Rank each value of `xs`: `ranks[i]` = number of values strictly
+/// smaller than `xs[i]`. Used by order-statistics tests of Theorem 3.1.
+pub fn ranks(xs: &[f64]) -> Vec<usize> {
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| total_cmp_nan_last(*a, *b));
+    xs.iter()
+        .map(|&x| sorted.partition_point(|&s| total_cmp_nan_last(s, x) == Ordering::Less))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmin_argmax_basics() {
+        let xs = [3.0, 1.0, 2.0, 1.0, 5.0];
+        assert_eq!(argmin(&xs), Some(1)); // first of the ties
+        assert_eq!(argmax(&xs), Some(4));
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn argmin_ignores_nan() {
+        let xs = [f64::NAN, 2.0, 1.0];
+        assert_eq!(argmin(&xs), Some(2));
+        assert_eq!(argmax(&xs), Some(1));
+    }
+
+    #[test]
+    fn kth_smallest_selects() {
+        let mut xs = vec![9.0, 1.0, 8.0, 2.0, 7.0, 3.0];
+        assert_eq!(kth_smallest(&mut xs.clone(), 0), Some(1.0));
+        assert_eq!(kth_smallest(&mut xs.clone(), 2), Some(3.0));
+        assert_eq!(kth_smallest(&mut xs.clone(), 5), Some(9.0));
+        assert_eq!(kth_smallest(&mut xs, 6), None);
+    }
+
+    #[test]
+    fn k_smallest_indices_sorted_by_value() {
+        let xs = [5.0, 0.5, 3.0, 0.5, 4.0];
+        assert_eq!(k_smallest_indices(&xs, 3), vec![1, 3, 2]);
+        // k larger than n returns everything.
+        assert_eq!(k_smallest_indices(&xs, 99).len(), 5);
+        assert_eq!(k_smallest_indices(&xs, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn ranks_count_strictly_smaller() {
+        let xs = [10.0, 20.0, 10.0, 5.0];
+        assert_eq!(ranks(&xs), vec![1, 3, 1, 0]);
+    }
+
+    #[test]
+    fn total_cmp_orders_nan_last() {
+        let mut xs = [2.0, f64::NAN, 1.0];
+        xs.sort_by(|a, b| total_cmp_nan_last(*a, *b));
+        assert_eq!(xs[0], 1.0);
+        assert_eq!(xs[1], 2.0);
+        assert!(xs[2].is_nan());
+    }
+}

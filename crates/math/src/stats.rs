@@ -1,0 +1,188 @@
+//! Simple statistics used by FindDimensions and the analysis tooling.
+//!
+//! PROCLUS standardizes the per-dimension average distances `X_{i,j}`
+//! around their mean with the *sample* standard deviation
+//! (`n − 1` denominator — the paper's formula divides by `d − 1`), so the
+//! helpers here default to sample statistics.
+
+/// Arithmetic mean of a slice. Returns `0.0` for an empty slice.
+#[inline]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (denominator `n − 1`). Returns `0.0` for slices with
+/// fewer than two elements.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation (square root of [`sample_variance`]).
+#[inline]
+pub fn sample_std(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// Population variance (denominator `n`). Returns `0.0` for an empty
+/// slice.
+pub fn population_variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Numerically stable single-pass mean/variance accumulator
+/// (Welford's algorithm).
+///
+/// Used where a second pass over the data would be wasteful, e.g. when
+/// accumulating per-dimension distances over a large locality.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one observation into the accumulator.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (`0.0` before any observation).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (`0.0` with fewer than two observations).
+    #[inline]
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[inline]
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Merge another accumulator into this one (parallel-friendly
+    /// Chan/Golub/LeVeque combination).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[4.0]), 4.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn sample_variance_matches_textbook() {
+        // var([2,4,4,4,5,5,7,9]) population = 4, sample = 32/7
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((population_variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_variances_are_zero() {
+        assert_eq!(sample_variance(&[]), 0.0);
+        assert_eq!(sample_variance(&[3.0]), 0.0);
+        assert_eq!(population_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [1.5, -2.0, 3.25, 0.0, 10.0, -7.5];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), xs.len() as u64);
+        assert!((w.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((w.sample_variance() - sample_variance(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_matches_sequential() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        let mut a = Welford::new();
+        for &x in &xs {
+            a.push(x);
+        }
+        let mut b = Welford::new();
+        for &y in &ys {
+            b.push(y);
+        }
+        a.merge(&b);
+
+        let all: Vec<f64> = xs.iter().chain(&ys).copied().collect();
+        assert_eq!(a.count(), 7);
+        assert!((a.mean() - mean(&all)).abs() < 1e-12);
+        assert!((a.sample_variance() - sample_variance(&all)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        b.push(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 5.0);
+        let empty = Welford::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! **Generalized projected clustering** — the future work named in §5
+//! of the PROCLUS paper ("clusters correlated in arbitrarily oriented
+//! subspaces"), published a year later as ORCLUS (Aggarwal & Yu,
+//! *Finding Generalized Projected Clusters in High Dimensional Spaces*,
+//! SIGMOD 2000).
+//!
+//! Where PROCLUS restricts every cluster subspace to a subset of the
+//! coordinate axes, ORCLUS lets each cluster live in an arbitrary
+//! `l`-dimensional affine subspace: the span of the `l` eigenvectors of
+//! the cluster's covariance matrix with the **smallest** eigenvalues
+//! (the directions in which the cluster is tightest). The algorithm
+//! interleaves k-means-style assignment in each cluster's current
+//! subspace with a hierarchical merge phase that shrinks the number of
+//! seeds from `k₀` down to `k` while the subspace dimensionality decays
+//! from `d` down to `l` in lockstep.
+//!
+//! # Example
+//!
+//! ```
+//! use proclus_orclus::Orclus;
+//! use proclus_data::SyntheticSpec;
+//!
+//! let data = SyntheticSpec::new(1_500, 8, 3, 3.0).seed(5).generate();
+//! let model = Orclus::new(3, 3).seed(1).fit(&data.points).unwrap();
+//! assert_eq!(model.clusters.len(), 3);
+//! assert!(model.clusters.iter().all(|c| c.basis.rows() == 3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod params;
+pub mod phases;
+
+pub use model::{OrclusCluster, OrclusModel};
+pub use params::{Orclus, OrclusError};

@@ -1,0 +1,105 @@
+//! Output types for ORCLUS.
+
+use proclus_math::linalg::projected_distance;
+use proclus_math::Matrix;
+
+/// One generalized projected cluster: a centroid plus the orthonormal
+/// basis of the (least-spread) subspace the cluster lives in.
+#[derive(Clone, Debug)]
+pub struct OrclusCluster {
+    /// Cluster centroid in full space.
+    pub centroid: Vec<f64>,
+    /// Orthonormal basis rows spanning the cluster's `l`-dimensional
+    /// subspace (directions of least spread).
+    pub basis: Matrix,
+    /// Member point indices, ascending.
+    pub members: Vec<usize>,
+    /// Mean projected distance of the members to the centroid inside
+    /// `basis` (the cluster's share of the objective).
+    pub projected_energy: f64,
+}
+
+impl OrclusCluster {
+    /// Number of member points.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the cluster holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// A fitted ORCLUS clustering.
+#[derive(Clone, Debug)]
+pub struct OrclusModel {
+    /// The `k` clusters.
+    pub clusters: Vec<OrclusCluster>,
+    /// `assignment[p]` = cluster index of point `p`.
+    pub assignment: Vec<usize>,
+    /// Size-weighted mean projected energy (lower = tighter clusters).
+    pub objective: f64,
+}
+
+impl OrclusModel {
+    /// Classify a new point: the cluster whose centroid is closest in
+    /// that cluster's own subspace.
+    pub fn classify(&self, point: &[f64]) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in self.clusters.iter().enumerate() {
+            let d = projected_distance(point, &c.centroid, &c.basis);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Assignment as `Option` labels for the `proclus-eval` tooling
+    /// (ORCLUS assigns every point; no outliers).
+    pub fn assignment_options(&self) -> Vec<Option<usize>> {
+        self.assignment.iter().map(|&a| Some(a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_uses_per_cluster_subspace() {
+        // Cluster 0 tight along y (basis = y axis), centered (0, 0);
+        // cluster 1 tight along x, centered (10, 10).
+        let model = OrclusModel {
+            clusters: vec![
+                OrclusCluster {
+                    centroid: vec![0.0, 0.0],
+                    basis: Matrix::from_rows(&[[0.0, 1.0]], 2),
+                    members: vec![0],
+                    projected_energy: 0.0,
+                },
+                OrclusCluster {
+                    centroid: vec![10.0, 10.0],
+                    basis: Matrix::from_rows(&[[1.0, 0.0]], 2),
+                    members: vec![1],
+                    projected_energy: 0.0,
+                },
+            ],
+            assignment: vec![0, 1],
+            objective: 0.0,
+        };
+        // Point (99, 0.1): almost on cluster 0's subspace origin plane
+        // (y offset 0.1) but x offset 89 from cluster 1.
+        assert_eq!(model.classify(&[99.0, 0.1]), 0);
+        // Point (10.2, -50): x offset 0.2 from cluster 1's centroid in
+        // its subspace.
+        assert_eq!(model.classify(&[10.2, -50.0]), 1);
+        assert_eq!(
+            model.assignment_options(),
+            vec![Some(0), Some(1)]
+        );
+    }
+}

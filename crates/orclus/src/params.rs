@@ -1,0 +1,164 @@
+//! Parameters and errors for ORCLUS.
+
+use crate::model::OrclusModel;
+use proclus_math::Matrix;
+use std::error::Error;
+use std::fmt;
+
+/// Reasons an [`Orclus::fit`] call can fail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OrclusError {
+    /// The parameter combination is unusable.
+    InvalidParameters(String),
+    /// Fewer points than initial seeds.
+    TooFewPoints {
+        /// Seeds requested at initialization (`k₀`).
+        needed: usize,
+        /// Points available.
+        got: usize,
+    },
+}
+
+impl fmt::Display for OrclusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrclusError::InvalidParameters(m) => {
+                write!(f, "invalid ORCLUS parameters: {m}")
+            }
+            OrclusError::TooFewPoints { needed, got } => {
+                write!(f, "need at least {needed} points, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for OrclusError {}
+
+/// Configuration for an ORCLUS run.
+#[derive(Clone, Debug)]
+pub struct Orclus {
+    /// Target number of clusters.
+    pub k: usize,
+    /// Target subspace dimensionality per cluster (`1 ..= d`).
+    pub l: usize,
+    /// Initial seed count `k₀` (default `max(5·k, k+1)`); more seeds
+    /// explore more of the space at higher cost.
+    pub initial_seeds: Option<usize>,
+    /// Cluster-count decay per merge phase (`0 < α < 1`, default 0.5):
+    /// each phase keeps `max(k, ⌈α·k_c⌉)` clusters.
+    pub alpha: f64,
+    /// PRNG seed.
+    pub rng_seed: u64,
+}
+
+impl Orclus {
+    /// Default configuration for `k` clusters in `l`-dimensional
+    /// subspaces.
+    pub fn new(k: usize, l: usize) -> Self {
+        Self {
+            k,
+            l,
+            initial_seeds: None,
+            alpha: 0.5,
+            rng_seed: 0,
+        }
+    }
+
+    /// Set the PRNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Override the initial seed count `k₀`.
+    pub fn initial_seeds(mut self, k0: usize) -> Self {
+        self.initial_seeds = Some(k0);
+        self
+    }
+
+    /// Set the cluster-count decay factor.
+    pub fn alpha(mut self, a: f64) -> Self {
+        self.alpha = a;
+        self
+    }
+
+    /// The effective `k₀` for a dataset of `n` points.
+    pub fn k0(&self, n: usize) -> usize {
+        self.initial_seeds
+            .unwrap_or((5 * self.k).max(self.k + 1))
+            .min(n)
+    }
+
+    /// Validate against a dataset shape.
+    pub fn validate(&self, n: usize, d: usize) -> Result<(), OrclusError> {
+        if self.k == 0 {
+            return Err(OrclusError::InvalidParameters("k must be positive".into()));
+        }
+        if self.l == 0 || self.l > d {
+            return Err(OrclusError::InvalidParameters(format!(
+                "l must be in 1..={d}, got {}",
+                self.l
+            )));
+        }
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(OrclusError::InvalidParameters(format!(
+                "alpha must be in (0, 1), got {}",
+                self.alpha
+            )));
+        }
+        let k0 = self.k0(n);
+        if k0 < self.k {
+            return Err(OrclusError::InvalidParameters(format!(
+                "initial seeds {k0} below target k {}",
+                self.k
+            )));
+        }
+        if n < self.k {
+            return Err(OrclusError::TooFewPoints {
+                needed: self.k,
+                got: n,
+            });
+        }
+        Ok(())
+    }
+
+    /// Run ORCLUS on `points`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is invalid for the shape
+    /// of `points`.
+    pub fn fit(&self, points: &Matrix) -> Result<OrclusModel, OrclusError> {
+        crate::phases::run(self, points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_k0() {
+        let p = Orclus::new(3, 2);
+        assert_eq!(p.alpha, 0.5);
+        assert_eq!(p.k0(1000), 15);
+        assert_eq!(p.k0(10), 10); // capped by n
+        assert_eq!(Orclus::new(3, 2).initial_seeds(40).k0(1000), 40);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Orclus::new(0, 2).validate(10, 5).is_err());
+        assert!(Orclus::new(2, 0).validate(10, 5).is_err());
+        assert!(Orclus::new(2, 6).validate(10, 5).is_err());
+        assert!(Orclus::new(2, 2).alpha(1.0).validate(10, 5).is_err());
+        assert!(Orclus::new(20, 2).validate(10, 5).is_err());
+        assert!(Orclus::new(2, 2).validate(10, 5).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = OrclusError::TooFewPoints { needed: 5, got: 2 };
+        assert!(e.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,356 @@
+//! The ORCLUS driver: assign → recompute subspaces → merge, with the
+//! cluster count and subspace dimensionality decaying in lockstep.
+
+use crate::model::{OrclusCluster, OrclusModel};
+use crate::params::{Orclus, OrclusError};
+use proclus_math::linalg::{covariance_of, jacobi_eigen, projected_distance};
+use proclus_math::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+/// A working cluster during the phases.
+#[derive(Clone, Debug)]
+struct Working {
+    centroid: Vec<f64>,
+    basis: Matrix,
+    members: Vec<usize>,
+}
+
+/// Execute ORCLUS.
+pub fn run(params: &Orclus, points: &Matrix) -> Result<OrclusModel, OrclusError> {
+    let n = points.rows();
+    let d = points.cols();
+    params.validate(n, d)?;
+    let mut rng = StdRng::seed_from_u64(params.rng_seed);
+
+    let k0 = params.k0(n);
+    let k = params.k;
+    let l = params.l;
+
+    // Number of merge phases needed to go from k0 to k clusters, and
+    // the per-phase dimensionality decay that reaches l at the same
+    // time.
+    let phases = if k0 == k {
+        1
+    } else {
+        ((k as f64 / k0 as f64).ln() / params.alpha.ln()).ceil() as usize
+    };
+    let dim_factor = (l as f64 / d as f64).powf(1.0 / phases as f64);
+
+    // Initial seeds: random distinct points; initial subspace = full
+    // space (identity basis).
+    let seed_idx: Vec<usize> = sample(&mut rng, n, k0).into_iter().collect();
+    let identity = {
+        let mut m = Matrix::zeros(d, d);
+        for i in 0..d {
+            m.set(i, i, 1.0);
+        }
+        m
+    };
+    let mut clusters: Vec<Working> = seed_idx
+        .iter()
+        .map(|&s| Working {
+            centroid: points.row(s).to_vec(),
+            basis: identity.clone(),
+            members: Vec::new(),
+        })
+        .collect();
+
+    let mut lc = d;
+    loop {
+        // --- Assign ---------------------------------------------------
+        assign(points, &mut clusters);
+        // --- Recompute centroids and subspaces -------------------------
+        for c in clusters.iter_mut() {
+            if !c.members.is_empty() {
+                c.centroid = points.centroid_of(&c.members);
+            }
+            c.basis = subspace_of(points, &c.members, lc, d);
+        }
+        if clusters.len() <= k && lc <= l {
+            break;
+        }
+        // --- Decay targets for this phase ------------------------------
+        // Both targets must make strict progress toward (k, l), or the
+        // loop could spin: cluster count via ceil (strictly below
+        // clusters.len() for alpha < 1 unless already at k), dimension
+        // via floor clamped to [l, lc - 1].
+        let k_new = ((params.alpha * clusters.len() as f64).ceil() as usize)
+            .clamp(k, clusters.len().saturating_sub(1).max(k));
+        let l_new = if lc > l {
+            ((lc as f64 * dim_factor).floor() as usize).clamp(l, lc - 1)
+        } else {
+            l
+        };
+        // --- Merge down to k_new at dimensionality l_new ---------------
+        merge(points, &mut clusters, k_new, l_new);
+        lc = l_new;
+    }
+
+    // --- Final model ----------------------------------------------------
+    assign(points, &mut clusters);
+    let mut assignment = vec![0usize; n];
+    for (i, c) in clusters.iter().enumerate() {
+        for &p in &c.members {
+            assignment[p] = i;
+        }
+    }
+    let mut out = Vec::with_capacity(clusters.len());
+    let mut objective = 0.0;
+    for c in clusters {
+        let centroid = if c.members.is_empty() {
+            c.centroid.clone()
+        } else {
+            points.centroid_of(&c.members)
+        };
+        let basis = subspace_of(points, &c.members, l, d);
+        let energy = energy(points, &c.members, &centroid, &basis);
+        objective += c.members.len() as f64 * energy;
+        out.push(OrclusCluster {
+            centroid,
+            basis,
+            members: c.members,
+            projected_energy: energy,
+        });
+    }
+    objective /= n as f64;
+    Ok(OrclusModel {
+        clusters: out,
+        assignment,
+        objective,
+    })
+}
+
+/// Assign every point to the cluster whose centroid is closest in that
+/// cluster's own subspace. Clears and refills the member lists.
+fn assign(points: &Matrix, clusters: &mut [Working]) {
+    for c in clusters.iter_mut() {
+        c.members.clear();
+    }
+    for p in 0..points.rows() {
+        let row = points.row(p);
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in clusters.iter().enumerate() {
+            let dist = projected_distance(row, &c.centroid, &c.basis);
+            if dist < best_d {
+                best_d = dist;
+                best = i;
+            }
+        }
+        clusters[best].members.push(p);
+    }
+}
+
+/// The `lc` least-spread directions of a member set; identity prefix
+/// for degenerate sets (fewer than 2 members).
+fn subspace_of(points: &Matrix, members: &[usize], lc: usize, d: usize) -> Matrix {
+    if members.len() < 2 {
+        let mut m = Matrix::zeros(lc.min(d), d);
+        for i in 0..lc.min(d) {
+            m.set(i, i, 1.0);
+        }
+        return m;
+    }
+    let cov = covariance_of(points, members);
+    jacobi_eigen(&cov).smallest_subspace(lc)
+}
+
+/// Mean projected distance of `members` to `centroid` inside `basis`.
+fn energy(points: &Matrix, members: &[usize], centroid: &[f64], basis: &Matrix) -> f64 {
+    if members.is_empty() {
+        return 0.0;
+    }
+    members
+        .iter()
+        .map(|&p| projected_distance(points.row(p), centroid, basis))
+        .sum::<f64>()
+        / members.len() as f64
+}
+
+/// Greedy hierarchical merging: repeatedly merge the pair whose union
+/// has the least projected energy in its own `l_new`-dimensional
+/// subspace, until `target` clusters remain.
+fn merge(points: &Matrix, clusters: &mut Vec<Working>, target: usize, l_new: usize) {
+    let d = points.cols();
+    while clusters.len() > target {
+        let mut best: Option<(usize, usize, f64, Working)> = None;
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let mut union: Vec<usize> = clusters[i]
+                    .members
+                    .iter()
+                    .chain(&clusters[j].members)
+                    .copied()
+                    .collect();
+                union.sort_unstable();
+                let centroid = if union.is_empty() {
+                    clusters[i].centroid.clone()
+                } else {
+                    points.centroid_of(&union)
+                };
+                let basis = subspace_of(points, &union, l_new, d);
+                let e = energy(points, &union, &centroid, &basis);
+                if best.as_ref().is_none_or(|(_, _, be, _)| e < *be) {
+                    best = Some((
+                        i,
+                        j,
+                        e,
+                        Working {
+                            centroid,
+                            basis,
+                            members: union,
+                        },
+                    ));
+                }
+            }
+        }
+        let (i, j, _, merged) = best.expect("at least two clusters");
+        // Remove j first (j > i) to keep i valid.
+        clusters.swap_remove(j);
+        clusters[i] = merged;
+    }
+    // Bring every surviving cluster to the new dimensionality.
+    for c in clusters.iter_mut() {
+        if c.basis.rows() != l_new {
+            c.basis = subspace_of(points, &c.members, l_new, d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Orclus;
+    use proclus_data::SyntheticSpec;
+    use proclus_math::distributions::normal;
+    use rand::Rng;
+
+    /// Two "oriented" clusters: thin Gaussian pancakes tilted 45° in
+    /// different planes — axis-parallel methods cannot describe them,
+    /// ORCLUS should separate them cleanly.
+    fn tilted_pancakes(n_per: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows: Vec<[f64; 3]> = Vec::new();
+        let mut truth = Vec::new();
+        for _ in 0..n_per {
+            // Cluster 0: spread in (1,1,0)/sqrt2 and (0,0,1); tight in
+            // (1,-1,0)/sqrt2. Centered at origin.
+            let u: f64 = rng.random_range(-20.0..20.0);
+            let v: f64 = rng.random_range(-20.0..20.0);
+            let w = normal(&mut rng, 0.0, 0.3);
+            let s = (0.5f64).sqrt();
+            rows.push([u * s + w * s, u * s - w * s, v]);
+            truth.push(0);
+        }
+        for _ in 0..n_per {
+            // Cluster 1: spread in (1,0,1)/sqrt2 and (0,1,0); tight in
+            // (1,0,-1)/sqrt2. Centered at (60, 60, 60).
+            let u: f64 = rng.random_range(-20.0..20.0);
+            let v: f64 = rng.random_range(-20.0..20.0);
+            let w = normal(&mut rng, 0.0, 0.3);
+            let s = (0.5f64).sqrt();
+            rows.push([60.0 + u * s + w * s, 60.0 + v, 60.0 + u * s - w * s]);
+            truth.push(1);
+        }
+        (Matrix::from_rows(&rows, 3), truth)
+    }
+
+    #[test]
+    fn separates_tilted_pancakes() {
+        let (points, truth) = tilted_pancakes(150, 3);
+        let model = Orclus::new(2, 1).seed(7).fit(&points).unwrap();
+        // Majority label per cluster must be distinct and dominant.
+        let mut purity = 0usize;
+        for c in &model.clusters {
+            let ones = c.members.iter().filter(|&&p| truth[p] == 1).count();
+            purity += ones.max(c.members.len() - ones);
+        }
+        let rate = purity as f64 / truth.len() as f64;
+        assert!(rate > 0.95, "purity {rate}");
+    }
+
+    #[test]
+    fn recovers_tilted_tight_direction() {
+        let (points, truth) = tilted_pancakes(200, 5);
+        let model = Orclus::new(2, 1).seed(2).fit(&points).unwrap();
+        // Find the cluster dominated by truth label 0; its basis row
+        // should align with (1,-1,0)/sqrt2 (up to sign).
+        let c0 = model
+            .clusters
+            .iter()
+            .max_by_key(|c| c.members.iter().filter(|&&p| truth[p] == 0).count())
+            .unwrap();
+        let b = c0.basis.row(0);
+        let s = (0.5f64).sqrt();
+        let dot = (b[0] * s - b[1] * s).abs();
+        assert!(
+            dot > 0.95,
+            "tight direction {b:?} not aligned with (1,-1,0)/sqrt2 (|dot| = {dot})"
+        );
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let data = SyntheticSpec::new(600, 6, 2, 3.0).seed(4).generate();
+        let a = Orclus::new(2, 3).seed(9).fit(&data.points).unwrap();
+        let b = Orclus::new(2, 3).seed(9).fit(&data.points).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.objective, b.objective);
+    }
+
+    #[test]
+    fn fit_partitions_all_points() {
+        let data = SyntheticSpec::new(500, 5, 3, 2.0).seed(8).generate();
+        let model = Orclus::new(3, 2).seed(1).fit(&data.points).unwrap();
+        assert_eq!(model.assignment.len(), 500);
+        let total: usize = model.clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 500);
+        for (i, c) in model.clusters.iter().enumerate() {
+            for &p in &c.members {
+                assert_eq!(model.assignment[p], i);
+            }
+            assert_eq!(c.basis.rows(), 2);
+            assert_eq!(c.basis.cols(), 5);
+        }
+        assert!(model.objective >= 0.0);
+    }
+
+    #[test]
+    fn axis_parallel_data_also_works() {
+        // ORCLUS generalizes PROCLUS: axis-parallel projected clusters
+        // are a special case it should handle.
+        let data = SyntheticSpec::new(1_200, 8, 3, 3.0)
+            .fixed_dims(vec![3, 3, 3])
+            .seed(11)
+            .outlier_fraction(0.0)
+            .generate();
+        let model = Orclus::new(3, 3).seed(5).fit(&data.points).unwrap();
+        let mut dominated = 0;
+        for c in &model.clusters {
+            let mut counts = [0usize; 3];
+            for &p in &c.members {
+                if let Some(t) = data.labels[p].cluster() {
+                    counts[t] += 1;
+                }
+            }
+            let max = counts.iter().max().copied().unwrap_or(0);
+            if !c.is_empty() && max as f64 > 0.8 * c.len() as f64 {
+                dominated += 1;
+            }
+        }
+        assert!(dominated >= 2, "only {dominated} pure clusters");
+    }
+
+    #[test]
+    fn k0_equal_k_skips_merging() {
+        let data = SyntheticSpec::new(300, 5, 2, 2.0).seed(2).generate();
+        let model = Orclus::new(2, 2)
+            .initial_seeds(2)
+            .seed(3)
+            .fit(&data.points)
+            .unwrap();
+        assert_eq!(model.clusters.len(), 2);
+    }
+}

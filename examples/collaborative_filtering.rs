@@ -1,0 +1,125 @@
+//! Collaborative filtering — the application the paper calls out in
+//! §1.2: "customers need to be partitioned into groups with similar
+//! interests for target marketing ... a large number of dimensions
+//! (for different products or product categories)".
+//!
+//! We simulate preference vectors over 24 product categories. Each
+//! customer segment has strong, consistent opinions on its own handful
+//! of categories and is indifferent (noisy) elsewhere — precisely a
+//! projected clustering problem: the *relevant categories differ per
+//! segment*, so no global feature selection works.
+//!
+//! ```sh
+//! cargo run --release --example collaborative_filtering
+//! ```
+
+use proclus::prelude::*;
+use proclus_math::distributions::normal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CATEGORIES: [&str; 24] = [
+    "sci-fi", "romance", "thriller", "biography", "cooking", "travel",
+    "jazz", "rock", "classical", "hip-hop", "podcasts", "audiobooks",
+    "action", "comedy", "drama", "documentary", "anime", "horror",
+    "gardening", "fitness", "gaming", "photography", "diy", "finance",
+];
+
+/// A synthetic customer segment: which categories it cares about and
+/// its mean preference (0–10 scale) on each.
+struct Segment {
+    name: &'static str,
+    categories: &'static [usize],
+    means: &'static [f64],
+    size: usize,
+}
+
+fn main() {
+    let segments = [
+        Segment {
+            name: "bookworms",
+            categories: &[0, 1, 2, 3],
+            means: &[9.0, 2.0, 7.5, 8.0],
+            size: 1200,
+        },
+        Segment {
+            name: "audiophiles",
+            categories: &[6, 7, 8, 10],
+            means: &[8.5, 9.0, 3.0, 7.0],
+            size: 900,
+        },
+        Segment {
+            name: "film buffs",
+            categories: &[12, 13, 14, 15, 16],
+            means: &[7.0, 8.0, 9.0, 8.5, 6.0],
+            size: 1100,
+        },
+        Segment {
+            name: "makers",
+            categories: &[18, 21, 22],
+            means: &[8.0, 7.5, 9.5],
+            size: 800,
+        },
+    ];
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut truth: Vec<Option<usize>> = Vec::new();
+    for (si, seg) in segments.iter().enumerate() {
+        for _ in 0..seg.size {
+            // Indifferent on most categories: uniform noise 0..10.
+            let mut prefs: Vec<f64> =
+                (0..CATEGORIES.len()).map(|_| rng.random_range(0.0..10.0)).collect();
+            // Sharp opinions on the segment's own categories.
+            for (&cat, &mean) in seg.categories.iter().zip(seg.means) {
+                prefs[cat] = normal(&mut rng, mean, 0.6).clamp(0.0, 10.0);
+            }
+            rows.push(prefs);
+            truth.push(Some(si));
+        }
+    }
+    // A few hundred erratic customers with no stable taste.
+    for _ in 0..200 {
+        rows.push((0..CATEGORIES.len()).map(|_| rng.random_range(0.0..10.0)).collect());
+        truth.push(None);
+    }
+    let points = Matrix::from_rows(&rows, CATEGORIES.len());
+    println!(
+        "{} customers x {} categories; 4 planted segments + 200 erratic",
+        points.rows(),
+        points.cols()
+    );
+
+    // Average relevant categories per segment is 4.
+    let model = Proclus::new(4, 4.0)
+        .seed(5)
+        .fit(&points)
+        .expect("valid parameters");
+
+    println!("\nplanted segments:");
+    for seg in &segments {
+        let names: Vec<&str> = seg.categories.iter().map(|&j| CATEGORIES[j]).collect();
+        println!("  {:<12} {:>4} customers | {names:?}", seg.name, seg.size);
+    }
+
+    println!("\ndiscovered segments:");
+    for (i, c) in model.clusters().iter().enumerate() {
+        let names: Vec<&str> = c.dimensions.iter().map(|&j| CATEGORIES[j]).collect();
+        // Average preference of the segment on its discovered categories.
+        let profile: Vec<String> = c
+            .dimensions
+            .iter()
+            .map(|&j| format!("{}={:.1}", CATEGORIES[j], c.centroid[j]))
+            .collect();
+        println!(
+            "  segment {i}: {} customers | taste dimensions: {names:?}",
+            c.len()
+        );
+        println!("             centroid preferences: {}", profile.join(", "));
+    }
+    println!("  erratic customers flagged: {}", model.outliers().len());
+
+    let cm = ConfusionMatrix::build(model.assignment(), 4, &truth, 4);
+    println!("\nsegment recovery: matched accuracy = {:.3}, purity = {:.3}",
+        cm.matched_accuracy(), cm.purity());
+}

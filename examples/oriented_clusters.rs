@@ -1,0 +1,86 @@
+//! Generalized projected clustering (the paper's §5 future work,
+//! published as ORCLUS): clusters that are tight along *arbitrary*
+//! directions, not coordinate axes.
+//!
+//! We generate two Gaussian "pancakes" tilted 45° in different planes.
+//! PROCLUS — restricted to axis-parallel subspaces — cannot describe
+//! their tight directions; ORCLUS recovers both the partition and the
+//! oriented subspace of each cluster.
+//!
+//! ```sh
+//! cargo run --release --example oriented_clusters
+//! ```
+
+use proclus::math::distributions::normal;
+use proclus::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let s = (0.5f64).sqrt();
+    let mut rows: Vec<[f64; 3]> = Vec::new();
+    let mut truth: Vec<usize> = Vec::new();
+    // Cluster 0: spread in (1,1,0)/√2 and z; tight along (1,−1,0)/√2.
+    for _ in 0..400 {
+        let u: f64 = rng.random_range(-25.0..25.0);
+        let v: f64 = rng.random_range(-25.0..25.0);
+        let w = normal(&mut rng, 0.0, 0.25);
+        rows.push([u * s + w * s, u * s - w * s, v]);
+        truth.push(0);
+    }
+    // Cluster 1: spread in (1,0,1)/√2 and y; tight along (1,0,−1)/√2,
+    // centered at (70, 70, 70).
+    for _ in 0..400 {
+        let u: f64 = rng.random_range(-25.0..25.0);
+        let v: f64 = rng.random_range(-25.0..25.0);
+        let w = normal(&mut rng, 0.0, 0.25);
+        rows.push([70.0 + u * s + w * s, 70.0 + v, 70.0 + u * s - w * s]);
+        truth.push(1);
+    }
+    let points = Matrix::from_rows(&rows, 3);
+    println!("800 points: two 45°-tilted pancakes in 3-d\n");
+
+    // ORCLUS: 2 clusters, 1 tight direction each.
+    let model = Orclus::new(2, 1).seed(3).fit(&points).expect("valid");
+    for (i, c) in model.clusters.iter().enumerate() {
+        let b = c.basis.row(0);
+        println!(
+            "ORCLUS cluster {i}: {} points, tight direction \
+             ({:+.3}, {:+.3}, {:+.3}), projected energy {:.3}",
+            c.len(),
+            b[0],
+            b[1],
+            b[2],
+            c.projected_energy
+        );
+    }
+    let purity: usize = model
+        .clusters
+        .iter()
+        .map(|c| {
+            let ones = c.members.iter().filter(|&&p| truth[p] == 1).count();
+            ones.max(c.len() - ones)
+        })
+        .sum();
+    println!("ORCLUS purity: {:.3}", purity as f64 / 800.0);
+
+    // PROCLUS on the same data: axis-parallel dimension sets cannot
+    // express the tilted tight directions, so the per-cluster spread it
+    // reports is much larger.
+    let pmodel = Proclus::new(2, 2.0).seed(3).fit(&points).expect("valid");
+    println!(
+        "\nPROCLUS (axis-parallel) on the same data: objective {:.3}; \
+         dimension sets {:?} — no axis pair captures a 45° pancake",
+        pmodel.objective(),
+        pmodel
+            .clusters()
+            .iter()
+            .map(|c| c.dimensions.clone())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "ORCLUS size-weighted projected energy: {:.3} (much tighter)",
+        model.objective
+    );
+}

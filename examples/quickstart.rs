@@ -1,0 +1,53 @@
+//! Quickstart: generate a small projected-cluster dataset, fit PROCLUS,
+//! and inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use proclus::prelude::*;
+
+fn main() {
+    // 5000 points in 16 dimensions: 4 clusters, each correlated on (on
+    // average) 4 dimensions, 5% outliers sprinkled uniformly.
+    let data = SyntheticSpec::new(5_000, 16, 4, 4.0).seed(2024).generate();
+    println!(
+        "dataset: {} points x {} dims, {} ground-truth outliers",
+        data.len(),
+        data.points.cols(),
+        data.outlier_count()
+    );
+
+    // k = 4 clusters, l = 4 average dimensions per cluster.
+    let model = Proclus::new(4, 4.0)
+        .seed(7)
+        .fit(&data.points)
+        .expect("parameters are valid for this dataset");
+
+    println!("\nfitted in {} hill-climbing rounds; objective = {:.4}",
+        model.rounds(), model.objective());
+    for (i, cluster) in model.clusters().iter().enumerate() {
+        println!(
+            "cluster {i}: {} points, dimensions {:?}, medoid #{}",
+            cluster.len(),
+            cluster.dimensions,
+            cluster.medoid_index
+        );
+    }
+    println!("outliers: {}", model.outliers().len());
+
+    // The model classifies unseen points too: inside some medoid's
+    // sphere of influence -> that cluster, otherwise outlier.
+    let probe = data.points.row(0).to_vec();
+    match model.classify(&probe) {
+        Some(c) => println!("\nfirst point classifies into cluster {c}"),
+        None => println!("\nfirst point classifies as an outlier"),
+    }
+
+    // Compare against the generator's ground truth.
+    let truth: Vec<Option<usize>> = data.labels.iter().map(|l| l.cluster()).collect();
+    let cm = ConfusionMatrix::build(model.assignment(), 4, &truth, 4);
+    println!("\nconfusion matrix (rows = found, cols = generated):");
+    print!("{cm}");
+    println!("matched accuracy: {:.3}", cm.matched_accuracy());
+}

@@ -1,0 +1,56 @@
+//! # proclus — projected clustering in Rust
+//!
+//! A faithful, from-scratch reproduction of *Fast Algorithms for
+//! Projected Clustering* (Aggarwal, Procopiuc, Wolf, Yu, Park —
+//! SIGMOD 1999): the **PROCLUS** algorithm, the **CLIQUE** baseline it
+//! is evaluated against, the paper's synthetic data generator, the
+//! full-dimensional baselines it motivates against, the evaluation
+//! machinery (confusion matrices, overlap, dimension accuracy) used in
+//! the paper's experiments, and the paper's stated future work —
+//! generalized projected clustering with arbitrarily **oriented**
+//! subspaces ([`orclus`], published as ORCLUS at SIGMOD 2000).
+//!
+//! A command-line interface lives in the `proclus-cli` crate
+//! (`cargo run -p proclus-cli --bin proclus -- help`), and the
+//! `proclus-bench` crate regenerates every table and figure of the
+//! paper's evaluation (see `EXPERIMENTS.md`).
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! roof and provides a [`prelude`].
+//!
+//! ```
+//! use proclus::prelude::*;
+//!
+//! // A small projected-cluster dataset: 2000 points, 12 dims, 4
+//! // clusters averaging 4 correlated dimensions each, 5% outliers.
+//! let data = SyntheticSpec::new(2_000, 12, 4, 4.0).seed(42).generate();
+//!
+//! // Cluster it: k = 4 clusters, l = 4 average dimensions.
+//! let model = Proclus::new(4, 4.0).seed(7).fit(&data.points).unwrap();
+//!
+//! assert_eq!(model.clusters().len(), 4);
+//! for cluster in model.clusters() {
+//!     assert!(cluster.dimensions.len() >= 2);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use proclus_baselines as baselines;
+pub use proclus_clique as clique;
+pub use proclus_core as core;
+pub use proclus_data as data;
+pub use proclus_eval as eval;
+pub use proclus_math as math;
+pub use proclus_orclus as orclus;
+
+/// The most commonly used items from every workspace crate.
+pub mod prelude {
+    pub use proclus_clique::{Clique, CliqueModel};
+    pub use proclus_core::{Proclus, ProclusModel, ProjectedCluster};
+    pub use proclus_data::{GeneratedDataset, Label, SyntheticSpec};
+    pub use proclus_eval::ConfusionMatrix;
+    pub use proclus_math::{DistanceKind, Matrix};
+    pub use proclus_orclus::{Orclus, OrclusModel};
+}

@@ -1,0 +1,131 @@
+//! Cross-algorithm integration tests reproducing the qualitative §4.2
+//! comparison: CLIQUE reports overlapping dense regions (overlap > 1
+//! once projections are included), while PROCLUS returns a genuine
+//! partition; and CLIQUE's implicit outlier rate on Gaussian clusters
+//! is large.
+
+use proclus::prelude::*;
+use proclus::eval::average_overlap;
+
+fn projected_dataset(n: usize, seed: u64) -> GeneratedDataset {
+    SyntheticSpec::new(n, 12, 3, 4.0)
+        .fixed_dims(vec![4, 4, 4])
+        .seed(seed)
+        .generate()
+}
+
+#[test]
+fn clique_projections_overlap() {
+    let data = projected_dataset(6_000, 3);
+    let model = Clique::new(10, 0.01)
+        .max_subspace_dim(Some(4))
+        .fit(&data.points);
+    // All levels together: a 4-dim dense region reports all its lower
+    // projections too, so overlap across the whole output is > 1.
+    let memberships: Vec<Vec<usize>> = model
+        .clusters()
+        .iter()
+        .map(|c| c.members.clone())
+        .collect();
+    let overlap = average_overlap(&memberships, data.len());
+    assert!(
+        overlap > 1.5,
+        "expected heavy overlap across subspace levels, got {overlap:.2}"
+    );
+}
+
+#[test]
+fn proclus_output_is_partition_overlap_one() {
+    let data = projected_dataset(6_000, 3);
+    let model = Proclus::new(3, 4.0)
+        .seed(4)
+        .fit(&data.points)
+        .expect("valid parameters");
+    let memberships: Vec<Vec<usize>> = model
+        .clusters()
+        .iter()
+        .map(|c| c.members.clone())
+        .collect();
+    let overlap = average_overlap(&memberships, data.len());
+    assert!(
+        (overlap - 1.0).abs() < 1e-9,
+        "a partition must have overlap exactly 1, got {overlap}"
+    );
+}
+
+#[test]
+fn clique_drops_many_gaussian_cluster_points() {
+    // The paper: "on the average half of the cluster points are
+    // considered outliers by CLIQUE ... lower-density areas in a cluster
+    // cause some of its points to be thrown away". With a moderately
+    // high threshold, coverage of the top-dimensionality clusters is
+    // well below 100%.
+    let data = projected_dataset(6_000, 9);
+    let model = Clique::new(10, 0.02)
+        .max_subspace_dim(Some(4))
+        .fit(&data.points);
+    let max_dim = model
+        .clusters()
+        .iter()
+        .map(|c| c.dims.len())
+        .max()
+        .unwrap_or(0);
+    let top = model.restrict_to_dimensionality(max_dim);
+    let cluster_points: Vec<usize> = (0..data.len())
+        .filter(|&p| !data.labels[p].is_outlier())
+        .collect();
+    let memberships: Vec<Vec<usize>> = top
+        .clusters()
+        .iter()
+        .map(|c| c.members.clone())
+        .collect();
+    let cov = proclus::eval::coverage(&memberships, data.len(), Some(&cluster_points));
+    assert!(
+        cov < 0.95,
+        "expected CLIQUE to drop a noticeable share of cluster points, \
+         coverage = {cov:.3}"
+    );
+    assert!(cov > 0.05, "CLIQUE found almost nothing, coverage = {cov:.3}");
+}
+
+#[test]
+fn proclus_beats_clique_as_a_partitioner() {
+    // Compare ARI of PROCLUS's partition vs the best reading of
+    // CLIQUE's output as a partition (assign each point to the largest
+    // top-level cluster containing it).
+    let data = projected_dataset(6_000, 11);
+    let truth: Vec<Option<usize>> = data.labels.iter().map(|l| l.cluster()).collect();
+
+    let pmodel = Proclus::new(3, 4.0)
+        .seed(8)
+        .fit(&data.points)
+        .expect("valid parameters");
+    let p_ari = proclus::eval::adjusted_rand_index(pmodel.assignment(), &truth);
+
+    let cmodel = Clique::new(10, 0.01)
+        .max_subspace_dim(Some(4))
+        .fit(&data.points);
+    let max_dim = cmodel
+        .clusters()
+        .iter()
+        .map(|c| c.dims.len())
+        .max()
+        .unwrap_or(0);
+    let top = cmodel.restrict_to_dimensionality(max_dim);
+    let mut c_assign: Vec<Option<usize>> = vec![None; data.len()];
+    // Later (larger) clusters win ties; order is deterministic.
+    let mut order: Vec<usize> = (0..top.clusters().len()).collect();
+    order.sort_by_key(|&i| top.clusters()[i].members.len());
+    for &i in &order {
+        for &p in &top.clusters()[i].members {
+            c_assign[p] = Some(i);
+        }
+    }
+    let c_ari = proclus::eval::adjusted_rand_index(&c_assign, &truth);
+
+    assert!(
+        p_ari > c_ari,
+        "PROCLUS ARI {p_ari:.3} should beat CLIQUE-as-partition {c_ari:.3}"
+    );
+    assert!(p_ari > 0.8, "PROCLUS ARI {p_ari:.3} unexpectedly low");
+}

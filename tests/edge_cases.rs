@@ -1,0 +1,141 @@
+//! Degenerate-input integration tests: duplicated points, constant
+//! dimensions, tiny datasets, extreme parameters. The library must
+//! never panic on a *valid* configuration, however pathological the
+//! data.
+
+use proclus::prelude::*;
+
+#[test]
+fn all_identical_points() {
+    // Every point equal: distances all zero, sigma all zero.
+    let rows = vec![[5.0, 5.0, 5.0, 5.0]; 100];
+    let points = Matrix::from_rows(&rows, 4);
+    let model = Proclus::new(2, 2.0).seed(1).fit(&points).unwrap();
+    let covered: usize =
+        model.clusters().iter().map(|c| c.len()).sum::<usize>() + model.outliers().len();
+    assert_eq!(covered, 100);
+    assert_eq!(model.objective(), 0.0);
+}
+
+#[test]
+fn constant_dimension_does_not_break_anything() {
+    // Dimension 2 is constant everywhere: zero spread on every locality
+    // — the most attractive dimension for every medoid.
+    let rows: Vec<[f64; 4]> = (0..200)
+        .map(|i| {
+            [
+                (i % 50) as f64,
+                ((i * 7) % 90) as f64,
+                42.0,
+                ((i * 13) % 70) as f64,
+            ]
+        })
+        .collect();
+    let points = Matrix::from_rows(&rows, 4);
+    let model = Proclus::new(2, 2.0).seed(3).fit(&points).unwrap();
+    assert_eq!(model.clusters().len(), 2);
+    // The constant dimension is legitimately chosen (it is maximally
+    // tight); nothing should crash or produce NaN.
+    assert!(model.objective().is_finite());
+}
+
+#[test]
+fn k_equals_n() {
+    let rows: Vec<[f64; 2]> = (0..6).map(|i| [i as f64 * 10.0, 0.0]).collect();
+    let points = Matrix::from_rows(&rows, 2);
+    let model = Proclus::new(6, 2.0).seed(1).fit(&points).unwrap();
+    assert_eq!(model.clusters().len(), 6);
+    let covered: usize =
+        model.clusters().iter().map(|c| c.len()).sum::<usize>() + model.outliers().len();
+    assert_eq!(covered, 6);
+}
+
+#[test]
+fn two_points_two_clusters() {
+    let points = Matrix::from_rows(&[[0.0, 0.0], [10.0, 10.0]], 2);
+    let model = Proclus::new(2, 2.0).seed(1).fit(&points).unwrap();
+    assert_eq!(model.clusters().len(), 2);
+}
+
+#[test]
+fn duplicated_points_stay_together() {
+    // 50 copies of two distinct points.
+    let mut rows: Vec<[f64; 3]> = Vec::new();
+    for _ in 0..50 {
+        rows.push([0.0, 0.0, 0.0]);
+        rows.push([100.0, 100.0, 100.0]);
+    }
+    let points = Matrix::from_rows(&rows, 3);
+    let model = Proclus::new(2, 2.0).seed(5).fit(&points).unwrap();
+    // Each cluster must be homogeneous.
+    for c in model.clusters() {
+        if c.is_empty() {
+            continue;
+        }
+        let first = points.row(c.members[0])[0];
+        assert!(c
+            .members
+            .iter()
+            .all(|&p| points.row(p)[0] == first));
+    }
+}
+
+#[test]
+fn huge_coordinates_are_finite() {
+    let rows: Vec<[f64; 2]> = (0..60)
+        .map(|i| [i as f64 * 1e12, (i % 7) as f64 * -1e12])
+        .collect();
+    let points = Matrix::from_rows(&rows, 2);
+    let model = Proclus::new(3, 2.0).seed(2).fit(&points).unwrap();
+    assert!(model.objective().is_finite());
+}
+
+#[test]
+fn clique_on_identical_points() {
+    let rows = vec![[1.0, 2.0]; 40];
+    let points = Matrix::from_rows(&rows, 2);
+    let model = Clique::new(10, 0.5).fit(&points);
+    // Everything collapses into one cell per subspace.
+    assert!(model.coverage() > 0.99);
+    for c in model.clusters() {
+        assert_eq!(c.members.len(), 40);
+    }
+}
+
+#[test]
+fn clique_single_point() {
+    let points = Matrix::from_rows(&[[3.0, 4.0]], 2);
+    let model = Clique::new(10, 0.5).fit(&points);
+    assert_eq!(model.n(), 1);
+    assert!(model.coverage() > 0.99);
+}
+
+#[test]
+fn orclus_on_degenerate_data() {
+    let rows = vec![[7.0, 7.0, 7.0]; 30];
+    let points = Matrix::from_rows(&rows, 3);
+    let model = Orclus::new(2, 2).seed(1).fit(&points).unwrap();
+    assert_eq!(model.assignment.len(), 30);
+    assert!(model.objective.is_finite());
+}
+
+#[test]
+fn baselines_on_degenerate_data() {
+    use proclus::baselines::{Clarans, KMeans};
+    let rows = vec![[0.0]; 20];
+    let points = Matrix::from_rows(&rows, 1);
+    let km = KMeans::new(2).seed(1).fit(&points);
+    assert!(km.cost.is_finite());
+    let cl = Clarans::new(2).seed(1).max_neighbor(20).fit(&points);
+    assert!(cl.cost.is_finite());
+}
+
+#[test]
+fn classify_with_infinite_sphere() {
+    // k = 1: the single cluster has an infinite sphere of influence, so
+    // every conceivable point classifies into it.
+    let rows: Vec<[f64; 2]> = (0..50).map(|i| [i as f64, i as f64]).collect();
+    let points = Matrix::from_rows(&rows, 2);
+    let model = Proclus::new(1, 2.0).seed(1).fit(&points).unwrap();
+    assert_eq!(model.classify(&[1e9, -1e9]), Some(0));
+}

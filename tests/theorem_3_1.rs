@@ -1,0 +1,81 @@
+//! Empirical check of Theorem 3.1: for k *randomly chosen* medoids, the
+//! expected number of points in each locality is N/k.
+//!
+//! The theorem is the paper's robustness argument for FindDimensions —
+//! localities are big enough (≈ N/k points) to estimate per-dimension
+//! spread reliably. Since PROCLUS's actual medoids are chosen to be far
+//! apart, their localities should be at least as large on average.
+
+use proclus::core::locality::{localities, medoid_deltas};
+use proclus::math::{DistanceKind, Matrix};
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::{Rng, SeedableRng};
+
+fn uniform_points(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..n * d).map(|_| rng.random_range(0.0..100.0)).collect();
+    Matrix::from_vec(data, n, d)
+}
+
+#[test]
+fn random_medoid_localities_average_n_over_k() {
+    let n = 4_000;
+    let k = 5;
+    let points = uniform_points(n, 8, 3);
+    let mut rng = StdRng::seed_from_u64(17);
+
+    // Average the mean locality size over many random medoid draws.
+    let trials = 40;
+    let mut total = 0.0;
+    for _ in 0..trials {
+        let medoids: Vec<usize> = sample(&mut rng, n, k).into_iter().collect();
+        let deltas = medoid_deltas(&points, &medoids, DistanceKind::Manhattan);
+        let locs = localities(&points, &medoids, &deltas, DistanceKind::Manhattan);
+        let mean = locs.iter().map(|l| l.len()).sum::<usize>() as f64 / k as f64;
+        total += mean;
+    }
+    let avg = total / trials as f64;
+    let expected = n as f64 / k as f64;
+    // The theorem gives the expectation exactly; allow a generous
+    // sampling tolerance of 15%.
+    assert!(
+        (avg - expected).abs() < 0.15 * expected,
+        "mean locality size {avg:.1}, theorem predicts {expected:.1}"
+    );
+}
+
+#[test]
+fn greedy_medoid_localities_are_at_least_as_large() {
+    // PROCLUS's medoids are pushed apart (larger deltas), so their
+    // localities should be no smaller on average than random medoids'.
+    use proclus::core::greedy::greedy_select;
+
+    let n = 4_000;
+    let k = 5;
+    let points = uniform_points(n, 8, 5);
+    let metric = DistanceKind::Manhattan;
+    let mut rng = StdRng::seed_from_u64(23);
+
+    let candidates: Vec<usize> = (0..n).collect();
+    let greedy = greedy_select(&points, &candidates, k, &metric, &mut rng);
+    let gdeltas = medoid_deltas(&points, &greedy, metric);
+    let glocs = localities(&points, &greedy, &gdeltas, metric);
+    let greedy_mean = glocs.iter().map(|l| l.len()).sum::<usize>() as f64 / k as f64;
+
+    let mut random_mean = 0.0;
+    let trials = 20;
+    for _ in 0..trials {
+        let medoids: Vec<usize> = sample(&mut rng, n, k).into_iter().collect();
+        let deltas = medoid_deltas(&points, &medoids, metric);
+        let locs = localities(&points, &medoids, &deltas, metric);
+        random_mean += locs.iter().map(|l| l.len()).sum::<usize>() as f64 / k as f64;
+    }
+    random_mean /= trials as f64;
+
+    assert!(
+        greedy_mean >= random_mean * 0.9,
+        "greedy localities ({greedy_mean:.1}) unexpectedly smaller than \
+         random ones ({random_mean:.1})"
+    );
+}

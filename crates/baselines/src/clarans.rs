@@ -88,7 +88,9 @@ impl Clarans {
         }
         let max_neighbor = self.max_neighbor.unwrap_or_else(|| {
             let suggested = (0.0125 * (self.k * (n - self.k)) as f64) as usize;
-            suggested.clamp(250, 5_000).min(self.k * (n - self.k).max(1))
+            suggested
+                .clamp(250, 5_000)
+                .min(self.k * (n - self.k).max(1))
         });
 
         let mut best: Option<(Vec<usize>, f64)> = None;

@@ -1,6 +1,7 @@
 //! Lloyd's k-means with greedy farthest-point initialization.
 
 use crate::model::FlatClustering;
+use proclus_math::order::total_cmp_nan_first;
 use proclus_math::{euclidean, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,8 +60,10 @@ impl KMeans {
             .map(|p| euclidean(points.row(p), &centers[0]))
             .collect();
         while centers.len() < self.k {
+            // NaN-safe: NaN distances rank smallest so degenerate
+            // points are never chosen as the farthest center.
             let far = (0..n)
-                .max_by(|&a, &b| dist[a].partial_cmp(&dist[b]).unwrap())
+                .max_by(|&a, &b| total_cmp_nan_first(dist[a], dist[b]))
                 .unwrap();
             centers.push(points.row(far).to_vec());
             let new_c = centers.last().unwrap().clone();
@@ -188,6 +191,26 @@ mod tests {
         let fc = KMeans::new(1).seed(0).fit(&m);
         assert!((fc.centers[0][0] - 2.0).abs() < 1e-12);
         assert!(fc.assignment.iter().all(|&a| a == 0));
+    }
+
+    /// Regression: a NaN coordinate used to panic farthest-point init
+    /// (`partial_cmp().unwrap()`). NaN distances now rank smallest, so
+    /// the degenerate point is never picked as a far center and the fit
+    /// completes.
+    #[test]
+    fn nan_point_does_not_panic_init() {
+        let rows: Vec<[f64; 2]> = vec![
+            [0.0, 0.0],
+            [f64::NAN, 0.0],
+            [100.0, 0.0],
+            [0.0, 100.0],
+            [1.0, 1.0],
+            [99.0, 1.0],
+        ];
+        let m = Matrix::from_rows(&rows, 2);
+        let fc = KMeans::new(3).seed(5).max_iter(5).fit(&m);
+        assert_eq!(fc.assignment.len(), 6);
+        assert_eq!(fc.centers.len(), 3);
     }
 
     #[test]

@@ -32,11 +32,7 @@ impl FlatClustering {
 
     /// Recompute the cost of this clustering under a distance function
     /// (sanity checks and tests).
-    pub fn recompute_cost<F: Fn(&[f64], &[f64]) -> f64>(
-        &self,
-        points: &Matrix,
-        dist: F,
-    ) -> f64 {
+    pub fn recompute_cost<F: Fn(&[f64], &[f64]) -> f64>(&self, points: &Matrix, dist: F) -> f64 {
         self.assignment
             .iter()
             .enumerate()

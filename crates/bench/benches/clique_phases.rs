@@ -33,16 +33,7 @@ fn bench_clique(c: &mut Criterion) {
     group.sample_size(10);
     for level in [2usize, 3, 4] {
         group.bench_function(format!("level{level}"), |b| {
-            b.iter(|| {
-                black_box(mine_dense_units(
-                    &cells,
-                    n,
-                    d,
-                    10,
-                    min_support,
-                    level,
-                ))
-            })
+            b.iter(|| black_box(mine_dense_units(&cells, n, d, 10, min_support, level)))
         });
     }
     group.finish();
@@ -50,13 +41,7 @@ fn bench_clique(c: &mut Criterion) {
     let mut fit_group = c.benchmark_group("clique_fit");
     fit_group.sample_size(10);
     fit_group.bench_function("tau0.5%", |b| {
-        b.iter(|| {
-            black_box(
-                Clique::new(10, 0.005)
-                    .max_subspace_dim(Some(5))
-                    .fit(points),
-            )
-        })
+        b.iter(|| black_box(Clique::new(10, 0.005).max_subspace_dim(Some(5)).fit(points)))
     });
     fit_group.finish();
 }

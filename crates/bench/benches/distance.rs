@@ -18,16 +18,14 @@ fn bench_distances(c: &mut Criterion) {
         let b = random_point(&mut rng, d);
         let dims: Vec<usize> = (0..d).step_by(3).collect();
 
-        c.bench_function(&format!("manhattan/d{d}"), |bench| {
+        c.bench_function(format!("manhattan/d{d}"), |bench| {
             bench.iter(|| manhattan(black_box(&a), black_box(&b)))
         });
-        c.bench_function(&format!("euclidean/d{d}"), |bench| {
+        c.bench_function(format!("euclidean/d{d}"), |bench| {
             bench.iter(|| euclidean(black_box(&a), black_box(&b)))
         });
-        c.bench_function(&format!("manhattan_segmental/d{d}"), |bench| {
-            bench.iter(|| {
-                manhattan_segmental(black_box(&a), black_box(&b), black_box(&dims))
-            })
+        c.bench_function(format!("manhattan_segmental/d{d}"), |bench| {
+            bench.iter(|| manhattan_segmental(black_box(&a), black_box(&b), black_box(&dims)))
         });
     }
 

@@ -3,13 +3,26 @@
 //! evaluation, each on a fixed mid-size dataset. Together these account
 //! for one hill-climbing round; Figure 7/8/9 shapes follow from how
 //! their costs scale in N, l, and d.
+//!
+//! Two further groups measure the round-level optimizations:
+//!
+//! * `round_pass/10k` — the historical two-sweep locality + X
+//!   computation vs the fused single-sweep kernel, both serial.
+//! * `pooled_round/100k` — one full hill-climbing round (fused pass →
+//!   FindDimensions → assignment) through the persistent worker pool at
+//!   1, 2, 4, and 8 threads on a paper-scale dataset; the per-round
+//!   speedup at `threads ≥ 4` is the pool's acceptance bar. Override
+//!   the dataset size with `PROCLUS_BENCH_N`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use proclus_core::assign::{assign_points, group_members};
-use proclus_core::dims::find_dimensions;
+use proclus_core::dims::{
+    average_dimension_distances, find_dimensions, find_dimensions_from_averages,
+};
 use proclus_core::evaluate::evaluate_clusters;
 use proclus_core::greedy::greedy_select;
 use proclus_core::locality::{localities, medoid_deltas};
+use proclus_core::pool::with_pool;
 use proclus_data::SyntheticSpec;
 use proclus_math::DistanceKind;
 use rand::rngs::StdRng;
@@ -62,16 +75,84 @@ fn bench_phases(c: &mut Criterion) {
     let clusters = group_members(&opt, 5);
 
     c.bench_function("evaluate_clusters/10k", |b| {
-        b.iter(|| {
-            black_box(evaluate_clusters(
-                points,
-                &clusters,
-                &dims,
-                points.rows(),
-            ))
-        })
+        b.iter(|| black_box(evaluate_clusters(points, &clusters, &dims, points.rows())))
     });
 }
 
-criterion_group!(benches, bench_phases);
+/// Fused single-sweep locality + `X` kernel vs the historical two-sweep
+/// version (`localities` followed by `average_dimension_distances`),
+/// both serial, so the comparison isolates the fusion itself.
+fn bench_fused_vs_unfused(c: &mut Criterion) {
+    let data = SyntheticSpec::new(10_000, 20, 5, 5.0)
+        .fixed_dims(vec![5; 5])
+        .seed(7)
+        .generate();
+    let points = &data.points;
+    let metric = DistanceKind::Manhattan;
+    let candidates: Vec<usize> = (0..points.rows()).step_by(7).collect();
+    let mut rng = StdRng::seed_from_u64(3);
+    let medoids = greedy_select(points, &candidates, 5, &metric, &mut rng);
+    let deltas = medoid_deltas(points, &medoids, metric);
+
+    let mut group = c.benchmark_group("round_pass/10k");
+    group.bench_function("unfused_two_sweeps", |b| {
+        b.iter(|| {
+            let locs = localities(points, &medoids, &deltas, metric);
+            black_box(average_dimension_distances(points, &medoids, &locs))
+        })
+    });
+    group.bench_function("fused_single_sweep", |b| {
+        with_pool(points, metric, 1, |pool| {
+            b.iter(|| black_box(pool.fused_round(&medoids, &deltas)))
+        })
+    });
+    group.finish();
+}
+
+/// One full hill-climbing round (fused pass → FindDimensions →
+/// assignment) through a persistent pool, across thread counts, on a
+/// paper-scale dataset. The pool is created once outside the timing
+/// loop — exactly how `fit` uses it — so the numbers reflect per-round
+/// cost, not thread spawning.
+fn bench_pooled_round_throughput(c: &mut Criterion) {
+    let n: usize = std::env::var("PROCLUS_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let data = SyntheticSpec::new(n, 20, 5, 5.0)
+        .fixed_dims(vec![5; 5])
+        .seed(7)
+        .generate();
+    let points = &data.points;
+    let metric = DistanceKind::Manhattan;
+    let candidates: Vec<usize> = (0..points.rows()).step_by(31).collect();
+    let mut rng = StdRng::seed_from_u64(3);
+    let medoids = greedy_select(points, &candidates, 5, &metric, &mut rng);
+    let deltas = medoid_deltas(points, &medoids, metric);
+
+    let mut group = c.benchmark_group(format!("pooled_round/{n}"));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                with_pool(points, metric, threads, |pool| {
+                    b.iter(|| {
+                        let (_locs, x) = pool.fused_round(&medoids, &deltas);
+                        let dims = find_dimensions_from_averages(&x, 25, true);
+                        black_box(pool.assign(&medoids, &dims))
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_phases,
+    bench_fused_vs_unfused,
+    bench_pooled_round_throughput
+);
 criterion_main!(benches);

@@ -27,9 +27,7 @@ fn main() {
         .fixed_dims(vec![4; 5])
         .seed(scale.seed);
     let data = spec.generate();
-    println!(
-        "Ablations on N = {n}, d = 20, k = 5, 4-dim clusters ({SEEDS} seeds each)"
-    );
+    println!("Ablations on N = {n}, d = 20, k = 5, 4-dim clusters ({SEEDS} seeds each)");
     table::header(&[
         ("variant", 40),
         ("ARI", 8),
@@ -87,9 +85,8 @@ fn main() {
     let mut reference: Option<Vec<Option<usize>>> = None;
     for threads in [1usize, 2, 4, 8] {
         let params = base.clone().threads(threads).seed(scale.seed);
-        let (model, secs) = proclus_bench::time_it(|| {
-            params.fit(&data.points).expect("valid parameters")
-        });
+        let (model, secs) =
+            proclus_bench::time_it(|| params.fit(&data.points).expect("valid parameters"));
         match &reference {
             None => reference = Some(model.assignment().to_vec()),
             Some(r) => assert_eq!(
@@ -104,8 +101,7 @@ fn main() {
 
 fn run(name: &str, params: Proclus, data: &GeneratedDataset, base_seed: u64) {
     let truth: Vec<Option<usize>> = data.labels.iter().map(|l| l.cluster()).collect();
-    let input_dims: Vec<Vec<usize>> =
-        data.clusters.iter().map(|c| c.dims.clone()).collect();
+    let input_dims: Vec<Vec<usize>> = data.clusters.iter().map(|c| c.dims.clone()).collect();
     let mut ari_sum = 0.0;
     let mut jac_sum = 0.0;
     let mut obj_sum = 0.0;
@@ -122,8 +118,7 @@ fn run(name: &str, params: Proclus, data: &GeneratedDataset, base_seed: u64) {
             .iter()
             .map(|c| c.dimensions.clone())
             .collect();
-        let (jac, _) =
-            matched_dimension_recovery(&found, &input_dims, &cm.dominant_matching());
+        let (jac, _) = matched_dimension_recovery(&found, &input_dims, &cm.dominant_matching());
         jac_sum += jac;
         obj_sum += model.objective();
     }

@@ -54,7 +54,11 @@ fn run_case(title: &str, mut spec: SyntheticSpec, l: f64, scale: Scale) {
         );
     }
     table::row(
-        &["Outliers".into(), "-".into(), data.outlier_count().to_string()],
+        &[
+            "Outliers".into(),
+            "-".into(),
+            data.outlier_count().to_string(),
+        ],
         &[8, 28, 8],
     );
 
@@ -95,10 +99,8 @@ fn run_case(title: &str, mut spec: SyntheticSpec, l: f64, scale: Scale) {
         .iter()
         .map(|c| c.dimensions.clone())
         .collect();
-    let input_dims: Vec<Vec<usize>> =
-        data.clusters.iter().map(|c| c.dims.clone()).collect();
-    let (mean_jaccard, exact) =
-        matched_dimension_recovery(&found, &input_dims, &mapping);
+    let input_dims: Vec<Vec<usize>> = data.clusters.iter().map(|c| c.dims.clone()).collect();
+    let (mean_jaccard, exact) = matched_dimension_recovery(&found, &input_dims, &mapping);
     println!(
         "\nDimension recovery: mean Jaccard = {mean_jaccard:.3}, \
          exact sets = {exact}/{}",

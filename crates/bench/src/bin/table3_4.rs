@@ -11,9 +11,7 @@
 use proclus_bench::{time_it, Scale};
 use proclus_core::Proclus;
 use proclus_data::SyntheticSpec;
-use proclus_eval::{
-    adjusted_rand_index, normalized_mutual_information, ConfusionMatrix,
-};
+use proclus_eval::{adjusted_rand_index, normalized_mutual_information, ConfusionMatrix};
 
 fn main() {
     let scale = Scale::from_args();

@@ -113,11 +113,7 @@ fn cluster_point_coverage(model: &CliqueModel, data: &GeneratedDataset) -> f64 {
     let universe: Vec<usize> = (0..data.len())
         .filter(|&p| !data.labels[p].is_outlier())
         .collect();
-    let memberships: Vec<Vec<usize>> = model
-        .clusters()
-        .iter()
-        .map(|c| c.members.clone())
-        .collect();
+    let memberships: Vec<Vec<usize>> = model.clusters().iter().map(|c| c.members.clone()).collect();
     coverage(&memberships, data.len(), Some(&universe))
 }
 

@@ -50,11 +50,7 @@ impl Args {
                 let value = it
                     .next()
                     .ok_or_else(|| err(format!("--{name} expects a value")))?;
-                if out
-                    .values
-                    .insert(name.to_string(), value)
-                    .is_some()
-                {
+                if out.values.insert(name.to_string(), value).is_some() {
                     return Err(err(format!("--{name} given twice")));
                 }
             }
@@ -81,11 +77,7 @@ impl Args {
     }
 
     /// Typed option with default.
-    pub fn get_parsed<T: std::str::FromStr>(
-        &self,
-        name: &str,
-        default: T,
-    ) -> Result<T, ArgError> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.get(name) {
             None => Ok(default),
             Some(v) => v

@@ -40,14 +40,16 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
 
     let (points, _) = read_dataset(&input)?;
     let model = clique.fit(&points);
-    writeln!(out, 
+    writeln!(
+        out,
         "CLIQUE: {} clusters, coverage {:.1}%, average overlap {:.2}",
         model.clusters().len(),
         100.0 * model.coverage(),
         model.overlap()
     )?;
     for (i, c) in model.clusters().iter().take(top).enumerate() {
-        writeln!(out, 
+        writeln!(
+            out,
             "  cluster {i}: dims {:?}, {} units, {} points",
             c.dims,
             c.units.len(),
@@ -55,13 +57,12 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         )?;
         if descriptions {
             for r in minimal_descriptions(&c.units) {
-                let ranges: Vec<String> = r
-                    .lo
-                    .iter()
-                    .zip(&r.hi)
-                    .zip(&r.dims)
-                    .map(|((lo, hi), d)| format!("d{d}:[{lo}..={hi}]"))
-                    .collect();
+                let ranges: Vec<String> =
+                    r.lo.iter()
+                        .zip(&r.hi)
+                        .zip(&r.dims)
+                        .map(|((lo, hi), d)| format!("d{d}:[{lo}..={hi}]"))
+                        .collect();
                 writeln!(out, "      region {}", ranges.join(" x "))?;
             }
         }

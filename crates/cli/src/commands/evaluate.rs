@@ -5,9 +5,7 @@
 use crate::args::{ArgError, Args};
 use crate::io::read_dataset;
 use proclus_data::Label;
-use proclus_eval::{
-    adjusted_rand_index, normalized_mutual_information, ConfusionMatrix,
-};
+use proclus_eval::{adjusted_rand_index, normalized_mutual_information, ConfusionMatrix};
 use std::error::Error;
 use std::io::Write;
 use std::path::PathBuf;
@@ -33,12 +31,10 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
 
     let (_, found) = read_dataset(&found_path)?;
     let (_, truth) = read_dataset(&truth_path)?;
-    let found = found.ok_or_else(|| {
-        ArgError(format!("{} has no label column", found_path.display()))
-    })?;
-    let truth = truth.ok_or_else(|| {
-        ArgError(format!("{} has no label column", truth_path.display()))
-    })?;
+    let found =
+        found.ok_or_else(|| ArgError(format!("{} has no label column", found_path.display())))?;
+    let truth =
+        truth.ok_or_else(|| ArgError(format!("{} has no label column", truth_path.display())))?;
     if found.len() != truth.len() {
         return Err(Box::new(ArgError(format!(
             "label counts differ: {} vs {}",
@@ -51,7 +47,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let (truth, k_in) = to_options(&truth);
     let cm = ConfusionMatrix::build(&found, k_out, &truth, k_in);
     write!(out, "{cm}")?;
-    writeln!(out, 
+    writeln!(
+        out,
         "matched accuracy = {:.4}   purity = {:.4}   ARI = {:.4}   NMI = {:.4}",
         cm.matched_accuracy(),
         cm.purity(),
@@ -83,11 +80,9 @@ mod tests {
         let truth_file = tmp("t.csv");
         let found_file = tmp("f.csv");
         let data = SyntheticSpec::new(200, 4, 2, 2.0).seed(8).generate();
-        crate::io::write_dataset(truth_file.as_ref(), &data.points, Some(&data.labels))
-            .unwrap();
+        crate::io::write_dataset(truth_file.as_ref(), &data.points, Some(&data.labels)).unwrap();
         // "Found" = the truth itself: perfect scores expected.
-        crate::io::write_dataset(found_file.as_ref(), &data.points, Some(&data.labels))
-            .unwrap();
+        crate::io::write_dataset(found_file.as_ref(), &data.points, Some(&data.labels)).unwrap();
         let args = Args::parse(
             toks(&format!("--found {found_file} --truth {truth_file}")),
             &[],
@@ -103,8 +98,7 @@ mod tests {
         let f = tmp("nolab.csv");
         let m = Matrix::from_rows(&[[0.0], [1.0]], 1);
         crate::io::write_dataset(f.as_ref(), &m, None).unwrap();
-        let args =
-            Args::parse(toks(&format!("--found {f} --truth {f}")), &[]).unwrap();
+        let args = Args::parse(toks(&format!("--found {f} --truth {f}")), &[]).unwrap();
         assert!(run(&args, &mut Vec::new()).is_err());
         std::fs::remove_file(&f).ok();
     }

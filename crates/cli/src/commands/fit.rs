@@ -56,11 +56,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let model = params.fit(&points)?;
     writeln!(out, "{model}")?;
     if let Some(path) = out_path {
-        write_dataset(
-            &path,
-            &points,
-            Some(&assignment_labels(model.assignment())),
-        )?;
+        write_dataset(&path, &points, Some(&assignment_labels(model.assignment())))?;
         writeln!(out, "assignment written to {}", path.display())?;
     }
     Ok(())

@@ -48,7 +48,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let data = spec.generate();
     let labels = (!no_labels).then_some(data.labels.as_slice());
     write_dataset(&out_path, &data.points, labels)?;
-    writeln!(out, 
+    writeln!(
+        out,
         "wrote {} points x {} dims ({} clusters, {} outliers) to {}",
         data.len(),
         d,

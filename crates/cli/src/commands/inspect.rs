@@ -48,7 +48,11 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
             }
         }
     }
-    writeln!(out, "{:>5} {:>12} {:>12} {:>12} {:>12}", "dim", "min", "max", "mean", "std")?;
+    writeln!(
+        out,
+        "{:>5} {:>12} {:>12} {:>12} {:>12}",
+        "dim", "min", "max", "mean", "std"
+    )?;
     for j in 0..d.min(max_dims) {
         writeln!(
             out,

@@ -36,24 +36,21 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
 
     let (points, _) = read_dataset(&input)?;
     let model = params.fit(&points)?;
-    writeln!(out, 
+    writeln!(
+        out,
         "ORCLUS: {} clusters, objective {:.4}",
         model.clusters.len(),
         model.objective
     )?;
     for (i, c) in model.clusters.iter().enumerate() {
-        writeln!(out, 
+        writeln!(
+            out,
             "  cluster {i}: {} points, projected energy {:.4}",
             c.len(),
             c.projected_energy
         )?;
         for r in 0..c.basis.rows() {
-            let coeffs: Vec<String> = c
-                .basis
-                .row(r)
-                .iter()
-                .map(|v| format!("{v:+.3}"))
-                .collect();
+            let coeffs: Vec<String> = c.basis.row(r).iter().map(|v| format!("{v:+.3}")).collect();
             writeln!(out, "      tight direction {r}: [{}]", coeffs.join(", "))?;
         }
     }

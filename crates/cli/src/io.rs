@@ -24,11 +24,7 @@ pub fn read_dataset(path: &Path) -> io::Result<(Matrix, Option<Vec<Label>>)> {
 }
 
 /// Write points and optional labels, dispatching on the extension.
-pub fn write_dataset(
-    path: &Path,
-    points: &Matrix,
-    labels: Option<&[Label]>,
-) -> io::Result<()> {
+pub fn write_dataset(path: &Path, points: &Matrix, labels: Option<&[Label]>) -> io::Result<()> {
     if is_csv(path) {
         csvio::write_csv(path, points, labels)
     } else {

@@ -28,6 +28,9 @@ Dataset files ending in .csv are text; any other extension uses the
 compact binary format.
 ";
 
+/// Signature shared by every subcommand entry point.
+type Runner = fn(&Args, &mut dyn Write) -> Result<(), Box<dyn std::error::Error>>;
+
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
     let Some(command) = argv.next() else {
@@ -37,14 +40,18 @@ fn main() -> ExitCode {
     let rest: Vec<String> = argv.collect();
     let wants_help = rest.iter().any(|a| a == "--help" || a == "-h");
 
-    let (help, switches, runner): (
-        &str,
-        &[&str],
-        fn(&Args, &mut dyn Write) -> Result<(), Box<dyn std::error::Error>>,
-    ) = match command.as_str() {
-        "generate" => (commands::generate::HELP, &["no-labels"], commands::generate::run),
+    let (help, switches, runner): (&str, &[&str], Runner) = match command.as_str() {
+        "generate" => (
+            commands::generate::HELP,
+            &["no-labels"],
+            commands::generate::run,
+        ),
         "fit" => (commands::fit::HELP, &["paper-literal"], commands::fit::run),
-        "clique" => (commands::clique::HELP, &["descriptions", "mdl"], commands::clique::run),
+        "clique" => (
+            commands::clique::HELP,
+            &["descriptions", "mdl"],
+            commands::clique::run,
+        ),
         "orclus" => (commands::orclus::HELP, &[], commands::orclus::run),
         "evaluate" => (commands::evaluate::HELP, &[], commands::evaluate::run),
         "inspect" => (commands::inspect::HELP, &[], commands::inspect::run),

@@ -144,11 +144,7 @@ mod tests {
 
     #[test]
     fn deterministic_order() {
-        let units = vec![
-            unit(&[1], &[5]),
-            unit(&[0], &[2]),
-            unit(&[0], &[9]),
-        ];
+        let units = vec![unit(&[1], &[5]), unit(&[0], &[2]), unit(&[0], &[9])];
         let a = connected_components(&units);
         let b = connected_components(&units);
         assert_eq!(a, b);

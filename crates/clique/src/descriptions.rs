@@ -154,13 +154,7 @@ pub fn minimal_descriptions(units: &[DenseUnit]) -> Vec<Region> {
 
 /// Is the `axis = value` slab of the rectangle `[lo, hi]` entirely made
 /// of cluster cells?
-fn slab_inside(
-    lo: &[u16],
-    hi: &[u16],
-    axis: usize,
-    value: u16,
-    cells: &HashSet<&[u16]>,
-) -> bool {
+fn slab_inside(lo: &[u16], hi: &[u16], axis: usize, value: u16, cells: &HashSet<&[u16]>) -> bool {
     // Enumerate all cells of the slab (axis fixed at `value`).
     let q = lo.len();
     let mut idx: Vec<u16> = lo.to_vec();
@@ -239,8 +233,7 @@ mod tests {
             );
         }
         // Every region stays inside the cluster.
-        let cells: HashSet<Vec<u16>> =
-            units.iter().map(|u| u.intervals.clone()).collect();
+        let cells: HashSet<Vec<u16>> = units.iter().map(|u| u.intervals.clone()).collect();
         for r in &regions {
             for cell in r.units() {
                 assert!(cells.contains(&cell), "region leaks outside at {cell:?}");

@@ -40,7 +40,7 @@ pub mod model;
 pub mod params;
 pub mod units;
 
+pub use descriptions::{minimal_descriptions, Region};
 pub use model::{CliqueModel, SubspaceCluster};
 pub use params::Clique;
-pub use descriptions::{minimal_descriptions, Region};
 pub use units::DenseUnit;

@@ -16,6 +16,7 @@
 //! speed: interesting-but-sparse subspaces may be dropped, which the
 //! original paper accepts explicitly.
 
+use proclus_math::order::total_cmp_nan_first;
 use std::collections::HashMap;
 
 /// `log2(x)` with the paper's convention that zero costs nothing.
@@ -33,7 +34,11 @@ fn group_cost(cov: &[f64]) -> f64 {
         return 0.0;
     }
     let mean = cov.iter().sum::<f64>() / cov.len() as f64;
-    bits(mean.round()) + cov.iter().map(|&x| bits((x - mean).abs().round())).sum::<f64>()
+    bits(mean.round())
+        + cov
+            .iter()
+            .map(|&x| bits((x - mean).abs().round()))
+            .sum::<f64>()
 }
 
 /// Given per-subspace coverages (any order), return the optimal number
@@ -44,7 +49,8 @@ pub fn mdl_cut(coverages: &[f64]) -> usize {
         return coverages.len();
     }
     let mut sorted: Vec<f64> = coverages.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    // Descending with NaN last (comparing b to a flips nan_first).
+    sorted.sort_by(|a, b| total_cmp_nan_first(*b, *a));
     let mut best_keep = sorted.len();
     let mut best_cost = f64::INFINITY;
     for keep in 1..=sorted.len() {
@@ -67,15 +73,12 @@ pub fn prune_level(units: Vec<crate::units::DenseUnit>) -> Vec<crate::units::Den
     for u in &units {
         *coverage.entry(u.dims.as_slice()).or_default() += u.support as f64;
     }
-    let mut ranked: Vec<(&[usize], f64)> =
-        coverage.iter().map(|(k, v)| (*k, *v)).collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(b.0)));
+    let mut ranked: Vec<(&[usize], f64)> = coverage.iter().map(|(k, v)| (*k, *v)).collect();
+    ranked.sort_by(|a, b| total_cmp_nan_first(b.1, a.1).then(a.0.cmp(b.0)));
     let covs: Vec<f64> = ranked.iter().map(|(_, c)| *c).collect();
     let keep = mdl_cut(&covs);
-    let kept: std::collections::HashSet<Vec<usize>> = ranked[..keep]
-        .iter()
-        .map(|(k, _)| k.to_vec())
-        .collect();
+    let kept: std::collections::HashSet<Vec<usize>> =
+        ranked[..keep].iter().map(|(k, _)| k.to_vec()).collect();
     units
         .into_iter()
         .filter(|u| kept.contains(&u.dims))
@@ -112,6 +115,16 @@ mod tests {
     fn degenerate_inputs() {
         assert_eq!(mdl_cut(&[]), 0);
         assert_eq!(mdl_cut(&[42.0]), 1);
+    }
+
+    /// Regression: NaN coverages used to panic the descending sort
+    /// (`partial_cmp().unwrap()`). They now rank last and — since any
+    /// group containing one has NaN cost, losing every `<` comparison —
+    /// can never distort the chosen cut.
+    #[test]
+    fn nan_coverages_do_not_panic() {
+        let keep = mdl_cut(&[1000.0, f64::NAN, 3.0]);
+        assert!((1..=3).contains(&keep));
     }
 
     #[test]

@@ -129,10 +129,7 @@ mod tests {
 
     #[test]
     fn coverage_counts_distinct_points() {
-        let m = CliqueModel::new(
-            vec![cluster(&[0], &[0, 1, 2]), cluster(&[1], &[2, 3])],
-            10,
-        );
+        let m = CliqueModel::new(vec![cluster(&[0], &[0, 1, 2]), cluster(&[1], &[2, 3])], 10);
         assert_eq!(m.covered_points(), 4);
         assert!((m.coverage() - 0.4).abs() < 1e-12);
     }
@@ -145,10 +142,7 @@ mod tests {
         );
         assert!((m.overlap() - 2.0).abs() < 1e-12);
         // A partition has overlap exactly 1.
-        let p = CliqueModel::new(
-            vec![cluster(&[0], &[0, 1]), cluster(&[1], &[2, 3])],
-            10,
-        );
+        let p = CliqueModel::new(vec![cluster(&[0], &[0, 1]), cluster(&[1], &[2, 3])], 10);
         assert!((p.overlap() - 1.0).abs() < 1e-12);
     }
 

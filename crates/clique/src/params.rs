@@ -190,9 +190,7 @@ mod tests {
             rows.push([i as f64 * 9.9, ((i * 3) % 10) as f64 * 9.7]);
         }
         let m = Matrix::from_rows(&rows, 2);
-        let model = Clique::new(10, 0.2)
-            .target_subspace_dim(Some(2))
-            .fit(&m);
+        let model = Clique::new(10, 0.2).target_subspace_dim(Some(2)).fit(&m);
         assert!(model.clusters().iter().all(|c| c.dims.len() == 2));
         assert_eq!(model.clusters().len(), 1);
     }
@@ -229,10 +227,7 @@ mod tests {
         };
         assert!(count2d(&pruned) <= count2d(&unpruned));
         // The dominant subspace survives pruning.
-        assert!(pruned
-            .clusters()
-            .iter()
-            .any(|c| c.dims == vec![0, 1]));
+        assert!(pruned.clusters().iter().any(|c| c.dims == vec![0, 1]));
     }
 
     #[test]

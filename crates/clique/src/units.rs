@@ -135,8 +135,7 @@ fn generate_candidates(prev: &[DenseUnit]) -> Vec<DenseUnit> {
     // Canonically sorted items let us join on the first q-2 pairs.
     let mut items: Vec<Vec<(usize, u16)>> = prev.iter().map(|u| u.items()).collect();
     items.sort_unstable();
-    let dense_set: HashSet<&[(usize, u16)]> =
-        items.iter().map(|v| v.as_slice()).collect();
+    let dense_set: HashSet<&[(usize, u16)]> = items.iter().map(|v| v.as_slice()).collect();
 
     let mut out = Vec::new();
     for a in 0..items.len() {
@@ -236,14 +235,7 @@ mod tests {
     #[test]
     fn level1_histograms() {
         // 6 points in 1-d: intervals 0,0,0,1,1,2 with min_support 2.
-        let (cells, n, d) = cells_of(&[
-            vec![0],
-            vec![0],
-            vec![0],
-            vec![1],
-            vec![1],
-            vec![2],
-        ]);
+        let (cells, n, d) = cells_of(&[vec![0], vec![0], vec![0], vec![1], vec![1], vec![2]]);
         let levels = mine_dense_units(&cells, n, d, 10, 2, 5);
         assert_eq!(levels.len(), 1);
         let l1 = &levels[0];
@@ -274,13 +266,7 @@ mod tests {
     fn antimonotonicity_holds() {
         // Random-ish cells; every dense unit's projections must be dense.
         let rows: Vec<Vec<u16>> = (0..200)
-            .map(|i| {
-                vec![
-                    (i % 4) as u16,
-                    ((i / 2) % 3) as u16,
-                    ((i * 7) % 5) as u16,
-                ]
-            })
+            .map(|i| vec![(i % 4) as u16, ((i / 2) % 3) as u16, ((i * 7) % 5) as u16])
             .collect();
         let (cells, n, d) = cells_of(&rows);
         let levels = mine_dense_units(&cells, n, d, 10, 15, 3);
@@ -301,9 +287,9 @@ mod tests {
                         .filter(|(i, _)| *i != skip)
                         .map(|(_, &x)| x)
                         .collect();
-                    let found = levels[q - 1].iter().any(|u| {
-                        u.dims == sub_dims && u.intervals == sub_itvs
-                    });
+                    let found = levels[q - 1]
+                        .iter()
+                        .any(|u| u.dims == sub_dims && u.intervals == sub_itvs);
                     assert!(found, "projection of {unit:?} missing at level {q}");
                 }
             }

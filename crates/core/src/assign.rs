@@ -63,12 +63,7 @@ mod tests {
             [90.0, 51.0], // near medoid 1 on dim 1
         ];
         let m = Matrix::from_rows(&rows, 2);
-        let a = assign_points(
-            &m,
-            &[0, 1],
-            &[vec![0], vec![1]],
-            DistanceKind::Manhattan,
-        );
+        let a = assign_points(&m, &[0, 1], &[vec![0], vec![1]], DistanceKind::Manhattan);
         assert_eq!(a, vec![0, 1, 0, 1]);
     }
 
@@ -79,17 +74,12 @@ mod tests {
         // With *unnormalized* Manhattan it would pick medoid 1 (8 < 10);
         // segmental picks medoid 0.
         let rows: Vec<[f64; 3]> = vec![
-            [0.0, 0.0, 0.0],    // medoid 0, dims {0, 1}
-            [0.0, 0.0, 0.0],    // medoid 1, dims {2}
-            [5.0, 5.0, 8.0],    // the contested point
+            [0.0, 0.0, 0.0], // medoid 0, dims {0, 1}
+            [0.0, 0.0, 0.0], // medoid 1, dims {2}
+            [5.0, 5.0, 8.0], // the contested point
         ];
         let m = Matrix::from_rows(&rows, 3);
-        let a = assign_points(
-            &m,
-            &[0, 1],
-            &[vec![0, 1], vec![2]],
-            DistanceKind::Manhattan,
-        );
+        let a = assign_points(&m, &[0, 1], &[vec![0, 1], vec![2]], DistanceKind::Manhattan);
         assert_eq!(a[2], 0);
     }
 

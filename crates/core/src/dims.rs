@@ -62,15 +62,24 @@ pub fn average_dimension_distances(
 /// Standardize each medoid's `X` row into Z-scores:
 /// `Z[i][j] = (X[i][j] − Yᵢ)/σᵢ`.
 ///
-/// Degenerate rows (σᵢ = 0, e.g. a locality containing only the medoid)
-/// standardize to all zeros rather than NaN, making every dimension
-/// equally (un)attractive for that medoid.
+/// Degenerate rows standardize to all zeros rather than NaN or rounding
+/// noise, making every dimension equally (un)attractive for that
+/// medoid. Degeneracy is judged *relative to the row's magnitude*
+/// (`σᵢ ≤ ε·|Yᵢ|`): an absolute `σ ≤ ε` cutoff would let a row of
+/// large but equal-to-rounding values (say `X ≈ 4·10⁶` with spread
+/// only in the last few ulps) pass as structured and blow pure
+/// floating-point noise up into full-strength ±O(1) Z-scores, while a
+/// row of genuinely tiny values (`X ≈ 10⁻²⁰` with 10× relative spread)
+/// would be wrongly zeroed.
 pub fn z_scores(x: &[Vec<f64>]) -> Vec<Vec<f64>> {
     x.iter()
         .map(|row| {
             let y = stats::mean(row);
             let sigma = stats::sample_std(row);
-            if sigma <= f64::EPSILON {
+            // Guard with a margin over ε·|Y|: the sample std of pure
+            // rounding noise on values of magnitude |Y| is itself a
+            // small multiple of ε·|Y|.
+            if sigma <= 8.0 * f64::EPSILON * y.abs() {
                 vec![0.0; row.len()]
             } else {
                 row.iter().map(|&v| (v - y) / sigma).collect()
@@ -161,11 +170,24 @@ pub fn find_dimensions_opt(
     standardize: bool,
 ) -> Vec<Vec<usize>> {
     let x = average_dimension_distances(points, medoids, reference_sets);
+    find_dimensions_from_averages(&x, total, standardize)
+}
+
+/// The back half of FindDimensions, starting from already-computed
+/// average distances `X` (as produced by the fused kernels in
+/// [`crate::kernel`], which accumulate `X` during the locality or
+/// assignment sweep instead of a separate pass): Z-scores →
+/// allocation of `total` dimensions with at least 2 per medoid.
+pub fn find_dimensions_from_averages(
+    x: &[Vec<f64>],
+    total: usize,
+    standardize: bool,
+) -> Vec<Vec<usize>> {
     if standardize {
-        let z = z_scores(&x);
+        let z = z_scores(x);
         allocate_dimensions(&z, total, 2)
     } else {
-        allocate_dimensions(&x, total, 2)
+        allocate_dimensions(x, total, 2)
     }
 }
 
@@ -205,12 +227,43 @@ mod tests {
     }
 
     #[test]
+    fn z_scores_degeneracy_is_scale_relative() {
+        // A huge-magnitude row whose spread is a couple of ulps is
+        // rounding noise, not structure: it must standardize to zeros
+        // even though its absolute sigma is far above f64::EPSILON.
+        let base = 4.0e6_f64;
+        let noisy = vec![
+            base,
+            f64::from_bits(base.to_bits() + 2),
+            f64::from_bits(base.to_bits() + 1),
+        ];
+        let z = z_scores(&[noisy]);
+        assert_eq!(z[0], vec![0.0, 0.0, 0.0]);
+
+        // Conversely a tiny-magnitude row with large *relative* spread
+        // is genuine structure and must standardize normally (an
+        // absolute cutoff at EPSILON would zero it).
+        let z = z_scores(&[vec![1.0e-20, 2.0e-20, 3.0e-20]]);
+        assert!((z[0][0] + 1.0).abs() < 1e-9);
+        assert!(z[0][1].abs() < 1e-9);
+        assert!((z[0][2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn z_scores_are_scale_invariant() {
+        let row = vec![1.0, 5.0, 2.5, 9.0];
+        let scaled: Vec<f64> = row.iter().map(|v| v * 1.0e12).collect();
+        let za = z_scores(&[row]);
+        let zb = z_scores(&[scaled]);
+        for (a, b) in za[0].iter().zip(&zb[0]) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
     fn allocation_prefers_most_negative() {
         // Two medoids, 4 dims, total = 5, min 2 each.
-        let z = vec![
-            vec![-3.0, -1.0, 0.5, 2.0],
-            vec![-0.2, -0.1, 1.0, -2.5],
-        ];
+        let z = vec![vec![-3.0, -1.0, 0.5, 2.0], vec![-0.2, -0.1, 1.0, -2.5]];
         let out = allocate_dimensions(&z, 5, 2);
         // Row 0 preallocates {0, 1}; row 1 preallocates {3, 0}.
         // Fifth pick: smallest leftover = row1 col1 (-0.1)?
@@ -258,10 +311,7 @@ mod tests {
         let cases: Vec<Vec<Vec<f64>>> = vec![
             vec![vec![-1.0, 2.0, 0.0, -0.5], vec![1.0, -2.0, 3.0, -0.1]],
             vec![vec![0.3, 0.1, 0.2, 0.4], vec![0.4, 0.3, 0.2, 0.1]],
-            vec![
-                vec![-5.0, -4.0, 10.0, 10.0],
-                vec![-1.0, -1.0, -1.0, -1.0],
-            ],
+            vec![vec![-5.0, -4.0, 10.0, 10.0], vec![-1.0, -1.0, -1.0, -1.0]],
         ];
         for z in cases {
             for total in 4..=7 {
@@ -286,13 +336,7 @@ mod tests {
         let k = z.len();
         let d = z[0].len();
         // Enumerate subsets per row as bitmasks, combine recursively.
-        fn rec(
-            z: &[Vec<f64>],
-            row: usize,
-            left: usize,
-            min_per_row: usize,
-            d: usize,
-        ) -> f64 {
+        fn rec(z: &[Vec<f64>], row: usize, left: usize, min_per_row: usize, d: usize) -> f64 {
             let k = z.len();
             if row == k {
                 return if left == 0 { 0.0 } else { f64::INFINITY };
@@ -327,7 +371,7 @@ mod tests {
         // Medoid 0 at origin. Locality points are tight on dims {0, 1}
         // and spread on dims {2, 3}.
         let rows: Vec<[f64; 4]> = vec![
-            [0.0, 0.0, 0.0, 0.0],    // medoid
+            [0.0, 0.0, 0.0, 0.0], // medoid
             [0.1, 0.2, 30.0, 40.0],
             [0.2, 0.1, 50.0, 20.0],
             [0.15, 0.12, 10.0, 60.0],

@@ -76,12 +76,7 @@ mod tests {
         // Cluster 0: points (0) and (2) on dim {0} -> centroid 1,
         // avg |p - c| = 1. Cluster 1: points (10) and (10) -> spread 0.
         let m = Matrix::from_rows(&[[0.0], [2.0], [10.0], [10.0]], 1);
-        let obj = evaluate_clusters(
-            &m,
-            &[vec![0, 1], vec![2, 3]],
-            &[vec![0], vec![0]],
-            4,
-        );
+        let obj = evaluate_clusters(&m, &[vec![0, 1], vec![2, 3]], &[vec![0], vec![0]], 4);
         // (2 * 1 + 2 * 0) / 4 = 0.5
         assert!((obj - 0.5).abs() < 1e-12);
     }

@@ -6,6 +6,7 @@
 //! set; PROCLUS uses it only to shrink a random sample down to the
 //! candidate medoid set `M`, precisely because it also loves outliers.
 
+use proclus_math::order::total_cmp_nan_first;
 use proclus_math::{Distance, Matrix};
 use rand::Rng;
 
@@ -41,10 +42,12 @@ pub fn greedy_select<D: Distance, R: Rng + ?Sized>(
 
     while chosen.len() < count {
         // Farthest candidate from the chosen set.
+        // NaN-safe: a NaN distance (degenerate data) ranks first, i.e.
+        // smallest, so it can never be selected as the farthest point.
         let (next_pos, _) = dist
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .max_by(|(_, a), (_, b)| total_cmp_nan_first(**a, **b))
             .expect("candidates nonempty");
         let next = candidates[next_pos];
         chosen.push(next);
@@ -91,8 +94,7 @@ mod tests {
         let candidates: Vec<usize> = (0..9).collect();
         for seed in 0..20 {
             let mut r = StdRng::seed_from_u64(seed);
-            let sel =
-                greedy_select(&m, &candidates, 3, &DistanceKind::Manhattan, &mut r);
+            let sel = greedy_select(&m, &candidates, 3, &DistanceKind::Manhattan, &mut r);
             let mut groups: Vec<usize> = sel.iter().map(|&i| i / 3).collect();
             groups.sort_unstable();
             assert_eq!(groups, vec![0, 1, 2], "seed {seed}: {sel:?}");
@@ -102,7 +104,9 @@ mod tests {
     #[test]
     fn greedy_returns_requested_count_of_distinct_points() {
         let m = Matrix::from_rows(
-            &(0..50).map(|i| [i as f64, (i * 7 % 13) as f64]).collect::<Vec<_>>(),
+            &(0..50)
+                .map(|i| [i as f64, (i * 7 % 13) as f64])
+                .collect::<Vec<_>>(),
             2,
         );
         let candidates: Vec<usize> = (0..50).collect();
@@ -136,6 +140,23 @@ mod tests {
         let mut s = sel.clone();
         s.sort_unstable();
         assert_eq!(s, vec![1, 3]);
+    }
+
+    /// Regression: a NaN coordinate used to panic the farthest-point
+    /// `max_by` (`partial_cmp().unwrap()`). NaN distances now rank
+    /// smallest, so the degenerate point is simply never selected.
+    #[test]
+    fn greedy_survives_nan_coordinates() {
+        let m = Matrix::from_rows(&[[0.0], [f64::NAN], [10.0], [20.0], [30.0]], 1);
+        let candidates: Vec<usize> = (0..5).collect();
+        for seed in 0..8 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let sel = greedy_select(&m, &candidates, 3, &DistanceKind::Manhattan, &mut r);
+            assert_eq!(sel.len(), 3);
+            // The NaN point is never *greedily* chosen; it can only
+            // appear as the random seed point.
+            assert!(!sel[1..].contains(&1), "seed {seed}: {sel:?}");
+        }
     }
 
     /// The greedy rule: each added point maximizes min-distance to the

@@ -11,15 +11,15 @@
 //! phase.
 
 use crate::assign::group_members;
-use crate::dims::find_dimensions_opt;
+use crate::dims::find_dimensions_from_averages;
 use crate::error::ProclusError;
 use crate::evaluate::{bad_medoids, evaluate_clusters};
 use crate::init::candidate_medoids;
 use crate::locality::medoid_deltas;
 use crate::model::ProclusModel;
-use crate::parallel::{assign_points_parallel, localities_parallel};
 use crate::params::Proclus;
-use crate::refine::refine_opt;
+use crate::pool::{with_pool, Pool};
+use crate::refine::refine_with_pool;
 use proclus_math::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
@@ -29,22 +29,28 @@ use rand::SeedableRng;
 /// Execute the full three-phase PROCLUS algorithm: `restarts`
 /// independent climbs, keeping the run with the lowest iterative
 /// objective.
+///
+/// The worker pool (see [`crate::pool`]) is created once here and
+/// shared by every restart, round, and the refinement phase — no
+/// per-round thread spawning.
 pub fn run(params: &Proclus, points: &Matrix) -> Result<ProclusModel, ProclusError> {
     params.validate(points.rows(), points.cols())?;
-    let mut best: Option<ProclusModel> = None;
-    for r in 0..params.restarts.max(1) {
-        let seed = params
-            .rng_seed
-            .wrapping_add((r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let model = run_once(params, points, seed, None)?;
-        if best
-            .as_ref()
-            .is_none_or(|b| model.iterative_objective() < b.iterative_objective())
-        {
-            best = Some(model);
+    with_pool(points, params.distance, params.threads, |pool| {
+        let mut best: Option<ProclusModel> = None;
+        for r in 0..params.restarts.max(1) {
+            let seed = params
+                .rng_seed
+                .wrapping_add((r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let model = run_once(params, points, seed, None, pool)?;
+            if best
+                .as_ref()
+                .is_none_or(|b| model.iterative_objective() < b.iterative_objective())
+            {
+                best = Some(model);
+            }
         }
-    }
-    Ok(best.expect("restarts >= 1"))
+        Ok(best.expect("restarts >= 1"))
+    })
 }
 
 /// Like [`run`] but hill climbing starts from a caller-supplied medoid
@@ -84,16 +90,20 @@ pub fn run_from_medoids(
             points.rows()
         )));
     }
-    run_once(params, points, params.rng_seed, Some(initial))
+    with_pool(points, params.distance, params.threads, |pool| {
+        run_once(params, points, params.rng_seed, Some(initial), pool)
+    })
 }
 
 /// One initialization + hill climb + refinement, from `seed`.
-/// `forced_start` pins the first vertex of the climb.
+/// `forced_start` pins the first vertex of the climb. All O(N·k·d)
+/// passes run through `pool`.
 fn run_once(
     params: &Proclus,
     points: &Matrix,
     seed: u64,
     forced_start: Option<&[usize]>,
+    pool: &mut Pool<'_>,
 ) -> Result<ProclusModel, ProclusError> {
     let n = points.rows();
     let k = params.k;
@@ -132,35 +142,40 @@ fn run_once(
     loop {
         rounds += 1;
         let deltas = medoid_deltas(points, &current, metric);
-        let locs =
-            localities_parallel(points, &current, &deltas, metric, params.threads);
-        let mut dims = find_dimensions_opt(
-            points,
-            &current,
-            &locs,
-            total_dims,
-            params.standardize_dimensions,
-        );
-        let flat = assign_points_parallel(points, &current, &dims, metric, params.threads);
-        let mut clusters = {
+        // Fused pass: locality membership and the per-dimension average
+        // distances X over the localities come from a single O(N·k·d)
+        // sweep (the localities themselves are only needed for the X
+        // reference sets, which the kernel folds in as it tests them).
+        let (_locs, x) = pool.fused_round(&current, &deltas);
+        let mut dims = find_dimensions_from_averages(&x, total_dims, params.standardize_dimensions);
+        // Sharpen the dimension estimates against the assigned clusters
+        // (see `Proclus::inner_refinements`): localities blur together
+        // in high dimensions, clusters do not. When a recomputation
+        // follows, the assignment pass also accumulates the
+        // cluster-based X it will need (one sweep instead of two).
+        let mut cluster_x: Option<Vec<Vec<f64>>> = None;
+        let mut flat = if params.inner_refinements > 0 {
+            let (f, cx) = pool.assign_x(&current, &dims);
+            cluster_x = Some(cx);
+            f
+        } else {
+            pool.assign(&current, &dims)
+        };
+        for r in 0..params.inner_refinements {
+            let cx = cluster_x.take().expect("previous pass accumulated X");
+            dims = find_dimensions_from_averages(&cx, total_dims, params.standardize_dimensions);
+            if r + 1 < params.inner_refinements {
+                let (f, cx) = pool.assign_x(&current, &dims);
+                cluster_x = Some(cx);
+                flat = f;
+            } else {
+                flat = pool.assign(&current, &dims);
+            }
+        }
+        let clusters = {
             let opt: Vec<Option<usize>> = flat.iter().map(|&a| Some(a)).collect();
             group_members(&opt, k)
         };
-        // Sharpen the dimension estimates against the assigned clusters
-        // (see `Proclus::inner_refinements`): localities blur together
-        // in high dimensions, clusters do not.
-        for _ in 0..params.inner_refinements {
-            dims = find_dimensions_opt(
-                points,
-                &current,
-                &clusters,
-                total_dims,
-                params.standardize_dimensions,
-            );
-            let flat = assign_points_parallel(points, &current, &dims, metric, params.threads);
-            let opt: Vec<Option<usize>> = flat.iter().map(|&a| Some(a)).collect();
-            clusters = group_members(&opt, k);
-        }
         let objective = evaluate_clusters(points, &clusters, &dims, n);
 
         if objective < best_objective {
@@ -177,6 +192,14 @@ fn run_once(
             break;
         }
 
+        // No round has improved on infinity — the objective is NaN on
+        // every vertex (degenerate data, e.g. NaN coordinates). There
+        // is no best clustering to mine for bad medoids; stop climbing
+        // and let refinement classify what it can.
+        if best_clusters.is_empty() {
+            break;
+        }
+
         // Replace the bad medoids of the best vertex with random unused
         // candidates to form the next vertex.
         let sizes: Vec<usize> = best_clusters.iter().map(Vec::len).collect();
@@ -190,12 +213,11 @@ fn run_once(
     }
 
     // ---- Phase 3: refinement -------------------------------------------
-    let refined = refine_opt(
-        points,
+    let refined = refine_with_pool(
+        pool,
         &best,
         &best_clusters,
         total_dims,
-        metric,
         params.standardize_dimensions,
     );
     let final_clusters = group_members(&refined.assignment, k);
@@ -273,6 +295,34 @@ mod tests {
             sorted.sort_unstable();
             sorted.dedup();
             assert_eq!(sorted.len(), 3, "{next:?}");
+        }
+    }
+
+    /// Regression: a NaN coordinate makes every round's objective NaN,
+    /// so no round ever "improves" and `best_clusters` stays empty —
+    /// the bad-medoid step used to hit `bad_medoids`'s `k > 0`
+    /// assertion. The climb now stops gracefully and refinement
+    /// classifies the finite points.
+    #[test]
+    fn fit_survives_nan_coordinates() {
+        let rows: Vec<[f64; 2]> = vec![
+            [0.0, 0.0],
+            [f64::NAN, 1.0],
+            [1.0, 0.5],
+            [0.5, 0.2],
+            [10.0, 10.0],
+            [10.5, 10.2],
+            [9.9, 10.1],
+            [10.2, 9.8],
+        ];
+        let m = Matrix::from_rows(&rows, 2);
+        for seed in 0..6 {
+            let model = Proclus::new(2, 2.0)
+                .seed(seed)
+                .fit(&m)
+                .expect("valid parameters");
+            assert_eq!(model.clusters().len(), 2, "seed {seed}");
+            assert_eq!(model.assignment().len(), 8, "seed {seed}");
         }
     }
 

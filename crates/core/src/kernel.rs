@@ -1,0 +1,477 @@
+//! Block-level compute kernels for the O(N·k·d) passes of a
+//! hill-climbing round, shared by the serial path and the worker pool
+//! ([`crate::pool`]).
+//!
+//! # The fused pass
+//!
+//! A round of the iterative phase historically made two sweeps over the
+//! data: one to test every point against every medoid's locality radius
+//! (full-space segmental distance) and one to accumulate the
+//! per-dimension average distances `Xᵢⱼ` over each locality. Both need
+//! the same `|p_j − m_j|` values, so [`fused_block`] computes them once
+//! per (point, medoid) pair: the absolute differences fill a scratch
+//! buffer, the locality test folds them into the segmental distance,
+//! and — when the point is inside the locality — the very same buffer
+//! is added into the `Xᵢⱼ` accumulator. One O(N·k·d) sweep instead of
+//! two.
+//!
+//! # Determinism
+//!
+//! All kernels operate on fixed-size row blocks of [`BLOCK`] points.
+//! A block's partial result depends only on the block's rows, never on
+//! which thread ran it, and partials are merged on the coordinating
+//! thread in ascending block order. Floating-point accumulation order
+//! is therefore *canonical*: every thread count (including the serial
+//! path, which runs the identical per-block code) produces bit-identical
+//! localities, `X` sums, dimension sets, and assignments.
+//!
+//! The segmental distances computed from the scratch buffer are
+//! bit-identical to [`DistanceKind::eval_segmental`] over the full
+//! dimension list: the summation order is the same, and for the
+//! Euclidean kind `|x|·|x|` equals `x·x` bitwise (taking the absolute
+//! value only clears the sign bit).
+
+use proclus_math::{DistanceKind, Matrix};
+
+/// Rows per work block. Large enough that per-block dispatch overhead
+/// vanishes, small enough that a round over 100k points yields ~100
+/// blocks for load balancing.
+pub const BLOCK: usize = 1024;
+
+/// Contiguous `(start, end)` row ranges of at most [`BLOCK`] rows
+/// covering `0..n`. This tiling is *fixed* for a given `n` — it defines
+/// the canonical accumulation grouping and must not depend on the
+/// thread count.
+pub fn blocks(n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(n.div_ceil(BLOCK));
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + BLOCK).min(n);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
+}
+
+/// Partial result of the fused locality + `X` pass over one block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FusedPartial {
+    /// Per-medoid locality members found in this block (ascending).
+    pub locs: Vec<Vec<usize>>,
+    /// Per-medoid, per-dimension sums of `|p_j − m_j|` over this
+    /// block's locality members.
+    pub xsums: Vec<Vec<f64>>,
+}
+
+/// Fold a scratch buffer of absolute per-dimension differences into the
+/// full-space segmental distance, bit-identical to
+/// `metric.eval_segmental(a, b, &[0, 1, …, d-1])`.
+#[inline]
+fn segmental_from_diffs(metric: DistanceKind, diffs: &[f64]) -> f64 {
+    match metric {
+        DistanceKind::Manhattan => diffs.iter().sum::<f64>() / diffs.len() as f64,
+        DistanceKind::Euclidean => {
+            let sum: f64 = diffs.iter().map(|&v| v * v).sum();
+            (sum / diffs.len() as f64).sqrt()
+        }
+        DistanceKind::Chebyshev => diffs.iter().copied().fold(0.0, f64::max),
+    }
+}
+
+/// The fused pass over rows `lo..hi`: locality membership for every
+/// (point, medoid) pair plus the `Xᵢⱼ` partial sums over the members,
+/// from a single computation of the `|p_j − m_j|` differences.
+pub fn fused_block(
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    deltas: &[f64],
+    lo: usize,
+    hi: usize,
+) -> FusedPartial {
+    let d = points.cols();
+    let k = medoids.len();
+    let mut locs: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut xsums = vec![vec![0.0; d]; k];
+    let mut diffs = vec![0.0; d];
+    for p in lo..hi {
+        let prow = points.row(p);
+        for (i, &m) in medoids.iter().enumerate() {
+            let mrow = points.row(m);
+            for j in 0..d {
+                diffs[j] = (prow[j] - mrow[j]).abs();
+            }
+            if segmental_from_diffs(metric, &diffs) <= deltas[i] {
+                locs[i].push(p);
+                let xi = &mut xsums[i];
+                for j in 0..d {
+                    xi[j] += diffs[j];
+                }
+            }
+        }
+    }
+    FusedPartial { locs, xsums }
+}
+
+/// Merge fused partials (given in ascending block order) into the final
+/// localities and the `X` averages (`Xᵢⱼ` = mean over locality `i` of
+/// `|p_j − m_j|`; an empty locality yields an all-zero row, matching
+/// [`crate::dims::average_dimension_distances`]).
+pub fn merge_fused(
+    partials: Vec<FusedPartial>,
+    k: usize,
+    d: usize,
+) -> (Vec<Vec<usize>>, Vec<Vec<f64>>) {
+    let mut locs: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut x = vec![vec![0.0; d]; k];
+    for mut part in partials {
+        for (i, local) in part.locs.iter_mut().enumerate() {
+            locs[i].append(local);
+        }
+        for (xi, pi) in x.iter_mut().zip(&part.xsums) {
+            for (a, b) in xi.iter_mut().zip(pi) {
+                *a += b;
+            }
+        }
+    }
+    for (xi, li) in x.iter_mut().zip(&locs) {
+        if !li.is_empty() {
+            let inv = 1.0 / li.len() as f64;
+            for v in xi.iter_mut() {
+                *v *= inv;
+            }
+        }
+    }
+    (locs, x)
+}
+
+/// Assignment over rows `lo..hi`: each point goes to the medoid with the
+/// smallest segmental distance under that medoid's dimension set, ties
+/// to the lower index — bit-identical to
+/// [`crate::assign::assign_points`] restricted to the block.
+pub fn assign_block(
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    lo: usize,
+    hi: usize,
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(hi - lo);
+    for p in lo..hi {
+        let row = points.row(p);
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for (i, (&m, di)) in medoids.iter().zip(dims).enumerate() {
+            let dist = metric.eval_segmental(row, points.row(m), di);
+            if dist < best_dist {
+                best_dist = dist;
+                best = i;
+            }
+        }
+        out.push(best);
+    }
+    out
+}
+
+/// Partial result of the fused assign + cluster-`X` pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssignXPartial {
+    /// Winning medoid per row of the block.
+    pub assignment: Vec<usize>,
+    /// Per-cluster, per-dimension sums of `|p_j − m_j|` to the winning
+    /// medoid, over this block's rows.
+    pub xsums: Vec<Vec<f64>>,
+}
+
+/// Assignment fused with the cluster-based `X` accumulation the inner
+/// refinement loop needs: once a point's winning medoid is known, its
+/// full-dimensional `|p_j − m_j|` differences are added to that
+/// cluster's `X` sums in the same sweep, saving the separate O(N·d)
+/// pass over the freshly formed clusters.
+pub fn assign_x_block(
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    lo: usize,
+    hi: usize,
+) -> AssignXPartial {
+    let d = points.cols();
+    let mut xsums = vec![vec![0.0; d]; medoids.len()];
+    let mut assignment = Vec::with_capacity(hi - lo);
+    for p in lo..hi {
+        let row = points.row(p);
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for (i, (&m, di)) in medoids.iter().zip(dims).enumerate() {
+            let dist = metric.eval_segmental(row, points.row(m), di);
+            if dist < best_dist {
+                best_dist = dist;
+                best = i;
+            }
+        }
+        assignment.push(best);
+        let mrow = points.row(medoids[best]);
+        let xi = &mut xsums[best];
+        for j in 0..d {
+            xi[j] += (row[j] - mrow[j]).abs();
+        }
+    }
+    AssignXPartial { assignment, xsums }
+}
+
+/// Merge assign-`X` partials (ascending block order) into the flat
+/// assignment and the per-cluster `X` averages.
+pub fn merge_assign_x(
+    partials: Vec<AssignXPartial>,
+    k: usize,
+    d: usize,
+) -> (Vec<usize>, Vec<Vec<f64>>) {
+    let mut flat = Vec::new();
+    let mut x = vec![vec![0.0; d]; k];
+    for mut part in partials {
+        flat.append(&mut part.assignment);
+        for (xi, pi) in x.iter_mut().zip(&part.xsums) {
+            for (a, b) in xi.iter_mut().zip(pi) {
+                *a += b;
+            }
+        }
+    }
+    let mut counts = vec![0usize; k];
+    for &a in &flat {
+        counts[a] += 1;
+    }
+    for (xi, &c) in x.iter_mut().zip(&counts) {
+        if c > 0 {
+            let inv = 1.0 / c as f64;
+            for v in xi.iter_mut() {
+                *v *= inv;
+            }
+        }
+    }
+    (flat, x)
+}
+
+/// Cluster-based `X` partial sums over rows `lo..hi` for a fixed
+/// assignment (`None` entries — outliers — contribute to no cluster).
+/// Used by the refinement phase, where the reference sets are the final
+/// iterative clusters rather than a just-computed assignment.
+pub fn cluster_x_block(
+    points: &Matrix,
+    medoids: &[usize],
+    assignment: &[Option<usize>],
+    lo: usize,
+    hi: usize,
+) -> Vec<Vec<f64>> {
+    let d = points.cols();
+    let mut xsums = vec![vec![0.0; d]; medoids.len()];
+    for (p, a) in assignment.iter().enumerate().take(hi).skip(lo) {
+        let Some(i) = *a else { continue };
+        let row = points.row(p);
+        let mrow = points.row(medoids[i]);
+        let xi = &mut xsums[i];
+        for j in 0..d {
+            xi[j] += (row[j] - mrow[j]).abs();
+        }
+    }
+    xsums
+}
+
+/// Merge cluster-`X` partials into averages, dividing by the reference
+/// set sizes (`counts[i]` = number of points assigned to cluster `i`).
+pub fn merge_cluster_x(partials: Vec<Vec<Vec<f64>>>, counts: &[usize], d: usize) -> Vec<Vec<f64>> {
+    let mut x = vec![vec![0.0; d]; counts.len()];
+    for part in partials {
+        for (xi, pi) in x.iter_mut().zip(&part) {
+            for (a, b) in xi.iter_mut().zip(pi) {
+                *a += b;
+            }
+        }
+    }
+    for (xi, &c) in x.iter_mut().zip(counts) {
+        if c > 0 {
+            let inv = 1.0 / c as f64;
+            for v in xi.iter_mut() {
+                *v *= inv;
+            }
+        }
+    }
+    x
+}
+
+/// Refinement assignment over rows `lo..hi`: nearest medoid under the
+/// per-medoid dimension sets, `None` when the point lies inside no
+/// medoid's sphere of influence — bit-identical to the loop in
+/// [`crate::refine::refine_opt`] restricted to the block.
+pub fn refine_assign_block(
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    spheres: &[f64],
+    lo: usize,
+    hi: usize,
+) -> Vec<Option<usize>> {
+    let mut out = Vec::with_capacity(hi - lo);
+    for p in lo..hi {
+        let row = points.row(p);
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        let mut inside_any = false;
+        for (i, (&m, di)) in medoids.iter().zip(dims).enumerate() {
+            let dist = metric.eval_segmental(row, points.row(m), di);
+            if dist <= spheres[i] {
+                inside_any = true;
+            }
+            if dist < best_dist {
+                best_dist = dist;
+                best = i;
+            }
+        }
+        out.push(inside_any.then_some(best));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locality::{localities, medoid_deltas};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * d).map(|_| rng.random_range(0.0..100.0)).collect();
+        Matrix::from_vec(data, n, d)
+    }
+
+    #[test]
+    fn blocks_tile_exactly() {
+        for n in [0, 1, BLOCK - 1, BLOCK, BLOCK + 1, 5 * BLOCK + 17] {
+            let bs = blocks(n);
+            if n == 0 {
+                assert!(bs.is_empty());
+                continue;
+            }
+            assert_eq!(bs[0].0, 0);
+            assert_eq!(bs.last().unwrap().1, n);
+            for w in bs.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+            assert!(bs.iter().all(|&(a, b)| b > a && b - a <= BLOCK));
+        }
+    }
+
+    #[test]
+    fn fused_localities_match_legacy_exactly() {
+        for metric in [
+            DistanceKind::Manhattan,
+            DistanceKind::Euclidean,
+            DistanceKind::Chebyshev,
+        ] {
+            let points = random_points(700, 6, 11);
+            let medoids = vec![3usize, 99, 402];
+            let deltas = medoid_deltas(&points, &medoids, metric);
+            let legacy = localities(&points, &medoids, &deltas, metric);
+            let partials: Vec<FusedPartial> = blocks(points.rows())
+                .into_iter()
+                .map(|(lo, hi)| fused_block(&points, metric, &medoids, &deltas, lo, hi))
+                .collect();
+            let (locs, _) = merge_fused(partials, medoids.len(), points.cols());
+            assert_eq!(locs, legacy, "{metric:?}");
+        }
+    }
+
+    #[test]
+    fn fused_x_matches_direct_blocked_sum() {
+        // The X averages must equal the blocked accumulation over the
+        // merged localities (the canonical order), independent of how
+        // rows are grouped into fused calls.
+        let points = random_points(300, 4, 5);
+        let medoids = vec![0usize, 150];
+        let metric = DistanceKind::Manhattan;
+        let deltas = medoid_deltas(&points, &medoids, metric);
+        let one_block = fused_block(&points, metric, &medoids, &deltas, 0, 300);
+        let (locs_a, x_a) = merge_fused(vec![one_block], 2, 4);
+        let partials: Vec<FusedPartial> = [(0, 77), (77, 200), (200, 300)]
+            .into_iter()
+            .map(|(lo, hi)| fused_block(&points, metric, &medoids, &deltas, lo, hi))
+            .collect();
+        let (locs_b, x_b) = merge_fused(partials, 2, 4);
+        assert_eq!(locs_a, locs_b);
+        // Note: different groupings may differ in the last ulp of the
+        // sums; the canonical tiling is fixed, so production paths never
+        // regroup. Here the values should still be essentially equal.
+        for (ra, rb) in x_a.iter().zip(&x_b) {
+            for (a, b) in ra.iter().zip(rb) {
+                assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn assign_block_matches_assign_points() {
+        let points = random_points(500, 5, 9);
+        let medoids = vec![0usize, 100, 300];
+        let dims = vec![vec![0, 1], vec![2, 3], vec![1, 4]];
+        let metric = DistanceKind::Manhattan;
+        let legacy = crate::assign::assign_points(&points, &medoids, &dims, metric);
+        let flat: Vec<usize> = blocks(points.rows())
+            .into_iter()
+            .flat_map(|(lo, hi)| assign_block(&points, metric, &medoids, &dims, lo, hi))
+            .collect();
+        assert_eq!(flat, legacy);
+    }
+
+    #[test]
+    fn assign_x_assignment_matches_plain_assign() {
+        let points = random_points(400, 5, 13);
+        let medoids = vec![7usize, 200];
+        let dims = vec![vec![0, 2], vec![1, 3]];
+        let metric = DistanceKind::Manhattan;
+        let partials: Vec<AssignXPartial> = blocks(points.rows())
+            .into_iter()
+            .map(|(lo, hi)| assign_x_block(&points, metric, &medoids, &dims, lo, hi))
+            .collect();
+        let (flat, x) = merge_assign_x(partials, 2, 5);
+        assert_eq!(
+            flat,
+            crate::assign::assign_points(&points, &medoids, &dims, metric)
+        );
+        // X must equal the cluster-based average_dimension_distances up
+        // to accumulation-order rounding.
+        let opt: Vec<Option<usize>> = flat.iter().map(|&a| Some(a)).collect();
+        let clusters = crate::assign::group_members(&opt, 2);
+        let legacy = crate::dims::average_dimension_distances(&points, &medoids, &clusters);
+        for (ra, rb) in x.iter().zip(&legacy) {
+            for (a, b) in ra.iter().zip(rb) {
+                assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn refine_assign_block_marks_outliers() {
+        let rows: Vec<[f64; 2]> = vec![[0.0, 0.0], [10.0, 10.0], [500.0, 500.0]];
+        let points = Matrix::from_rows(&rows, 2);
+        let medoids = vec![0usize, 1];
+        let dims = vec![vec![0, 1], vec![0, 1]];
+        let metric = DistanceKind::Manhattan;
+        let spheres = crate::refine::spheres_of_influence(&points, &medoids, &dims, metric);
+        let out = refine_assign_block(&points, metric, &medoids, &dims, &spheres, 0, 3);
+        assert_eq!(out, vec![Some(0), Some(1), None]);
+    }
+
+    #[test]
+    fn cluster_x_skips_outliers() {
+        let rows: Vec<[f64; 2]> = vec![[0.0, 0.0], [1.0, 3.0], [900.0, 900.0]];
+        let points = Matrix::from_rows(&rows, 2);
+        let assignment = vec![Some(0), Some(0), None];
+        let partial = cluster_x_block(&points, &[0], &assignment, 0, 3);
+        let x = merge_cluster_x(vec![partial], &[2], 2);
+        // Members {0, 1}: mean |diff| = (0 + 1)/2 and (0 + 3)/2.
+        assert_eq!(x, vec![vec![0.5, 1.5]]);
+    }
+}

@@ -50,10 +50,12 @@ pub mod evaluate;
 pub mod greedy;
 pub mod init;
 pub mod iterate;
+pub mod kernel;
 pub mod locality;
 pub mod model;
 pub mod parallel;
 pub mod params;
+pub mod pool;
 pub mod refine;
 
 pub use error::ProclusError;

@@ -25,11 +25,8 @@ pub fn medoid_deltas(points: &Matrix, medoids: &[usize], metric: DistanceKind) -
     let mut deltas = vec![f64::INFINITY; k];
     for i in 0..k {
         for j in (i + 1)..k {
-            let dist = metric.eval_segmental(
-                points.row(medoids[i]),
-                points.row(medoids[j]),
-                &all_dims,
-            );
+            let dist =
+                metric.eval_segmental(points.row(medoids[i]), points.row(medoids[j]), &all_dims);
             if dist < deltas[i] {
                 deltas[i] = dist;
             }
@@ -122,6 +119,37 @@ mod tests {
         let all: Vec<usize> = locs.concat();
         assert!(!all.contains(&10), "far point not in any locality");
         assert!(locs[0].contains(&2) && locs[1].contains(&0), "overlap ok");
+    }
+
+    /// Duplicate points chosen as distinct medoids make `δᵢ = 0`: each
+    /// locality degenerates to exactly the set of coordinate-identical
+    /// points (distance `0 ≤ δᵢ`), never goes empty, and the fused
+    /// pooled kernel agrees with the legacy path (its `X` averages are
+    /// all-zero, since every contributing difference is zero).
+    #[test]
+    fn duplicate_medoids_yield_zero_delta_localities() {
+        // Rows 0, 1, and 4 are coordinate-identical; 0 and 1 are both
+        // medoids.
+        let rows: Vec<[f64; 1]> = vec![[5.0], [5.0], [0.0], [10.0], [5.0]];
+        let m = Matrix::from_rows(&rows, 1);
+        let medoids = [0usize, 1];
+        let metric = DistanceKind::Manhattan;
+
+        let deltas = medoid_deltas(&m, &medoids, metric);
+        assert_eq!(deltas, vec![0.0, 0.0]);
+
+        let locs = localities(&m, &medoids, &deltas, metric);
+        for (i, loc) in locs.iter().enumerate() {
+            assert_eq!(*loc, vec![0, 1, 4], "locality {i}");
+            assert!(loc.contains(&medoids[i]), "medoid {i} in its locality");
+        }
+
+        let (fused_locs, x) =
+            crate::pool::with_pool(&m, metric, 1, |pool| pool.fused_round(&medoids, &deltas));
+        assert_eq!(fused_locs, locs);
+        for xi in &x {
+            assert!(xi.iter().all(|&v| v == 0.0), "X over duplicates is zero");
+        }
     }
 
     #[test]

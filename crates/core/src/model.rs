@@ -211,7 +211,13 @@ mod tests {
 
     fn toy_model() -> ProclusModel {
         let m = Matrix::from_rows(
-            &[[0.0, 0.0], [10.0, 10.0], [0.5, 0.0], [10.0, 9.0], [50.0, 50.0]],
+            &[
+                [0.0, 0.0],
+                [10.0, 10.0],
+                [0.5, 0.0],
+                [10.0, 9.0],
+                [50.0, 50.0],
+            ],
             2,
         );
         ProclusModel::from_parts(
@@ -261,10 +267,7 @@ mod tests {
     #[test]
     fn labels_encode_outliers_as_max() {
         let m = toy_model();
-        assert_eq!(
-            m.labels(),
-            vec![0, 1, 0, 1, usize::MAX]
-        );
+        assert_eq!(m.labels(), vec![0, 1, 0, 1, usize::MAX]);
     }
 
     #[test]

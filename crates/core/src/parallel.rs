@@ -1,36 +1,20 @@
-//! Multi-threaded variants of the two O(N·k·d) passes that dominate a
-//! hill-climbing round: locality membership and point assignment.
+//! Compatibility wrappers over the worker pool ([`crate::pool`]) for
+//! one-shot parallel locality and assignment passes.
 //!
-//! Both passes are pure maps over the points, so chunking the rows over
-//! `threads` scoped workers (crossbeam) produces bit-identical results
-//! to the serial code in any thread count — determinism is preserved
-//! and property-tested. Enabled via [`Proclus::threads`]
-//! (default 1 = serial, matching the paper's single-threaded runtime
-//! model for Figures 7–9).
+//! These entry points predate the persistent pool: they spin a pool up,
+//! run a single pass, and tear it down, which is convenient for callers
+//! outside a full fit (benchmarks, tests, external users of the
+//! phase-level API). Inside [`crate::iterate`] the pool is created once
+//! per fit and reused across every round — prefer that for anything
+//! performance-sensitive.
 //!
-//! [`Proclus::threads`]: crate::Proclus::threads
+//! Results are bit-identical to the serial functions
+//! ([`crate::assign::assign_points`], [`crate::locality::localities`])
+//! for every `threads` value: both passes make purely per-point
+//! decisions, so no floating-point accumulation order is at stake.
 
+use crate::pool::with_pool;
 use proclus_math::{DistanceKind, Matrix};
-
-/// Split `n` items into at most `threads` contiguous chunks of
-/// near-equal size. Returns `(start, end)` ranges; never returns empty
-/// chunks.
-fn chunks(n: usize, threads: usize) -> Vec<(usize, usize)> {
-    let t = threads.max(1).min(n.max(1));
-    let base = n / t;
-    let extra = n % t;
-    let mut out = Vec::with_capacity(t);
-    let mut start = 0;
-    for i in 0..t {
-        let len = base + usize::from(i < extra);
-        if len == 0 {
-            break;
-        }
-        out.push((start, start + len));
-        start += len;
-    }
-    out
-}
 
 /// Parallel version of [`crate::assign::assign_points`]; identical
 /// output for every `threads` value.
@@ -41,40 +25,7 @@ pub fn assign_points_parallel(
     metric: DistanceKind,
     threads: usize,
 ) -> Vec<usize> {
-    if threads <= 1 || points.rows() < 2 * threads {
-        return crate::assign::assign_points(points, medoids, dims, metric);
-    }
-    let ranges = chunks(points.rows(), threads);
-    let mut parts: Vec<Vec<usize>> = Vec::with_capacity(ranges.len());
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|&(lo, hi)| {
-                s.spawn(move |_| {
-                    let mut out = Vec::with_capacity(hi - lo);
-                    for p in lo..hi {
-                        let row = points.row(p);
-                        let mut best = 0usize;
-                        let mut best_dist = f64::INFINITY;
-                        for (i, (&m, di)) in medoids.iter().zip(dims).enumerate() {
-                            let dist = metric.eval_segmental(row, points.row(m), di);
-                            if dist < best_dist {
-                                best_dist = dist;
-                                best = i;
-                            }
-                        }
-                        out.push(best);
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            parts.push(h.join().expect("assignment worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    parts.concat()
+    with_pool(points, metric, threads, |pool| pool.assign(medoids, dims))
 }
 
 /// Parallel version of [`crate::locality::localities`]; identical
@@ -86,48 +37,9 @@ pub fn localities_parallel(
     metric: DistanceKind,
     threads: usize,
 ) -> Vec<Vec<usize>> {
-    if threads <= 1 || points.rows() < 2 * threads {
-        return crate::locality::localities(points, medoids, deltas, metric);
-    }
-    let d = points.cols();
-    let all_dims: Vec<usize> = (0..d).collect();
-    let all_dims = &all_dims;
-    let ranges = chunks(points.rows(), threads);
-    let mut parts: Vec<Vec<Vec<usize>>> = Vec::with_capacity(ranges.len());
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|&(lo, hi)| {
-                s.spawn(move |_| {
-                    let mut out: Vec<Vec<usize>> = vec![Vec::new(); medoids.len()];
-                    for p in lo..hi {
-                        let row = points.row(p);
-                        for (i, &m) in medoids.iter().enumerate() {
-                            let dist =
-                                metric.eval_segmental(row, points.row(m), all_dims);
-                            if dist <= deltas[i] {
-                                out[i].push(p);
-                            }
-                        }
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            parts.push(h.join().expect("locality worker panicked"));
-        }
+    with_pool(points, metric, threads, |pool| {
+        pool.fused_round(medoids, deltas).0
     })
-    .expect("crossbeam scope");
-
-    // Merge chunk-local localities in chunk order (points stay sorted).
-    let mut merged: Vec<Vec<usize>> = vec![Vec::new(); medoids.len()];
-    for part in parts {
-        for (m, mut local) in merged.iter_mut().zip(part) {
-            m.append(&mut local);
-        }
-    }
-    merged
 }
 
 #[cfg(test)]
@@ -145,43 +57,27 @@ mod tests {
     }
 
     #[test]
-    fn chunks_cover_exactly() {
-        for (n, t) in [(10, 3), (7, 7), (5, 8), (1, 4), (100, 1)] {
-            let cs = chunks(n, t);
-            assert!(cs.len() <= t);
-            assert_eq!(cs[0].0, 0);
-            assert_eq!(cs.last().unwrap().1, n);
-            for w in cs.windows(2) {
-                assert_eq!(w[0].1, w[1].0, "contiguous");
-            }
-            assert!(cs.iter().all(|&(a, b)| b > a), "no empty chunks");
-        }
-    }
-
-    #[test]
     fn parallel_assignment_matches_serial() {
-        let points = random_points(501, 6, 3);
+        let points = random_points(2501, 6, 3);
         let medoids = vec![0usize, 100, 200, 300];
         let dims = vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![0, 5]];
         let metric = DistanceKind::Manhattan;
         let serial = assign_points(&points, &medoids, &dims, metric);
         for threads in [2, 3, 8, 64] {
-            let par =
-                assign_points_parallel(&points, &medoids, &dims, metric, threads);
+            let par = assign_points_parallel(&points, &medoids, &dims, metric, threads);
             assert_eq!(par, serial, "threads = {threads}");
         }
     }
 
     #[test]
     fn parallel_localities_match_serial() {
-        let points = random_points(503, 5, 7);
-        let medoids = vec![1usize, 250, 400];
+        let points = random_points(2503, 5, 7);
+        let medoids = vec![1usize, 1250, 2400];
         let metric = DistanceKind::Manhattan;
         let deltas = medoid_deltas(&points, &medoids, metric);
         let serial = localities(&points, &medoids, &deltas, metric);
         for threads in [2, 5, 16] {
-            let par =
-                localities_parallel(&points, &medoids, &deltas, metric, threads);
+            let par = localities_parallel(&points, &medoids, &deltas, metric, threads);
             assert_eq!(par, serial, "threads = {threads}");
         }
     }

@@ -81,9 +81,12 @@ pub struct Proclus {
     /// allocates raw averages — an ablation that loses the per-medoid
     /// scale normalization.
     pub standardize_dimensions: bool,
-    /// Worker threads for the O(N·k·d) locality and assignment passes
-    /// (default 1 = serial, the paper's runtime model). Results are
-    /// bit-identical for every thread count.
+    /// Worker threads for the O(N·k·d) passes of every round (default
+    /// 1 = serial, the paper's runtime model). The workers are spawned
+    /// once per [`Proclus::fit`] and reused across all rounds and
+    /// restarts (see [`crate::pool`]); work is tiled into fixed row
+    /// blocks whose partial results merge in a canonical order, so the
+    /// fit is **bit-identical for every thread count**.
     pub threads: usize,
 }
 

@@ -1,0 +1,464 @@
+//! A persistent worker pool for the per-round O(N·k·d) passes.
+//!
+//! The previous parallel path spawned a fresh set of scoped threads for
+//! *every* locality and assignment call — hundreds of spawn/join cycles
+//! per fit. This module creates the workers **once per fit** (inside
+//! [`with_pool`]) and reuses them across every hill-climbing round,
+//! restart, and the refinement phase; per-round jobs flow over
+//! channels.
+//!
+//! # Design
+//!
+//! * Workers live inside a [`std::thread::scope`] spanning the whole
+//!   fit, so they can borrow the point matrix directly — no `unsafe`,
+//!   no copying the data (the crate forbids unsafe code).
+//! * Work is distributed as fixed-size row blocks
+//!   ([`crate::kernel::BLOCK`]); a shared queue lets fast workers steal
+//!   the remaining blocks, so an unlucky scheduling of one block never
+//!   idles the rest of the pool.
+//! * Every block result is tagged with its block index and merged on
+//!   the coordinating thread in ascending index order. Together with
+//!   the fixed tiling this makes the result **bit-identical for every
+//!   thread count** — see [`crate::kernel`] for the argument.
+//! * `threads <= 1` (or a dataset smaller than one block) skips the
+//!   workers entirely; the serial path runs the *same* block kernels in
+//!   the same order, so it is the reference the pooled path is compared
+//!   against in the property tests.
+
+use crate::kernel::{self, AssignXPartial, FusedPartial};
+use proclus_math::{DistanceKind, Matrix};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Owned per-round job data shipped to the workers. Small (O(k·d) plus
+/// one `Arc`'d assignment for the refinement pass) — the point matrix
+/// itself is borrowed by the workers, never sent.
+enum Task {
+    Fused {
+        medoids: Arc<Vec<usize>>,
+        deltas: Arc<Vec<f64>>,
+    },
+    Assign {
+        medoids: Arc<Vec<usize>>,
+        dims: Arc<Vec<Vec<usize>>>,
+    },
+    AssignX {
+        medoids: Arc<Vec<usize>>,
+        dims: Arc<Vec<Vec<usize>>>,
+    },
+    ClusterX {
+        medoids: Arc<Vec<usize>>,
+        assignment: Arc<Vec<Option<usize>>>,
+    },
+    RefineAssign {
+        medoids: Arc<Vec<usize>>,
+        dims: Arc<Vec<Vec<usize>>>,
+        spheres: Arc<Vec<f64>>,
+    },
+}
+
+/// One unit of work: a task applied to a row block.
+struct Job {
+    task: Task,
+    block: (usize, usize),
+    index: usize,
+}
+
+/// A block's partial result, matched to the [`Task`] variant.
+enum Partial {
+    Fused(FusedPartial),
+    Assign(Vec<usize>),
+    AssignX(AssignXPartial),
+    ClusterX(Vec<Vec<f64>>),
+    RefineAssign(Vec<Option<usize>>),
+}
+
+impl Task {
+    fn run(&self, points: &Matrix, metric: DistanceKind, lo: usize, hi: usize) -> Partial {
+        match self {
+            Task::Fused { medoids, deltas } => {
+                Partial::Fused(kernel::fused_block(points, metric, medoids, deltas, lo, hi))
+            }
+            Task::Assign { medoids, dims } => {
+                Partial::Assign(kernel::assign_block(points, metric, medoids, dims, lo, hi))
+            }
+            Task::AssignX { medoids, dims } => Partial::AssignX(kernel::assign_x_block(
+                points, metric, medoids, dims, lo, hi,
+            )),
+            Task::ClusterX {
+                medoids,
+                assignment,
+            } => Partial::ClusterX(kernel::cluster_x_block(points, medoids, assignment, lo, hi)),
+            Task::RefineAssign {
+                medoids,
+                dims,
+                spheres,
+            } => Partial::RefineAssign(kernel::refine_assign_block(
+                points, metric, medoids, dims, spheres, lo, hi,
+            )),
+        }
+    }
+
+    fn clone_refs(&self) -> Task {
+        match self {
+            Task::Fused { medoids, deltas } => Task::Fused {
+                medoids: Arc::clone(medoids),
+                deltas: Arc::clone(deltas),
+            },
+            Task::Assign { medoids, dims } => Task::Assign {
+                medoids: Arc::clone(medoids),
+                dims: Arc::clone(dims),
+            },
+            Task::AssignX { medoids, dims } => Task::AssignX {
+                medoids: Arc::clone(medoids),
+                dims: Arc::clone(dims),
+            },
+            Task::ClusterX {
+                medoids,
+                assignment,
+            } => Task::ClusterX {
+                medoids: Arc::clone(medoids),
+                assignment: Arc::clone(assignment),
+            },
+            Task::RefineAssign {
+                medoids,
+                dims,
+                spheres,
+            } => Task::RefineAssign {
+                medoids: Arc::clone(medoids),
+                dims: Arc::clone(dims),
+                spheres: Arc::clone(spheres),
+            },
+        }
+    }
+}
+
+enum Mode {
+    /// No workers: blocks run inline, in order, on the calling thread.
+    Serial,
+    /// Persistent workers consuming from a shared job queue.
+    Pooled {
+        job_tx: Sender<Job>,
+        result_rx: Receiver<(usize, Partial)>,
+    },
+}
+
+/// Handle to the per-fit worker pool (or its serial stand-in). Obtained
+/// via [`with_pool`]; all heavy passes of the fit go through it.
+pub struct Pool<'env> {
+    points: &'env Matrix,
+    metric: DistanceKind,
+    mode: Mode,
+}
+
+/// Run `f` with a [`Pool`] over `points`. With `threads > 1` (and at
+/// least two blocks of data) the workers are spawned once, live for the
+/// whole call, and are joined before this function returns; otherwise
+/// `f` gets a serial pool and no threads are ever created.
+pub fn with_pool<R>(
+    points: &Matrix,
+    metric: DistanceKind,
+    threads: usize,
+    f: impl FnOnce(&mut Pool<'_>) -> R,
+) -> R {
+    let n_blocks = points.rows().div_ceil(kernel::BLOCK);
+    // More workers than blocks would never all run; cap keeps the
+    // spawn cost proportional to useful parallelism. (Results do not
+    // depend on the cap — or on the thread count at all.)
+    let workers = threads.min(n_blocks);
+    if workers <= 1 {
+        let mut pool = Pool {
+            points,
+            metric,
+            mode: Mode::Serial,
+        };
+        return f(&mut pool);
+    }
+    std::thread::scope(|s| {
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (result_tx, result_rx) = mpsc::channel::<(usize, Partial)>();
+        for _ in 0..workers {
+            let rx = Arc::clone(&job_rx);
+            let tx = result_tx.clone();
+            s.spawn(move || {
+                loop {
+                    // Hold the lock only to pop; compute unlocked.
+                    let job = match rx.lock().expect("job queue poisoned").recv() {
+                        Ok(job) => job,
+                        Err(_) => break, // pool dropped: fit is over
+                    };
+                    let (lo, hi) = job.block;
+                    let partial = job.task.run(points, metric, lo, hi);
+                    if tx.send((job.index, partial)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+        let mut pool = Pool {
+            points,
+            metric,
+            mode: Mode::Pooled { job_tx, result_rx },
+        };
+        let out = f(&mut pool);
+        // Dropping the pool closes the job channel; every worker's next
+        // recv fails and it exits, letting the scope join them.
+        drop(pool);
+        out
+    })
+}
+
+impl<'env> Pool<'env> {
+    /// The point matrix this pool's workers operate on. The returned
+    /// reference outlives the pool borrow, so callers can hold it
+    /// across further (mutable) pool calls.
+    pub fn points(&self) -> &'env Matrix {
+        self.points
+    }
+
+    /// The distance kind used by every pass.
+    pub fn metric(&self) -> DistanceKind {
+        self.metric
+    }
+
+    /// Fan a task out over all row blocks and collect the partials in
+    /// ascending block order.
+    fn dispatch(&mut self, task: Task) -> Vec<Partial> {
+        let blocks = kernel::blocks(self.points.rows());
+        match &self.mode {
+            Mode::Serial => blocks
+                .into_iter()
+                .map(|(lo, hi)| task.run(self.points, self.metric, lo, hi))
+                .collect(),
+            Mode::Pooled { job_tx, result_rx } => {
+                let total = blocks.len();
+                for (index, block) in blocks.into_iter().enumerate() {
+                    job_tx
+                        .send(Job {
+                            task: task.clone_refs(),
+                            block,
+                            index,
+                        })
+                        .expect("worker pool hung up");
+                }
+                let mut slots: Vec<Option<Partial>> = (0..total).map(|_| None).collect();
+                for _ in 0..total {
+                    let (index, partial) = result_rx.recv().expect("worker pool hung up");
+                    slots[index] = Some(partial);
+                }
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every block reported"))
+                    .collect()
+            }
+        }
+    }
+
+    /// The fused locality + `X` pass: localities of every medoid and
+    /// the per-dimension average distances over them, from one sweep.
+    pub fn fused_round(
+        &mut self,
+        medoids: &[usize],
+        deltas: &[f64],
+    ) -> (Vec<Vec<usize>>, Vec<Vec<f64>>) {
+        let k = medoids.len();
+        let d = self.points.cols();
+        let partials = self.dispatch(Task::Fused {
+            medoids: Arc::new(medoids.to_vec()),
+            deltas: Arc::new(deltas.to_vec()),
+        });
+        let fused = partials
+            .into_iter()
+            .map(|p| match p {
+                Partial::Fused(f) => f,
+                _ => unreachable!("fused task returns fused partials"),
+            })
+            .collect();
+        kernel::merge_fused(fused, k, d)
+    }
+
+    /// Plain assignment pass (no `X` accumulation).
+    pub fn assign(&mut self, medoids: &[usize], dims: &[Vec<usize>]) -> Vec<usize> {
+        let partials = self.dispatch(Task::Assign {
+            medoids: Arc::new(medoids.to_vec()),
+            dims: Arc::new(dims.to_vec()),
+        });
+        let mut flat = Vec::with_capacity(self.points.rows());
+        for p in partials {
+            match p {
+                Partial::Assign(mut a) => flat.append(&mut a),
+                _ => unreachable!("assign task returns assign partials"),
+            }
+        }
+        flat
+    }
+
+    /// Assignment fused with the cluster-based `X` averages of the
+    /// resulting clusters (consumed by the next inner refinement).
+    pub fn assign_x(
+        &mut self,
+        medoids: &[usize],
+        dims: &[Vec<usize>],
+    ) -> (Vec<usize>, Vec<Vec<f64>>) {
+        let k = medoids.len();
+        let d = self.points.cols();
+        let partials = self.dispatch(Task::AssignX {
+            medoids: Arc::new(medoids.to_vec()),
+            dims: Arc::new(dims.to_vec()),
+        });
+        let parts = partials
+            .into_iter()
+            .map(|p| match p {
+                Partial::AssignX(a) => a,
+                _ => unreachable!("assign_x task returns assign_x partials"),
+            })
+            .collect();
+        kernel::merge_assign_x(parts, k, d)
+    }
+
+    /// Cluster-based `X` averages for a fixed assignment (outliers —
+    /// `None` — contribute nothing). Used by the refinement phase.
+    pub fn cluster_x(
+        &mut self,
+        medoids: &[usize],
+        assignment: Arc<Vec<Option<usize>>>,
+    ) -> Vec<Vec<f64>> {
+        let k = medoids.len();
+        let d = self.points.cols();
+        let mut counts = vec![0usize; k];
+        for a in assignment.iter().flatten() {
+            counts[*a] += 1;
+        }
+        let partials = self.dispatch(Task::ClusterX {
+            medoids: Arc::new(medoids.to_vec()),
+            assignment,
+        });
+        let parts = partials
+            .into_iter()
+            .map(|p| match p {
+                Partial::ClusterX(x) => x,
+                _ => unreachable!("cluster_x task returns cluster_x partials"),
+            })
+            .collect();
+        kernel::merge_cluster_x(parts, &counts, d)
+    }
+
+    /// Refinement assignment: nearest medoid, `None` outside every
+    /// sphere of influence.
+    pub fn refine_assign(
+        &mut self,
+        medoids: &[usize],
+        dims: &[Vec<usize>],
+        spheres: &[f64],
+    ) -> Vec<Option<usize>> {
+        let partials = self.dispatch(Task::RefineAssign {
+            medoids: Arc::new(medoids.to_vec()),
+            dims: Arc::new(dims.to_vec()),
+            spheres: Arc::new(spheres.to_vec()),
+        });
+        let mut flat = Vec::with_capacity(self.points.rows());
+        for p in partials {
+            match p {
+                Partial::RefineAssign(mut a) => flat.append(&mut a),
+                _ => unreachable!("refine task returns refine partials"),
+            }
+        }
+        flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locality::medoid_deltas;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * d).map(|_| rng.random_range(0.0..100.0)).collect();
+        Matrix::from_vec(data, n, d)
+    }
+
+    /// Every pooled pass must be bit-identical to the serial pool for
+    /// any worker count, including counts far above the block count.
+    #[test]
+    fn pooled_passes_match_serial_bit_for_bit() {
+        let points = random_points(3000, 6, 42);
+        let medoids = vec![5usize, 700, 1800];
+        let dims = vec![vec![0, 1], vec![2, 3], vec![4, 5]];
+        let metric = DistanceKind::Manhattan;
+        let deltas = medoid_deltas(&points, &medoids, metric);
+        let spheres = crate::refine::spheres_of_influence(&points, &medoids, &dims, metric);
+
+        let serial = with_pool(&points, metric, 1, |pool| {
+            let fused = pool.fused_round(&medoids, &deltas);
+            let assign = pool.assign(&medoids, &dims);
+            let ax = pool.assign_x(&medoids, &dims);
+            let asg: Arc<Vec<Option<usize>>> = Arc::new(assign.iter().map(|&a| Some(a)).collect());
+            let cx = pool.cluster_x(&medoids, asg);
+            let ra = pool.refine_assign(&medoids, &dims, &spheres);
+            (fused, assign, ax, cx, ra)
+        });
+
+        for threads in [2, 3, 8, 64] {
+            let pooled = with_pool(&points, metric, threads, |pool| {
+                let fused = pool.fused_round(&medoids, &deltas);
+                let assign = pool.assign(&medoids, &dims);
+                let ax = pool.assign_x(&medoids, &dims);
+                let asg: Arc<Vec<Option<usize>>> =
+                    Arc::new(assign.iter().map(|&a| Some(a)).collect());
+                let cx = pool.cluster_x(&medoids, asg);
+                let ra = pool.refine_assign(&medoids, &dims, &spheres);
+                (fused, assign, ax, cx, ra)
+            });
+            assert_eq!(serial.0, pooled.0, "fused, threads = {threads}");
+            assert_eq!(serial.1, pooled.1, "assign, threads = {threads}");
+            assert_eq!(serial.2, pooled.2, "assign_x, threads = {threads}");
+            assert_eq!(serial.3, pooled.3, "cluster_x, threads = {threads}");
+            assert_eq!(serial.4, pooled.4, "refine, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_rounds() {
+        // The same workers serve repeated dispatches (the whole point of
+        // the persistent pool).
+        let points = random_points(2500, 4, 7);
+        let metric = DistanceKind::Manhattan;
+        let total = with_pool(&points, metric, 4, |pool| {
+            let mut sum = 0usize;
+            for round in 0..20 {
+                let medoids = vec![round, 1000 + round];
+                let dims = vec![vec![0, 1], vec![2, 3]];
+                sum += pool.assign(&medoids, &dims).iter().sum::<usize>();
+            }
+            sum
+        });
+        let serial_total = with_pool(&points, metric, 1, |pool| {
+            let mut sum = 0usize;
+            for round in 0..20 {
+                let medoids = vec![round, 1000 + round];
+                let dims = vec![vec![0, 1], vec![2, 3]];
+                sum += pool.assign(&medoids, &dims).iter().sum::<usize>();
+            }
+            sum
+        });
+        assert_eq!(total, serial_total);
+    }
+
+    #[test]
+    fn tiny_datasets_stay_serial() {
+        // Fewer rows than one block: no workers are spawned, results
+        // still correct.
+        let points = random_points(50, 3, 1);
+        let medoids = vec![0usize, 25];
+        let dims = vec![vec![0, 1], vec![1, 2]];
+        let metric = DistanceKind::Manhattan;
+        let a = with_pool(&points, metric, 8, |pool| pool.assign(&medoids, &dims));
+        let b = crate::assign::assign_points(&points, &medoids, &dims, metric);
+        assert_eq!(a, b);
+    }
+}

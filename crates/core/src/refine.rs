@@ -8,8 +8,10 @@
 //! `Dᵢ` exceeds `Δᵢ`, the medoid's *sphere of influence*
 //! (`Δᵢ = min_{j≠i} d_{Dᵢ}(mᵢ, mⱼ)`).
 
-use crate::dims::find_dimensions_opt;
+use crate::dims::{find_dimensions_from_averages, find_dimensions_opt};
+use crate::pool::Pool;
 use proclus_math::{DistanceKind, Matrix};
+use std::sync::Arc;
 
 /// Output of the refinement pass.
 #[derive(Clone, Debug)]
@@ -39,11 +41,7 @@ pub fn spheres_of_influence(
             if i == j {
                 continue;
             }
-            let d = metric.eval_segmental(
-                points.row(medoids[i]),
-                points.row(medoids[j]),
-                &dims[i],
-            );
+            let d = metric.eval_segmental(points.row(medoids[i]), points.row(medoids[j]), &dims[i]);
             if d < spheres[i] {
                 spheres[i] = d;
             }
@@ -64,7 +62,14 @@ pub fn refine(
     total_dims: usize,
     metric: DistanceKind,
 ) -> Refined {
-    refine_opt(points, medoids, iterative_clusters, total_dims, metric, true)
+    refine_opt(
+        points,
+        medoids,
+        iterative_clusters,
+        total_dims,
+        metric,
+        true,
+    )
 }
 
 /// [`refine`] with FindDimensions standardization optional (see
@@ -78,13 +83,7 @@ pub fn refine_opt(
     standardize: bool,
 ) -> Refined {
     // 1. Recompute dimensions from the cluster distributions.
-    let dims = find_dimensions_opt(
-        points,
-        medoids,
-        iterative_clusters,
-        total_dims,
-        standardize,
-    );
+    let dims = find_dimensions_opt(points, medoids, iterative_clusters, total_dims, standardize);
 
     // 2. Spheres of influence under the new dimension sets.
     let spheres = spheres_of_influence(points, medoids, &dims, metric);
@@ -108,6 +107,46 @@ pub fn refine_opt(
         }
         assignment.push(inside_any.then_some(best));
     }
+
+    Refined {
+        dims,
+        assignment,
+        spheres,
+    }
+}
+
+/// [`refine_opt`] running its two O(N·d) passes (cluster-based `X`
+/// accumulation and the final reassignment) through the per-fit worker
+/// pool. This is the path [`crate::iterate`] takes; results are
+/// bit-identical for every thread count (see [`crate::kernel`]).
+pub fn refine_with_pool(
+    pool: &mut Pool<'_>,
+    medoids: &[usize],
+    iterative_clusters: &[Vec<usize>],
+    total_dims: usize,
+    standardize: bool,
+) -> Refined {
+    let points = pool.points();
+    let metric = pool.metric();
+
+    // 1. Recompute dimensions from the cluster distributions. The
+    //    member lists become an assignment vector so a blocked sweep
+    //    can accumulate every cluster's X sums in one pass.
+    let mut assignment: Vec<Option<usize>> = vec![None; points.rows()];
+    for (i, members) in iterative_clusters.iter().enumerate() {
+        for &p in members {
+            assignment[p] = Some(i);
+        }
+    }
+    let x = pool.cluster_x(medoids, Arc::new(assignment));
+    let dims = find_dimensions_from_averages(&x, total_dims, standardize);
+
+    // 2. Spheres of influence under the new dimension sets (O(k²·l),
+    //    stays on the coordinating thread).
+    let spheres = spheres_of_influence(pool.points(), medoids, &dims, metric);
+
+    // 3. Reassign points; a point beyond every sphere is an outlier.
+    let assignment = pool.refine_assign(medoids, &dims, &spheres);
 
     Refined {
         dims,
@@ -143,20 +182,15 @@ mod tests {
     #[test]
     fn spheres_use_own_dimension_sets() {
         let m = Matrix::from_rows(&[[0.0, 0.0], [10.0, 2.0]], 2);
-        let spheres = spheres_of_influence(
-            &m,
-            &[0, 1],
-            &[vec![0], vec![1]],
-            DistanceKind::Manhattan,
-        );
+        let spheres =
+            spheres_of_influence(&m, &[0, 1], &[vec![0], vec![1]], DistanceKind::Manhattan);
         assert_eq!(spheres, vec![10.0, 2.0]);
     }
 
     #[test]
     fn single_medoid_sphere_is_infinite() {
         let m = Matrix::from_rows(&[[0.0]], 1);
-        let spheres =
-            spheres_of_influence(&m, &[0], &[vec![0]], DistanceKind::Manhattan);
+        let spheres = spheres_of_influence(&m, &[0], &[vec![0]], DistanceKind::Manhattan);
         assert_eq!(spheres, vec![f64::INFINITY]);
     }
 
@@ -175,6 +209,35 @@ mod tests {
         for p in 3..6 {
             assert_eq!(refined.assignment[p], Some(1), "point {p}");
         }
+    }
+
+    /// The outlier rule decouples "inside some sphere" from "nearest
+    /// medoid": a point inside medoid 0's sphere of influence but
+    /// strictly closer to medoid 1 (whose sphere it is *outside*) is
+    /// not an outlier and goes to medoid 1 — the paper assigns
+    /// non-outliers to the closest medoid, full stop.
+    #[test]
+    fn inside_one_sphere_but_nearest_to_another_medoid() {
+        // m0 = (0,0) on dims {0}; m1 = (10,0) on dims {1}.
+        let m = Matrix::from_rows(&[[0.0, 0.0], [10.0, 0.0], [6.0, 5.0], [100.0, 100.0]], 2);
+        let medoids = [0usize, 1];
+        let dims = vec![vec![0], vec![1]];
+        let metric = DistanceKind::Manhattan;
+        let spheres = spheres_of_influence(&m, &medoids, &dims, metric);
+        // Δ0 = d_{D0}(m0, m1) = 10; Δ1 = d_{D1}(m1, m0) = 0.
+        assert_eq!(spheres, vec![10.0, 0.0]);
+        let assignment = crate::pool::with_pool(&m, metric, 1, |pool| {
+            pool.refine_assign(&medoids, &dims, &spheres)
+        });
+        // Point 2 = (6,5): distance 6 to m0 (inside Δ0 = 10) but
+        // distance 5 to m1 (outside Δ1 = 0). Non-outlier, assigned to
+        // the *nearest* medoid m1, not the sphere owner m0.
+        assert_eq!(assignment[2], Some(1));
+        // The far point is outside both spheres: outlier.
+        assert_eq!(assignment[3], None);
+        // Each medoid stays home (m1 is inside its own zero sphere).
+        assert_eq!(assignment[0], Some(0));
+        assert_eq!(assignment[1], Some(1));
     }
 
     #[test]

@@ -18,7 +18,6 @@
 //! foreign files are rejected rather than misinterpreted.
 
 use crate::label::Label;
-use bytes::{Buf, BufMut, BytesMut};
 use proclus_math::Matrix;
 use std::fs;
 use std::io;
@@ -38,26 +37,57 @@ pub fn encode(points: &Matrix, labels: Option<&[Label]>) -> Vec<u8> {
     if let Some(ls) = labels {
         assert_eq!(ls.len(), points.rows(), "labels/points length mismatch");
     }
-    let mut buf = BytesMut::with_capacity(
+    let mut buf = Vec::with_capacity(
         4 + 2 + 16 + points.rows() * points.cols() * 8 + labels.map_or(0, |l| l.len() * 8),
     );
-    buf.put_slice(MAGIC);
-    buf.put_u8(VERSION);
-    buf.put_u8(u8::from(labels.is_some()));
-    buf.put_u64_le(points.rows() as u64);
-    buf.put_u64_le(points.cols() as u64);
+    buf.extend_from_slice(MAGIC);
+    buf.push(VERSION);
+    buf.push(u8::from(labels.is_some()));
+    buf.extend_from_slice(&(points.rows() as u64).to_le_bytes());
+    buf.extend_from_slice(&(points.cols() as u64).to_le_bytes());
     for v in points.as_slice() {
-        buf.put_f64_le(*v);
+        buf.extend_from_slice(&v.to_le_bytes());
     }
     if let Some(ls) = labels {
         for l in ls {
-            buf.put_i64_le(match l {
+            let id: i64 = match l {
                 Label::Cluster(i) => *i as i64,
                 Label::Outlier => -1,
-            });
+            };
+            buf.extend_from_slice(&id.to_le_bytes());
         }
     }
-    buf.to_vec()
+    buf
+}
+
+/// Little-endian cursor over a byte slice; every read is
+/// length-checked by the caller having validated the total size.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl Reader<'_> {
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let (head, rest) = self.buf.split_at(N);
+        self.buf = rest;
+        head.try_into().expect("split_at returned N bytes")
+    }
+
+    fn u8(&mut self) -> u8 {
+        self.take::<1>()[0]
+    }
+
+    fn u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take())
+    }
+
+    fn f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take())
+    }
+
+    fn i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take())
+    }
 }
 
 /// Deserialize a buffer produced by [`encode`].
@@ -66,42 +96,42 @@ pub fn encode(points: &Matrix, labels: Option<&[Label]>) -> Vec<u8> {
 ///
 /// `InvalidData` on wrong magic/version, negative cluster ids other
 /// than −1, or a length that does not match the header.
-pub fn decode(mut buf: &[u8]) -> io::Result<(Matrix, Option<Vec<Label>>)> {
-    if buf.len() < 4 + 2 + 16 {
+pub fn decode(buf: &[u8]) -> io::Result<(Matrix, Option<Vec<Label>>)> {
+    const HEADER: usize = 4 + 2 + 16;
+    if buf.len() < HEADER {
         return Err(invalid("buffer too short for header"));
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let mut r = Reader { buf };
+    if r.take::<4>() != *MAGIC {
         return Err(invalid("bad magic (not a PRCL dataset)"));
     }
-    let version = buf.get_u8();
+    let version = r.u8();
     if version != VERSION {
         return Err(invalid(format!("unsupported version {version}")));
     }
-    let flags = buf.get_u8();
+    let flags = r.u8();
     let has_labels = flags & 1 != 0;
-    let rows = buf.get_u64_le() as usize;
-    let cols = buf.get_u64_le() as usize;
+    let rows = r.u64_le() as usize;
+    let cols = r.u64_le() as usize;
     let want = rows
         .checked_mul(cols)
         .and_then(|c| c.checked_mul(8))
         .and_then(|b| b.checked_add(if has_labels { rows * 8 } else { 0 }))
         .ok_or_else(|| invalid("header sizes overflow"))?;
-    if buf.remaining() != want {
+    if r.buf.len() != want {
         return Err(invalid(format!(
             "payload length {} does not match header ({want} expected)",
-            buf.remaining()
+            r.buf.len()
         )));
     }
     let mut data = Vec::with_capacity(rows * cols);
     for _ in 0..rows * cols {
-        data.push(buf.get_f64_le());
+        data.push(r.f64_le());
     }
     let labels = if has_labels {
         let mut ls = Vec::with_capacity(rows);
         for _ in 0..rows {
-            let v = buf.get_i64_le();
+            let v = r.i64_le();
             ls.push(match v {
                 -1 => Label::Outlier,
                 i if i >= 0 => Label::Cluster(i as usize),
@@ -116,11 +146,7 @@ pub fn decode(mut buf: &[u8]) -> io::Result<(Matrix, Option<Vec<Label>>)> {
 }
 
 /// Write the binary format to a file.
-pub fn write_binary(
-    path: &Path,
-    points: &Matrix,
-    labels: Option<&[Label]>,
-) -> io::Result<()> {
+pub fn write_binary(path: &Path, points: &Matrix, labels: Option<&[Label]>) -> io::Result<()> {
     fs::write(path, encode(points, labels))
 }
 
@@ -138,10 +164,7 @@ mod tests {
     use super::*;
 
     fn sample() -> (Matrix, Vec<Label>) {
-        let m = Matrix::from_rows(
-            &[[1.5, -2.0, f64::MIN_POSITIVE], [0.0, 1e300, -0.0]],
-            3,
-        );
+        let m = Matrix::from_rows(&[[1.5, -2.0, f64::MIN_POSITIVE], [0.0, 1e300, -0.0]], 3);
         let l = vec![Label::Cluster(3), Label::Outlier];
         (m, l)
     }
@@ -200,8 +223,7 @@ mod tests {
     #[test]
     fn file_roundtrip() {
         let (m, l) = sample();
-        let path = std::env::temp_dir()
-            .join(format!("proclus-binio-{}.prcl", std::process::id()));
+        let path = std::env::temp_dir().join(format!("proclus-binio-{}.prcl", std::process::id()));
         write_binary(&path, &m, Some(&l)).unwrap();
         let (m2, l2) = read_binary(&path).unwrap();
         std::fs::remove_file(&path).ok();

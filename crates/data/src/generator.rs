@@ -3,6 +3,7 @@
 use crate::label::Label;
 use crate::spec::{DimensionSpec, SyntheticSpec};
 use proclus_math::distributions::{exponential, normal, poisson};
+use proclus_math::order::total_cmp_nan_first;
 use proclus_math::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -10,7 +11,6 @@ use rand::{Rng, SeedableRng};
 
 /// Ground truth for one generated cluster.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GeneratedCluster {
     /// The anchor point the cluster was distributed around.
     pub anchor: Vec<f64>,
@@ -22,7 +22,6 @@ pub struct GeneratedCluster {
 
 /// A generated dataset together with its full ground truth.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GeneratedDataset {
     /// The points, in shuffled order (clusters are interleaved).
     pub points: Matrix,
@@ -79,17 +78,15 @@ impl GeneratedDataset {
         let n_outliers = (spec.n as f64 * spec.outlier_fraction).round() as usize;
         let n_cluster_points = spec.n - n_outliers;
         let weights: Vec<f64> = (0..k).map(|_| exponential(&mut rng, 1.0)).collect();
-        let min_size = ((n_cluster_points as f64 / k as f64) * spec.min_size_ratio)
-            .floor() as usize;
+        let min_size =
+            ((n_cluster_points as f64 / k as f64) * spec.min_size_ratio).floor() as usize;
         let sizes = apportion_with_floor(n_cluster_points, &weights, min_size);
 
         // 4. Generate the points.
         let mut data = Vec::with_capacity(spec.n * d);
         let mut labels = Vec::with_capacity(spec.n);
         let mut clusters = Vec::with_capacity(k);
-        for (i, ((anchor, dims), &size)) in
-            anchors.iter().zip(&dim_sets).zip(&sizes).enumerate()
-        {
+        for (i, ((anchor, dims), &size)) in anchors.iter().zip(&dim_sets).zip(&sizes).enumerate() {
             // A fixed per-(cluster, dimension) std of s_ij * r,
             // s_ij ~ U[1, s].
             let stds: Vec<f64> = dims
@@ -231,7 +228,9 @@ fn apportion(total: usize, weights: &[f64]) -> Vec<usize> {
         .enumerate()
         .map(|(i, e)| (i, e - e.floor()))
         .collect();
-    rema.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    // Descending fractional parts, NaN-safe (NaN sorts last and ties
+    // break on the index, keeping the split deterministic).
+    rema.sort_by(|a, b| total_cmp_nan_first(b.1, a.1).then(a.0.cmp(&b.0)));
     for (i, _) in rema.iter().take(total - assigned) {
         out[*i] += 1;
     }
@@ -319,10 +318,7 @@ mod tests {
         // Sharing: cluster i shares at least min(|D_{i-1}|, |D_i|/2)
         // dims with cluster i-1.
         for i in 1..sets.len() {
-            let shared = sets[i]
-                .iter()
-                .filter(|j| sets[i - 1].contains(j))
-                .count();
+            let shared = sets[i].iter().filter(|j| sets[i - 1].contains(j)).count();
             let expected = sets[i - 1].len().min(counts[i] / 2);
             assert!(
                 shared >= expected,
@@ -359,11 +355,7 @@ mod tests {
         assert_eq!(cluster_total + outliers, 2_000);
         // Label histogram matches the recorded sizes.
         for (i, c) in ds.clusters.iter().enumerate() {
-            let count = ds
-                .labels
-                .iter()
-                .filter(|l| l.cluster() == Some(i))
-                .count();
+            let count = ds.labels.iter().filter(|l| l.cluster() == Some(i)).count();
             assert_eq!(count, c.size);
         }
     }

@@ -17,11 +17,7 @@ use std::path::Path;
 ///
 /// Propagates any I/O failure. Panics if `labels` is present but not the
 /// same length as the point count.
-pub fn write_csv(
-    path: &Path,
-    points: &Matrix,
-    labels: Option<&[Label]>,
-) -> io::Result<()> {
+pub fn write_csv(path: &Path, points: &Matrix, labels: Option<&[Label]>) -> io::Result<()> {
     if let Some(ls) = labels {
         assert_eq!(ls.len(), points.rows(), "labels/points length mismatch");
     }
@@ -63,9 +59,7 @@ pub fn write_csv(
 pub fn read_csv(path: &Path) -> io::Result<(Matrix, Option<Vec<Label>>)> {
     let r = BufReader::new(File::open(path)?);
     let mut lines = r.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| invalid("empty file"))??;
+    let header = lines.next().ok_or_else(|| invalid("empty file"))??;
     let columns: Vec<&str> = header.split(',').collect();
     let has_labels = columns.last() == Some(&"label");
     let d = if has_labels {

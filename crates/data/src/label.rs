@@ -4,7 +4,6 @@ use std::fmt;
 
 /// Ground-truth label of a generated point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Label {
     /// Generated as part of input cluster `i` (0-based).
     Cluster(usize),

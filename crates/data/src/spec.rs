@@ -2,7 +2,6 @@
 
 /// How many (and which) dimensions each generated cluster gets.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DimensionSpec {
     /// Per-cluster dimensionality is a `Poisson(mean)` realization,
     /// clamped to `[2, d]` as in §4.1 of the paper.
@@ -24,7 +23,6 @@ pub enum DimensionSpec {
 /// call [`generate`](crate::generator::GeneratedDataset::from_spec) /
 /// [`SyntheticSpec::generate`].
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SyntheticSpec {
     /// Total number of points `N` (cluster points + outliers).
     pub n: usize,

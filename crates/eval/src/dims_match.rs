@@ -28,8 +28,16 @@ impl DimensionMatch {
         let inter = f.intersection(&t).count() as f64;
         let union = f.union(&t).count() as f64;
         DimensionMatch {
-            precision: if f.is_empty() { 1.0 } else { inter / f.len() as f64 },
-            recall: if t.is_empty() { 1.0 } else { inter / t.len() as f64 },
+            precision: if f.is_empty() {
+                1.0
+            } else {
+                inter / f.len() as f64
+            },
+            recall: if t.is_empty() {
+                1.0
+            } else {
+                inter / t.len() as f64
+            },
             jaccard: if union == 0.0 { 1.0 } else { inter / union },
         }
     }
@@ -121,8 +129,7 @@ mod tests {
 
     #[test]
     fn aggregate_with_no_matches() {
-        let (mean_j, exact) =
-            matched_dimension_recovery(&[vec![0]], &[vec![1]], &[None]);
+        let (mean_j, exact) = matched_dimension_recovery(&[vec![0]], &[vec![1]], &[None]);
         assert_eq!(mean_j, 0.0);
         assert_eq!(exact, 0);
     }

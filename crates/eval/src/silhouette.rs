@@ -132,10 +132,7 @@ mod tests {
             [102.0, 40.0],
         ];
         let m = Matrix::from_rows(&rows, 2);
-        let clusters = vec![
-            (vec![0, 1, 2], vec![0]),
-            (vec![3, 4, 5], vec![0]),
-        ];
+        let clusters = vec![(vec![0, 1, 2], vec![0]), (vec![3, 4, 5], vec![0])];
         (m, clusters)
     }
 
@@ -149,10 +146,7 @@ mod tests {
     #[test]
     fn shuffled_assignment_scores_low() {
         let (m, _) = two_tight_clusters();
-        let clusters = vec![
-            (vec![0, 3, 2], vec![0]),
-            (vec![1, 4, 5], vec![0]),
-        ];
+        let clusters = vec![(vec![0, 3, 2], vec![0]), (vec![1, 4, 5], vec![0])];
         let s = projected_silhouette(&m, &clusters, DistanceKind::Manhattan, 64);
         assert!(s < 0.3, "silhouette {s}");
     }
@@ -161,12 +155,7 @@ mod tests {
     fn projection_matters() {
         // Clusters are identical on dim 0 but separated on dim 1; with
         // dim sets {1} the silhouette is high, with {0} it is ~0.
-        let rows: Vec<[f64; 2]> = vec![
-            [5.0, 0.0],
-            [6.0, 1.0],
-            [5.0, 100.0],
-            [6.0, 101.0],
-        ];
+        let rows: Vec<[f64; 2]> = vec![[5.0, 0.0], [6.0, 1.0], [5.0, 100.0], [6.0, 101.0]];
         let m = Matrix::from_rows(&rows, 2);
         let good = vec![(vec![0, 1], vec![1]), (vec![2, 3], vec![1])];
         let bad = vec![(vec![0, 1], vec![0]), (vec![2, 3], vec![0])];
@@ -189,11 +178,7 @@ mod tests {
     #[test]
     fn singleton_and_empty_clusters_are_handled() {
         let m = Matrix::from_rows(&[[0.0], [100.0], [101.0]], 1);
-        let clusters = vec![
-            (vec![0], vec![0]),
-            (vec![1, 2], vec![0]),
-            (vec![], vec![0]),
-        ];
+        let clusters = vec![(vec![0], vec![0]), (vec![1, 2], vec![0]), (vec![], vec![0])];
         let s = projected_silhouette(&m, &clusters, DistanceKind::Manhattan, 8);
         // Singleton contributes 0; the pair scores near 1.
         assert!(s > 0.5 && s <= 1.0, "silhouette {s}");

@@ -19,7 +19,6 @@
 /// PROCLUS as published uses [`DistanceKind::Manhattan`] everywhere; the
 /// other variants exist for ablation studies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DistanceKind {
     /// L1 metric (the paper's choice).
     #[default]

@@ -165,9 +165,7 @@ mod tests {
     #[test]
     fn poisson_small_lambda_often_zero() {
         let mut r = rng();
-        let zeros = (0..10_000)
-            .filter(|_| poisson(&mut r, 0.1) == 0)
-            .count() as f64;
+        let zeros = (0..10_000).filter(|_| poisson(&mut r, 0.1) == 0).count() as f64;
         // P(0) = e^-0.1 ≈ 0.905
         assert!((zeros / 10_000.0 - 0.905).abs() < 0.02);
     }

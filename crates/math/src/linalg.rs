@@ -277,10 +277,7 @@ mod tests {
 
     #[test]
     fn jacobi_vectors_are_orthonormal() {
-        let a = Matrix::from_rows(
-            &[[4.0, 1.0, 0.5], [1.0, 3.0, -1.0], [0.5, -1.0, 2.0]],
-            3,
-        );
+        let a = Matrix::from_rows(&[[4.0, 1.0, 0.5], [1.0, 3.0, -1.0], [0.5, -1.0, 2.0]], 3);
         let e = jacobi_eigen(&a);
         for i in 0..3 {
             for j in 0..3 {

@@ -7,7 +7,6 @@
 /// and the inner loops of every distance computation stay branch-free and
 /// cache friendly.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Matrix {
     data: Vec<f64>,
     rows: usize,

@@ -97,9 +97,6 @@ mod tests {
         // Point (10.2, -50): x offset 0.2 from cluster 1's centroid in
         // its subspace.
         assert_eq!(model.classify(&[10.2, -50.0]), 1);
-        assert_eq!(
-            model.assignment_options(),
-            vec![Some(0), Some(1)]
-        );
+        assert_eq!(model.assignment_options(), vec![Some(0), Some(1)]);
     }
 }

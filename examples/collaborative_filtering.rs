@@ -19,10 +19,30 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const CATEGORIES: [&str; 24] = [
-    "sci-fi", "romance", "thriller", "biography", "cooking", "travel",
-    "jazz", "rock", "classical", "hip-hop", "podcasts", "audiobooks",
-    "action", "comedy", "drama", "documentary", "anime", "horror",
-    "gardening", "fitness", "gaming", "photography", "diy", "finance",
+    "sci-fi",
+    "romance",
+    "thriller",
+    "biography",
+    "cooking",
+    "travel",
+    "jazz",
+    "rock",
+    "classical",
+    "hip-hop",
+    "podcasts",
+    "audiobooks",
+    "action",
+    "comedy",
+    "drama",
+    "documentary",
+    "anime",
+    "horror",
+    "gardening",
+    "fitness",
+    "gaming",
+    "photography",
+    "diy",
+    "finance",
 ];
 
 /// A synthetic customer segment: which categories it cares about and
@@ -68,8 +88,9 @@ fn main() {
     for (si, seg) in segments.iter().enumerate() {
         for _ in 0..seg.size {
             // Indifferent on most categories: uniform noise 0..10.
-            let mut prefs: Vec<f64> =
-                (0..CATEGORIES.len()).map(|_| rng.random_range(0.0..10.0)).collect();
+            let mut prefs: Vec<f64> = (0..CATEGORIES.len())
+                .map(|_| rng.random_range(0.0..10.0))
+                .collect();
             // Sharp opinions on the segment's own categories.
             for (&cat, &mean) in seg.categories.iter().zip(seg.means) {
                 prefs[cat] = normal(&mut rng, mean, 0.6).clamp(0.0, 10.0);
@@ -80,7 +101,11 @@ fn main() {
     }
     // A few hundred erratic customers with no stable taste.
     for _ in 0..200 {
-        rows.push((0..CATEGORIES.len()).map(|_| rng.random_range(0.0..10.0)).collect());
+        rows.push(
+            (0..CATEGORIES.len())
+                .map(|_| rng.random_range(0.0..10.0))
+                .collect(),
+        );
         truth.push(None);
     }
     let points = Matrix::from_rows(&rows, CATEGORIES.len());
@@ -120,6 +145,9 @@ fn main() {
     println!("  erratic customers flagged: {}", model.outliers().len());
 
     let cm = ConfusionMatrix::build(model.assignment(), 4, &truth, 4);
-    println!("\nsegment recovery: matched accuracy = {:.3}, purity = {:.3}",
-        cm.matched_accuracy(), cm.purity());
+    println!(
+        "\nsegment recovery: matched accuracy = {:.3}, purity = {:.3}",
+        cm.matched_accuracy(),
+        cm.purity()
+    );
 }

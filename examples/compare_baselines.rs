@@ -35,7 +35,11 @@ fn main() {
         .expect("valid parameters");
     report("PROCLUS", model.assignment(), &truth);
     for (i, c) in model.clusters().iter().enumerate() {
-        println!("    cluster {i}: dims {:?}, {} points", c.dimensions, c.len());
+        println!(
+            "    cluster {i}: dims {:?}, {} points",
+            c.dimensions,
+            c.len()
+        );
     }
 
     // CLARANS (full-dimensional k-medoids).

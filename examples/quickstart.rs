@@ -24,8 +24,11 @@ fn main() {
         .fit(&data.points)
         .expect("parameters are valid for this dataset");
 
-    println!("\nfitted in {} hill-climbing rounds; objective = {:.4}",
-        model.rounds(), model.objective());
+    println!(
+        "\nfitted in {} hill-climbing rounds; objective = {:.4}",
+        model.rounds(),
+        model.objective()
+    );
     for (i, cluster) in model.clusters().iter().enumerate() {
         println!(
             "cluster {i}: {} points, dimensions {:?}, medoid #{}",

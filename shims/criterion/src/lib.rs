@@ -1,0 +1,369 @@
+//! Self-contained stand-in for the subset of the `criterion` API this
+//! workspace's benches use, so `cargo bench` works with no registry
+//! access.
+//!
+//! It keeps criterion's bench-authoring surface (`criterion_group!`,
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups,
+//! `Bencher::iter`/`iter_batched`, `BenchmarkId`, `BatchSize`) and its
+//! calibrate-then-sample measurement discipline, but reports a simple
+//! `[min mean max]` per-iteration line instead of criterion's full
+//! statistical machinery. Good enough to compare kernels and spot
+//! regressions by eye or by script.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level bench driver. One instance is created per
+/// `criterion_group!` function.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Modest defaults: each bench costs ~1s wall. Override with
+        // PROCLUS_BENCH_MS=<measurement millis> for quick smoke runs.
+        let ms = std::env::var("PROCLUS_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(600);
+        Criterion {
+            warm_up: Duration::from_millis((ms / 3).max(50)),
+            measurement: Duration::from_millis(ms),
+            sample_count: 15,
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmark one routine under `id`.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_count: self.sample_count,
+            report: None,
+        };
+        f(&mut b);
+        b.print(id.as_ref());
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group<S: AsRef<str>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.as_ref().to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion compatibility: accepted but only loosely honored (the
+    /// shim's sample count is fixed; time budgets already bound runs).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_count = n.clamp(5, 100);
+        self
+    }
+
+    /// Benchmark a routine under `group/id`.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.c.bench_function(full, f);
+        self
+    }
+
+    /// Benchmark a routine that borrows a fixed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id.0, |b| f(b, input))
+    }
+
+    /// End the group (criterion compatibility; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<S: AsRef<str>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.as_ref(), parameter))
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// How `iter_batched` amortizes setup (accepted for compatibility; the
+/// shim always re-runs setup per batch element).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Setup re-run for every routine call.
+    PerIteration,
+}
+
+/// Per-iteration timing statistics, in nanoseconds.
+struct Report {
+    min: f64,
+    mean: f64,
+    max: f64,
+    iters: u64,
+}
+
+/// Passed to the closure given to `bench_function`; call
+/// [`Bencher::iter`] (or [`Bencher::iter_batched`]) exactly once.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_count: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up doubles the batch size until the budget is spent; the
+        // last full batch calibrates iterations-per-sample.
+        let start = Instant::now();
+        let mut batch = 1u64;
+        let mut last_batch_time = Duration::ZERO;
+        while start.elapsed() < self.warm_up {
+            let t = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            last_batch_time = t.elapsed();
+            if batch < 1 << 30 {
+                batch *= 2;
+            }
+        }
+        batch /= 2;
+        let per_iter = last_batch_time
+            .checked_div(batch.max(1) as u32)
+            .unwrap_or(Duration::from_nanos(1))
+            .max(Duration::from_nanos(1));
+
+        // Size each sample to measurement / sample_count.
+        let per_sample = self.measurement / self.sample_count as u32;
+        let iters_per_sample = (per_sample.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, u128::from(u64::MAX)) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_count);
+        let mut total_iters = 0u64;
+        let budget = Instant::now();
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                hint::black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            samples.push(ns);
+            total_iters += iters_per_sample;
+            if budget.elapsed() > self.measurement * 2 {
+                break; // runaway routine: stop early, report what we have
+            }
+        }
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.report = Some(Report {
+            min,
+            mean,
+            max,
+            iters: total_iters,
+        });
+    }
+
+    /// Time `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Reuse `iter`'s calibration by folding setup outside the timed
+        // region: each timed call consumes one pre-built input.
+        let mut stash: Vec<I> = Vec::new();
+        let mut refill = |stash: &mut Vec<I>| {
+            if stash.is_empty() {
+                for _ in 0..64 {
+                    stash.push(setup());
+                }
+            }
+        };
+        refill(&mut stash);
+        // Calibration identical in spirit to `iter`, but the refill cost
+        // lands between samples rather than inside them.
+        let start = Instant::now();
+        let mut batch = 1u64;
+        let mut last_batch_time = Duration::ZERO;
+        while start.elapsed() < self.warm_up {
+            let t = Instant::now();
+            for _ in 0..batch {
+                if stash.is_empty() {
+                    refill(&mut stash);
+                }
+                let input = stash.pop().expect("refilled");
+                hint::black_box(routine(input));
+            }
+            last_batch_time = t.elapsed();
+            if batch < 1 << 30 {
+                batch *= 2;
+            }
+        }
+        batch /= 2;
+        let per_iter = last_batch_time
+            .checked_div(batch.max(1) as u32)
+            .unwrap_or(Duration::from_nanos(1))
+            .max(Duration::from_nanos(1));
+        let per_sample = self.measurement / self.sample_count as u32;
+        let iters_per_sample =
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_count);
+        let mut total_iters = 0u64;
+        let budget = Instant::now();
+        for _ in 0..self.sample_count {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                if stash.is_empty() {
+                    refill(&mut stash);
+                }
+                let input = stash.pop().expect("refilled");
+                let t = Instant::now();
+                hint::black_box(routine(input));
+                timed += t.elapsed();
+            }
+            samples.push(timed.as_nanos() as f64 / iters_per_sample as f64);
+            total_iters += iters_per_sample;
+            if budget.elapsed() > self.measurement * 2 {
+                break;
+            }
+        }
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.report = Some(Report {
+            min,
+            mean,
+            max,
+            iters: total_iters,
+        });
+    }
+
+    fn print(&self, id: &str) {
+        match &self.report {
+            Some(r) => println!(
+                "{id:<44} time: [{} {} {}]  ({} iters)",
+                fmt_ns(r.min),
+                fmt_ns(r.mean),
+                fmt_ns(r.max),
+                r.iters
+            ),
+            None => println!("{id:<44} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Build a bench-group function from bench functions, mirroring
+/// criterion's macro of the same name (simple form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Build a `main` that runs bench groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_a_report() {
+        std::env::set_var("PROCLUS_BENCH_MS", "30");
+        let mut c = Criterion::default();
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| black_box(2u64) + black_box(3u64))
+        });
+    }
+
+    #[test]
+    fn groups_and_batched_iteration_work() {
+        std::env::set_var("PROCLUS_BENCH_MS", "30");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(5);
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10usize, |b, &n| {
+            b.iter_batched(
+                || (0..n).collect::<Vec<usize>>(),
+                |v| v.iter().sum::<usize>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

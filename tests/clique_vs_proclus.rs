@@ -4,8 +4,8 @@
 //! partition; and CLIQUE's implicit outlier rate on Gaussian clusters
 //! is large.
 
-use proclus::prelude::*;
 use proclus::eval::average_overlap;
+use proclus::prelude::*;
 
 fn projected_dataset(n: usize, seed: u64) -> GeneratedDataset {
     SyntheticSpec::new(n, 12, 3, 4.0)
@@ -22,11 +22,7 @@ fn clique_projections_overlap() {
         .fit(&data.points);
     // All levels together: a 4-dim dense region reports all its lower
     // projections too, so overlap across the whole output is > 1.
-    let memberships: Vec<Vec<usize>> = model
-        .clusters()
-        .iter()
-        .map(|c| c.members.clone())
-        .collect();
+    let memberships: Vec<Vec<usize>> = model.clusters().iter().map(|c| c.members.clone()).collect();
     let overlap = average_overlap(&memberships, data.len());
     assert!(
         overlap > 1.5,
@@ -41,11 +37,7 @@ fn proclus_output_is_partition_overlap_one() {
         .seed(4)
         .fit(&data.points)
         .expect("valid parameters");
-    let memberships: Vec<Vec<usize>> = model
-        .clusters()
-        .iter()
-        .map(|c| c.members.clone())
-        .collect();
+    let memberships: Vec<Vec<usize>> = model.clusters().iter().map(|c| c.members.clone()).collect();
     let overlap = average_overlap(&memberships, data.len());
     assert!(
         (overlap - 1.0).abs() < 1e-9,
@@ -74,18 +66,17 @@ fn clique_drops_many_gaussian_cluster_points() {
     let cluster_points: Vec<usize> = (0..data.len())
         .filter(|&p| !data.labels[p].is_outlier())
         .collect();
-    let memberships: Vec<Vec<usize>> = top
-        .clusters()
-        .iter()
-        .map(|c| c.members.clone())
-        .collect();
+    let memberships: Vec<Vec<usize>> = top.clusters().iter().map(|c| c.members.clone()).collect();
     let cov = proclus::eval::coverage(&memberships, data.len(), Some(&cluster_points));
     assert!(
         cov < 0.95,
         "expected CLIQUE to drop a noticeable share of cluster points, \
          coverage = {cov:.3}"
     );
-    assert!(cov > 0.05, "CLIQUE found almost nothing, coverage = {cov:.3}");
+    assert!(
+        cov > 0.05,
+        "CLIQUE found almost nothing, coverage = {cov:.3}"
+    );
 }
 
 #[test]

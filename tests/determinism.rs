@@ -52,8 +52,12 @@ fn every_algorithm_is_seed_deterministic() {
     let p2 = Proclus::new(3, 4.0).seed(5).fit(&data.points).unwrap();
     assert_eq!(p1.assignment(), p2.assignment());
 
-    let c1 = Clique::new(10, 0.01).max_subspace_dim(Some(4)).fit(&data.points);
-    let c2 = Clique::new(10, 0.01).max_subspace_dim(Some(4)).fit(&data.points);
+    let c1 = Clique::new(10, 0.01)
+        .max_subspace_dim(Some(4))
+        .fit(&data.points);
+    let c2 = Clique::new(10, 0.01)
+        .max_subspace_dim(Some(4))
+        .fit(&data.points);
     assert_eq!(c1.clusters().len(), c2.clusters().len());
     for (a, b) in c1.clusters().iter().zip(c2.clusters()) {
         assert_eq!(a.dims, b.dims);
@@ -87,5 +91,8 @@ fn restart_derived_seeds_do_not_collide() {
         .iter()
         .map(|m| m.clusters().iter().map(|c| c.medoid_index).collect())
         .collect();
-    assert!(distinct.len() >= 2, "all seeds converged identically — suspicious");
+    assert!(
+        distinct.len() >= 2,
+        "all seeds converged identically — suspicious"
+    );
 }

@@ -73,10 +73,7 @@ fn duplicated_points_stay_together() {
             continue;
         }
         let first = points.row(c.members[0])[0];
-        assert!(c
-            .members
-            .iter()
-            .all(|&p| points.row(p)[0] == first));
+        assert!(c.members.iter().all(|&p| points.row(p)[0] == first));
     }
 }
 

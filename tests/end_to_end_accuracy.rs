@@ -6,8 +6,8 @@
 //! N = 10 000 so they run in CI time while exercising the same
 //! parameters (d = 20, k = 5, l = 7 or 4, 5% outliers).
 
-use proclus::prelude::*;
 use proclus::eval::dims_match::matched_dimension_recovery;
+use proclus::prelude::*;
 
 fn run_case(mut spec: SyntheticSpec, l: f64, seed: u64) -> (f64, f64, usize) {
     spec.n = 10_000;
@@ -23,10 +23,8 @@ fn run_case(mut spec: SyntheticSpec, l: f64, seed: u64) -> (f64, f64, usize) {
         .iter()
         .map(|c| c.dimensions.clone())
         .collect();
-    let input_dims: Vec<Vec<usize>> =
-        data.clusters.iter().map(|c| c.dims.clone()).collect();
-    let (jaccard, exact) =
-        matched_dimension_recovery(&found, &input_dims, &cm.dominant_matching());
+    let input_dims: Vec<Vec<usize>> = data.clusters.iter().map(|c| c.dims.clone()).collect();
+    let (jaccard, exact) = matched_dimension_recovery(&found, &input_dims, &cm.dominant_matching());
     (cm.matched_accuracy(), jaccard, exact)
 }
 
@@ -72,8 +70,7 @@ fn case2_recovers_partition_and_dimensions() {
 
 #[test]
 fn output_is_a_partition_with_outliers() {
-    let data = SyntheticSpec::paper_case1(7)
-        .fixed_dims(vec![7; 5]); // keep the preset but shrink below
+    let data = SyntheticSpec::paper_case1(7).fixed_dims(vec![7; 5]); // keep the preset but shrink below
     let mut spec = data;
     spec.n = 5_000;
     let data = spec.generate();
@@ -121,10 +118,10 @@ fn outlier_detection_flags_planted_outliers_more_than_cluster_points() {
     let cluster_points: Vec<usize> = (0..data.len())
         .filter(|&p| !data.labels[p].is_outlier())
         .collect();
-    let outlier_rate = truth_outliers.iter().filter(|&&p| flagged[p]).count() as f64
-        / truth_outliers.len() as f64;
-    let cluster_rate = cluster_points.iter().filter(|&&p| flagged[p]).count() as f64
-        / cluster_points.len() as f64;
+    let outlier_rate =
+        truth_outliers.iter().filter(|&&p| flagged[p]).count() as f64 / truth_outliers.len() as f64;
+    let cluster_rate =
+        cluster_points.iter().filter(|&&p| flagged[p]).count() as f64 / cluster_points.len() as f64;
     assert!(
         outlier_rate > 3.0 * cluster_rate,
         "outlier flag rate {outlier_rate:.3} not clearly above cluster \

@@ -19,7 +19,12 @@ fn oriented_data(n_per: usize, seed: u64) -> (Matrix, Vec<usize>) {
         let v: f64 = rng.random_range(-20.0..20.0);
         let w = normal(&mut rng, 0.0, 0.3);
         // Tight along (1,-1,0,0)/sqrt2.
-        rows.push([u * s + w * s, u * s - w * s, v, rng.random_range(-20.0..20.0)]);
+        rows.push([
+            u * s + w * s,
+            u * s - w * s,
+            v,
+            rng.random_range(-20.0..20.0),
+        ]);
         truth.push(0);
     }
     for _ in 0..n_per {
@@ -54,8 +59,7 @@ fn purity(members_per_cluster: &[Vec<usize>], truth: &[usize]) -> f64 {
 fn orclus_recovers_oriented_clusters() {
     let (points, truth) = oriented_data(250, 3);
     let model = Orclus::new(2, 1).seed(5).fit(&points).unwrap();
-    let members: Vec<Vec<usize>> =
-        model.clusters.iter().map(|c| c.members.clone()).collect();
+    let members: Vec<Vec<usize>> = model.clusters.iter().map(|c| c.members.clone()).collect();
     let p = purity(&members, &truth);
     assert!(p > 0.95, "ORCLUS purity {p}");
 }
@@ -85,19 +89,13 @@ fn both_handle_axis_parallel_data() {
         .seed(9)
         .outlier_fraction(0.0)
         .generate();
-    let truth: Vec<usize> = data
-        .labels
-        .iter()
-        .map(|l| l.cluster().unwrap())
-        .collect();
+    let truth: Vec<usize> = data.labels.iter().map(|l| l.cluster().unwrap()).collect();
 
     let pm = Proclus::new(3, 3.0).seed(4).fit(&data.points).unwrap();
-    let p_members: Vec<Vec<usize>> =
-        pm.clusters().iter().map(|c| c.members.clone()).collect();
+    let p_members: Vec<Vec<usize>> = pm.clusters().iter().map(|c| c.members.clone()).collect();
 
     let om = Orclus::new(3, 3).seed(4).fit(&data.points).unwrap();
-    let o_members: Vec<Vec<usize>> =
-        om.clusters.iter().map(|c| c.members.clone()).collect();
+    let o_members: Vec<Vec<usize>> = om.clusters.iter().map(|c| c.members.clone()).collect();
 
     let three_way = |members: &[Vec<usize>]| -> f64 {
         let total: usize = members.iter().map(Vec::len).sum();

@@ -1,117 +1,135 @@
 //! Second property-test battery: serialization, selection helpers,
 //! eigensolver invariants, silhouette bounds, and agreement-index
-//! sanity under random inputs.
+//! sanity under random inputs. Driven by seeded randomized case loops
+//! (no registry access in the build environment, so no proptest).
 
 use proclus::data::binio::{decode, encode};
 use proclus::data::Label;
-use proclus::eval::{
-    adjusted_rand_index, normalized_mutual_information, projected_silhouette,
-};
+use proclus::eval::{adjusted_rand_index, normalized_mutual_information, projected_silhouette};
 use proclus::math::linalg::{covariance_of, jacobi_eigen};
 use proclus::math::order::{k_smallest_indices, kth_smallest, ranks};
 use proclus::math::{DistanceKind, Matrix};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn binio_roundtrips_arbitrary_matrices(
-        rows in 0usize..20,
-        cols in 1usize..8,
-        seed in 0u64..1000,
-        with_labels in any::<bool>(),
-    ) {
-        // Deterministic pseudo-random payload from the seed.
-        let mut state = seed.wrapping_add(1);
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (state >> 11) as f64 / (1u64 << 53) as f64 * 2e6 - 1e6
-        };
-        let data: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+#[test]
+fn binio_roundtrips_arbitrary_matrices() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x20AA_0000 + case);
+        let rows = rng.random_range(0..20usize);
+        let cols = rng.random_range(1..8usize);
+        let with_labels: bool = rng.random();
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|_| rng.random_range(-1e6..1e6f64))
+            .collect();
         let m = Matrix::from_vec(data, rows, cols);
         let labels: Option<Vec<Label>> = with_labels.then(|| {
             (0..rows)
-                .map(|i| if i % 5 == 0 { Label::Outlier } else { Label::Cluster(i % 3) })
+                .map(|i| {
+                    if i % 5 == 0 {
+                        Label::Outlier
+                    } else {
+                        Label::Cluster(i % 3)
+                    }
+                })
                 .collect()
         });
         let bytes = encode(&m, labels.as_deref());
         let (m2, l2) = decode(&bytes).unwrap();
-        prop_assert_eq!(m, m2);
-        prop_assert_eq!(labels, l2);
+        assert_eq!(m, m2);
+        assert_eq!(labels, l2);
     }
+}
 
-    #[test]
-    fn binio_rejects_any_truncation(
-        rows in 1usize..6,
-        cols in 1usize..4,
-        cut_fraction in 0.0f64..1.0,
-    ) {
+#[test]
+fn binio_rejects_any_truncation() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x21BB_0000 + case);
+        let rows = rng.random_range(1..6usize);
+        let cols = rng.random_range(1..4usize);
+        let cut_fraction = rng.random_range(0.0..1.0f64);
         let m = Matrix::zeros(rows, cols);
         let bytes = encode(&m, None);
         let cut = ((bytes.len() - 1) as f64 * cut_fraction) as usize;
-        prop_assert!(decode(&bytes[..cut]).is_err());
+        assert!(decode(&bytes[..cut]).is_err());
     }
+}
 
-    #[test]
-    fn kth_smallest_matches_sorting(
-        mut xs in prop::collection::vec(-1e6..1e6f64, 1..60),
-        k_frac in 0.0f64..1.0,
-    ) {
+#[test]
+fn kth_smallest_matches_sorting() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x22CC_0000 + case);
+        let n = rng.random_range(1..60usize);
+        let mut xs: Vec<f64> = (0..n).map(|_| rng.random_range(-1e6..1e6f64)).collect();
+        let k_frac = rng.random_range(0.0..1.0f64);
         let k = ((xs.len() - 1) as f64 * k_frac) as usize;
         let mut sorted = xs.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let got = kth_smallest(&mut xs, k).unwrap();
-        prop_assert_eq!(got, sorted[k]);
+        assert_eq!(got, sorted[k]);
     }
+}
 
-    #[test]
-    fn k_smallest_indices_are_the_k_smallest(
-        xs in prop::collection::vec(-1e6..1e6f64, 1..40),
-        k_frac in 0.0f64..1.0,
-    ) {
+#[test]
+fn k_smallest_indices_are_the_k_smallest() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x23DD_0000 + case);
+        let n = rng.random_range(1..40usize);
+        let xs: Vec<f64> = (0..n).map(|_| rng.random_range(-1e6..1e6f64)).collect();
+        let k_frac = rng.random_range(0.0..1.0f64);
         let k = (xs.len() as f64 * k_frac) as usize;
         let idx = k_smallest_indices(&xs, k);
-        prop_assert_eq!(idx.len(), k.min(xs.len()));
+        assert_eq!(idx.len(), k.min(xs.len()));
         // Every selected value <= every unselected value.
         let selected: Vec<f64> = idx.iter().map(|&i| xs[i]).collect();
         let max_sel = selected.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for (i, &v) in xs.iter().enumerate() {
             if !idx.contains(&i) {
-                prop_assert!(v >= max_sel - 1e-12);
+                assert!(v >= max_sel - 1e-12);
             }
         }
     }
+}
 
-    #[test]
-    fn ranks_are_consistent(xs in prop::collection::vec(-100i32..100, 0..40)) {
-        let xs: Vec<f64> = xs.into_iter().map(|v| v as f64).collect();
+#[test]
+fn ranks_are_consistent() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x24EE_0000 + case);
+        let n = rng.random_range(0..40usize);
+        let xs: Vec<f64> = (0..n)
+            .map(|_| rng.random_range(-100..100i32) as f64)
+            .collect();
         let r = ranks(&xs);
         for (i, &x) in xs.iter().enumerate() {
             let smaller = xs.iter().filter(|&&y| y < x).count();
-            prop_assert_eq!(r[i], smaller);
+            assert_eq!(r[i], smaller);
         }
     }
+}
 
-    #[test]
-    fn agreement_indices_stay_in_range(
-        labels in prop::collection::vec((0usize..4, 0usize..4), 2..80),
-    ) {
-        let a: Vec<Option<usize>> = labels.iter().map(|&(x, _)| Some(x)).collect();
-        let b: Vec<Option<usize>> = labels.iter().map(|&(_, y)| Some(y)).collect();
+#[test]
+fn agreement_indices_stay_in_range() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x25FF_0000 + case);
+        let n = rng.random_range(2..80usize);
+        let a: Vec<Option<usize>> = (0..n).map(|_| Some(rng.random_range(0..4usize))).collect();
+        let b: Vec<Option<usize>> = (0..n).map(|_| Some(rng.random_range(0..4usize))).collect();
         let ari = adjusted_rand_index(&a, &b);
         let nmi = normalized_mutual_information(&a, &b);
-        prop_assert!((-1.0..=1.0).contains(&ari), "ARI {ari}");
-        prop_assert!((0.0..=1.0).contains(&nmi), "NMI {nmi}");
+        assert!((-1.0..=1.0).contains(&ari), "ARI {ari}");
+        assert!((0.0..=1.0).contains(&nmi), "NMI {nmi}");
         // Self-agreement is perfect.
-        prop_assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn silhouette_stays_in_range(
-        coords in prop::collection::vec(0.0..100.0f64, 12..60),
-        split_frac in 0.1f64..0.9,
-    ) {
+#[test]
+fn silhouette_stays_in_range() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x2600_0000 + case);
+        let len = rng.random_range(12..60usize);
+        let coords: Vec<f64> = (0..len).map(|_| rng.random_range(0.0..100.0f64)).collect();
+        let split_frac = rng.random_range(0.1..0.9f64);
         let n = coords.len() / 2;
         let m = Matrix::from_vec(coords[..n * 2].to_vec(), n, 2);
         let split = ((n as f64 * split_frac) as usize).clamp(1, n - 1);
@@ -120,49 +138,48 @@ proptest! {
             ((split..n).collect::<Vec<_>>(), vec![0]),
         ];
         let s = projected_silhouette(&m, &clusters, DistanceKind::Manhattan, 32);
-        prop_assert!((-1.0..=1.0).contains(&s), "silhouette {s}");
+        assert!((-1.0..=1.0).contains(&s), "silhouette {s}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn jacobi_invariants_on_random_covariances(
-        n in 10usize..40,
-        d in 2usize..7,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn jacobi_invariants_on_random_covariances() {
+    for case in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0x2711_0000 + case);
+        let n = rng.random_range(10..40usize);
+        let d = rng.random_range(2..7usize);
         // Covariance of pseudo-random points: symmetric PSD.
-        let mut state = seed.wrapping_add(7);
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0
-        };
-        let data: Vec<f64> = (0..n * d).map(|_| next()).collect();
+        let data: Vec<f64> = (0..n * d)
+            .map(|_| rng.random_range(0.0..100.0f64))
+            .collect();
         let m = Matrix::from_vec(data, n, d);
         let members: Vec<usize> = (0..n).collect();
         let cov = covariance_of(&m, &members);
         let e = jacobi_eigen(&cov);
         // Ascending, non-negative (PSD) eigenvalues.
         for w in e.values.windows(2) {
-            prop_assert!(w[0] <= w[1] + 1e-9);
+            assert!(w[0] <= w[1] + 1e-9);
         }
         for &v in &e.values {
-            prop_assert!(v >= -1e-6, "negative eigenvalue {v}");
+            assert!(v >= -1e-6, "negative eigenvalue {v}");
         }
         // Orthonormal eigenvectors.
         for i in 0..d {
             for j in 0..d {
-                let dot: f64 = e.vectors.row(i).iter()
-                    .zip(e.vectors.row(j)).map(|(x, y)| x * y).sum();
+                let dot: f64 = e
+                    .vectors
+                    .row(i)
+                    .iter()
+                    .zip(e.vectors.row(j))
+                    .map(|(x, y)| x * y)
+                    .sum();
                 let expect = if i == j { 1.0 } else { 0.0 };
-                prop_assert!((dot - expect).abs() < 1e-7);
+                assert!((dot - expect).abs() < 1e-7);
             }
         }
         // Trace preservation: sum of eigenvalues = trace of covariance.
         let trace: f64 = (0..d).map(|i| cov.get(i, i)).sum();
         let sum: f64 = e.values.iter().sum();
-        prop_assert!((trace - sum).abs() < 1e-6 * trace.abs().max(1.0));
+        assert!((trace - sum).abs() < 1e-6 * trace.abs().max(1.0));
     }
 }

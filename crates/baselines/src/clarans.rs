@@ -9,6 +9,7 @@
 //! local optimum. PROCLUS generalizes exactly this search to projected
 //! clusters.
 
+use crate::error::BaselineError;
 use crate::model::FlatClustering;
 use proclus_math::{DistanceKind, Matrix};
 use rand::rngs::StdRng;
@@ -70,21 +71,23 @@ impl Clarans {
 
     /// Cluster `points`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `k == 0` or `k > N`.
-    pub fn fit(&self, points: &Matrix) -> FlatClustering {
+    /// Returns [`BaselineError::InvalidK`] if `k == 0` or `k > N`.
+    pub fn fit(&self, points: &Matrix) -> Result<FlatClustering, BaselineError> {
         let n = points.rows();
-        assert!(self.k > 0 && self.k <= n, "need 0 < k <= N");
+        if self.k == 0 || self.k > n {
+            return Err(BaselineError::InvalidK { k: self.k, n });
+        }
         let mut rng = StdRng::seed_from_u64(self.rng_seed);
         if self.k == n {
             // Every point is its own medoid; there is no non-medoid to
             // swap in, so the search graph has a single node.
-            return FlatClustering {
+            return Ok(FlatClustering {
                 assignment: (0..n).collect(),
                 centers: (0..n).map(|p| points.row(p).to_vec()).collect(),
                 cost: 0.0,
-            };
+            });
         }
         let max_neighbor = self.max_neighbor.unwrap_or_else(|| {
             let suggested = (0.0125 * (self.k * (n - self.k)) as f64) as usize;
@@ -93,8 +96,9 @@ impl Clarans {
                 .min(self.k * (n - self.k).max(1))
         });
 
-        let mut best: Option<(Vec<usize>, f64)> = None;
-        for _ in 0..self.num_local.max(1) {
+        // At least one restart always runs, so `best` is never empty.
+        let mut best: (Vec<usize>, f64) = (Vec::new(), f64::INFINITY);
+        for restart in 0..self.num_local.max(1) {
             let mut medoids: Vec<usize> = sample(&mut rng, n, self.k).into_iter().collect();
             let mut cost = self.cost(points, &medoids);
             let mut tried = 0usize;
@@ -118,18 +122,18 @@ impl Clarans {
                     tried += 1;
                 }
             }
-            if best.as_ref().is_none_or(|(_, bc)| cost < *bc) {
-                best = Some((medoids, cost));
+            if restart == 0 || cost < best.1 {
+                best = (medoids, cost);
             }
         }
 
-        let (medoids, cost) = best.expect("num_local >= 1");
+        let (medoids, cost) = best;
         let assignment = self.assign(points, &medoids);
-        FlatClustering {
+        Ok(FlatClustering {
             assignment,
             centers: medoids.iter().map(|&m| points.row(m).to_vec()).collect(),
             cost,
-        }
+        })
     }
 
     fn assign(&self, points: &Matrix, medoids: &[usize]) -> Vec<usize> {
@@ -181,7 +185,7 @@ mod tests {
     #[test]
     fn separates_two_blobs() {
         let m = two_blobs();
-        let fc = Clarans::new(2).seed(3).fit(&m);
+        let fc = Clarans::new(2).seed(3).fit(&m).unwrap();
         assert_eq!(fc.k(), 2);
         // All of blob 0 together, all of blob 1 together.
         let first = fc.assignment[0];
@@ -192,7 +196,7 @@ mod tests {
     #[test]
     fn cost_matches_recomputation() {
         let m = two_blobs();
-        let fc = Clarans::new(2).seed(7).fit(&m);
+        let fc = Clarans::new(2).seed(7).fit(&m).unwrap();
         let rc = fc.recompute_cost(&m, proclus_math::manhattan);
         assert!((fc.cost - rc).abs() < 1e-9);
     }
@@ -200,22 +204,23 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let m = two_blobs();
-        let a = Clarans::new(2).seed(11).fit(&m);
-        let b = Clarans::new(2).seed(11).fit(&m);
+        let a = Clarans::new(2).seed(11).fit(&m).unwrap();
+        let b = Clarans::new(2).seed(11).fit(&m).unwrap();
         assert_eq!(a.assignment, b.assignment);
     }
 
     #[test]
     fn k_equals_n_is_perfect() {
         let m = Matrix::from_rows(&[[0.0], [5.0], [9.0]], 1);
-        let fc = Clarans::new(3).seed(1).max_neighbor(10).fit(&m);
+        let fc = Clarans::new(3).seed(1).max_neighbor(10).fit(&m).unwrap();
         assert_eq!(fc.cost, 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "need 0 < k <= N")]
     fn rejects_k_zero() {
         let m = Matrix::from_rows(&[[0.0]], 1);
-        let _ = Clarans::new(0).fit(&m);
+        let err = Clarans::new(0).fit(&m).unwrap_err();
+        assert_eq!(err, BaselineError::InvalidK { k: 0, n: 1 });
+        assert!(Clarans::new(2).fit(&m).is_err());
     }
 }

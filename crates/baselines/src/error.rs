@@ -1,0 +1,40 @@
+//! Typed errors for the baseline clusterers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by the baseline `fit` entry points on invalid
+/// parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BaselineError {
+    /// `k` is zero or exceeds the number of points.
+    InvalidK {
+        /// Requested cluster count.
+        k: usize,
+        /// Number of points in the dataset.
+        n: usize,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidK { k, n } => {
+                write!(f, "need 0 < k <= N, got k = {k} with N = {n}")
+            }
+        }
+    }
+}
+
+impl Error for BaselineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_both_sizes() {
+        let e = BaselineError::InvalidK { k: 5, n: 3 };
+        assert_eq!(e.to_string(), "need 0 < k <= N, got k = 5 with N = 3");
+    }
+}

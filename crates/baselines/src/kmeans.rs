@@ -1,5 +1,6 @@
 //! Lloyd's k-means with greedy farthest-point initialization.
 
+use crate::error::BaselineError;
 use crate::model::FlatClustering;
 use proclus_math::order::total_cmp_nan_first;
 use proclus_math::{euclidean, Matrix};
@@ -44,13 +45,15 @@ impl KMeans {
 
     /// Cluster `points`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `k == 0` or `k > N`.
-    pub fn fit(&self, points: &Matrix) -> FlatClustering {
+    /// Returns [`BaselineError::InvalidK`] if `k == 0` or `k > N`.
+    pub fn fit(&self, points: &Matrix) -> Result<FlatClustering, BaselineError> {
         let n = points.rows();
         let d = points.cols();
-        assert!(self.k > 0 && self.k <= n, "need 0 < k <= N");
+        if self.k == 0 || self.k > n {
+            return Err(BaselineError::InvalidK { k: self.k, n });
+        }
         let mut rng = StdRng::seed_from_u64(self.rng_seed);
 
         // Farthest-point initialization (deterministic given the seed).
@@ -62,11 +65,12 @@ impl KMeans {
         while centers.len() < self.k {
             // NaN-safe: NaN distances rank smallest so degenerate
             // points are never chosen as the farthest center.
-            let far = (0..n)
-                .max_by(|&a, &b| total_cmp_nan_first(dist[a], dist[b]))
-                .unwrap();
-            centers.push(points.row(far).to_vec());
-            let new_c = centers.last().unwrap().clone();
+            let Some(far) = (0..n).max_by(|&a, &b| total_cmp_nan_first(dist[a], dist[b])) else {
+                // Unreachable (n >= k > 0); stopping short beats panicking.
+                break;
+            };
+            let new_c = points.row(far).to_vec();
+            centers.push(new_c.clone());
             for (p, slot) in dist.iter_mut().enumerate() {
                 let dd = euclidean(points.row(p), &new_c);
                 if dd < *slot {
@@ -120,11 +124,11 @@ impl KMeans {
             cost = new_cost;
         }
 
-        FlatClustering {
+        Ok(FlatClustering {
             assignment,
             centers,
             cost,
-        }
+        })
     }
 }
 
@@ -145,7 +149,7 @@ mod tests {
     #[test]
     fn separates_three_blobs() {
         let m = three_blobs();
-        let fc = KMeans::new(3).seed(5).fit(&m);
+        let fc = KMeans::new(3).seed(5).fit(&m).unwrap();
         for blob in 0..3 {
             let first = fc.assignment[blob * 20];
             assert!(
@@ -164,15 +168,15 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let m = three_blobs();
-        let a = KMeans::new(3).seed(2).fit(&m);
-        let b = KMeans::new(3).seed(2).fit(&m);
+        let a = KMeans::new(3).seed(2).fit(&m).unwrap();
+        let b = KMeans::new(3).seed(2).fit(&m).unwrap();
         assert_eq!(a.assignment, b.assignment);
     }
 
     #[test]
     fn centers_are_centroids() {
         let m = three_blobs();
-        let fc = KMeans::new(3).seed(2).fit(&m);
+        let fc = KMeans::new(3).seed(2).fit(&m).unwrap();
         let members = fc.members();
         for (i, mem) in members.iter().enumerate() {
             if mem.is_empty() {
@@ -188,7 +192,7 @@ mod tests {
     #[test]
     fn single_cluster_centroid() {
         let m = Matrix::from_rows(&[[0.0], [2.0], [4.0]], 1);
-        let fc = KMeans::new(1).seed(0).fit(&m);
+        let fc = KMeans::new(1).seed(0).fit(&m).unwrap();
         assert!((fc.centers[0][0] - 2.0).abs() < 1e-12);
         assert!(fc.assignment.iter().all(|&a| a == 0));
     }
@@ -208,15 +212,16 @@ mod tests {
             [99.0, 1.0],
         ];
         let m = Matrix::from_rows(&rows, 2);
-        let fc = KMeans::new(3).seed(5).max_iter(5).fit(&m);
+        let fc = KMeans::new(3).seed(5).max_iter(5).fit(&m).unwrap();
         assert_eq!(fc.assignment.len(), 6);
         assert_eq!(fc.centers.len(), 3);
     }
 
     #[test]
-    #[should_panic(expected = "need 0 < k <= N")]
     fn rejects_k_above_n() {
         let m = Matrix::from_rows(&[[0.0]], 1);
-        let _ = KMeans::new(2).fit(&m);
+        let err = KMeans::new(2).fit(&m).unwrap_err();
+        assert_eq!(err, BaselineError::InvalidK { k: 2, n: 1 });
+        assert!(KMeans::new(0).fit(&m).is_err());
     }
 }

@@ -25,18 +25,21 @@
 //!     &[[0.0, 0.0], [1.0, 0.0], [100.0, 100.0], [101.0, 100.0]],
 //!     2,
 //! );
-//! let model = KMeans::new(2).seed(1).fit(&points);
+//! let model = KMeans::new(2).seed(1).fit(&points).unwrap();
 //! assert_eq!(model.assignment[0], model.assignment[1]);
 //! assert_ne!(model.assignment[0], model.assignment[2]);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod clarans;
+pub mod error;
 pub mod kmeans;
 pub mod model;
 
 pub use clarans::Clarans;
+pub use error::BaselineError;
 pub use kmeans::KMeans;
 pub use model::FlatClustering;

@@ -41,7 +41,14 @@ fn bench_clique(c: &mut Criterion) {
     let mut fit_group = c.benchmark_group("clique_fit");
     fit_group.sample_size(10);
     fit_group.bench_function("tau0.5%", |b| {
-        b.iter(|| black_box(Clique::new(10, 0.005).max_subspace_dim(Some(5)).fit(points)))
+        b.iter(|| {
+            black_box(
+                Clique::new(10, 0.005)
+                    .max_subspace_dim(Some(5))
+                    .fit(points)
+                    .expect("valid parameters"),
+            )
+        })
     });
     fit_group.finish();
 }

@@ -111,8 +111,8 @@ fn run(name: &str, params: Proclus, data: &GeneratedDataset, base_seed: u64) {
             .seed(base_seed ^ (s * 0x9e37_79b9))
             .fit(&data.points)
             .expect("valid parameters");
-        ari_sum += adjusted_rand_index(model.assignment(), &truth);
-        let cm = ConfusionMatrix::build(model.assignment(), 5, &truth, 5);
+        ari_sum += adjusted_rand_index(model.assignment(), &truth).expect("aligned labels");
+        let cm = ConfusionMatrix::build(model.assignment(), 5, &truth, 5).expect("labels in range");
         let found: Vec<Vec<usize>> = model
             .clusters()
             .iter()

@@ -41,22 +41,38 @@ fn main() {
     });
     report("PROCLUS", proclus.assignment(), &truth, psec);
 
-    let (clarans, csec) = time_it(|| Clarans::new(5).seed(scale.seed).fit(&data.points));
+    let (clarans, csec) = time_it(|| {
+        Clarans::new(5)
+            .seed(scale.seed)
+            .fit(&data.points)
+            .expect("valid k")
+    });
     let ca: Vec<Option<usize>> = clarans.assignment.iter().map(|&a| Some(a)).collect();
     report("CLARANS", &ca, &truth, csec);
 
-    let (kmeans, ksec) = time_it(|| KMeans::new(5).seed(scale.seed).fit(&data.points));
+    let (kmeans, ksec) = time_it(|| {
+        KMeans::new(5)
+            .seed(scale.seed)
+            .fit(&data.points)
+            .expect("valid k")
+    });
     let ka: Vec<Option<usize>> = kmeans.assignment.iter().map(|&a| Some(a)).collect();
     report("k-means", &ka, &truth, ksec);
 }
 
 fn report(name: &str, output: &[Option<usize>], truth: &[Option<usize>], secs: f64) {
-    let cm = ConfusionMatrix::build(output, 5, truth, 5);
+    let cm = ConfusionMatrix::build(output, 5, truth, 5).expect("labels in range");
     table::row(
         &[
             name.to_string(),
-            format!("{:.3}", adjusted_rand_index(output, truth)),
-            format!("{:.3}", normalized_mutual_information(output, truth)),
+            format!(
+                "{:.3}",
+                adjusted_rand_index(output, truth).expect("aligned labels")
+            ),
+            format!(
+                "{:.3}",
+                normalized_mutual_information(output, truth).expect("aligned labels")
+            ),
             format!("{:.3}", cm.matched_accuracy()),
             format!("{secs:.2}"),
         ],

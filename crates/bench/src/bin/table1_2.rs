@@ -92,7 +92,8 @@ fn run_case(title: &str, mut spec: SyntheticSpec, l: f64, scale: Scale) {
 
     // Quantify the correspondence the paper reports qualitatively.
     let truth = truth_labels(&data);
-    let cm = ConfusionMatrix::build(model.assignment(), spec.k, &truth, spec.k);
+    let cm = ConfusionMatrix::build(model.assignment(), spec.k, &truth, spec.k)
+        .expect("labels in range");
     let mapping = cm.dominant_matching();
     let found: Vec<Vec<usize>> = model
         .clusters()

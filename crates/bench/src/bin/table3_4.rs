@@ -40,7 +40,8 @@ fn run_case(title: &str, mut spec: SyntheticSpec, l: f64, scale: Scale) {
             .expect("valid parameters")
     });
     let truth: Vec<Option<usize>> = data.labels.iter().map(|l| l.cluster()).collect();
-    let cm = ConfusionMatrix::build(model.assignment(), spec.k, &truth, spec.k);
+    let cm = ConfusionMatrix::build(model.assignment(), spec.k, &truth, spec.k)
+        .expect("labels in range");
 
     println!("=== {title} ===  (N = {}, {secs:.2}s)", data.len());
     print!("{cm}");
@@ -48,7 +49,7 @@ fn run_case(title: &str, mut spec: SyntheticSpec, l: f64, scale: Scale) {
         "matched accuracy = {:.4}   purity = {:.4}   ARI = {:.4}   NMI = {:.4}",
         cm.matched_accuracy(),
         cm.purity(),
-        adjusted_rand_index(model.assignment(), &truth),
-        normalized_mutual_information(model.assignment(), &truth),
+        adjusted_rand_index(model.assignment(), &truth).expect("aligned labels"),
+        normalized_mutual_information(model.assignment(), &truth).expect("aligned labels"),
     );
 }

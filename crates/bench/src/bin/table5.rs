@@ -44,6 +44,7 @@ fn main() {
             Clique::new(10, tau_pct / 100.0)
                 .max_subspace_dim(Some(8))
                 .fit(&data.points)
+                .expect("valid parameters")
         });
         let max_dim = model
             .clusters()
@@ -74,6 +75,7 @@ fn main() {
             .max_subspace_dim(Some(7))
             .target_subspace_dim(Some(7))
             .fit(&data.points)
+            .expect("valid parameters")
     });
     println!(
         "output clusters = {}, average overlap = {:.2}, \

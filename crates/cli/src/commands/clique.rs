@@ -39,7 +39,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     args.reject_unknown()?;
 
     let (points, _) = read_dataset(&input)?;
-    let model = clique.fit(&points);
+    let model = clique.fit(&points)?;
     writeln!(
         out,
         "CLIQUE: {} clusters, coverage {:.1}%, average overlap {:.2}",
@@ -112,6 +112,13 @@ mod tests {
         crate::io::write_dataset(input.as_ref(), &data.points, None).unwrap();
         let args = Args::parse(
             toks(&format!("--input {input} --tau abc")),
+            &["descriptions"],
+        )
+        .unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
+        // A parseable but out-of-range tau is a typed fit error.
+        let args = Args::parse(
+            toks(&format!("--input {input} --tau 0.0")),
             &["descriptions"],
         )
         .unwrap();

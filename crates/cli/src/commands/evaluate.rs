@@ -3,7 +3,7 @@
 //! confusion-matrix methodology plus ARI/NMI.
 
 use crate::args::{ArgError, Args};
-use crate::io::read_dataset;
+use crate::io::{read_dataset, validate_label_ids};
 use proclus_data::Label;
 use proclus_eval::{adjusted_rand_index, normalized_mutual_information, ConfusionMatrix};
 use std::error::Error;
@@ -42,18 +42,21 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
             truth.len()
         ))));
     }
+    // Bound label ids by the row count before they size any table.
+    validate_label_ids(&found_path, &found)?;
+    validate_label_ids(&truth_path, &truth)?;
 
     let (found, k_out) = to_options(&found);
     let (truth, k_in) = to_options(&truth);
-    let cm = ConfusionMatrix::build(&found, k_out, &truth, k_in);
+    let cm = ConfusionMatrix::build(&found, k_out, &truth, k_in)?;
     write!(out, "{cm}")?;
     writeln!(
         out,
         "matched accuracy = {:.4}   purity = {:.4}   ARI = {:.4}   NMI = {:.4}",
         cm.matched_accuracy(),
         cm.purity(),
-        adjusted_rand_index(&found, &truth),
-        normalized_mutual_information(&found, &truth),
+        adjusted_rand_index(&found, &truth)?,
+        normalized_mutual_information(&found, &truth)?,
     )?;
     Ok(())
 }

@@ -20,6 +20,7 @@ proclus fit — PROCLUS projected clustering (SIGMOD 1999)
   --metric <name>   manhattan | euclidean | chebyshev [default manhattan]
   --min-deviation <f> bad-medoid threshold factor [default 0.1]
   --paper-literal   disable the inner refinement (see DESIGN.md)
+  --verbose         print fit diagnostics (rounds, restarts, degradations)
   --out <path>      write points + assignment labels to this file
 ";
 
@@ -49,12 +50,16 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     if args.switch("paper-literal") {
         params = params.inner_refinements(0);
     }
+    let verbose = args.switch("verbose");
     let out_path = args.get("out").map(PathBuf::from);
     args.reject_unknown()?;
 
     let (points, _) = read_dataset(&input)?;
     let model = params.fit(&points)?;
     writeln!(out, "{model}")?;
+    if verbose {
+        writeln!(out, "diagnostics: {}", model.diagnostics())?;
+    }
     if let Some(path) = out_path {
         write_dataset(&path, &points, Some(&assignment_labels(model.assignment())))?;
         writeln!(out, "assignment written to {}", path.display())?;
@@ -96,6 +101,24 @@ mod tests {
         std::fs::remove_file(&out).ok();
         assert_eq!(points.rows(), 400);
         assert_eq!(labels.unwrap().len(), 400);
+    }
+
+    #[test]
+    fn verbose_prints_diagnostics() {
+        let input = tmp("verb.csv");
+        let data = SyntheticSpec::new(300, 5, 2, 3.0).seed(4).generate();
+        crate::io::write_dataset(input.as_ref(), &data.points, None).unwrap();
+        let args = Args::parse(
+            toks(&format!("--input {input} --k 2 --l 3 --verbose")),
+            &["paper-literal", "verbose"],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&args, &mut buf).unwrap();
+        std::fs::remove_file(&input).ok();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("diagnostics:"), "{text}");
+        assert!(text.contains("restarts"), "{text}");
     }
 
     #[test]

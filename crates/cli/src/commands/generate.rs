@@ -45,7 +45,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     args.reject_unknown()?;
     spec.validate().map_err(ArgError)?;
 
-    let data = spec.generate();
+    let data = spec.try_generate()?;
     let labels = (!no_labels).then_some(data.labels.as_slice());
     write_dataset(&out_path, &data.points, labels)?;
     writeln!(

@@ -2,7 +2,7 @@
 //! statistics, label histogram.
 
 use crate::args::Args;
-use crate::io::read_dataset;
+use crate::io::{read_dataset, validate_label_ids};
 use proclus_data::Label;
 use proclus_math::stats::Welford;
 use std::error::Error;
@@ -68,6 +68,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     }
 
     if let Some(labels) = labels {
+        // A hostile label id must not size the histogram allocation.
+        validate_label_ids(&input, &labels)?;
         let k = labels
             .iter()
             .filter_map(|l| l.cluster())

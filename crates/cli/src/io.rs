@@ -2,9 +2,8 @@
 //! textual format, anything else the compact binary format.
 
 use proclus_data::io as csvio;
-use proclus_data::{binio, Label};
+use proclus_data::{binio, DataError, Label};
 use proclus_math::Matrix;
-use std::io;
 use std::path::Path;
 
 /// Is this path a CSV file (by extension, case-insensitive)?
@@ -15,7 +14,7 @@ pub fn is_csv(path: &Path) -> bool {
 }
 
 /// Read points and optional labels, dispatching on the extension.
-pub fn read_dataset(path: &Path) -> io::Result<(Matrix, Option<Vec<Label>>)> {
+pub fn read_dataset(path: &Path) -> Result<(Matrix, Option<Vec<Label>>), DataError> {
     if is_csv(path) {
         csvio::read_csv(path)
     } else {
@@ -24,12 +23,48 @@ pub fn read_dataset(path: &Path) -> io::Result<(Matrix, Option<Vec<Label>>)> {
 }
 
 /// Write points and optional labels, dispatching on the extension.
-pub fn write_dataset(path: &Path, points: &Matrix, labels: Option<&[Label]>) -> io::Result<()> {
+pub fn write_dataset(
+    path: &Path,
+    points: &Matrix,
+    labels: Option<&[Label]>,
+) -> Result<(), DataError> {
     if is_csv(path) {
         csvio::write_csv(path, points, labels)
     } else {
         binio::write_binary(path, points, labels)
     }
+}
+
+/// A dataset whose bytes parsed but whose *content* is semantically
+/// unusable — e.g. a cluster label id far beyond the row count, which
+/// would otherwise drive unbounded histogram allocations.
+#[derive(Debug)]
+pub struct MalformedDataset(pub String);
+
+impl std::fmt::Display for MalformedDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed dataset: {}", self.0)
+    }
+}
+
+impl std::error::Error for MalformedDataset {}
+
+/// Reject label columns whose cluster ids are not `< rows`: any honest
+/// labeling uses ids bounded by the number of points, and an id like
+/// `10^18` in a hostile file must not size an allocation.
+pub fn validate_label_ids(path: &Path, labels: &[Label]) -> Result<(), MalformedDataset> {
+    let rows = labels.len();
+    if let Some(bad) = labels
+        .iter()
+        .filter_map(|l| l.cluster())
+        .find(|&id| id >= rows)
+    {
+        return Err(MalformedDataset(format!(
+            "{}: cluster label id {bad} is out of range for {rows} rows",
+            path.display()
+        )));
+    }
+    Ok(())
 }
 
 /// Convert a clustering assignment (`None` = outlier) into labels.
@@ -72,6 +107,16 @@ mod tests {
             assert_eq!(m, m2, "{name}");
             assert_eq!(l2.as_deref(), Some(labels.as_slice()), "{name}");
         }
+    }
+
+    #[test]
+    fn label_id_validation() {
+        let p = Path::new("x.csv");
+        let ok = vec![Label::Cluster(1), Label::Outlier, Label::Cluster(0)];
+        assert!(validate_label_ids(p, &ok).is_ok());
+        let bad = vec![Label::Cluster(3), Label::Outlier];
+        let err = validate_label_ids(p, &bad).unwrap_err();
+        assert!(err.to_string().contains("label id 3"));
     }
 
     #[test]

@@ -2,11 +2,14 @@
 //! toolkit: dataset generation, PROCLUS / CLIQUE / ORCLUS runs, and
 //! clustering evaluation.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 mod args;
 mod commands;
 mod io;
 
-use args::Args;
+use args::{ArgError, Args};
+use std::error::Error;
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -26,7 +29,65 @@ commands:
 
 Dataset files ending in .csv are text; any other extension uses the
 compact binary format.
+
+exit codes:
+  0   success (including degraded-but-usable fits; see --verbose)
+  2   usage error (bad flags or arguments)
+  64  invalid algorithm parameters (k, l, tau, ...)
+  65  malformed dataset content (bad CSV cell, corrupt binary, bad labels)
+  66  input file missing or unreadable
+  69  degenerate data / cluster collapse / non-convergence
+  74  other I/O error
 ";
+
+/// Map an error to its documented exit code by walking the concrete
+/// error types a run can surface.
+fn exit_code_for(e: &(dyn Error + 'static)) -> u8 {
+    use proclus_core::ProclusError;
+    use proclus_data::DataError;
+    if e.downcast_ref::<ArgError>().is_some() {
+        return 2;
+    }
+    if let Some(pe) = e.downcast_ref::<ProclusError>() {
+        return match pe {
+            ProclusError::InvalidParameters(_)
+            | ProclusError::TooFewPoints { .. }
+            | ProclusError::DimensionalityTooLow { .. } => 64,
+            ProclusError::DegenerateData { .. }
+            | ProclusError::ClusterCollapse { .. }
+            | ProclusError::NonConvergence { .. } => 69,
+        };
+    }
+    if let Some(de) = e.downcast_ref::<DataError>() {
+        return match de {
+            DataError::Io { source, .. } => match source.kind() {
+                std::io::ErrorKind::NotFound | std::io::ErrorKind::PermissionDenied => 66,
+                _ => 74,
+            },
+            _ => 65,
+        };
+    }
+    if let Some(ce) = e.downcast_ref::<proclus_clique::CliqueError>() {
+        return match ce {
+            proclus_clique::CliqueError::InvalidTau(_) | proclus_clique::CliqueError::InvalidXi => {
+                64
+            }
+            proclus_clique::CliqueError::EmptyDataset => 69,
+        };
+    }
+    if e.downcast_ref::<proclus_orclus::OrclusError>().is_some() {
+        return 64;
+    }
+    if e.downcast_ref::<proclus_eval::EvalError>().is_some()
+        || e.downcast_ref::<io::MalformedDataset>().is_some()
+    {
+        return 65;
+    }
+    if e.downcast_ref::<std::io::Error>().is_some() {
+        return 74;
+    }
+    1
+}
 
 /// Signature shared by every subcommand entry point.
 type Runner = fn(&Args, &mut dyn Write) -> Result<(), Box<dyn std::error::Error>>;
@@ -46,7 +107,11 @@ fn main() -> ExitCode {
             &["no-labels"],
             commands::generate::run,
         ),
-        "fit" => (commands::fit::HELP, &["paper-literal"], commands::fit::run),
+        "fit" => (
+            commands::fit::HELP,
+            &["paper-literal", "verbose"],
+            commands::fit::run,
+        ),
         "clique" => (
             commands::clique::HELP,
             &["descriptions", "mdl"],
@@ -92,7 +157,69 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(exit_code_for(e.as_ref()))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proclus_core::ProclusError;
+    use proclus_data::DataError;
+
+    fn code(e: impl Error + 'static) -> u8 {
+        exit_code_for(&e)
+    }
+
+    #[test]
+    fn exit_codes_by_error_class() {
+        assert_eq!(code(ArgError("bad flag".into())), 2);
+        assert_eq!(code(ProclusError::InvalidParameters("k".into())), 64);
+        assert_eq!(code(ProclusError::TooFewPoints { needed: 5, got: 1 }), 64);
+        assert_eq!(
+            code(ProclusError::DegenerateData {
+                reason: "nan".into()
+            }),
+            69
+        );
+        assert_eq!(code(ProclusError::ClusterCollapse { rounds: 3 }), 69);
+        assert_eq!(code(ProclusError::NonConvergence { restarts: 5 }), 69);
+        assert_eq!(
+            code(DataError::Csv {
+                path: "x.csv".into(),
+                line: 2,
+                column: Some(1),
+                token: None,
+                reason: "bad".into(),
+            }),
+            65
+        );
+        assert_eq!(
+            code(DataError::io(
+                std::path::Path::new("gone.csv"),
+                std::io::Error::from(std::io::ErrorKind::NotFound),
+            )),
+            66
+        );
+        assert_eq!(
+            code(DataError::io(
+                std::path::Path::new("x.csv"),
+                std::io::Error::other("disk on fire"),
+            )),
+            74
+        );
+        assert_eq!(code(proclus_clique::CliqueError::InvalidTau(0.0)), 64);
+        assert_eq!(code(proclus_clique::CliqueError::EmptyDataset), 69);
+        assert_eq!(
+            code(proclus_eval::EvalError::LengthMismatch {
+                output: 1,
+                truth: 2
+            }),
+            65
+        );
+        assert_eq!(code(io::MalformedDataset("bad label".into())), 65);
+        assert_eq!(code(std::io::Error::other("hup")), 74);
+        assert_eq!(code(std::fmt::Error), 1);
     }
 }

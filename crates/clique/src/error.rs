@@ -1,0 +1,43 @@
+//! Typed errors for CLIQUE runs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by [`crate::Clique::fit`] on invalid parameters or
+/// unusable input data.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CliqueError {
+    /// The density threshold `tau` is outside `(0, 1]`.
+    InvalidTau(f64),
+    /// The grid resolution `xi` is zero.
+    InvalidXi,
+    /// The dataset has no rows; there is nothing to grid.
+    EmptyDataset,
+}
+
+impl fmt::Display for CliqueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidTau(tau) => write!(f, "tau must be in (0, 1], got {tau}"),
+            Self::InvalidXi => write!(f, "xi must be positive"),
+            Self::EmptyDataset => write!(f, "cannot grid an empty dataset"),
+        }
+    }
+}
+
+impl Error for CliqueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parameter() {
+        assert_eq!(
+            CliqueError::InvalidTau(1.5).to_string(),
+            "tau must be in (0, 1], got 1.5"
+        );
+        assert!(CliqueError::InvalidXi.to_string().contains("xi"));
+        assert!(CliqueError::EmptyDataset.to_string().contains("empty"));
+    }
+}

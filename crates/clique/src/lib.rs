@@ -24,16 +24,21 @@
 //! use proclus_data::SyntheticSpec;
 //!
 //! let data = SyntheticSpec::new(2_000, 8, 2, 3.0).seed(1).generate();
-//! let model = Clique::new(10, 0.05).max_subspace_dim(Some(4)).fit(&data.points);
+//! let model = Clique::new(10, 0.05)
+//!     .max_subspace_dim(Some(4))
+//!     .fit(&data.points)
+//!     .unwrap();
 //! assert!(model.clusters().len() >= 2);
 //! assert!(model.coverage() > 0.3);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod cluster;
 pub mod descriptions;
+pub mod error;
 pub mod grid;
 pub mod mdl;
 pub mod model;
@@ -41,6 +46,7 @@ pub mod params;
 pub mod units;
 
 pub use descriptions::{minimal_descriptions, Region};
+pub use error::CliqueError;
 pub use model::{CliqueModel, SubspaceCluster};
 pub use params::Clique;
 pub use units::DenseUnit;

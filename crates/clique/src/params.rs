@@ -1,6 +1,7 @@
 //! The [`Clique`] parameter builder and `fit` entry point.
 
 use crate::cluster::connected_components;
+use crate::error::CliqueError;
 use crate::grid::Grid;
 use crate::model::{CliqueModel, SubspaceCluster};
 use crate::units::mine_dense_units_opt;
@@ -71,15 +72,20 @@ impl Clique {
 
     /// Run CLIQUE on `points`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an empty dataset, `xi == 0`, or `tau` outside `(0, 1]`.
-    pub fn fit(&self, points: &Matrix) -> CliqueModel {
-        assert!(
-            self.tau > 0.0 && self.tau <= 1.0,
-            "tau must be in (0, 1], got {}",
-            self.tau
-        );
+    /// Returns [`CliqueError`] on an empty dataset, `xi == 0`, or `tau`
+    /// outside `(0, 1]` (NaN included).
+    pub fn fit(&self, points: &Matrix) -> Result<CliqueModel, CliqueError> {
+        if !(self.tau > 0.0 && self.tau <= 1.0) {
+            return Err(CliqueError::InvalidTau(self.tau));
+        }
+        if self.xi == 0 {
+            return Err(CliqueError::InvalidXi);
+        }
+        if points.rows() == 0 {
+            return Err(CliqueError::EmptyDataset);
+        }
         let n = points.rows();
         let d = points.cols();
         let grid = Grid::fit(points, self.xi);
@@ -132,7 +138,7 @@ impl Clique {
                 });
             }
         }
-        CliqueModel::new(clusters, n)
+        Ok(CliqueModel::new(clusters, n))
     }
 }
 
@@ -151,10 +157,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "tau must be in")]
     fn fit_rejects_bad_tau() {
         let m = Matrix::from_rows(&[[0.0]], 1);
-        let _ = Clique::new(10, 0.0).fit(&m);
+        let err = Clique::new(10, 0.0).fit(&m).unwrap_err();
+        assert_eq!(err, CliqueError::InvalidTau(0.0));
+        assert!(err.to_string().contains("tau must be in"));
+        // NaN fails the range check too.
+        assert!(Clique::new(10, f64::NAN).fit(&m).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_zero_xi_and_empty_data() {
+        let m = Matrix::from_rows(&[[0.0]], 1);
+        assert_eq!(
+            Clique::new(0, 0.1).fit(&m).unwrap_err(),
+            CliqueError::InvalidXi
+        );
+        let empty = Matrix::zeros(0, 2);
+        assert_eq!(
+            Clique::new(10, 0.1).fit(&empty).unwrap_err(),
+            CliqueError::EmptyDataset
+        );
     }
 
     #[test]
@@ -168,7 +191,7 @@ mod tests {
             rows.push([i as f64 * 9.9, ((i * 3) % 10) as f64 * 9.7]);
         }
         let m = Matrix::from_rows(&rows, 2);
-        let model = Clique::new(10, 0.2).fit(&m);
+        let model = Clique::new(10, 0.2).fit(&m).unwrap();
         // The planted box shows up at level 2 (and its projections at
         // level 1).
         let two_dim: Vec<_> = model
@@ -190,7 +213,10 @@ mod tests {
             rows.push([i as f64 * 9.9, ((i * 3) % 10) as f64 * 9.7]);
         }
         let m = Matrix::from_rows(&rows, 2);
-        let model = Clique::new(10, 0.2).target_subspace_dim(Some(2)).fit(&m);
+        let model = Clique::new(10, 0.2)
+            .target_subspace_dim(Some(2))
+            .fit(&m)
+            .unwrap();
         assert!(model.clusters().iter().all(|c| c.dims.len() == 2));
         assert_eq!(model.clusters().len(), 1);
     }
@@ -213,11 +239,15 @@ mod tests {
             rows.push([50.0, 50.0, 42.0, 42.0]);
         }
         let m = Matrix::from_rows(&rows, 4);
-        let unpruned = Clique::new(10, 0.05).max_subspace_dim(Some(2)).fit(&m);
+        let unpruned = Clique::new(10, 0.05)
+            .max_subspace_dim(Some(2))
+            .fit(&m)
+            .unwrap();
         let pruned = Clique::new(10, 0.05)
             .max_subspace_dim(Some(2))
             .mdl_pruning(true)
-            .fit(&m);
+            .fit(&m)
+            .unwrap();
         let count2d = |model: &CliqueModel| {
             model
                 .clusters()
@@ -234,7 +264,10 @@ mod tests {
     fn max_dim_caps_mining() {
         let rows = vec![[1.0, 1.0, 1.0]; 30];
         let m = Matrix::from_rows(&rows, 3);
-        let model = Clique::new(10, 0.5).max_subspace_dim(Some(2)).fit(&m);
+        let model = Clique::new(10, 0.5)
+            .max_subspace_dim(Some(2))
+            .fit(&m)
+            .unwrap();
         assert!(model.clusters().iter().all(|c| c.dims.len() <= 2));
     }
 }

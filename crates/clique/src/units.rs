@@ -108,7 +108,7 @@ pub fn mine_dense_units_opt(
 
     // Levels 2..=max_level: join, prune, count.
     while levels.len() < max_level {
-        let prev = levels.last().unwrap();
+        let Some(prev) = levels.last() else { break };
         let candidates = generate_candidates(prev);
         if candidates.is_empty() {
             break;

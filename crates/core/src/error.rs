@@ -23,6 +23,24 @@ pub enum ProclusError {
         /// The requested average dimensions per cluster.
         l: f64,
     },
+    /// The dataset cannot support a meaningful fit at all: fewer
+    /// fully-finite rows than clusters requested (e.g. NaN/∞-riddled
+    /// data), so no piercing medoid set can exist.
+    DegenerateData {
+        /// Why the data is unusable.
+        reason: String,
+    },
+    /// Every cluster of the best model ended up empty: the hill climb
+    /// and refinement could not keep a single point assigned.
+    ClusterCollapse {
+        /// Hill-climbing rounds executed before the collapse.
+        rounds: usize,
+    },
+    /// No restart produced a usable model within the round budget.
+    NonConvergence {
+        /// Restarts attempted.
+        restarts: usize,
+    },
 }
 
 impl fmt::Display for ProclusError {
@@ -39,6 +57,19 @@ impl fmt::Display for ProclusError {
                 f,
                 "data dimensionality {d} cannot host an average of {l} \
                  dimensions per cluster (need 2 <= l <= d)"
+            ),
+            ProclusError::DegenerateData { reason } => {
+                write!(f, "degenerate data: {reason}")
+            }
+            ProclusError::ClusterCollapse { rounds } => write!(
+                f,
+                "cluster collapse: every cluster ended up empty after \
+                 {rounds} hill-climbing rounds"
+            ),
+            ProclusError::NonConvergence { restarts } => write!(
+                f,
+                "non-convergence: none of {restarts} restarts produced a \
+                 usable model"
             ),
         }
     }
@@ -65,5 +96,17 @@ mod tests {
     fn implements_std_error() {
         fn assert_err<E: Error>(_: &E) {}
         assert_err(&ProclusError::InvalidParameters(String::new()));
+    }
+
+    #[test]
+    fn robustness_variants_display() {
+        let e = ProclusError::DegenerateData {
+            reason: "only 1 finite row for k = 3".into(),
+        };
+        assert!(e.to_string().contains("degenerate"));
+        let e = ProclusError::ClusterCollapse { rounds: 12 };
+        assert!(e.to_string().contains("12"));
+        let e = ProclusError::NonConvergence { restarts: 5 };
+        assert!(e.to_string().contains('5'));
     }
 }

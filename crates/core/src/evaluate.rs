@@ -23,8 +23,10 @@ pub fn evaluate_clusters(
     dims: &[Vec<usize>],
     n: usize,
 ) -> f64 {
-    assert_eq!(clusters.len(), dims.len());
-    assert!(n > 0);
+    debug_assert_eq!(clusters.len(), dims.len());
+    if n == 0 {
+        return 0.0;
+    }
     let mut acc = 0.0;
     for (members, di) in clusters.iter().zip(dims) {
         if members.is_empty() || di.is_empty() {
@@ -51,15 +53,15 @@ pub fn evaluate_clusters(
 /// every cluster with fewer than `(n/k) · min_deviation` points.
 ///
 /// Returns cluster indices, sorted ascending, always at least one
-/// (the smallest cluster). Ties for "smallest" resolve to the lowest
-/// index.
+/// (the smallest cluster) — except for an empty clustering, which has
+/// no medoids to blame and yields an empty list. Ties for "smallest"
+/// resolve to the lowest index.
 pub fn bad_medoids(cluster_sizes: &[usize], n: usize, min_deviation: f64) -> Vec<usize> {
     let k = cluster_sizes.len();
-    assert!(k > 0);
-    let threshold = (n as f64 / k as f64) * min_deviation;
-    let smallest = (0..k)
-        .min_by_key(|&i| (cluster_sizes[i], i))
-        .expect("nonempty");
+    let threshold = (n as f64 / k.max(1) as f64) * min_deviation;
+    let Some(smallest) = (0..k).min_by_key(|&i| (cluster_sizes[i], i)) else {
+        return Vec::new();
+    };
     let mut bad: Vec<usize> = (0..k)
         .filter(|&i| i == smallest || (cluster_sizes[i] as f64) < threshold)
         .collect();
@@ -132,6 +134,11 @@ mod tests {
     fn bad_medoids_tie_breaks_low_index() {
         let bad = bad_medoids(&[10, 10, 10], 30, 0.1);
         assert_eq!(bad, vec![0]);
+    }
+
+    #[test]
+    fn bad_medoids_empty_clustering_is_empty() {
+        assert!(bad_medoids(&[], 10, 0.1).is_empty());
     }
 
     #[test]

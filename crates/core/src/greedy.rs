@@ -44,11 +44,15 @@ pub fn greedy_select<D: Distance, R: Rng + ?Sized>(
         // Farthest candidate from the chosen set.
         // NaN-safe: a NaN distance (degenerate data) ranks first, i.e.
         // smallest, so it can never be selected as the farthest point.
-        let (next_pos, _) = dist
+        let Some((next_pos, _)) = dist
             .iter()
             .enumerate()
             .max_by(|(_, a), (_, b)| total_cmp_nan_first(**a, **b))
-            .expect("candidates nonempty");
+        else {
+            // Unreachable (candidates is nonempty here), but stopping
+            // with the shorter prefix beats panicking.
+            break;
+        };
         let next = candidates[next_pos];
         chosen.push(next);
         // Relax distances against the newly chosen point. The chosen

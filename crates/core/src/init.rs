@@ -15,26 +15,42 @@ use rand::Rng;
 
 /// Run the initialization phase: returns the candidate medoid set `M`
 /// (global point indices), of size `min(B·k, A·k, N)`.
+///
+/// Rows with non-finite coordinates are excluded from candidacy — a
+/// NaN/∞ medoid poisons every distance computed against it, so such
+/// rows can be assigned (or flagged as outliers) but never anchor a
+/// cluster. When every row is finite the sampling is bit-identical to
+/// sampling over the raw row range.
 pub fn candidate_medoids<R: Rng + ?Sized>(
     params: &Proclus,
     points: &Matrix,
     rng: &mut R,
 ) -> Vec<usize> {
     let n = points.rows();
+    let finite: Vec<usize> = (0..n)
+        .filter(|&i| points.row(i).iter().all(|v| v.is_finite()))
+        .collect();
+    let nf = finite.len();
     match params.init {
         crate::params::InitStrategy::SampleGreedy => {
-            let sample_size = (params.sample_factor * params.k).min(n);
+            let sample_size = (params.sample_factor * params.k).min(nf);
             let target = (params.medoid_factor * params.k).min(sample_size);
 
             // Step 1: random sample S of size A·k without replacement.
-            let s: Vec<usize> = sample(rng, n, sample_size).into_iter().collect();
+            let s: Vec<usize> = sample(rng, nf, sample_size)
+                .into_iter()
+                .map(|i| finite[i])
+                .collect();
 
             // Step 2: greedy reduction of S to B·k candidates.
             greedy_select(points, &s, target, &params.distance, rng)
         }
         crate::params::InitStrategy::RandomOnly => {
-            let target = (params.medoid_factor * params.k).min(n);
-            sample(rng, n, target).into_iter().collect()
+            let target = (params.medoid_factor * params.k).min(nf);
+            sample(rng, nf, target)
+                .into_iter()
+                .map(|i| finite[i])
+                .collect()
         }
     }
 }

@@ -16,7 +16,7 @@ use crate::error::ProclusError;
 use crate::evaluate::{bad_medoids, evaluate_clusters};
 use crate::init::candidate_medoids;
 use crate::locality::medoid_deltas;
-use crate::model::ProclusModel;
+use crate::model::{Degradation, FitDiagnostics, ProclusModel};
 use crate::params::Proclus;
 use crate::pool::{with_pool, Pool};
 use crate::refine::refine_with_pool;
@@ -35,22 +35,72 @@ use rand::SeedableRng;
 /// per-round thread spawning.
 pub fn run(params: &Proclus, points: &Matrix) -> Result<ProclusModel, ProclusError> {
     params.validate(points.rows(), points.cols())?;
+    let mut diag = preflight(params, points)?;
     with_pool(points, params.distance, params.threads, |pool| {
         let mut best: Option<ProclusModel> = None;
-        for r in 0..params.restarts.max(1) {
+        let mut last_error: Option<ProclusError> = None;
+        let restarts = params.restarts.max(1);
+        for r in 0..restarts {
             let seed = params
                 .rng_seed
                 .wrapping_add((r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let model = run_once(params, points, seed, None, pool)?;
-            if best
-                .as_ref()
-                .is_none_or(|b| model.iterative_objective() < b.iterative_objective())
-            {
-                best = Some(model);
+            diag.restarts += 1;
+            // A collapsed restart is a degradation, not a failure, as
+            // long as some other restart produces a usable model: record
+            // it and keep climbing from the remaining seeds.
+            match run_once(params, points, seed, None, pool, &mut diag) {
+                Ok(model) => {
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| model.iterative_objective() < b.iterative_objective())
+                    {
+                        best = Some(model);
+                    }
+                }
+                Err(e) => {
+                    diag.failed_restarts += 1;
+                    diag.degradations.push(Degradation::RestartFailed {
+                        restart: r,
+                        reason: e.to_string(),
+                    });
+                    last_error = Some(e);
+                }
             }
         }
-        Ok(best.expect("restarts >= 1"))
+        match best {
+            Some(model) => Ok(model.with_diagnostics(diag.clone())),
+            // Every restart collapsed. One restart: surface its error
+            // directly; several: summarize as non-convergence.
+            None => match last_error {
+                Some(e) if restarts == 1 => Err(e),
+                _ => Err(ProclusError::NonConvergence { restarts }),
+            },
+        }
     })
+}
+
+/// Reject data that cannot support any fit (fewer fully-finite rows
+/// than medoids needed) and seed the diagnostics with the count of
+/// non-finite rows the pipeline will work around.
+fn preflight(params: &Proclus, points: &Matrix) -> Result<FitDiagnostics, ProclusError> {
+    let n = points.rows();
+    let finite = (0..n)
+        .filter(|&i| points.row(i).iter().all(|v| v.is_finite()))
+        .count();
+    if finite < params.k {
+        return Err(ProclusError::DegenerateData {
+            reason: format!(
+                "only {finite} of {n} rows are fully finite, but k = {} medoids are needed",
+                params.k
+            ),
+        });
+    }
+    let mut diag = FitDiagnostics::default();
+    if finite < n {
+        diag.degradations
+            .push(Degradation::NonFiniteRowsExcluded { count: n - finite });
+    }
+    Ok(diag)
 }
 
 /// Like [`run`] but hill climbing starts from a caller-supplied medoid
@@ -90,8 +140,18 @@ pub fn run_from_medoids(
             points.rows()
         )));
     }
+    let mut diag = preflight(params, points)?;
     with_pool(points, params.distance, params.threads, |pool| {
-        run_once(params, points, params.rng_seed, Some(initial), pool)
+        diag.restarts = 1;
+        let model = run_once(
+            params,
+            points,
+            params.rng_seed,
+            Some(initial),
+            pool,
+            &mut diag,
+        )?;
+        Ok(model.with_diagnostics(diag.clone()))
     })
 }
 
@@ -104,6 +164,7 @@ fn run_once(
     seed: u64,
     forced_start: Option<&[usize]>,
     pool: &mut Pool<'_>,
+    diag: &mut FitDiagnostics,
 ) -> Result<ProclusModel, ProclusError> {
     let n = points.rows();
     let k = params.k;
@@ -162,7 +223,9 @@ fn run_once(
             pool.assign(&current, &dims)
         };
         for r in 0..params.inner_refinements {
-            let cx = cluster_x.take().expect("previous pass accumulated X");
+            let Some(cx) = cluster_x.take() else {
+                break;
+            };
             dims = find_dimensions_from_averages(&cx, total_dims, params.standardize_dimensions);
             if r + 1 < params.inner_refinements {
                 let (f, cx) = pool.assign_x(&current, &dims);
@@ -197,6 +260,12 @@ fn run_once(
         // is no best clustering to mine for bad medoids; stop climbing
         // and let refinement classify what it can.
         if best_clusters.is_empty() {
+            if !diag
+                .degradations
+                .contains(&Degradation::ObjectiveNeverImproved)
+            {
+                diag.degradations.push(Degradation::ObjectiveNeverImproved);
+            }
             break;
         }
 
@@ -205,12 +274,20 @@ fn run_once(
         let sizes: Vec<usize> = best_clusters.iter().map(Vec::len).collect();
         let bad = bad_medoids(&sizes, n, params.min_deviation);
         match replace_bad(&best, &bad, &candidates, &mut rng) {
-            Some(next) => current = next,
+            Some(next) => {
+                diag.bad_medoid_swaps += bad.len();
+                current = next;
+            }
             // Candidate pool exhausted (tiny datasets): nothing new to
-            // try, so stop climbing.
-            None => break,
+            // try, so stop climbing with the best vertex seen.
+            None => {
+                diag.degradations
+                    .push(Degradation::CandidatePoolExhausted { round: rounds });
+                break;
+            }
         }
     }
+    diag.total_rounds += rounds;
 
     // ---- Phase 3: refinement -------------------------------------------
     let refined = refine_with_pool(
@@ -222,6 +299,13 @@ fn run_once(
     );
     let final_clusters = group_members(&refined.assignment, k);
     let final_objective = evaluate_clusters(points, &final_clusters, &refined.dims, n);
+
+    // Total collapse: not a single point stayed assigned (every cluster
+    // empty). The model would be vacuous — surface it as a typed error
+    // so the restart loop can try other seeds or report it.
+    if n > 0 && refined.assignment.iter().all(Option::is_none) {
+        return Err(ProclusError::ClusterCollapse { rounds });
+    }
 
     Ok(ProclusModel::from_parts(
         points,
@@ -324,6 +408,71 @@ mod tests {
             assert_eq!(model.clusters().len(), 2, "seed {seed}");
             assert_eq!(model.assignment().len(), 8, "seed {seed}");
         }
+    }
+
+    /// A NaN-riddled dataset with too few finite rows is rejected with
+    /// a typed error, not a panic deep in the pipeline.
+    #[test]
+    fn fit_rejects_degenerate_data() {
+        let m = Matrix::from_rows(&[[f64::NAN, f64::NAN]; 10], 2);
+        let err = Proclus::new(2, 2.0).fit(&m).unwrap_err();
+        assert!(matches!(err, ProclusError::DegenerateData { .. }), "{err}");
+        // One finite row, k = 2: still not enough.
+        let mut rows = vec![[f64::NAN, 0.0]; 5];
+        rows[0] = [1.0, 1.0];
+        let err = Proclus::new(2, 2.0)
+            .fit(&Matrix::from_rows(&rows, 2))
+            .unwrap_err();
+        assert!(matches!(err, ProclusError::DegenerateData { .. }), "{err}");
+    }
+
+    /// Non-finite rows are excluded from medoid candidacy and the
+    /// model's diagnostics say so.
+    #[test]
+    fn fit_records_non_finite_row_degradation() {
+        let mut rows: Vec<[f64; 2]> = (0..40)
+            .map(|i| [(i % 7) as f64, (i / 7) as f64 * 10.0])
+            .collect();
+        rows[5] = [f64::NAN, 3.0];
+        rows[21] = [f64::INFINITY, 1.0];
+        let m = Matrix::from_rows(&rows, 2);
+        let model = Proclus::new(2, 2.0).seed(1).fit(&m).unwrap();
+        assert!(model
+            .diagnostics()
+            .degradations
+            .contains(&crate::model::Degradation::NonFiniteRowsExcluded { count: 2 }));
+        // Neither degenerate row can be a medoid.
+        for c in model.clusters() {
+            assert!(c.medoid.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// Diagnostics reflect the work the restart loop actually did.
+    #[test]
+    fn fit_populates_diagnostics() {
+        let data = SyntheticSpec::new(500, 6, 2, 3.0).seed(13).generate();
+        let model = Proclus::new(2, 3.0).seed(4).fit(&data.points).unwrap();
+        let d = model.diagnostics();
+        assert_eq!(d.restarts, 5, "default restart count");
+        assert_eq!(d.failed_restarts, 0);
+        assert!(d.total_rounds >= model.rounds());
+        assert!(d.total_rounds >= 5, "at least one round per restart");
+    }
+
+    /// Tiny dataset: the candidate pool runs dry, the climb stops with
+    /// best-so-far, and the degradation is recorded — no panic, valid
+    /// model.
+    #[test]
+    fn fit_records_pool_exhaustion_on_tiny_data() {
+        let rows: Vec<[f64; 2]> = (0..4).map(|i| [i as f64 * 10.0, 0.0]).collect();
+        let m = Matrix::from_rows(&rows, 2);
+        let model = Proclus::new(4, 2.0).seed(2).fit(&m).unwrap();
+        assert!(model
+            .diagnostics()
+            .degradations
+            .iter()
+            .any(|d| matches!(d, crate::model::Degradation::CandidatePoolExhausted { .. })));
+        assert_eq!(model.assignment().len(), 4);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod assign;
 pub mod dims;
@@ -59,5 +60,5 @@ pub mod pool;
 pub mod refine;
 
 pub use error::ProclusError;
-pub use model::{ProclusModel, ProjectedCluster};
+pub use model::{Degradation, FitDiagnostics, ProclusModel, ProjectedCluster};
 pub use params::{InitStrategy, Proclus};

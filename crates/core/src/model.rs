@@ -35,6 +35,94 @@ impl ProjectedCluster {
     }
 }
 
+/// A degradation the pipeline took instead of failing: the fit is
+/// still valid, but the search did less than the parameters asked for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Degradation {
+    /// Bad-medoid replacement ran out of unused candidates, so the
+    /// climb stopped early with the best vertex seen.
+    CandidatePoolExhausted {
+        /// Round at which the pool ran dry.
+        round: usize,
+    },
+    /// No round ever improved on the initial (infinite) objective —
+    /// typically NaN objectives from degenerate coordinates. The climb
+    /// stopped and refinement classified what it could.
+    ObjectiveNeverImproved,
+    /// One restart ended unusable (e.g. total cluster collapse); the
+    /// surviving restarts produced the returned model.
+    RestartFailed {
+        /// Index of the failed restart.
+        restart: usize,
+        /// The failure, rendered.
+        reason: String,
+    },
+    /// Rows with non-finite coordinates were excluded from medoid
+    /// candidacy (they can still be assigned or flagged as outliers).
+    NonFiniteRowsExcluded {
+        /// How many rows were excluded.
+        count: usize,
+    },
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Degradation::CandidatePoolExhausted { round } => {
+                write!(f, "candidate pool exhausted at round {round}")
+            }
+            Degradation::ObjectiveNeverImproved => {
+                write!(f, "objective never improved (degenerate coordinates)")
+            }
+            Degradation::RestartFailed { restart, reason } => {
+                write!(f, "restart {restart} failed: {reason}")
+            }
+            Degradation::NonFiniteRowsExcluded { count } => {
+                write!(f, "{count} non-finite rows excluded from medoid candidacy")
+            }
+        }
+    }
+}
+
+/// What happened during a fit, across every restart: how much work the
+/// search did and which degradations (if any) it took to avoid
+/// failing. Exposed as [`ProclusModel::diagnostics`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FitDiagnostics {
+    /// Hill-climbing rounds executed, summed over all restarts.
+    pub total_rounds: usize,
+    /// Restarts executed.
+    pub restarts: usize,
+    /// Restarts that ended unusable (collapse) and were discarded.
+    pub failed_restarts: usize,
+    /// Medoids swapped out by the bad-medoid rule, summed over all
+    /// restarts.
+    pub bad_medoid_swaps: usize,
+    /// The degradations taken, in the order they happened.
+    pub degradations: Vec<Degradation>,
+}
+
+impl FitDiagnostics {
+    /// `true` when the fit ran exactly as parameterized.
+    pub fn is_clean(&self) -> bool {
+        self.degradations.is_empty() && self.failed_restarts == 0
+    }
+}
+
+impl fmt::Display for FitDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds over {} restarts ({} failed), {} bad-medoid swaps",
+            self.total_rounds, self.restarts, self.failed_restarts, self.bad_medoid_swaps
+        )?;
+        for d in &self.degradations {
+            write!(f, "\n  degraded: {d}")?;
+        }
+        Ok(())
+    }
+}
+
 /// A fitted PROCLUS clustering.
 #[derive(Clone, Debug)]
 pub struct ProclusModel {
@@ -46,6 +134,7 @@ pub struct ProclusModel {
     pub(crate) rounds: usize,
     pub(crate) improvements: usize,
     pub(crate) distance: DistanceKind,
+    pub(crate) diagnostics: FitDiagnostics,
 }
 
 impl ProclusModel {
@@ -93,6 +182,12 @@ impl ProclusModel {
     /// The metric the model was fitted with.
     pub fn distance(&self) -> DistanceKind {
         self.distance
+    }
+
+    /// What happened during the fit: work done across restarts and any
+    /// graceful degradations taken instead of failing.
+    pub fn diagnostics(&self) -> &FitDiagnostics {
+        &self.diagnostics
     }
 
     /// Classify a new point with the fitted clusters: the cluster whose
@@ -178,7 +273,16 @@ impl ProclusModel {
             rounds,
             improvements,
             distance,
+            diagnostics: FitDiagnostics::default(),
         }
+    }
+
+    /// Attach fit diagnostics (builder style; used by the driver after
+    /// aggregating across restarts).
+    #[must_use]
+    pub fn with_diagnostics(mut self, diagnostics: FitDiagnostics) -> Self {
+        self.diagnostics = diagnostics;
+        self
     }
 }
 
@@ -291,5 +395,27 @@ mod tests {
         let m = toy_model();
         assert_eq!(m.objective(), 0.5);
         assert_eq!(m.iterative_objective(), 0.6);
+    }
+
+    #[test]
+    fn diagnostics_attach_and_render() {
+        let diag = FitDiagnostics {
+            total_rounds: 40,
+            restarts: 5,
+            failed_restarts: 1,
+            bad_medoid_swaps: 9,
+            degradations: vec![
+                Degradation::CandidatePoolExhausted { round: 8 },
+                Degradation::NonFiniteRowsExcluded { count: 2 },
+            ],
+        };
+        let m = toy_model().with_diagnostics(diag.clone());
+        assert_eq!(m.diagnostics(), &diag);
+        assert!(!m.diagnostics().is_clean());
+        let s = m.diagnostics().to_string();
+        assert!(s.contains("40 rounds"), "{s}");
+        assert!(s.contains("candidate pool exhausted at round 8"), "{s}");
+        assert!(s.contains("2 non-finite rows"), "{s}");
+        assert!(FitDiagnostics::default().is_clean());
     }
 }

@@ -183,8 +183,14 @@ pub fn with_pool<R>(
             let tx = result_tx.clone();
             s.spawn(move || {
                 loop {
-                    // Hold the lock only to pop; compute unlocked.
-                    let job = match rx.lock().expect("job queue poisoned").recv() {
+                    // Hold the lock only to pop; compute unlocked. A
+                    // poisoned lock (a worker died mid-pop) is still a
+                    // usable receiver — take it and keep draining.
+                    let job = match rx
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .recv()
+                    {
                         Ok(job) => job,
                         Err(_) => break, // pool dropped: fit is over
                     };
@@ -234,24 +240,39 @@ impl<'env> Pool<'env> {
                 .collect(),
             Mode::Pooled { job_tx, result_rx } => {
                 let total = blocks.len();
-                for (index, block) in blocks.into_iter().enumerate() {
-                    job_tx
-                        .send(Job {
-                            task: task.clone_refs(),
-                            block,
-                            index,
-                        })
-                        .expect("worker pool hung up");
-                }
                 let mut slots: Vec<Option<Partial>> = (0..total).map(|_| None).collect();
-                for _ in 0..total {
-                    let (index, partial) = result_rx.recv().expect("worker pool hung up");
-                    slots[index] = Some(partial);
+                let mut queued = 0usize;
+                for (index, &block) in blocks.iter().enumerate() {
+                    let job = Job {
+                        task: task.clone_refs(),
+                        block,
+                        index,
+                    };
+                    if job_tx.send(job).is_err() {
+                        break; // workers gone: the serial sweep below covers it
+                    }
+                    queued += 1;
                 }
-                slots
-                    .into_iter()
-                    .map(|s| s.expect("every block reported"))
-                    .collect()
+                let mut received = 0usize;
+                while received < queued {
+                    match result_rx.recv() {
+                        Ok((index, partial)) => {
+                            if slots[index].replace(partial).is_none() {
+                                received += 1;
+                            }
+                        }
+                        Err(_) => break, // all workers gone mid-dispatch
+                    }
+                }
+                // Graceful degradation: any block no worker reported
+                // (a hung-up pool) is computed on this thread, so the
+                // pass always completes with the exact serial result.
+                for (slot, &(lo, hi)) in slots.iter_mut().zip(&blocks) {
+                    if slot.is_none() {
+                        *slot = Some(task.run(self.points, self.metric, lo, hi));
+                    }
+                }
+                slots.into_iter().flatten().collect()
             }
         }
     }

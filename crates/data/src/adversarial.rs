@@ -1,0 +1,178 @@
+//! Seeded adversarial datasets for robustness testing.
+//!
+//! Each case is a small matrix engineered to stress a known weak spot
+//! of the projected-clustering pipeline: constant columns (zero
+//! spread), duplicated points (zero distances), all-NaN rows, `N ≈ k`,
+//! `d = 2` (the minimum meaningful dimensionality), and single-point
+//! clusters. The robustness test tier drives full `fit` runs over
+//! every case and asserts "typed error or valid model, never a panic".
+
+use proclus_math::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named adversarial dataset with the parameters a fit should use.
+#[derive(Debug, Clone)]
+pub struct AdversarialDataset {
+    /// Stable case name, for test diagnostics.
+    pub name: &'static str,
+    /// The points.
+    pub points: Matrix,
+    /// Suggested cluster count for a fit.
+    pub k: usize,
+    /// Suggested average dimensionality for a fit.
+    pub l: f64,
+}
+
+fn uniform(rng: &mut StdRng, rows: usize, cols: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..rows * cols).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+/// Generate every adversarial case. Deterministic in `seed`.
+pub fn all_cases(seed: u64) -> Vec<AdversarialDataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cases = Vec::new();
+
+    // Constant columns: half the dimensions have zero spread.
+    let rows = 80;
+    let mut data = uniform(&mut rng, rows, 4, 0.0, 100.0);
+    for r in 0..rows {
+        data[r * 4] = 42.0;
+        data[r * 4 + 2] = -7.5;
+    }
+    cases.push(AdversarialDataset {
+        name: "constant_columns",
+        points: Matrix::from_vec(data, rows, 4),
+        k: 3,
+        l: 2.0,
+    });
+
+    // Duplicate points: every point is one of two values.
+    let mut data = Vec::with_capacity(60 * 3);
+    for i in 0..60 {
+        let v = if i % 2 == 0 { 1.0 } else { 99.0 };
+        data.extend_from_slice(&[v, v, v]);
+    }
+    cases.push(AdversarialDataset {
+        name: "duplicate_points",
+        points: Matrix::from_vec(data, 60, 3),
+        k: 2,
+        l: 2.0,
+    });
+
+    // All-NaN rows scattered through otherwise clean data.
+    let rows = 50;
+    let mut data = uniform(&mut rng, rows, 4, 0.0, 10.0);
+    for r in [3usize, 17, 31, 49] {
+        for c in 0..4 {
+            data[r * 4 + c] = f64::NAN;
+        }
+    }
+    cases.push(AdversarialDataset {
+        name: "all_nan_rows",
+        points: Matrix::from_vec(data, rows, 4),
+        k: 2,
+        l: 2.0,
+    });
+
+    // Every single coordinate NaN: no usable point at all.
+    cases.push(AdversarialDataset {
+        name: "everything_nan",
+        points: Matrix::from_vec(vec![f64::NAN; 30 * 3], 30, 3),
+        k: 2,
+        l: 2.0,
+    });
+
+    // N == k: every point must be its own medoid.
+    let data = uniform(&mut rng, 4, 3, -5.0, 5.0);
+    cases.push(AdversarialDataset {
+        name: "n_equals_k",
+        points: Matrix::from_vec(data, 4, 3),
+        k: 4,
+        l: 2.0,
+    });
+
+    // N barely above k.
+    let data = uniform(&mut rng, 5, 3, -5.0, 5.0);
+    cases.push(AdversarialDataset {
+        name: "n_equals_k_plus_one",
+        points: Matrix::from_vec(data, 5, 3),
+        k: 4,
+        l: 2.0,
+    });
+
+    // d == 2, the smallest dimensionality the algorithm accepts.
+    let data = uniform(&mut rng, 70, 2, 0.0, 1.0);
+    cases.push(AdversarialDataset {
+        name: "two_dimensions",
+        points: Matrix::from_vec(data, 70, 2),
+        k: 3,
+        l: 2.0,
+    });
+
+    // Single-point clusters: a dense blob plus isolated far points.
+    let mut data = uniform(&mut rng, 40, 3, 0.0, 1.0);
+    for (i, far) in [1e6, -1e6, 5e5].iter().enumerate() {
+        data.extend_from_slice(&[*far, *far * 0.5, *far + i as f64]);
+    }
+    cases.push(AdversarialDataset {
+        name: "single_point_clusters",
+        points: Matrix::from_vec(data, 43, 3),
+        k: 4,
+        l: 2.0,
+    });
+
+    // Infinite coordinates mixed into clean data.
+    let rows = 45;
+    let mut data = uniform(&mut rng, rows, 3, 0.0, 10.0);
+    data[7 * 3 + 1] = f64::INFINITY;
+    data[20 * 3] = f64::NEG_INFINITY;
+    cases.push(AdversarialDataset {
+        name: "infinite_cells",
+        points: Matrix::from_vec(data, rows, 3),
+        k: 2,
+        l: 2.0,
+    });
+
+    // Huge magnitudes: sums near the f64 overflow edge.
+    let data: Vec<f64> = (0..50 * 2).map(|i| (i as f64 - 50.0) * 1e300).collect();
+    cases.push(AdversarialDataset {
+        name: "huge_magnitudes",
+        points: Matrix::from_vec(data, 50, 2),
+        k: 2,
+        l: 2.0,
+    });
+
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_and_named() {
+        let a = all_cases(11);
+        let b = all_cases(11);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            // Bitwise comparison: NaN cells must also match.
+            let xb: Vec<u64> = x.points.as_slice().iter().map(|v| v.to_bits()).collect();
+            let yb: Vec<u64> = y.points.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(xb, yb, "{}", x.name);
+        }
+        let mut names: Vec<&str> = a.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), a.len(), "case names must be unique");
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        for c in all_cases(5) {
+            assert!(c.points.rows() >= c.k, "{}", c.name);
+            assert!(c.points.cols() >= 2, "{}", c.name);
+        }
+    }
+}

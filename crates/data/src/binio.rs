@@ -14,13 +14,16 @@
 //! labels  rows i64 LE (only when flagged): -1 = outlier, else cluster
 //! ```
 //!
-//! Reads validate the magic, version, and exact length, so truncated or
-//! foreign files are rejected rather than misinterpreted.
+//! Reads validate the magic, version, flags, and exact length *before*
+//! any allocation, so truncated, bit-flipped, or foreign files are
+//! rejected with a located [`DataError::Binary`] rather than
+//! misinterpreted — and a corrupted header can never trigger an
+//! allocation larger than the file itself.
 
+use crate::error::DataError;
 use crate::label::Label;
 use proclus_math::Matrix;
 use std::fs;
-use std::io;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"PRCL";
@@ -29,13 +32,19 @@ const VERSION: u8 = 1;
 /// Serialize `points` (and optional aligned `labels`) into the binary
 /// format.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `labels` is present with a length different from the
-/// point count.
-pub fn encode(points: &Matrix, labels: Option<&[Label]>) -> Vec<u8> {
+/// [`DataError::LengthMismatch`] if `labels` is present with a length
+/// different from the point count.
+pub fn encode(points: &Matrix, labels: Option<&[Label]>) -> Result<Vec<u8>, DataError> {
     if let Some(ls) = labels {
-        assert_eq!(ls.len(), points.rows(), "labels/points length mismatch");
+        if ls.len() != points.rows() {
+            return Err(DataError::LengthMismatch {
+                what: "labels for encode",
+                expected: points.rows(),
+                got: ls.len(),
+            });
+        }
     }
     let mut buf = Vec::with_capacity(
         4 + 2 + 16 + points.rows() * points.cols() * 8 + labels.map_or(0, |l| l.len() * 8),
@@ -57,36 +66,55 @@ pub fn encode(points: &Matrix, labels: Option<&[Label]>) -> Vec<u8> {
             buf.extend_from_slice(&id.to_le_bytes());
         }
     }
-    buf
+    Ok(buf)
 }
 
-/// Little-endian cursor over a byte slice; every read is
-/// length-checked by the caller having validated the total size.
+/// Little-endian cursor over a byte slice; every read checks the
+/// remaining length and reports the byte offset and field on failure.
 struct Reader<'a> {
     buf: &'a [u8],
+    offset: usize,
 }
 
 impl Reader<'_> {
-    fn take<const N: usize>(&mut self) -> [u8; N] {
+    fn take<const N: usize>(&mut self, field: &'static str) -> Result<[u8; N], DataError> {
+        if self.buf.len() < N {
+            return Err(self.error(
+                field,
+                format!("truncated: need {N} more bytes, {} left", self.buf.len()),
+            ));
+        }
         let (head, rest) = self.buf.split_at(N);
         self.buf = rest;
-        head.try_into().expect("split_at returned N bytes")
+        self.offset += N;
+        let mut out = [0u8; N];
+        out.copy_from_slice(head);
+        Ok(out)
     }
 
-    fn u8(&mut self) -> u8 {
-        self.take::<1>()[0]
+    fn u8(&mut self, field: &'static str) -> Result<u8, DataError> {
+        Ok(self.take::<1>(field)?[0])
     }
 
-    fn u64_le(&mut self) -> u64 {
-        u64::from_le_bytes(self.take())
+    fn u64_le(&mut self, field: &'static str) -> Result<u64, DataError> {
+        Ok(u64::from_le_bytes(self.take(field)?))
     }
 
-    fn f64_le(&mut self) -> f64 {
-        f64::from_le_bytes(self.take())
+    fn f64_le(&mut self, field: &'static str) -> Result<f64, DataError> {
+        Ok(f64::from_le_bytes(self.take(field)?))
     }
 
-    fn i64_le(&mut self) -> i64 {
-        i64::from_le_bytes(self.take())
+    fn i64_le(&mut self, field: &'static str) -> Result<i64, DataError> {
+        Ok(i64::from_le_bytes(self.take(field)?))
+    }
+
+    fn error(&self, field: &'static str, reason: String) -> DataError {
+        DataError::Binary {
+            path: None,
+            offset: self.offset,
+            field,
+            reason,
+        }
     }
 }
 
@@ -94,48 +122,83 @@ impl Reader<'_> {
 ///
 /// # Errors
 ///
-/// `InvalidData` on wrong magic/version, negative cluster ids other
-/// than −1, or a length that does not match the header.
-pub fn decode(buf: &[u8]) -> io::Result<(Matrix, Option<Vec<Label>>)> {
-    const HEADER: usize = 4 + 2 + 16;
-    if buf.len() < HEADER {
-        return Err(invalid("buffer too short for header"));
+/// [`DataError::Binary`] — naming the byte offset and field — on wrong
+/// magic/version, unknown flags, negative cluster ids other than −1,
+/// overflowing header sizes, or a payload length that does not match
+/// the header.
+pub fn decode(buf: &[u8]) -> Result<(Matrix, Option<Vec<Label>>), DataError> {
+    let mut r = Reader { buf, offset: 0 };
+    let magic = r.take::<4>("magic")?;
+    if magic != *MAGIC {
+        return Err(DataError::Binary {
+            path: None,
+            offset: 0,
+            field: "magic",
+            reason: "bad magic (not a PRCL dataset)".into(),
+        });
     }
-    let mut r = Reader { buf };
-    if r.take::<4>() != *MAGIC {
-        return Err(invalid("bad magic (not a PRCL dataset)"));
-    }
-    let version = r.u8();
+    let version = r.u8("version")?;
     if version != VERSION {
-        return Err(invalid(format!("unsupported version {version}")));
+        return Err(DataError::Binary {
+            path: None,
+            offset: 4,
+            field: "version",
+            reason: format!("unsupported version {version}"),
+        });
     }
-    let flags = r.u8();
+    let flags = r.u8("flags")?;
+    if flags & !1 != 0 {
+        return Err(DataError::Binary {
+            path: None,
+            offset: 5,
+            field: "flags",
+            reason: format!("unknown flag bits 0b{flags:08b}"),
+        });
+    }
     let has_labels = flags & 1 != 0;
-    let rows = r.u64_le() as usize;
-    let cols = r.u64_le() as usize;
+    let rows_raw = r.u64_le("rows")?;
+    let cols_raw = r.u64_le("cols")?;
+    let rows = usize::try_from(rows_raw)
+        .map_err(|_| r.error("rows", format!("row count {rows_raw} too large")))?;
+    let cols = usize::try_from(cols_raw)
+        .map_err(|_| r.error("cols", format!("column count {cols_raw} too large")))?;
+    // Validate the exact payload length with overflow-checked
+    // arithmetic before any data-sized allocation: a corrupted header
+    // can claim at most what the buffer actually holds.
     let want = rows
         .checked_mul(cols)
         .and_then(|c| c.checked_mul(8))
-        .and_then(|b| b.checked_add(if has_labels { rows * 8 } else { 0 }))
-        .ok_or_else(|| invalid("header sizes overflow"))?;
+        .and_then(|b| b.checked_add(if has_labels { rows.checked_mul(8)? } else { 0 }))
+        .ok_or_else(|| r.error("header", "header sizes overflow".into()))?;
     if r.buf.len() != want {
-        return Err(invalid(format!(
-            "payload length {} does not match header ({want} expected)",
-            r.buf.len()
-        )));
+        return Err(r.error(
+            "payload",
+            format!(
+                "payload length {} does not match header ({want} expected)",
+                r.buf.len()
+            ),
+        ));
     }
     let mut data = Vec::with_capacity(rows * cols);
     for _ in 0..rows * cols {
-        data.push(r.f64_le());
+        data.push(r.f64_le("data")?);
     }
     let labels = if has_labels {
         let mut ls = Vec::with_capacity(rows);
         for _ in 0..rows {
-            let v = r.i64_le();
+            let at = r.offset;
+            let v = r.i64_le("labels")?;
             ls.push(match v {
                 -1 => Label::Outlier,
                 i if i >= 0 => Label::Cluster(i as usize),
-                other => return Err(invalid(format!("bad label id {other}"))),
+                other => {
+                    return Err(DataError::Binary {
+                        path: None,
+                        offset: at,
+                        field: "labels",
+                        reason: format!("bad label id {other}"),
+                    })
+                }
             });
         }
         Some(ls)
@@ -146,17 +209,28 @@ pub fn decode(buf: &[u8]) -> io::Result<(Matrix, Option<Vec<Label>>)> {
 }
 
 /// Write the binary format to a file.
-pub fn write_binary(path: &Path, points: &Matrix, labels: Option<&[Label]>) -> io::Result<()> {
-    fs::write(path, encode(points, labels))
+///
+/// # Errors
+///
+/// [`DataError::LengthMismatch`] on misaligned labels, [`DataError::Io`]
+/// on any I/O failure.
+pub fn write_binary(
+    path: &Path,
+    points: &Matrix,
+    labels: Option<&[Label]>,
+) -> Result<(), DataError> {
+    fs::write(path, encode(points, labels)?).map_err(|e| DataError::io(path, e))
 }
 
 /// Read a file produced by [`write_binary`].
-pub fn read_binary(path: &Path) -> io::Result<(Matrix, Option<Vec<Label>>)> {
-    decode(&fs::read(path)?)
-}
-
-fn invalid(msg: impl ToString) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+///
+/// # Errors
+///
+/// As [`decode`], with the file path attached; [`DataError::Io`] on
+/// OS-level failures.
+pub fn read_binary(path: &Path) -> Result<(Matrix, Option<Vec<Label>>), DataError> {
+    let bytes = fs::read(path).map_err(|e| DataError::io(path, e))?;
+    decode(&bytes).map_err(|e| e.with_path(path))
 }
 
 #[cfg(test)]
@@ -172,7 +246,7 @@ mod tests {
     #[test]
     fn roundtrip_with_labels_is_bit_exact() {
         let (m, l) = sample();
-        let bytes = encode(&m, Some(&l));
+        let bytes = encode(&m, Some(&l)).unwrap();
         let (m2, l2) = decode(&bytes).unwrap();
         assert_eq!(m, m2);
         assert_eq!(l2, Some(l));
@@ -181,41 +255,120 @@ mod tests {
     #[test]
     fn roundtrip_without_labels() {
         let (m, _) = sample();
-        let bytes = encode(&m, None);
+        let bytes = encode(&m, None).unwrap();
         let (m2, l2) = decode(&bytes).unwrap();
         assert_eq!(m, m2);
         assert_eq!(l2, None);
     }
 
     #[test]
+    fn encode_rejects_mismatched_labels() {
+        let (m, _) = sample();
+        let too_few = vec![Label::Outlier];
+        let err = encode(&m, Some(&too_few)).unwrap_err();
+        assert!(matches!(
+            err,
+            DataError::LengthMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn bad_magic_rejected() {
         let (m, _) = sample();
-        let mut bytes = encode(&m, None);
+        let mut bytes = encode(&m, None).unwrap();
         bytes[0] = b'X';
-        assert!(decode(&bytes).is_err());
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
     }
 
     #[test]
     fn wrong_version_rejected() {
         let (m, _) = sample();
-        let mut bytes = encode(&m, None);
+        let mut bytes = encode(&m, None).unwrap();
         bytes[4] = 99;
-        assert!(decode(&bytes).is_err());
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
     }
 
     #[test]
-    fn truncation_rejected() {
+    fn unknown_flags_rejected() {
+        let (m, _) = sample();
+        let mut bytes = encode(&m, None).unwrap();
+        bytes[5] |= 0b0100;
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("flag"), "{err}");
+    }
+
+    #[test]
+    fn truncation_at_every_byte_rejected() {
         let (m, l) = sample();
-        let bytes = encode(&m, Some(&l));
-        for cut in [0, 5, 10, bytes.len() - 1] {
+        let bytes = encode(&m, Some(&l)).unwrap();
+        for cut in 0..bytes.len() {
             assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
         }
     }
 
     #[test]
+    fn bit_flips_in_every_header_field_never_panic() {
+        let (m, l) = sample();
+        let bytes = encode(&m, Some(&l)).unwrap();
+        // Header is magic(0..4) version(4) flags(5) rows(6..14)
+        // cols(14..22): flipping any header bit must produce a typed
+        // error — in particular a corrupted rows/cols field must fail
+        // the length check, never over-allocate.
+        for byte in 0..22 {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                let err = decode(&corrupt).unwrap_err();
+                let msg = err.to_string();
+                assert!(!msg.is_empty(), "byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_in_payload_never_panic() {
+        let (m, l) = sample();
+        let bytes = encode(&m, Some(&l)).unwrap();
+        for byte in 22..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                // A flipped data bit may still decode (it is just a
+                // different f64); it must never panic, and on success
+                // the shape must be unchanged.
+                if let Ok((m2, _)) = decode(&corrupt) {
+                    assert_eq!(m2.rows(), m.rows());
+                    assert_eq!(m2.cols(), m.cols());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn huge_header_rows_do_not_allocate() {
+        let (m, _) = sample();
+        let mut bytes = encode(&m, None).unwrap();
+        // Claim ~10^18 rows: decode must reject on the length check
+        // (checked arithmetic) without attempting the allocation.
+        bytes[6..14].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        let err = decode(&bytes).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("overflow") || msg.contains("does not match"),
+            "{msg}"
+        );
+    }
+
+    #[test]
     fn trailing_garbage_rejected() {
         let (m, _) = sample();
-        let mut bytes = encode(&m, None);
+        let mut bytes = encode(&m, None).unwrap();
         bytes.push(0);
         assert!(decode(&bytes).is_err());
     }
@@ -232,9 +385,19 @@ mod tests {
     }
 
     #[test]
+    fn read_binary_names_the_file() {
+        let path =
+            std::env::temp_dir().join(format!("proclus-binio-corrupt-{}.prcl", std::process::id()));
+        std::fs::write(&path, b"NOPE").unwrap();
+        let err = read_binary(&path).unwrap_err();
+        assert!(err.to_string().contains("proclus-binio-corrupt"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn empty_matrix_roundtrip() {
         let m = Matrix::zeros(0, 4);
-        let bytes = encode(&m, None);
+        let bytes = encode(&m, None).unwrap();
         let (m2, _) = decode(&bytes).unwrap();
         assert_eq!(m2.rows(), 0);
         assert_eq!(m2.cols(), 4);

@@ -1,0 +1,188 @@
+//! Typed, located errors for dataset serialization and generation.
+//!
+//! Every ingest failure carries enough context to act on: the file
+//! path, the 1-based line and column for text formats, or the byte
+//! offset and field name for the binary format. The CLI maps these
+//! onto distinct exit codes (see the `proclus-cli` crate).
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// An error raised while reading, writing, or generating datasets.
+#[derive(Debug)]
+pub enum DataError {
+    /// An OS-level I/O failure (file missing, permission denied, …).
+    Io {
+        /// The file being read or written.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// Malformed CSV content at a located line.
+    Csv {
+        /// The file being read.
+        path: PathBuf,
+        /// 1-based line number (the header is line 1).
+        line: usize,
+        /// 1-based column (field) number, when one field is at fault.
+        column: Option<usize>,
+        /// The offending token, when one field is at fault.
+        token: Option<String>,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Malformed binary content at a located byte offset.
+    Binary {
+        /// The file being read, when reading from disk (`None` when
+        /// decoding an in-memory buffer).
+        path: Option<PathBuf>,
+        /// Byte offset of the field that failed validation.
+        offset: usize,
+        /// Name of the field that failed validation.
+        field: &'static str,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Two slices that must be aligned (e.g. labels and points) have
+    /// different lengths.
+    LengthMismatch {
+        /// What was mismatched.
+        what: &'static str,
+        /// The expected length.
+        expected: usize,
+        /// The actual length.
+        got: usize,
+    },
+    /// A synthetic-dataset specification failed validation.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            DataError::Csv {
+                path,
+                line,
+                column,
+                token,
+                reason,
+            } => {
+                write!(f, "{}:{line}: ", path.display())?;
+                if let Some(col) = column {
+                    write!(f, "column {col}: ")?;
+                }
+                write!(f, "{reason}")?;
+                if let Some(tok) = token {
+                    write!(f, " (got {tok:?})")?;
+                }
+                Ok(())
+            }
+            DataError::Binary {
+                path,
+                offset,
+                field,
+                reason,
+            } => {
+                if let Some(p) = path {
+                    write!(f, "{}: ", p.display())?;
+                }
+                write!(f, "byte {offset} ({field}): {reason}")
+            }
+            DataError::LengthMismatch {
+                what,
+                expected,
+                got,
+            } => {
+                write!(f, "{what}: expected length {expected}, got {got}")
+            }
+            DataError::InvalidSpec(msg) => write!(f, "invalid synthetic spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl DataError {
+    /// Wrap an OS error with the path it occurred on.
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        DataError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Attach a file path to a [`DataError::Binary`] produced while
+    /// decoding an in-memory buffer. Other variants are unchanged.
+    #[must_use]
+    pub fn with_path(self, p: impl Into<PathBuf>) -> Self {
+        match self {
+            DataError::Binary {
+                path: None,
+                offset,
+                field,
+                reason,
+            } => DataError::Binary {
+                path: Some(p.into()),
+                offset,
+                field,
+                reason,
+            },
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn csv_error_names_file_line_column_and_token() {
+        let e = DataError::Csv {
+            path: Path::new("data.csv").into(),
+            line: 17,
+            column: Some(3),
+            token: Some("abc".into()),
+            reason: "cannot parse as a number".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("data.csv:17"), "{s}");
+        assert!(s.contains("column 3"), "{s}");
+        assert!(s.contains("\"abc\""), "{s}");
+    }
+
+    #[test]
+    fn binary_error_names_offset_and_field() {
+        let e = DataError::Binary {
+            path: None,
+            offset: 4,
+            field: "version",
+            reason: "unsupported version 9".into(),
+        }
+        .with_path("x.prcl");
+        let s = e.to_string();
+        assert!(s.contains("x.prcl"), "{s}");
+        assert!(s.contains("byte 4"), "{s}");
+        assert!(s.contains("version"), "{s}");
+    }
+
+    #[test]
+    fn io_error_exposes_source() {
+        use std::error::Error as _;
+        let e = DataError::io("gone.csv", io::Error::new(io::ErrorKind::NotFound, "nope"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone.csv"));
+    }
+}

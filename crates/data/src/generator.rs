@@ -1,5 +1,6 @@
 //! The §4.1 synthetic data generator.
 
+use crate::error::DataError;
 use crate::label::Label;
 use crate::spec::{DimensionSpec, SyntheticSpec};
 use proclus_math::distributions::{exponential, normal, poisson};
@@ -43,17 +44,46 @@ impl SyntheticSpec {
     /// # Panics
     ///
     /// Panics if the spec does not [`validate`](SyntheticSpec::validate).
+    /// Use [`try_generate`](SyntheticSpec::try_generate) when the spec
+    /// comes from untrusted input.
     pub fn generate(&self) -> GeneratedDataset {
         GeneratedDataset::from_spec(self)
+    }
+
+    /// Fallible variant of [`generate`](SyntheticSpec::generate):
+    /// returns [`DataError::InvalidSpec`] instead of panicking on an
+    /// invalid spec.
+    pub fn try_generate(&self) -> Result<GeneratedDataset, DataError> {
+        GeneratedDataset::try_from_spec(self)
     }
 }
 
 impl GeneratedDataset {
     /// See [`SyntheticSpec::generate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid; prefer
+    /// [`try_from_spec`](GeneratedDataset::try_from_spec) for untrusted
+    /// specs.
+    // The panicking convenience API is the documented contract for
+    // programmatic (trusted) specs; the fallible path is try_from_spec.
+    #[allow(clippy::panic)]
     pub fn from_spec(spec: &SyntheticSpec) -> Self {
-        if let Err(e) = spec.validate() {
-            panic!("invalid synthetic spec: {e}");
+        match Self::try_from_spec(spec) {
+            Ok(ds) => ds,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// See [`SyntheticSpec::try_generate`].
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::InvalidSpec`] when the spec does not
+    /// [`validate`](SyntheticSpec::validate).
+    pub fn try_from_spec(spec: &SyntheticSpec) -> Result<Self, DataError> {
+        spec.validate().map_err(DataError::InvalidSpec)?;
         let mut rng = StdRng::seed_from_u64(spec.seed);
         let (lo, hi) = spec.domain;
         let d = spec.d;
@@ -135,12 +165,12 @@ impl GeneratedDataset {
             shuffled_labels.push(labels[p]);
         }
 
-        GeneratedDataset {
+        Ok(GeneratedDataset {
             points: Matrix::from_vec(shuffled, spec.n, d),
             labels: shuffled_labels,
             clusters,
             spec: spec.clone(),
-        }
+        })
     }
 
     /// Number of points.
@@ -197,7 +227,9 @@ fn apportion_with_floor(total: usize, weights: &[f64], min_size: usize) -> Vec<u
         return out;
     }
     while let Some(low) = (0..k).find(|&i| out[i] < min_size) {
-        let donor = (0..k).max_by_key(|&i| out[i]).expect("k > 0");
+        let Some(donor) = (0..k).max_by_key(|&i| out[i]) else {
+            break;
+        };
         out[donor] -= 1;
         out[low] += 1;
     }
@@ -237,7 +269,9 @@ fn apportion(total: usize, weights: &[f64]) -> Vec<usize> {
     // Guarantee non-empty clusters by stealing from the largest.
     if total >= k {
         while let Some(empty) = out.iter().position(|&s| s == 0) {
-            let donor = (0..k).max_by_key(|&i| out[i]).unwrap();
+            let Some(donor) = (0..k).max_by_key(|&i| out[i]) else {
+                break;
+            };
             out[donor] -= 1;
             out[empty] += 1;
         }
@@ -433,6 +467,16 @@ mod tests {
     #[should_panic(expected = "invalid synthetic spec")]
     fn generate_rejects_invalid_spec() {
         let _ = SyntheticSpec::new(0, 20, 5, 5.0).generate();
+    }
+
+    #[test]
+    fn try_generate_returns_typed_error() {
+        let err = SyntheticSpec::new(0, 20, 5, 5.0)
+            .try_generate()
+            .unwrap_err();
+        assert!(matches!(err, DataError::InvalidSpec(_)));
+        let ok = small_spec().try_generate().unwrap();
+        assert_eq!(ok.points, small_spec().generate().points);
     }
 
     #[test]

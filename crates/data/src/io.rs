@@ -5,47 +5,56 @@
 //! matching the paper's tables — or `Out.` for outliers). A single
 //! header line `x0,x1,…[,label]` is always written.
 
+use crate::error::DataError;
 use crate::label::Label;
 use proclus_math::Matrix;
 use std::fs::File;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 /// Write `points` (and optionally aligned `labels`) as CSV.
 ///
 /// # Errors
 ///
-/// Propagates any I/O failure. Panics if `labels` is present but not the
-/// same length as the point count.
-pub fn write_csv(path: &Path, points: &Matrix, labels: Option<&[Label]>) -> io::Result<()> {
+/// [`DataError::LengthMismatch`] if `labels` is present but not the
+/// same length as the point count; [`DataError::Io`] on any I/O
+/// failure.
+pub fn write_csv(path: &Path, points: &Matrix, labels: Option<&[Label]>) -> Result<(), DataError> {
     if let Some(ls) = labels {
-        assert_eq!(ls.len(), points.rows(), "labels/points length mismatch");
+        if ls.len() != points.rows() {
+            return Err(DataError::LengthMismatch {
+                what: "labels for write_csv",
+                expected: points.rows(),
+                got: ls.len(),
+            });
+        }
     }
-    let mut w = BufWriter::new(File::create(path)?);
+    let oserr = |e| DataError::io(path, e);
+    let mut w = BufWriter::new(File::create(path).map_err(oserr)?);
     for j in 0..points.cols() {
         if j > 0 {
-            write!(w, ",")?;
+            write!(w, ",").map_err(oserr)?;
         }
-        write!(w, "x{j}")?;
+        write!(w, "x{j}").map_err(oserr)?;
     }
     if labels.is_some() {
-        write!(w, ",label")?;
+        write!(w, ",label").map_err(oserr)?;
     }
-    writeln!(w)?;
+    writeln!(w).map_err(oserr)?;
     for i in 0..points.rows() {
         let row = points.row(i);
         for (j, v) in row.iter().enumerate() {
             if j > 0 {
-                write!(w, ",")?;
+                write!(w, ",").map_err(oserr)?;
             }
-            write!(w, "{v}")?;
+            write!(w, "{v}").map_err(oserr)?;
         }
         if let Some(ls) = labels {
-            write!(w, ",{}", label_token(ls[i]))?;
+            write!(w, ",{}", label_token(ls[i])).map_err(oserr)?;
         }
-        writeln!(w)?;
+        writeln!(w).map_err(oserr)?;
     }
-    w.flush()
+    w.flush().map_err(oserr)
 }
 
 /// Read a CSV produced by [`write_csv`] (header required).
@@ -54,12 +63,26 @@ pub fn write_csv(path: &Path, points: &Matrix, labels: Option<&[Label]>) -> io::
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on ragged rows, unparsable numbers, or unknown
-/// label tokens.
-pub fn read_csv(path: &Path) -> io::Result<(Matrix, Option<Vec<Label>>)> {
-    let r = BufReader::new(File::open(path)?);
+/// [`DataError::Csv`] — naming the file, 1-based line, and offending
+/// column/token — on ragged rows, unparsable or non-finite numbers,
+/// malformed headers, or unknown label tokens; [`DataError::Io`] on
+/// OS-level failures.
+pub fn read_csv(path: &Path) -> Result<(Matrix, Option<Vec<Label>>), DataError> {
+    let oserr = |e| DataError::io(path, e);
+    let at =
+        |line: usize, column: Option<usize>, token: Option<&str>, reason: String| DataError::Csv {
+            path: path.into(),
+            line,
+            column,
+            token: token.map(str::to_string),
+            reason,
+        };
+    let r = BufReader::new(File::open(path).map_err(oserr)?);
     let mut lines = r.lines();
-    let header = lines.next().ok_or_else(|| invalid("empty file"))??;
+    let header = lines
+        .next()
+        .ok_or_else(|| at(1, None, None, "empty file".into()))?
+        .map_err(oserr)?;
     let columns: Vec<&str> = header.split(',').collect();
     let has_labels = columns.last() == Some(&"label");
     let d = if has_labels {
@@ -68,36 +91,60 @@ pub fn read_csv(path: &Path) -> io::Result<(Matrix, Option<Vec<Label>>)> {
         columns.len()
     };
     if d == 0 {
-        return Err(invalid("no coordinate columns"));
+        return Err(at(1, None, None, "no coordinate columns".into()));
+    }
+    // The header must declare the dimensions it claims: x0, x1, … in
+    // order, so a file whose header disagrees with its own width is
+    // caught here rather than misread.
+    for (j, col) in columns[..d].iter().enumerate() {
+        if *col != format!("x{j}") {
+            return Err(at(
+                1,
+                Some(j + 1),
+                Some(col),
+                format!("header column mismatch: expected \"x{j}\""),
+            ));
+        }
     }
 
     let mut data: Vec<f64> = Vec::new();
     let mut labels: Vec<Label> = Vec::new();
     let mut rows = 0usize;
     for (lineno, line) in lines.enumerate() {
-        let line = line?;
+        let line = line.map_err(oserr)?;
         if line.is_empty() {
             continue;
         }
+        // Data lines start at line 2 (the header is line 1).
+        let ln = lineno + 2;
         let fields: Vec<&str> = line.split(',').collect();
         let expected = d + usize::from(has_labels);
         if fields.len() != expected {
-            return Err(invalid(format!(
-                "line {}: expected {expected} fields, got {}",
-                lineno + 2,
-                fields.len()
-            )));
+            return Err(at(
+                ln,
+                None,
+                None,
+                format!(
+                    "ragged row: expected {expected} fields, got {}",
+                    fields.len()
+                ),
+            ));
         }
-        for f in &fields[..d] {
+        for (j, f) in fields[..d].iter().enumerate() {
             let v: f64 = f
                 .parse()
-                .map_err(|e| invalid(format!("line {}: {e}", lineno + 2)))?;
+                .map_err(|_| at(ln, Some(j + 1), Some(f), "cannot parse as a number".into()))?;
+            if !v.is_finite() {
+                return Err(at(ln, Some(j + 1), Some(f), "non-finite coordinate".into()));
+            }
             data.push(v);
         }
         if has_labels {
-            labels.push(parse_label(fields[d]).ok_or_else(|| {
-                invalid(format!("line {}: bad label {:?}", lineno + 2, fields[d]))
-            })?);
+            let tok = fields[d];
+            labels.push(
+                parse_label(tok)
+                    .ok_or_else(|| at(ln, Some(d + 1), Some(tok), "bad label token".into()))?,
+            );
         }
         rows += 1;
     }
@@ -122,10 +169,6 @@ fn parse_label(tok: &str) -> Option<Label> {
             .and_then(|rest| rest.parse().ok())
             .map(Label::Cluster),
     }
-}
-
-fn invalid(msg: impl ToString) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
 #[cfg(test)]
@@ -161,27 +204,101 @@ mod tests {
     }
 
     #[test]
-    fn ragged_row_is_rejected() {
-        let path = tmp("ragged.csv");
-        std::fs::write(&path, "x0,x1\n1.0,2.0\n3.0\n").unwrap();
-        let err = read_csv(&path).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    fn write_csv_rejects_mismatched_labels() {
+        let path = tmp("mismatch.csv");
+        let m = Matrix::from_rows(&[[1.0], [2.0]], 1);
+        let labels = vec![Label::Cluster(0)];
+        let err = write_csv(&path, &m, Some(&labels)).unwrap_err();
+        assert!(matches!(
+            err,
+            DataError::LengthMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn bad_number_is_rejected() {
-        let path = tmp("badnum.csv");
-        std::fs::write(&path, "x0\nnot-a-number\n").unwrap();
-        assert!(read_csv(&path).is_err());
+    fn ragged_row_is_rejected_with_location() {
+        let path = tmp("ragged.csv");
+        std::fs::write(&path, "x0,x1\n1.0,2.0\n3.0\n").unwrap();
+        let err = read_csv(&path).unwrap_err();
+        match &err {
+            DataError::Csv { line, .. } => assert_eq!(*line, 3),
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+        assert!(err.to_string().contains(":3"), "{err}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_number_names_line_column_and_token() {
+        let path = tmp("badnum.csv");
+        std::fs::write(&path, "x0,x1\n1.0,2.0\n3.0,not-a-number\n").unwrap();
+        let err = read_csv(&path).unwrap_err();
+        match &err {
+            DataError::Csv {
+                line,
+                column,
+                token,
+                ..
+            } => {
+                assert_eq!(*line, 3);
+                assert_eq!(*column, Some(2));
+                assert_eq!(token.as_deref(), Some("not-a-number"));
+            }
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_finite_cell_is_rejected() {
+        let path = tmp("nan.csv");
+        std::fs::write(&path, "x0,x1\n1.0,NaN\n").unwrap();
+        let err = read_csv(&path).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        let path2 = tmp("inf.csv");
+        std::fs::write(&path2, "x0\ninf\n").unwrap();
+        assert!(read_csv(&path2).is_err());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
+    }
+
+    #[test]
+    fn mismatched_header_is_rejected() {
+        let path = tmp("badheader.csv");
+        std::fs::write(&path, "x0,x2\n1.0,2.0\n").unwrap();
+        let err = read_csv(&path).unwrap_err();
+        assert!(err.to_string().contains("header column mismatch"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_rejected() {
+        let path = tmp("empty.csv");
+        std::fs::write(&path, "").unwrap();
+        let err = read_csv(&path).unwrap_err();
+        assert!(err.to_string().contains("empty file"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error_with_path() {
+        let path = tmp("definitely-not-here.csv");
+        let err = read_csv(&path).unwrap_err();
+        assert!(matches!(err, DataError::Io { .. }));
+        assert!(err.to_string().contains("definitely-not-here"), "{err}");
     }
 
     #[test]
     fn bad_label_is_rejected() {
         let path = tmp("badlabel.csv");
         std::fs::write(&path, "x0,label\n1.0,wat\n").unwrap();
-        assert!(read_csv(&path).is_err());
+        let err = read_csv(&path).unwrap_err();
+        assert!(err.to_string().contains("bad label token"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

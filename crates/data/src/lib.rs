@@ -35,13 +35,18 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
+pub mod adversarial;
 pub mod binio;
+pub mod error;
+pub mod fault;
 pub mod generator;
 pub mod io;
 pub mod label;
 pub mod spec;
 
+pub use error::DataError;
 pub use generator::{GeneratedCluster, GeneratedDataset};
 pub use label::Label;
 pub use spec::{DimensionSpec, SyntheticSpec};

@@ -8,11 +8,22 @@
 //! (an outlier) are excluded, so the indices measure agreement on the
 //! points both clusterings consider clusterable.
 
+use crate::error::EvalError;
 use std::collections::HashMap;
 
 /// Select the positions where both labelings are `Some`, densified.
-fn paired(a: &[Option<usize>], b: &[Option<usize>]) -> (Vec<usize>, Vec<usize>) {
-    assert_eq!(a.len(), b.len(), "label slices must align");
+///
+/// # Errors
+///
+/// Returns [`EvalError::LengthMismatch`] when the slices differ in
+/// length — silently zipping would drop the tail and skew the index.
+fn paired(a: &[Option<usize>], b: &[Option<usize>]) -> Result<(Vec<usize>, Vec<usize>), EvalError> {
+    if a.len() != b.len() {
+        return Err(EvalError::LengthMismatch {
+            output: a.len(),
+            truth: b.len(),
+        });
+    }
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for (x, y) in a.iter().zip(b) {
@@ -21,7 +32,7 @@ fn paired(a: &[Option<usize>], b: &[Option<usize>]) -> (Vec<usize>, Vec<usize>) 
             ys.push(*y);
         }
     }
-    (xs, ys)
+    Ok((xs, ys))
 }
 
 /// Joint and marginal count tables of two parallel label vectors.
@@ -46,11 +57,16 @@ fn contingency(xs: &[usize], ys: &[usize]) -> Contingency {
 /// Adjusted Rand Index in `[-1, 1]`; 1 = identical partitions, ~0 =
 /// chance-level agreement. Returns 1.0 for fewer than 2 shared points
 /// (nothing to disagree about).
-pub fn adjusted_rand_index(a: &[Option<usize>], b: &[Option<usize>]) -> f64 {
-    let (xs, ys) = paired(a, b);
+///
+/// # Errors
+///
+/// Returns [`EvalError::LengthMismatch`] when the slices differ in
+/// length.
+pub fn adjusted_rand_index(a: &[Option<usize>], b: &[Option<usize>]) -> Result<f64, EvalError> {
+    let (xs, ys) = paired(a, b)?;
     let n = xs.len();
     if n < 2 {
-        return 1.0;
+        return Ok(1.0);
     }
     let (joint, ma, mb) = contingency(&xs, &ys);
     let c2 = |x: f64| x * (x - 1.0) / 2.0;
@@ -63,20 +79,28 @@ pub fn adjusted_rand_index(a: &[Option<usize>], b: &[Option<usize>]) -> f64 {
     if (max - expected).abs() < 1e-12 {
         // Degenerate: both partitions trivial (all one cluster or all
         // singletons); identical ones score 1.
-        return if sum_ij == max { 1.0 } else { 0.0 };
+        return Ok(if sum_ij == max { 1.0 } else { 0.0 });
     }
-    (sum_ij - expected) / (max - expected)
+    Ok((sum_ij - expected) / (max - expected))
 }
 
 /// Normalized Mutual Information in `[0, 1]` (arithmetic-mean
 /// normalization); 1 = identical partitions. Returns 1.0 when both
 /// partitions are trivial and identical, 0.0 when either entropy is 0
 /// but the partitions differ.
-pub fn normalized_mutual_information(a: &[Option<usize>], b: &[Option<usize>]) -> f64 {
-    let (xs, ys) = paired(a, b);
+///
+/// # Errors
+///
+/// Returns [`EvalError::LengthMismatch`] when the slices differ in
+/// length.
+pub fn normalized_mutual_information(
+    a: &[Option<usize>],
+    b: &[Option<usize>],
+) -> Result<f64, EvalError> {
+    let (xs, ys) = paired(a, b)?;
     let n = xs.len() as f64;
     if xs.is_empty() {
-        return 1.0;
+        return Ok(1.0);
     }
     let (joint, ma, mb) = contingency(&xs, &ys);
     let h = |m: &HashMap<usize, f64>| -> f64 {
@@ -99,9 +123,9 @@ pub fn normalized_mutual_information(a: &[Option<usize>], b: &[Option<usize>]) -
     let denom = 0.5 * (ha + hb);
     if denom < 1e-12 {
         // Both entropies zero: single-cluster vs single-cluster.
-        return if joint.len() == 1 { 1.0 } else { 0.0 };
+        return Ok(if joint.len() == 1 { 1.0 } else { 0.0 });
     }
-    (mi / denom).clamp(0.0, 1.0)
+    Ok((mi / denom).clamp(0.0, 1.0))
 }
 
 #[cfg(test)]
@@ -115,16 +139,16 @@ mod tests {
     #[test]
     fn identical_partitions_score_one() {
         let a = lab(&[0, 0, 1, 1, 2, 2]);
-        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
-        assert!((normalized_mutual_information(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&a, &a).unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn relabeling_does_not_matter() {
         let a = lab(&[0, 0, 1, 1]);
         let b = lab(&[1, 1, 0, 0]);
-        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
-        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&a, &b).unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -132,8 +156,8 @@ mod tests {
         // Checkerboard: every cell of the contingency table equal.
         let a = lab(&[0, 0, 1, 1, 0, 0, 1, 1]);
         let b = lab(&[0, 1, 0, 1, 0, 1, 0, 1]);
-        assert!(adjusted_rand_index(&a, &b).abs() < 0.2);
-        assert!(normalized_mutual_information(&a, &b) < 0.2);
+        assert!(adjusted_rand_index(&a, &b).unwrap().abs() < 0.2);
+        assert!(normalized_mutual_information(&a, &b).unwrap() < 0.2);
     }
 
     #[test]
@@ -144,7 +168,7 @@ mod tests {
         // sum_ij = C(2,2)+C(1,2)+C(2,2) = 1+0+1 = 2; sum_a = 1+3 = 4;
         // sum_b = 3+1 = 4; total = 10; exp = 1.6; max = 4.
         let expect = (2.0 - 1.6) / (4.0 - 1.6);
-        assert!((adjusted_rand_index(&a, &b) - expect).abs() < 1e-12);
+        assert!((adjusted_rand_index(&a, &b).unwrap() - expect).abs() < 1e-12);
     }
 
     #[test]
@@ -153,22 +177,36 @@ mod tests {
         let b = vec![Some(1), Some(1), Some(0), None];
         // Only positions 0, 1 are shared; both constant -> identical
         // trivial partitions.
-        assert_eq!(adjusted_rand_index(&a, &b), 1.0);
-        assert_eq!(normalized_mutual_information(&a, &b), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &b).unwrap(), 1.0);
+        assert_eq!(normalized_mutual_information(&a, &b).unwrap(), 1.0);
     }
 
     #[test]
     fn trivial_vs_nontrivial_nmi_zero() {
         let a = lab(&[0, 0, 0, 0]);
         let b = lab(&[0, 0, 1, 1]);
-        assert_eq!(normalized_mutual_information(&a, &b), 0.0);
+        assert_eq!(normalized_mutual_information(&a, &b).unwrap(), 0.0);
     }
 
     #[test]
     fn empty_shared_support() {
         let a = vec![None, Some(0)];
         let b = vec![Some(0), None];
-        assert_eq!(adjusted_rand_index(&a, &b), 1.0);
-        assert_eq!(normalized_mutual_information(&a, &b), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &b).unwrap(), 1.0);
+        assert_eq!(normalized_mutual_information(&a, &b).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_are_rejected() {
+        let a = lab(&[0, 0, 1]);
+        let b = lab(&[0, 0]);
+        assert_eq!(
+            adjusted_rand_index(&a, &b).unwrap_err(),
+            EvalError::LengthMismatch {
+                output: 3,
+                truth: 2
+            }
+        );
+        assert!(normalized_mutual_information(&a, &b).is_err());
     }
 }

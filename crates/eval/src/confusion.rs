@@ -1,5 +1,6 @@
 //! The paper's confusion matrix (Tables 3–4) and dominant matching.
 
+use crate::error::EvalError;
 use std::fmt;
 
 /// Confusion matrix between an output clustering and ground truth.
@@ -19,35 +20,55 @@ impl ConfusionMatrix {
     /// Build from parallel label slices (`None` = outlier on either
     /// side).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the slices have different lengths or a label exceeds
-    /// its `k`.
+    /// Returns [`EvalError::LengthMismatch`] when the slices have
+    /// different lengths and [`EvalError::LabelOutOfRange`] when a label
+    /// is not strictly below its side's `k`.
     pub fn build(
         output: &[Option<usize>],
         k_out: usize,
         truth: &[Option<usize>],
         k_in: usize,
-    ) -> Self {
-        assert_eq!(output.len(), truth.len(), "label slices must align");
+    ) -> Result<Self, EvalError> {
+        if output.len() != truth.len() {
+            return Err(EvalError::LengthMismatch {
+                output: output.len(),
+                truth: truth.len(),
+            });
+        }
         let cols = k_in + 1;
         let mut counts = vec![0usize; (k_out + 1) * cols];
         for (o, t) in output.iter().zip(truth) {
-            let i = o.map_or(k_out, |v| {
-                assert!(v < k_out, "output label {v} out of range");
-                v
-            });
-            let j = t.map_or(k_in, |v| {
-                assert!(v < k_in, "truth label {v} out of range");
-                v
-            });
+            let i = match o {
+                Some(v) if *v >= k_out => {
+                    return Err(EvalError::LabelOutOfRange {
+                        side: "output",
+                        label: *v,
+                        k: k_out,
+                    })
+                }
+                Some(v) => *v,
+                None => k_out,
+            };
+            let j = match t {
+                Some(v) if *v >= k_in => {
+                    return Err(EvalError::LabelOutOfRange {
+                        side: "truth",
+                        label: *v,
+                        k: k_in,
+                    })
+                }
+                Some(v) => *v,
+                None => k_in,
+            };
             counts[i * cols + j] += 1;
         }
-        Self {
+        Ok(Self {
             counts,
             k_out,
             k_in,
-        }
+        })
     }
 
     /// Number of output clusters (excluding the outlier row).
@@ -215,7 +236,7 @@ mod tests {
             Some(0),
             None,
         ];
-        ConfusionMatrix::build(&output, 2, &truth, 2)
+        ConfusionMatrix::build(&output, 2, &truth, 2).unwrap()
     }
 
     #[test]
@@ -267,7 +288,7 @@ mod tests {
     fn perfect_clustering_has_accuracy_one() {
         let output = [Some(0), Some(0), Some(1), None];
         let truth = [Some(1), Some(1), Some(0), None];
-        let c = ConfusionMatrix::build(&output, 2, &truth, 2);
+        let c = ConfusionMatrix::build(&output, 2, &truth, 2).unwrap();
         assert_eq!(c.dominant_matching(), vec![Some(1), Some(0)]);
         assert_eq!(c.matched_accuracy(), 1.0);
         assert_eq!(c.purity(), 1.0);
@@ -277,7 +298,7 @@ mod tests {
     fn more_outputs_than_inputs_leaves_unmatched() {
         let output = [Some(0), Some(1), Some(2)];
         let truth = [Some(0), Some(0), Some(1)];
-        let c = ConfusionMatrix::build(&output, 3, &truth, 2);
+        let c = ConfusionMatrix::build(&output, 3, &truth, 2).unwrap();
         let m = c.dominant_matching();
         assert_eq!(m.iter().filter(|x| x.is_some()).count(), 2);
     }
@@ -297,7 +318,7 @@ mod tests {
     fn all_outlier_output_has_empty_matching() {
         let output = [None, None, None];
         let truth = [Some(0), Some(1), None];
-        let c = ConfusionMatrix::build(&output, 2, &truth, 2);
+        let c = ConfusionMatrix::build(&output, 2, &truth, 2).unwrap();
         assert_eq!(c.dominant_matching(), vec![None, None]);
         assert_eq!(c.matched_accuracy(), 0.0);
         assert_eq!(c.purity(), 0.0);
@@ -307,21 +328,44 @@ mod tests {
     #[test]
     fn zero_cluster_edge_case() {
         // k_out = k_in = 0: only the outlier row/column exist.
-        let c = ConfusionMatrix::build(&[None, None], 0, &[None, None], 0);
+        let c = ConfusionMatrix::build(&[None, None], 0, &[None, None], 0).unwrap();
         assert_eq!(c.total(), 2);
         assert_eq!(c.entry(0, 0), 2);
         assert!(c.dominant_matching().is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
     fn build_rejects_out_of_range_labels() {
-        let _ = ConfusionMatrix::build(&[Some(5)], 2, &[Some(0)], 2);
+        let err = ConfusionMatrix::build(&[Some(5)], 2, &[Some(0)], 2).unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::LabelOutOfRange {
+                side: "output",
+                label: 5,
+                k: 2
+            }
+        );
+        let err = ConfusionMatrix::build(&[Some(0)], 2, &[Some(7)], 2).unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::LabelOutOfRange {
+                side: "truth",
+                label: 7,
+                k: 2
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "must align")]
     fn build_rejects_mismatched_lengths() {
-        let _ = ConfusionMatrix::build(&[Some(0)], 2, &[], 2);
+        let err = ConfusionMatrix::build(&[Some(0)], 2, &[], 2).unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::LengthMismatch {
+                output: 1,
+                truth: 0
+            }
+        );
+        assert!(err.to_string().contains("must align"));
     }
 }

@@ -1,0 +1,68 @@
+//! Typed errors for the evaluation crate.
+//!
+//! Evaluation inputs often come straight from files (predicted and
+//! ground-truth label columns), so malformed labels are an expected
+//! runtime condition, not a programming bug: they surface as
+//! [`EvalError`] values instead of panics.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when evaluation inputs are structurally invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// Two parallel label slices have different lengths.
+    LengthMismatch {
+        /// Length of the output/predicted label slice.
+        output: usize,
+        /// Length of the truth/reference label slice.
+        truth: usize,
+    },
+    /// A cluster label is not strictly below the declared cluster count.
+    LabelOutOfRange {
+        /// Which side the offending label came from (`"output"` or
+        /// `"truth"`).
+        side: &'static str,
+        /// The offending label value.
+        label: usize,
+        /// The declared number of clusters for that side.
+        k: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LengthMismatch { output, truth } => write!(
+                f,
+                "label slices must align: output has {output} labels but truth has {truth}"
+            ),
+            Self::LabelOutOfRange { side, label, k } => {
+                write!(f, "{side} label {label} out of range for k = {k}")
+            }
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EvalError::LengthMismatch {
+            output: 3,
+            truth: 5,
+        };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("5"));
+        let e = EvalError::LabelOutOfRange {
+            side: "output",
+            label: 9,
+            k: 4,
+        };
+        assert_eq!(e.to_string(), "output label 9 out of range for k = 4");
+    }
+}

@@ -17,28 +17,37 @@
 //! Everything here speaks `Option<usize>` labels (`None` = outlier), so
 //! the crate stays decoupled from the data generator.
 //!
+//! Malformed inputs (mismatched label slices, out-of-range labels —
+//! typical of labels read from files) surface as [`EvalError`] values
+//! rather than panics.
+//!
 //! ```
 //! use proclus_eval::ConfusionMatrix;
 //!
 //! let found = [Some(0), Some(0), Some(1), None];
 //! let truth = [Some(1), Some(1), Some(0), None];
-//! let cm = ConfusionMatrix::build(&found, 2, &truth, 2);
+//! let cm = ConfusionMatrix::build(&found, 2, &truth, 2).unwrap();
 //! // Relabeled but perfect: the dominant matching pairs 0<->1.
 //! assert_eq!(cm.matched_accuracy(), 1.0);
 //! assert_eq!(cm.dominant_matching(), vec![Some(1), Some(0)]);
+//! // An out-of-range label is a typed error, not a panic.
+//! assert!(ConfusionMatrix::build(&[Some(9)], 2, &[None], 2).is_err());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod agreement;
 pub mod confusion;
 pub mod dims_match;
+pub mod error;
 pub mod overlap;
 pub mod silhouette;
 
 pub use agreement::{adjusted_rand_index, normalized_mutual_information};
 pub use confusion::ConfusionMatrix;
 pub use dims_match::DimensionMatch;
+pub use error::EvalError;
 pub use overlap::{average_overlap, coverage};
 pub use silhouette::projected_silhouette;

@@ -80,8 +80,11 @@ pub fn jacobi_eigen(a: &Matrix) -> Eigen {
     #[cfg(debug_assertions)]
     for i in 0..d {
         for j in 0..d {
+            // Bitwise equality admits NaN/±Inf pairs: a covariance of
+            // non-finite data is still symmetric by construction.
             debug_assert!(
-                (a.get(i, j) - a.get(j, i)).abs() <= 1e-9 * (1.0 + a.get(i, j).abs()),
+                a.get(i, j).to_bits() == a.get(j, i).to_bits()
+                    || (a.get(i, j) - a.get(j, i)).abs() <= 1e-9 * (1.0 + a.get(i, j).abs()),
                 "matrix must be symmetric"
             );
         }
@@ -145,7 +148,7 @@ pub fn jacobi_eigen(a: &Matrix) -> Eigen {
     // Collect (eigenvalue, column) pairs and sort ascending.
     let mut order: Vec<usize> = (0..d).collect();
     let diag: Vec<f64> = (0..d).map(|i| m.get(i, i)).collect();
-    order.sort_by(|&x, &y| diag[x].partial_cmp(&diag[y]).unwrap());
+    order.sort_by(|&x, &y| diag[x].total_cmp(&diag[y]));
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let mut vectors = Matrix::zeros(d, d);
     for (row, &col) in order.iter().enumerate() {

@@ -17,7 +17,7 @@ pub fn total_cmp_nan_last(a: f64, b: f64) -> Ordering {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
         (false, true) => Ordering::Less,
-        (false, false) => a.partial_cmp(&b).unwrap(),
+        (false, false) => a.total_cmp(&b),
     }
 }
 
@@ -37,7 +37,7 @@ pub fn total_cmp_nan_first(a: f64, b: f64) -> Ordering {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Less,
         (false, true) => Ordering::Greater,
-        (false, false) => a.partial_cmp(&b).unwrap(),
+        (false, false) => a.total_cmp(&b),
     }
 }
 

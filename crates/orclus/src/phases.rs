@@ -206,7 +206,11 @@ fn merge(points: &Matrix, clusters: &mut Vec<Working>, target: usize, l_new: usi
                 }
             }
         }
-        let (i, j, _, merged) = best.expect("at least two clusters");
+        let Some((i, j, _, merged)) = best else {
+            // Unreachable (the loop guard ensures >= 2 clusters), but
+            // stopping the merge pass beats panicking.
+            break;
+        };
         // Remove j first (j > i) to keep i valid.
         clusters.swap_remove(j);
         clusters[i] = merged;

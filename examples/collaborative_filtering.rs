@@ -144,7 +144,7 @@ fn main() {
     }
     println!("  erratic customers flagged: {}", model.outliers().len());
 
-    let cm = ConfusionMatrix::build(model.assignment(), 4, &truth, 4);
+    let cm = ConfusionMatrix::build(model.assignment(), 4, &truth, 4).expect("labels in range");
     println!(
         "\nsegment recovery: matched accuracy = {:.3}, purity = {:.3}",
         cm.matched_accuracy(),

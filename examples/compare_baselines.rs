@@ -43,19 +43,20 @@ fn main() {
     }
 
     // CLARANS (full-dimensional k-medoids).
-    let clarans = Clarans::new(4).seed(3).fit(&data.points);
+    let clarans = Clarans::new(4).seed(3).fit(&data.points).expect("valid k");
     let ca: Vec<Option<usize>> = clarans.assignment.iter().map(|&a| Some(a)).collect();
     report("CLARANS", &ca, &truth);
 
     // k-means (full-dimensional).
-    let km = KMeans::new(4).seed(3).fit(&data.points);
+    let km = KMeans::new(4).seed(3).fit(&data.points).expect("valid k");
     let ka: Vec<Option<usize>> = km.assignment.iter().map(|&a| Some(a)).collect();
     report("k-means", &ka, &truth);
 
     // CLIQUE: overlapping subspace regions, not a partition.
     let clique = Clique::new(10, 0.005)
         .max_subspace_dim(Some(4))
-        .fit(&data.points);
+        .fit(&data.points)
+        .expect("valid parameters");
     let max_dim = clique
         .clusters()
         .iter()
@@ -79,7 +80,7 @@ fn main() {
 fn report(name: &str, output: &[Option<usize>], truth: &[Option<usize>]) {
     println!(
         "{name:<11} ARI = {:.3}, NMI = {:.3}",
-        adjusted_rand_index(output, truth),
-        normalized_mutual_information(output, truth)
+        adjusted_rand_index(output, truth).expect("aligned labels"),
+        normalized_mutual_information(output, truth).expect("aligned labels")
     );
 }

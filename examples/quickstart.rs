@@ -49,7 +49,7 @@ fn main() {
 
     // Compare against the generator's ground truth.
     let truth: Vec<Option<usize>> = data.labels.iter().map(|l| l.cluster()).collect();
-    let cm = ConfusionMatrix::build(model.assignment(), 4, &truth, 4);
+    let cm = ConfusionMatrix::build(model.assignment(), 4, &truth, 4).expect("labels in range");
     println!("\nconfusion matrix (rows = found, cols = generated):");
     print!("{cm}");
     println!("matched accuracy: {:.3}", cm.matched_accuracy());

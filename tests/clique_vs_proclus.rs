@@ -19,7 +19,8 @@ fn clique_projections_overlap() {
     let data = projected_dataset(6_000, 3);
     let model = Clique::new(10, 0.01)
         .max_subspace_dim(Some(4))
-        .fit(&data.points);
+        .fit(&data.points)
+        .unwrap();
     // All levels together: a 4-dim dense region reports all its lower
     // projections too, so overlap across the whole output is > 1.
     let memberships: Vec<Vec<usize>> = model.clusters().iter().map(|c| c.members.clone()).collect();
@@ -55,7 +56,8 @@ fn clique_drops_many_gaussian_cluster_points() {
     let data = projected_dataset(6_000, 9);
     let model = Clique::new(10, 0.02)
         .max_subspace_dim(Some(4))
-        .fit(&data.points);
+        .fit(&data.points)
+        .unwrap();
     let max_dim = model
         .clusters()
         .iter()
@@ -91,11 +93,12 @@ fn proclus_beats_clique_as_a_partitioner() {
         .seed(8)
         .fit(&data.points)
         .expect("valid parameters");
-    let p_ari = proclus::eval::adjusted_rand_index(pmodel.assignment(), &truth);
+    let p_ari = proclus::eval::adjusted_rand_index(pmodel.assignment(), &truth).unwrap();
 
     let cmodel = Clique::new(10, 0.01)
         .max_subspace_dim(Some(4))
-        .fit(&data.points);
+        .fit(&data.points)
+        .unwrap();
     let max_dim = cmodel
         .clusters()
         .iter()
@@ -112,7 +115,7 @@ fn proclus_beats_clique_as_a_partitioner() {
             c_assign[p] = Some(i);
         }
     }
-    let c_ari = proclus::eval::adjusted_rand_index(&c_assign, &truth);
+    let c_ari = proclus::eval::adjusted_rand_index(&c_assign, &truth).unwrap();
 
     assert!(
         p_ari > c_ari,

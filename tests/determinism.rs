@@ -54,10 +54,12 @@ fn every_algorithm_is_seed_deterministic() {
 
     let c1 = Clique::new(10, 0.01)
         .max_subspace_dim(Some(4))
-        .fit(&data.points);
+        .fit(&data.points)
+        .unwrap();
     let c2 = Clique::new(10, 0.01)
         .max_subspace_dim(Some(4))
-        .fit(&data.points);
+        .fit(&data.points)
+        .unwrap();
     assert_eq!(c1.clusters().len(), c2.clusters().len());
     for (a, b) in c1.clusters().iter().zip(c2.clusters()) {
         assert_eq!(a.dims, b.dims);
@@ -68,12 +70,20 @@ fn every_algorithm_is_seed_deterministic() {
     let o2 = Orclus::new(3, 4).seed(5).fit(&data.points).unwrap();
     assert_eq!(o1.assignment, o2.assignment);
 
-    let k1 = KMeans::new(3).seed(5).fit(&data.points);
-    let k2 = KMeans::new(3).seed(5).fit(&data.points);
+    let k1 = KMeans::new(3).seed(5).fit(&data.points).unwrap();
+    let k2 = KMeans::new(3).seed(5).fit(&data.points).unwrap();
     assert_eq!(k1.assignment, k2.assignment);
 
-    let cl1 = Clarans::new(3).seed(5).max_neighbor(100).fit(&data.points);
-    let cl2 = Clarans::new(3).seed(5).max_neighbor(100).fit(&data.points);
+    let cl1 = Clarans::new(3)
+        .seed(5)
+        .max_neighbor(100)
+        .fit(&data.points)
+        .unwrap();
+    let cl2 = Clarans::new(3)
+        .seed(5)
+        .max_neighbor(100)
+        .fit(&data.points)
+        .unwrap();
     assert_eq!(cl1.assignment, cl2.assignment);
 }
 

@@ -91,7 +91,7 @@ fn huge_coordinates_are_finite() {
 fn clique_on_identical_points() {
     let rows = vec![[1.0, 2.0]; 40];
     let points = Matrix::from_rows(&rows, 2);
-    let model = Clique::new(10, 0.5).fit(&points);
+    let model = Clique::new(10, 0.5).fit(&points).unwrap();
     // Everything collapses into one cell per subspace.
     assert!(model.coverage() > 0.99);
     for c in model.clusters() {
@@ -102,7 +102,7 @@ fn clique_on_identical_points() {
 #[test]
 fn clique_single_point() {
     let points = Matrix::from_rows(&[[3.0, 4.0]], 2);
-    let model = Clique::new(10, 0.5).fit(&points);
+    let model = Clique::new(10, 0.5).fit(&points).unwrap();
     assert_eq!(model.n(), 1);
     assert!(model.coverage() > 0.99);
 }
@@ -121,9 +121,13 @@ fn baselines_on_degenerate_data() {
     use proclus::baselines::{Clarans, KMeans};
     let rows = vec![[0.0]; 20];
     let points = Matrix::from_rows(&rows, 1);
-    let km = KMeans::new(2).seed(1).fit(&points);
+    let km = KMeans::new(2).seed(1).fit(&points).unwrap();
     assert!(km.cost.is_finite());
-    let cl = Clarans::new(2).seed(1).max_neighbor(20).fit(&points);
+    let cl = Clarans::new(2)
+        .seed(1)
+        .max_neighbor(20)
+        .fit(&points)
+        .unwrap();
     assert!(cl.cost.is_finite());
 }
 

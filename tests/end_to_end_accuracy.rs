@@ -17,7 +17,7 @@ fn run_case(mut spec: SyntheticSpec, l: f64, seed: u64) -> (f64, f64, usize) {
         .fit(&data.points)
         .expect("valid parameters");
     let truth: Vec<Option<usize>> = data.labels.iter().map(|l| l.cluster()).collect();
-    let cm = ConfusionMatrix::build(model.assignment(), 5, &truth, 5);
+    let cm = ConfusionMatrix::build(model.assignment(), 5, &truth, 5).expect("labels in range");
     let found: Vec<Vec<usize>> = model
         .clusters()
         .iter()

@@ -153,7 +153,7 @@ fn confusion_marginals_sum() {
         let output: Vec<Option<usize>> =
             labels.iter().map(|&(o, _)| (o < 3).then_some(o)).collect();
         let truth: Vec<Option<usize>> = labels.iter().map(|&(_, t)| (t < 3).then_some(t)).collect();
-        let cm = ConfusionMatrix::build(&output, 3, &truth, 3);
+        let cm = ConfusionMatrix::build(&output, 3, &truth, 3).unwrap();
         assert_eq!(cm.total(), labels.len());
         let row_sum: usize = (0..=3).map(|i| cm.row_total(i)).sum();
         let col_sum: usize = (0..=3).map(|j| cm.col_total(j)).sum();

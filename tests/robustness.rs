@@ -1,0 +1,234 @@
+//! Fault-injection tier: every decoder driven with systematically
+//! corrupted payloads, and full `fit` runs over seeded adversarial
+//! datasets. The single invariant under test is **"typed error or
+//! valid value — never a panic"**.
+
+use proclus::baselines::{Clarans, KMeans};
+use proclus::data::adversarial::all_cases;
+use proclus::data::binio::{decode, encode};
+use proclus::data::fault::FaultReader;
+use proclus::data::io::{read_csv, write_csv};
+use proclus::prelude::*;
+use std::env;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    env::temp_dir().join(format!("proclus-rb-{name}-{}", std::process::id()))
+}
+
+fn sample_dataset() -> GeneratedDataset {
+    SyntheticSpec::new(40, 3, 2, 2.0).seed(77).generate()
+}
+
+/// Decode must return a typed error or a shape-consistent value.
+fn assert_decode_sane(bytes: &[u8], what: &str) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| decode(bytes)));
+    match outcome {
+        Err(_) => panic!("decode panicked on {what}"),
+        Ok(Err(e)) => assert!(!e.to_string().is_empty(), "empty error on {what}"),
+        Ok(Ok((m, labels))) => {
+            assert_eq!(m.as_slice().len(), m.rows() * m.cols(), "shape on {what}");
+            if let Some(l) = labels {
+                assert_eq!(l.len(), m.rows(), "label count on {what}");
+            }
+        }
+    }
+}
+
+#[test]
+fn binio_survives_every_truncation() {
+    let data = sample_dataset();
+    let bytes = encode(&data.points, Some(&data.labels)).expect("encode");
+    let fr = FaultReader::new(bytes);
+    // The format's length-prefix check makes every proper prefix
+    // invalid, so truncations must all be typed errors.
+    for (cut, t) in fr.truncations().enumerate() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| decode(t)));
+        match outcome {
+            Err(_) => panic!("decode panicked on truncation at byte {cut}"),
+            Ok(r) => assert!(r.is_err(), "truncation at byte {cut} decoded Ok"),
+        }
+    }
+}
+
+#[test]
+fn binio_survives_every_bit_flip() {
+    let data = sample_dataset();
+    let bytes = encode(&data.points, Some(&data.labels)).expect("encode");
+    let fr = FaultReader::new(bytes);
+    for (i, flipped) in fr.bit_flips().enumerate() {
+        assert_decode_sane(&flipped, &format!("bit flip #{i}"));
+    }
+}
+
+#[test]
+fn binio_survives_garbage_runs() {
+    let data = sample_dataset();
+    let bytes = encode(&data.points, None).expect("encode");
+    let fr = FaultReader::new(bytes);
+    for (i, garbled) in fr.garbage_runs(0xFAA7, 128).iter().enumerate() {
+        assert_decode_sane(garbled, &format!("garbage run #{i}"));
+    }
+    // Sanity: the pristine payload still decodes.
+    let (m, labels) = decode(fr.pristine()).expect("pristine payload");
+    assert_eq!(m.rows(), data.points.rows());
+    assert!(labels.is_none());
+}
+
+#[test]
+fn csv_reader_survives_faulted_files() {
+    let data = sample_dataset();
+    let pristine_path = tmp("pristine.csv");
+    write_csv(&pristine_path, &data.points, Some(&data.labels)).expect("write");
+    let bytes = std::fs::read(&pristine_path).expect("read back");
+    std::fs::remove_file(&pristine_path).ok();
+    let fr = FaultReader::new(bytes);
+
+    let path = tmp("faulted.csv");
+    let check = |payload: &[u8], what: &str| {
+        std::fs::write(&path, payload).expect("write fault");
+        let outcome = catch_unwind(AssertUnwindSafe(|| read_csv(&path)));
+        match outcome {
+            Err(_) => panic!("read_csv panicked on {what}"),
+            Ok(Err(e)) => assert!(!e.to_string().is_empty(), "empty error on {what}"),
+            Ok(Ok((m, labels))) => {
+                assert_eq!(m.as_slice().len(), m.rows() * m.cols(), "shape on {what}");
+                if let Some(l) = labels {
+                    assert_eq!(l.len(), m.rows(), "label count on {what}");
+                }
+            }
+        }
+    };
+
+    for cut in 0..fr.len() {
+        check(fr.truncated(cut), &format!("truncation at byte {cut}"));
+    }
+    for (i, garbled) in fr.garbage_runs(0xC5F, 96).iter().enumerate() {
+        check(garbled, &format!("garbage run #{i}"));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// A fit outcome is sane when it is a typed error with a message, or a
+/// model whose assignment covers every input point.
+fn assert_fit_sane<M, E: std::fmt::Display>(
+    outcome: std::thread::Result<Result<M, E>>,
+    rows: usize,
+    assignment_len: impl Fn(&M) -> usize,
+    what: &str,
+) {
+    match outcome {
+        Err(_) => panic!("fit panicked on {what}"),
+        Ok(Err(e)) => assert!(!e.to_string().is_empty(), "empty error on {what}"),
+        Ok(Ok(m)) => assert_eq!(assignment_len(&m), rows, "assignment len on {what}"),
+    }
+}
+
+#[test]
+fn proclus_fit_survives_adversarial_datasets() {
+    for seed in [1u64, 2, 3] {
+        for case in all_cases(seed) {
+            let rows = case.points.rows();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                Proclus::new(case.k, case.l).seed(seed).fit(&case.points)
+            }));
+            assert_fit_sane(
+                outcome,
+                rows,
+                |m: &ProclusModel| m.assignment().len(),
+                &format!("proclus/{}/seed{seed}", case.name),
+            );
+        }
+    }
+}
+
+#[test]
+fn clique_fit_survives_adversarial_datasets() {
+    for case in all_cases(4) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            Clique::new(8, 0.05)
+                .max_subspace_dim(Some(2))
+                .fit(&case.points)
+        }));
+        match outcome {
+            Err(_) => panic!("clique panicked on {}", case.name),
+            Ok(Err(e)) => assert!(!e.to_string().is_empty(), "{}", case.name),
+            Ok(Ok(m)) => assert_eq!(m.n(), case.points.rows(), "{}", case.name),
+        }
+    }
+}
+
+#[test]
+fn baselines_fit_survives_adversarial_datasets() {
+    for case in all_cases(5) {
+        let rows = case.points.rows();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            KMeans::new(case.k).seed(9).fit(&case.points)
+        }));
+        assert_fit_sane(
+            outcome,
+            rows,
+            |m: &proclus::baselines::FlatClustering| m.assignment.len(),
+            &format!("kmeans/{}", case.name),
+        );
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            Clarans::new(case.k)
+                .seed(9)
+                .max_neighbor(30)
+                .fit(&case.points)
+        }));
+        assert_fit_sane(
+            outcome,
+            rows,
+            |m: &proclus::baselines::FlatClustering| m.assignment.len(),
+            &format!("clarans/{}", case.name),
+        );
+    }
+}
+
+#[test]
+fn orclus_fit_survives_adversarial_datasets() {
+    for case in all_cases(6) {
+        let rows = case.points.rows();
+        let l = case.points.cols().min(2);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            Orclus::new(case.k, l).seed(3).fit(&case.points)
+        }));
+        assert_fit_sane(
+            outcome,
+            rows,
+            |m: &OrclusModel| m.assignment.len(),
+            &format!("orclus/{}", case.name),
+        );
+    }
+}
+
+#[test]
+fn decoded_faulted_payloads_that_parse_still_fit_safely() {
+    // End-to-end: a corrupted payload that happens to decode must still
+    // go through a full fit without panicking (NaN/Inf cells included).
+    let data = sample_dataset();
+    let bytes = encode(&data.points, None).expect("encode");
+    let fr = FaultReader::new(bytes);
+    let mut fitted = 0usize;
+    for garbled in fr.garbage_runs(0xBEEF, 64) {
+        let Ok((m, _)) = decode(&garbled) else {
+            continue;
+        };
+        if m.rows() < 8 || m.cols() < 2 {
+            continue;
+        }
+        let rows = m.rows();
+        let outcome = catch_unwind(AssertUnwindSafe(|| Proclus::new(2, 2.0).seed(1).fit(&m)));
+        assert_fit_sane(
+            outcome,
+            rows,
+            |m: &ProclusModel| m.assignment().len(),
+            "decoded garbage payload",
+        );
+        fitted += 1;
+    }
+    // Most garbage runs only corrupt the f64 payload, so plenty of
+    // corrupted-but-decodable matrices must have reached the fit.
+    assert!(fitted > 10, "only {fitted} corrupted payloads decoded");
+}

@@ -12,6 +12,7 @@
 use crate::error::BaselineError;
 use crate::model::FlatClustering;
 use proclus_math::{DistanceKind, Matrix};
+use proclus_obs::{timed, Event, NoopRecorder, Phase, Recorder};
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::{Rng, SeedableRng};
@@ -75,14 +76,52 @@ impl Clarans {
     ///
     /// Returns [`BaselineError::InvalidK`] if `k == 0` or `k > N`.
     pub fn fit(&self, points: &Matrix) -> Result<FlatClustering, BaselineError> {
+        self.fit_traced(points, &NoopRecorder)
+    }
+
+    /// [`Clarans::fit`] with a [`Recorder`] observing the run: one
+    /// `iteration` event per local restart (the cost of that restart's
+    /// local optimum) between `fit_start`/`fit_end`; spans cover each
+    /// restart's neighbor search ([`Phase::Evaluate`]) and the final
+    /// assignment sweep ([`Phase::Assign`]). `fit` is exactly this with
+    /// the no-op recorder.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Clarans::fit`].
+    pub fn fit_traced(
+        &self,
+        points: &Matrix,
+        rec: &dyn Recorder,
+    ) -> Result<FlatClustering, BaselineError> {
         let n = points.rows();
         if self.k == 0 || self.k > n {
             return Err(BaselineError::InvalidK { k: self.k, n });
+        }
+        if rec.enabled() {
+            rec.event(&Event::FitStart {
+                algorithm: "clarans",
+                n,
+                d: points.cols(),
+                k: self.k,
+                l: 0.0,
+                seed: self.rng_seed,
+                restarts: self.num_local.max(1),
+            });
         }
         let mut rng = StdRng::seed_from_u64(self.rng_seed);
         if self.k == n {
             // Every point is its own medoid; there is no non-medoid to
             // swap in, so the search graph has a single node.
+            if rec.enabled() {
+                rec.event(&Event::FitEnd {
+                    rounds: 0,
+                    improvements: 0,
+                    objective: 0.0,
+                    iterative_objective: 0.0,
+                    outliers: 0,
+                });
+            }
             return Ok(FlatClustering {
                 assignment: (0..n).collect(),
                 centers: (0..n).map(|p| points.row(p).to_vec()).collect(),
@@ -98,37 +137,66 @@ impl Clarans {
 
         // At least one restart always runs, so `best` is never empty.
         let mut best: (Vec<usize>, f64) = (Vec::new(), f64::INFINITY);
+        let mut improvements = 0usize;
         for restart in 0..self.num_local.max(1) {
-            let mut medoids: Vec<usize> = sample(&mut rng, n, self.k).into_iter().collect();
-            let mut cost = self.cost(points, &medoids);
-            let mut tried = 0usize;
-            while tried < max_neighbor {
-                // Random neighbor: swap one medoid for one non-medoid.
-                let slot = rng.random_range(0..self.k);
-                let replacement = loop {
-                    let c = rng.random_range(0..n);
-                    if !medoids.contains(&c) {
-                        break c;
+            if rec.enabled() {
+                rec.event(&Event::RestartStart {
+                    restart,
+                    seed: self.rng_seed,
+                });
+            }
+            let (medoids, cost) = timed(rec, Phase::Evaluate, || {
+                let mut medoids: Vec<usize> = sample(&mut rng, n, self.k).into_iter().collect();
+                let mut cost = self.cost(points, &medoids);
+                let mut tried = 0usize;
+                while tried < max_neighbor {
+                    // Random neighbor: swap one medoid for one non-medoid.
+                    let slot = rng.random_range(0..self.k);
+                    let replacement = loop {
+                        let c = rng.random_range(0..n);
+                        if !medoids.contains(&c) {
+                            break c;
+                        }
+                    };
+                    let old = medoids[slot];
+                    medoids[slot] = replacement;
+                    let new_cost = self.cost(points, &medoids);
+                    if new_cost < cost {
+                        cost = new_cost;
+                        tried = 0; // moved: reset the neighbor counter
+                    } else {
+                        medoids[slot] = old;
+                        tried += 1;
                     }
-                };
-                let old = medoids[slot];
-                medoids[slot] = replacement;
-                let new_cost = self.cost(points, &medoids);
-                if new_cost < cost {
-                    cost = new_cost;
-                    tried = 0; // moved: reset the neighbor counter
-                } else {
-                    medoids[slot] = old;
-                    tried += 1;
                 }
+                (medoids, cost)
+            });
+            if rec.enabled() {
+                rec.event(&Event::Iteration {
+                    algorithm: "clarans",
+                    step: restart,
+                    clusters: self.k,
+                    dimensionality: points.cols(),
+                    objective: cost,
+                });
             }
             if restart == 0 || cost < best.1 {
+                improvements += 1;
                 best = (medoids, cost);
             }
         }
 
         let (medoids, cost) = best;
-        let assignment = self.assign(points, &medoids);
+        let assignment = timed(rec, Phase::Assign, || self.assign(points, &medoids));
+        if rec.enabled() {
+            rec.event(&Event::FitEnd {
+                rounds: self.num_local.max(1),
+                improvements,
+                objective: cost,
+                iterative_objective: cost,
+                outliers: 0,
+            });
+        }
         Ok(FlatClustering {
             assignment,
             centers: medoids.iter().map(|&m| points.row(m).to_vec()).collect(),

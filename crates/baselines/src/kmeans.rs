@@ -4,6 +4,7 @@ use crate::error::BaselineError;
 use crate::model::FlatClustering;
 use proclus_math::order::total_cmp_nan_first;
 use proclus_math::{euclidean, Matrix};
+use proclus_obs::{timed, Event, NoopRecorder, Phase, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -49,55 +50,92 @@ impl KMeans {
     ///
     /// Returns [`BaselineError::InvalidK`] if `k == 0` or `k > N`.
     pub fn fit(&self, points: &Matrix) -> Result<FlatClustering, BaselineError> {
+        self.fit_traced(points, &NoopRecorder)
+    }
+
+    /// [`KMeans::fit`] with a [`Recorder`] observing the run: one
+    /// `iteration` event per Lloyd iteration (cost after the
+    /// assignment step) between `fit_start`/`fit_end`; spans cover the
+    /// farthest-point initialization and each assignment sweep. `fit`
+    /// is exactly this with the no-op recorder.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KMeans::fit`].
+    pub fn fit_traced(
+        &self,
+        points: &Matrix,
+        rec: &dyn Recorder,
+    ) -> Result<FlatClustering, BaselineError> {
         let n = points.rows();
         let d = points.cols();
         if self.k == 0 || self.k > n {
             return Err(BaselineError::InvalidK { k: self.k, n });
         }
+        if rec.enabled() {
+            rec.event(&Event::FitStart {
+                algorithm: "kmeans",
+                n,
+                d,
+                k: self.k,
+                l: 0.0,
+                seed: self.rng_seed,
+                restarts: 1,
+            });
+        }
         let mut rng = StdRng::seed_from_u64(self.rng_seed);
 
         // Farthest-point initialization (deterministic given the seed).
-        let mut centers: Vec<Vec<f64>> = Vec::with_capacity(self.k);
-        centers.push(points.row(rng.random_range(0..n)).to_vec());
-        let mut dist: Vec<f64> = (0..n)
-            .map(|p| euclidean(points.row(p), &centers[0]))
-            .collect();
-        while centers.len() < self.k {
-            // NaN-safe: NaN distances rank smallest so degenerate
-            // points are never chosen as the farthest center.
-            let Some(far) = (0..n).max_by(|&a, &b| total_cmp_nan_first(dist[a], dist[b])) else {
-                // Unreachable (n >= k > 0); stopping short beats panicking.
-                break;
-            };
-            let new_c = points.row(far).to_vec();
-            centers.push(new_c.clone());
-            for (p, slot) in dist.iter_mut().enumerate() {
-                let dd = euclidean(points.row(p), &new_c);
-                if dd < *slot {
-                    *slot = dd;
+        let mut centers: Vec<Vec<f64>> = timed(rec, Phase::Init, || {
+            let mut centers: Vec<Vec<f64>> = Vec::with_capacity(self.k);
+            centers.push(points.row(rng.random_range(0..n)).to_vec());
+            let mut dist: Vec<f64> = (0..n)
+                .map(|p| euclidean(points.row(p), &centers[0]))
+                .collect();
+            while centers.len() < self.k {
+                // NaN-safe: NaN distances rank smallest so degenerate
+                // points are never chosen as the farthest center.
+                let Some(far) = (0..n).max_by(|&a, &b| total_cmp_nan_first(dist[a], dist[b]))
+                else {
+                    // Unreachable (n >= k > 0); stopping short beats panicking.
+                    break;
+                };
+                let new_c = points.row(far).to_vec();
+                centers.push(new_c.clone());
+                for (p, slot) in dist.iter_mut().enumerate() {
+                    let dd = euclidean(points.row(p), &new_c);
+                    if dd < *slot {
+                        *slot = dd;
+                    }
                 }
             }
-        }
+            centers
+        });
 
         let mut assignment = vec![0usize; n];
         let mut cost = f64::INFINITY;
-        for _ in 0..self.max_iter {
+        let mut iterations = 0usize;
+        for step in 0..self.max_iter {
+            iterations += 1;
             // Assignment step.
-            let mut new_cost = 0.0;
-            for (p, slot) in assignment.iter_mut().enumerate() {
-                let row = points.row(p);
-                let mut best = 0;
-                let mut best_d = f64::INFINITY;
-                for (i, c) in centers.iter().enumerate() {
-                    let dd = euclidean(row, c);
-                    if dd < best_d {
-                        best_d = dd;
-                        best = i;
+            let new_cost = timed(rec, Phase::Assign, || {
+                let mut new_cost = 0.0;
+                for (p, slot) in assignment.iter_mut().enumerate() {
+                    let row = points.row(p);
+                    let mut best = 0;
+                    let mut best_d = f64::INFINITY;
+                    for (i, c) in centers.iter().enumerate() {
+                        let dd = euclidean(row, c);
+                        if dd < best_d {
+                            best_d = dd;
+                            best = i;
+                        }
                     }
+                    *slot = best;
+                    new_cost += best_d;
                 }
-                *slot = best;
-                new_cost += best_d;
-            }
+                new_cost
+            });
             // Update step.
             let mut sums = vec![vec![0.0; d]; self.k];
             let mut counts = vec![0usize; self.k];
@@ -117,6 +155,15 @@ impl KMeans {
                 }
                 // Empty cluster keeps its previous center.
             }
+            if rec.enabled() {
+                rec.event(&Event::Iteration {
+                    algorithm: "kmeans",
+                    step,
+                    clusters: counts.iter().filter(|&&c| c > 0).count(),
+                    dimensionality: d,
+                    objective: new_cost,
+                });
+            }
             if cost.is_finite() && (cost - new_cost).abs() <= self.tol * cost.max(1.0) {
                 cost = new_cost;
                 break;
@@ -124,6 +171,15 @@ impl KMeans {
             cost = new_cost;
         }
 
+        if rec.enabled() {
+            rec.event(&Event::FitEnd {
+                rounds: iterations,
+                improvements: 0,
+                objective: cost,
+                iterative_objective: cost,
+                outliers: 0,
+            });
+        }
         Ok(FlatClustering {
             assignment,
             centers,

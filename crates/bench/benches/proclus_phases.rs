@@ -13,6 +13,11 @@
 //!   1, 2, 4, and 8 threads on a paper-scale dataset; the per-round
 //!   speedup at `threads ≥ 4` is the pool's acceptance bar. Override
 //!   the dataset size with `PROCLUS_BENCH_N`.
+//! * `trace_overhead/2k` — a full `fit` with the default no-op
+//!   recorder vs an explicit `fit_traced(.., &NoopRecorder)` vs a live
+//!   `RingRecorder`. The first two must be indistinguishable (the
+//!   no-overhead policy of DESIGN.md §Observability); the ring shows
+//!   what enabling tracing costs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use proclus_core::assign::{assign_points, group_members};
@@ -149,10 +154,45 @@ fn bench_pooled_round_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The disabled-recorder path must cost nothing: `fit` (which wires in
+/// `NoopRecorder` itself) and an explicit `fit_traced(.., &Noop)` are
+/// the same code path, and both must match the pre-observability
+/// numbers. A live `RingRecorder` is measured alongside to show what
+/// tracing actually costs when switched on.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let data = SyntheticSpec::new(2_000, 12, 4, 4.0)
+        .fixed_dims(vec![4; 4])
+        .seed(7)
+        .generate();
+    let params = proclus_core::Proclus::new(4, 4.0).seed(3).restarts(1);
+
+    let mut group = c.benchmark_group("trace_overhead/2k");
+    group.bench_function("fit_default_noop", |b| {
+        b.iter(|| black_box(params.fit(&data.points).unwrap()))
+    });
+    group.bench_function("fit_traced_noop", |b| {
+        b.iter(|| {
+            black_box(
+                params
+                    .fit_traced(&data.points, &proclus_obs::NoopRecorder)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("fit_traced_ring", |b| {
+        b.iter(|| {
+            let rec = proclus_obs::RingRecorder::new(4096);
+            black_box(params.fit_traced(&data.points, &rec).unwrap())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_phases,
     bench_fused_vs_unfused,
-    bench_pooled_round_throughput
+    bench_pooled_round_throughput,
+    bench_trace_overhead
 );
 criterion_main!(benches);

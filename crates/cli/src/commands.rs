@@ -5,4 +5,5 @@ pub mod evaluate;
 pub mod fit;
 pub mod generate;
 pub mod inspect;
+pub mod inspect_trace;
 pub mod orclus;

@@ -2,11 +2,13 @@
 
 use crate::args::{ArgError, Args};
 use crate::io::{assignment_labels, read_dataset, write_dataset};
-use proclus_core::Proclus;
+use proclus_core::{Proclus, ProclusModel};
 use proclus_math::DistanceKind;
+use proclus_obs::json::Json;
+use proclus_obs::{Fanout, JsonlRecorder, RingRecorder, TraceSummary};
 use std::error::Error;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 pub const HELP: &str = "\
 proclus fit — PROCLUS projected clustering (SIGMOD 1999)
@@ -20,9 +22,16 @@ proclus fit — PROCLUS projected clustering (SIGMOD 1999)
   --metric <name>   manhattan | euclidean | chebyshev [default manhattan]
   --min-deviation <f> bad-medoid threshold factor [default 0.1]
   --paper-literal   disable the inner refinement (see DESIGN.md)
-  --verbose         print fit diagnostics (rounds, restarts, degradations)
+  --verbose         print the recorded trace summary (convergence,
+                    swap history) plus fit diagnostics
+  --trace-out <dir> stream events.jsonl + run.json into this directory
+                    (inspect later with `proclus inspect-trace`)
   --out <path>      write points + assignment labels to this file
 ";
+
+/// Ring capacity for the `--verbose` summary; old events are evicted
+/// (and counted) beyond this, which the summary reports.
+const VERBOSE_RING_CAPACITY: usize = 8192;
 
 /// Parse a metric name.
 pub fn parse_metric(name: &str) -> Result<DistanceKind, ArgError> {
@@ -36,29 +45,95 @@ pub fn parse_metric(name: &str) -> Result<DistanceKind, ArgError> {
     }
 }
 
+/// The `params` object of the `run.json` manifest.
+fn params_json(input: &Path, params: &Proclus, metric: &str, paper_literal: bool) -> Json {
+    Json::Obj(vec![
+        ("algorithm".into(), Json::Str("proclus".into())),
+        ("input".into(), Json::Str(input.display().to_string())),
+        ("k".into(), Json::Num(params.k as f64)),
+        ("l".into(), Json::Num(params.l)),
+        ("seed".into(), Json::Num(params.rng_seed as f64)),
+        ("restarts".into(), Json::Num(params.restarts as f64)),
+        ("threads".into(), Json::Num(params.threads as f64)),
+        ("metric".into(), Json::Str(metric.into())),
+        ("min_deviation".into(), Json::Num(params.min_deviation)),
+        ("paper_literal".into(), Json::Bool(paper_literal)),
+    ])
+}
+
+/// The `result` object of the `run.json` manifest.
+fn result_json(model: &ProclusModel) -> Json {
+    let sizes: Vec<Json> = model
+        .clusters()
+        .iter()
+        .map(|c| Json::Num(c.members.len() as f64))
+        .collect();
+    Json::Obj(vec![
+        ("clusters".into(), Json::Num(model.clusters().len() as f64)),
+        ("objective".into(), Json::Num(model.objective())),
+        (
+            "iterative_objective".into(),
+            Json::Num(model.iterative_objective()),
+        ),
+        ("rounds".into(), Json::Num(model.rounds() as f64)),
+        (
+            "improvements".into(),
+            Json::Num(model.improvements() as f64),
+        ),
+        ("outliers".into(), Json::Num(model.outliers().len() as f64)),
+        ("cluster_sizes".into(), Json::Arr(sizes)),
+    ])
+}
+
 /// Run the command; prints the model summary.
 pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let input = PathBuf::from(args.require("input")?);
     let k: usize = args.require_parsed("k")?;
     let l: f64 = args.require_parsed("l")?;
+    let metric = args.get("metric").unwrap_or("manhattan").to_string();
+    let paper_literal = args.switch("paper-literal");
     let mut params = Proclus::new(k, l)
         .seed(args.get_parsed("seed", 0u64)?)
         .restarts(args.get_parsed("restarts", 5usize)?)
         .threads(args.get_parsed("threads", 1usize)?)
         .min_deviation(args.get_parsed("min-deviation", 0.1)?)
-        .distance(parse_metric(args.get("metric").unwrap_or("manhattan"))?);
-    if args.switch("paper-literal") {
+        .distance(parse_metric(&metric)?);
+    if paper_literal {
         params = params.inner_refinements(0);
     }
     let verbose = args.switch("verbose");
+    let trace_dir = args.get("trace-out").map(PathBuf::from);
     let out_path = args.get("out").map(PathBuf::from);
     args.reject_unknown()?;
 
     let (points, _) = read_dataset(&input)?;
-    let model = params.fit(&points)?;
+
+    // Recorders: a ring feeds the --verbose summary, a jsonl recorder
+    // streams --trace-out; both at once fan out.
+    let ring = verbose.then(|| RingRecorder::new(VERBOSE_RING_CAPACITY));
+    let jsonl = match &trace_dir {
+        Some(dir) => Some(JsonlRecorder::create(dir)?),
+        None => None,
+    };
+    let model = match (&jsonl, &ring) {
+        (Some(j), Some(r)) => params.fit_traced(&points, &Fanout::new(j, r))?,
+        (Some(j), None) => params.fit_traced(&points, j)?,
+        (None, Some(r)) => params.fit_traced(&points, r)?,
+        (None, None) => params.fit(&points)?,
+    };
+
     writeln!(out, "{model}")?;
-    if verbose {
+    if let Some(ring) = &ring {
+        let summary = TraceSummary::from_events(&ring.events(), ring.dropped());
+        write!(out, "{}", summary.render())?;
         writeln!(out, "diagnostics: {}", model.diagnostics())?;
+    }
+    if let Some(jsonl) = &jsonl {
+        let manifest = jsonl.finish(
+            params_json(&input, &params, &metric, paper_literal),
+            result_json(&model),
+        )?;
+        writeln!(out, "trace written to {}", manifest.display())?;
     }
     if let Some(path) = out_path {
         write_dataset(&path, &points, Some(&assignment_labels(model.assignment())))?;
@@ -119,6 +194,38 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("diagnostics:"), "{text}");
         assert!(text.contains("restarts"), "{text}");
+        // The stable recorder-backed summary, not ad-hoc prints.
+        assert!(text.contains("algorithm: proclus"), "{text}");
+        assert!(text.contains("result: objective="), "{text}");
+    }
+
+    #[test]
+    fn trace_out_writes_manifest_and_events() {
+        let input = tmp("trace-in.csv");
+        let dir =
+            std::env::temp_dir().join(format!("proclus-cli-fit-trace-{}", std::process::id()));
+        let data = SyntheticSpec::new(300, 5, 2, 3.0).seed(3).generate();
+        crate::io::write_dataset(input.as_ref(), &data.points, None).unwrap();
+        let args = Args::parse(
+            toks(&format!(
+                "--input {input} --k 2 --l 3 --trace-out {}",
+                dir.display()
+            )),
+            &["paper-literal", "verbose"],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&args, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        std::fs::remove_file(&input).ok();
+        assert!(text.contains("trace written to"), "{text}");
+        let manifest = std::fs::read_to_string(dir.join(proclus_obs::MANIFEST_FILE)).unwrap();
+        assert!(manifest.contains("\"schema_version\":1"), "{manifest}");
+        assert!(manifest.contains("\"algorithm\":\"proclus\""), "{manifest}");
+        let events = std::fs::read_to_string(dir.join(proclus_obs::EVENTS_FILE)).unwrap();
+        let first = events.lines().next().unwrap();
+        assert!(first.contains("\"type\":\"fit_start\""), "{first}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

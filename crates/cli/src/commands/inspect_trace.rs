@@ -1,0 +1,149 @@
+//! `proclus inspect-trace` — summarize a trace directory written by
+//! `proclus fit --trace-out`: manifest header, per-phase time
+//! breakdown, convergence curve, and swap history.
+
+use crate::args::Args;
+use proclus_obs::json;
+use proclus_obs::{render_manifest, Event, TraceSummary, EVENTS_FILE, MANIFEST_FILE};
+use std::error::Error;
+use std::io::Write;
+use std::path::PathBuf;
+
+pub const HELP: &str = "\
+proclus inspect-trace — summarize a fit trace (run.json + events.jsonl)
+
+  --input <dir>    trace directory written by `proclus fit --trace-out`
+                   (required)
+  --events <path>  read this events.jsonl instead of <dir>/events.jsonl
+";
+
+/// A malformed trace file: carries the offending path and line.
+#[derive(Debug)]
+pub struct MalformedTrace(pub String);
+
+impl std::fmt::Display for MalformedTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for MalformedTrace {}
+
+fn read_to_string(path: &PathBuf) -> Result<String, Box<dyn Error>> {
+    std::fs::read_to_string(path).map_err(|e| -> Box<dyn Error> {
+        Box::new(std::io::Error::new(
+            e.kind(),
+            format!("{}: {e}", path.display()),
+        ))
+    })
+}
+
+/// Run the command.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
+    let dir = PathBuf::from(args.require("input")?);
+    let events_path = args
+        .get("events")
+        .map_or_else(|| dir.join(EVENTS_FILE), PathBuf::from);
+    args.reject_unknown()?;
+
+    // Manifest: measurement side (timings, counters, gauges).
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let manifest_text = read_to_string(&manifest_path)?;
+    let manifest = json::parse(&manifest_text)
+        .map_err(|e| MalformedTrace(format!("{}: {e}", manifest_path.display())))?;
+    let rendered = render_manifest(&manifest)
+        .map_err(|e| MalformedTrace(format!("{}: {e}", manifest_path.display())))?;
+    write!(out, "{rendered}")?;
+    if let Some(json::Json::Obj(members)) = manifest.get("params") {
+        let mut line = String::from("params:");
+        for (key, value) in members {
+            line.push_str(&format!(" {key}={value}"));
+        }
+        writeln!(out, "{line}")?;
+    }
+
+    // Event stream: deterministic side (convergence, swaps, refine).
+    let stream = read_to_string(&events_path)?;
+    let mut events = Vec::new();
+    for (i, line) in stream.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = Event::parse_line(line).map_err(|e| {
+            MalformedTrace(format!("{} line {}: {e}", events_path.display(), i + 1))
+        })?;
+        events.push(ev);
+    }
+    let summary = TraceSummary::from_events(&events, 0);
+    write!(out, "{}", summary.render())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proclus_core::Proclus;
+    use proclus_data::SyntheticSpec;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("proclus-cli-trc-{name}-{}", std::process::id()))
+    }
+
+    /// End to end: fit with a JsonlRecorder, then inspect the directory.
+    #[test]
+    fn summarizes_a_real_trace() {
+        let dir = tmp("e2e");
+        let data = SyntheticSpec::new(300, 6, 2, 3.0).seed(9).generate();
+        let rec = proclus_obs::JsonlRecorder::create(&dir).unwrap();
+        let model = Proclus::new(2, 3.0)
+            .seed(1)
+            .restarts(2)
+            .fit_traced(&data.points, &rec)
+            .unwrap();
+        rec.finish(
+            json::Json::Obj(vec![("k".into(), json::Json::Num(2.0))]),
+            json::Json::Obj(vec![(
+                "objective".into(),
+                json::Json::Num(model.objective()),
+            )]),
+        )
+        .unwrap();
+
+        let args = Args::parse(toks(&format!("--input {}", dir.display())), &[]).unwrap();
+        let mut buf = Vec::new();
+        run(&args, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(text.contains("manifest: schema_version=1"), "{text}");
+        assert!(text.contains("phase breakdown:"), "{text}");
+        assert!(text.contains("algorithm: proclus"), "{text}");
+        assert!(text.contains("convergence"), "{text}");
+        assert!(text.contains("params: k=2"), "{text}");
+    }
+
+    #[test]
+    fn missing_directory_errors() {
+        let args = Args::parse(toks("--input /nonexistent/trace-dir"), &[]).unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn corrupt_event_line_reports_location() {
+        let dir = tmp("bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            "{\"schema_version\":1,\"events\":1,\"phases\":{}}",
+        )
+        .unwrap();
+        std::fs::write(dir.join(EVENTS_FILE), "{\"kind\":\"not-a-kind\"}\n").unwrap();
+        let args = Args::parse(toks(&format!("--input {}", dir.display())), &[]).unwrap();
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+}

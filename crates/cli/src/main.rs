@@ -25,6 +25,7 @@ commands:
   orclus     generalized (oriented) projected clustering
   evaluate   confusion matrix / ARI / NMI of two labeled files
   inspect    summarize a dataset file
+  inspect-trace  summarize a fit trace written by `fit --trace-out`
   help       show this message (or `proclus <command> --help`)
 
 Dataset files ending in .csv are text; any other extension uses the
@@ -80,6 +81,8 @@ fn exit_code_for(e: &(dyn Error + 'static)) -> u8 {
     }
     if e.downcast_ref::<proclus_eval::EvalError>().is_some()
         || e.downcast_ref::<io::MalformedDataset>().is_some()
+        || e.downcast_ref::<commands::inspect_trace::MalformedTrace>()
+            .is_some()
     {
         return 65;
     }
@@ -120,6 +123,11 @@ fn main() -> ExitCode {
         "orclus" => (commands::orclus::HELP, &[], commands::orclus::run),
         "evaluate" => (commands::evaluate::HELP, &[], commands::evaluate::run),
         "inspect" => (commands::inspect::HELP, &[], commands::inspect::run),
+        "inspect-trace" => (
+            commands::inspect_trace::HELP,
+            &[],
+            commands::inspect_trace::run,
+        ),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -219,6 +227,10 @@ mod tests {
             65
         );
         assert_eq!(code(io::MalformedDataset("bad label".into())), 65);
+        assert_eq!(
+            code(commands::inspect_trace::MalformedTrace("bad line".into())),
+            65
+        );
         assert_eq!(code(std::io::Error::other("hup")), 74);
         assert_eq!(code(std::fmt::Error), 1);
     }

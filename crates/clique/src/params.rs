@@ -6,6 +6,7 @@ use crate::grid::Grid;
 use crate::model::{CliqueModel, SubspaceCluster};
 use crate::units::mine_dense_units_opt;
 use proclus_math::Matrix;
+use proclus_obs::{timed, Event, NoopRecorder, Phase, Recorder};
 use std::collections::HashSet;
 
 /// Configuration for a CLIQUE run.
@@ -77,6 +78,25 @@ impl Clique {
     /// Returns [`CliqueError`] on an empty dataset, `xi == 0`, or `tau`
     /// outside `(0, 1]` (NaN included).
     pub fn fit(&self, points: &Matrix) -> Result<CliqueModel, CliqueError> {
+        self.fit_traced(points, &NoopRecorder)
+    }
+
+    /// [`Clique::fit`] with a [`Recorder`] observing the run: a
+    /// `fit_start`, one `iteration` event per mined subspace level
+    /// (dense-unit count and level dimensionality), and a closing
+    /// `fit_end`; spans cover grid construction ([`Phase::Init`]),
+    /// dense-unit mining ([`Phase::Mine`]), and cluster assembly
+    /// ([`Phase::Cluster`]). `fit` is exactly this with the no-op
+    /// recorder.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Clique::fit`].
+    pub fn fit_traced(
+        &self,
+        points: &Matrix,
+        rec: &dyn Recorder,
+    ) -> Result<CliqueModel, CliqueError> {
         if !(self.tau > 0.0 && self.tau <= 1.0) {
             return Err(CliqueError::InvalidTau(self.tau));
         }
@@ -88,55 +108,93 @@ impl Clique {
         }
         let n = points.rows();
         let d = points.cols();
-        let grid = Grid::fit(points, self.xi);
-        let cells = grid.cells(points);
+        if rec.enabled() {
+            rec.event(&Event::FitStart {
+                algorithm: "clique",
+                n,
+                d,
+                k: 0,
+                l: 0.0,
+                seed: 0,
+                restarts: 1,
+            });
+        }
+        let cells = timed(rec, Phase::Init, || {
+            let grid = Grid::fit(points, self.xi);
+            grid.cells(points)
+        });
         let max_level = self.max_dim.unwrap_or(d).min(d);
         let min_support = self.min_support(n);
 
-        let levels = mine_dense_units_opt(
-            &cells,
-            n,
-            d,
-            self.xi,
-            min_support,
-            max_level,
-            self.mdl_pruning,
-        );
+        let levels = timed(rec, Phase::Mine, || {
+            mine_dense_units_opt(
+                &cells,
+                n,
+                d,
+                self.xi,
+                min_support,
+                max_level,
+                self.mdl_pruning,
+            )
+        });
+        if rec.enabled() {
+            for (step, level) in levels.iter().enumerate() {
+                rec.event(&Event::Iteration {
+                    algorithm: "clique",
+                    step,
+                    clusters: level.len(),
+                    dimensionality: level.first().map_or(0, |u| u.dims.len()),
+                    objective: f64::NAN,
+                });
+            }
+        }
 
         // Connect units into clusters, level by level, then attach
         // member points.
-        let mut clusters = Vec::new();
-        for level in &levels {
-            let q = level[0].dims.len();
-            if let Some(t) = self.target_dim {
-                if q != t {
-                    continue;
-                }
-            }
-            for comp in connected_components(level) {
-                let units: Vec<_> = comp.iter().map(|&i| level[i].clone()).collect();
-                // Member points: those whose cell lies in any unit.
-                let keys: HashSet<(&[usize], Vec<u16>)> = units
-                    .iter()
-                    .map(|u| (u.dims.as_slice(), u.intervals.clone()))
-                    .collect();
-                let dims = units[0].dims.clone();
-                let mut members = Vec::new();
-                let mut proj = Vec::with_capacity(dims.len());
-                for p in 0..n {
-                    let cell = &cells[p * d..(p + 1) * d];
-                    proj.clear();
-                    proj.extend(dims.iter().map(|&j| cell[j]));
-                    if keys.contains(&(dims.as_slice(), proj.clone())) {
-                        members.push(p);
+        let clusters = timed(rec, Phase::Cluster, || {
+            let mut clusters = Vec::new();
+            for level in &levels {
+                let q = level[0].dims.len();
+                if let Some(t) = self.target_dim {
+                    if q != t {
+                        continue;
                     }
                 }
-                clusters.push(SubspaceCluster {
-                    dims,
-                    units,
-                    members,
-                });
+                for comp in connected_components(level) {
+                    let units: Vec<_> = comp.iter().map(|&i| level[i].clone()).collect();
+                    // Member points: those whose cell lies in any unit.
+                    let keys: HashSet<(&[usize], Vec<u16>)> = units
+                        .iter()
+                        .map(|u| (u.dims.as_slice(), u.intervals.clone()))
+                        .collect();
+                    let dims = units[0].dims.clone();
+                    let mut members = Vec::new();
+                    let mut proj = Vec::with_capacity(dims.len());
+                    for p in 0..n {
+                        let cell = &cells[p * d..(p + 1) * d];
+                        proj.clear();
+                        proj.extend(dims.iter().map(|&j| cell[j]));
+                        if keys.contains(&(dims.as_slice(), proj.clone())) {
+                            members.push(p);
+                        }
+                    }
+                    clusters.push(SubspaceCluster {
+                        dims,
+                        units,
+                        members,
+                    });
+                }
             }
+            clusters
+        });
+        if rec.enabled() {
+            rec.event(&Event::FitEnd {
+                rounds: levels.len(),
+                improvements: 0,
+                objective: f64::NAN,
+                iterative_objective: f64::NAN,
+                outliers: 0,
+            });
         }
         Ok(CliqueModel::new(clusters, n))
     }

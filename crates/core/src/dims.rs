@@ -191,6 +191,26 @@ pub fn find_dimensions_from_averages(
     }
 }
 
+/// The score of every *chosen* dimension — `Z[i][j]` (or raw `X[i][j]`
+/// when standardization is off) for each `j ∈ chosen[i]`, parallel to
+/// `chosen`. Used by the observability layer to record *why*
+/// FindDimensions picked each dimension without re-deriving the scores
+/// in every consumer.
+pub fn chosen_scores(x: &[Vec<f64>], chosen: &[Vec<usize>], standardize: bool) -> Vec<Vec<f64>> {
+    let standardized;
+    let scores: &[Vec<f64>] = if standardize {
+        standardized = z_scores(x);
+        &standardized
+    } else {
+        x
+    };
+    chosen
+        .iter()
+        .enumerate()
+        .map(|(i, js)| js.iter().map(|&j| scores[i][j]).collect())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

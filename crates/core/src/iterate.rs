@@ -11,7 +11,7 @@
 //! phase.
 
 use crate::assign::group_members;
-use crate::dims::find_dimensions_from_averages;
+use crate::dims::{chosen_scores, find_dimensions_from_averages};
 use crate::error::ProclusError;
 use crate::evaluate::{bad_medoids, evaluate_clusters};
 use crate::init::candidate_medoids;
@@ -21,6 +21,7 @@ use crate::params::Proclus;
 use crate::pool::{with_pool, Pool};
 use crate::refine::refine_with_pool;
 use proclus_math::Matrix;
+use proclus_obs::{timed, Event, NoopRecorder, Phase, Recorder};
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::seq::SliceRandom;
@@ -34,21 +35,55 @@ use rand::SeedableRng;
 /// shared by every restart, round, and the refinement phase — no
 /// per-round thread spawning.
 pub fn run(params: &Proclus, points: &Matrix) -> Result<ProclusModel, ProclusError> {
+    run_traced(params, points, &NoopRecorder)
+}
+
+/// [`run`] with a [`Recorder`] observing the fit: one `fit_start`, a
+/// `restart_start` per climb, a `round` event per hill-climbing round,
+/// `swap`/`refine` decisions, a closing `fit_end`, plus phase spans and
+/// pool counters/gauges. With a disabled recorder (the default
+/// [`NoopRecorder`]) no event payloads are built and no clocks are
+/// read — the hot loops check `enabled()` once per emission site.
+///
+/// Event determinism: everything emitted here is a pure function of
+/// `(params, points, seed)` — in particular it does **not** depend on
+/// `params.threads` (pool dispatch/block counts are identical in serial
+/// and pooled mode). Timings and queue depths go only to the
+/// span/gauge channel.
+pub fn run_traced(
+    params: &Proclus,
+    points: &Matrix,
+    rec: &dyn Recorder,
+) -> Result<ProclusModel, ProclusError> {
     params.validate(points.rows(), points.cols())?;
     let mut diag = preflight(params, points)?;
-    with_pool(points, params.distance, params.threads, |pool| {
+    let restarts = params.restarts.max(1);
+    if rec.enabled() {
+        rec.event(&Event::FitStart {
+            algorithm: "proclus",
+            n: points.rows(),
+            d: points.cols(),
+            k: params.k,
+            l: params.l,
+            seed: params.rng_seed,
+            restarts,
+        });
+    }
+    let result = with_pool(points, params.distance, params.threads, |pool| {
         let mut best: Option<ProclusModel> = None;
         let mut last_error: Option<ProclusError> = None;
-        let restarts = params.restarts.max(1);
         for r in 0..restarts {
             let seed = params
                 .rng_seed
                 .wrapping_add((r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             diag.restarts += 1;
+            if rec.enabled() {
+                rec.event(&Event::RestartStart { restart: r, seed });
+            }
             // A collapsed restart is a degradation, not a failure, as
             // long as some other restart produces a usable model: record
             // it and keep climbing from the remaining seeds.
-            match run_once(params, points, seed, None, pool, &mut diag) {
+            match run_once(params, points, seed, None, r, pool, &mut diag, rec) {
                 Ok(model) => {
                     if best
                         .as_ref()
@@ -67,6 +102,7 @@ pub fn run(params: &Proclus, points: &Matrix) -> Result<ProclusModel, ProclusErr
                 }
             }
         }
+        record_pool_measurements(rec, pool);
         match best {
             Some(model) => Ok(model.with_diagnostics(diag.clone())),
             // Every restart collapsed. One restart: surface its error
@@ -76,7 +112,37 @@ pub fn run(params: &Proclus, points: &Matrix) -> Result<ProclusModel, ProclusErr
                 _ => Err(ProclusError::NonConvergence { restarts }),
             },
         }
-    })
+    });
+    record_fit_end(rec, &result);
+    result
+}
+
+/// Pool work totals → counters, scheduling-dependent facts → gauges.
+fn record_pool_measurements(rec: &dyn Recorder, pool: &Pool<'_>) {
+    if !rec.enabled() {
+        return;
+    }
+    let stats = pool.stats();
+    rec.counter("pool.dispatches", stats.dispatches);
+    rec.counter("pool.blocks", stats.blocks);
+    rec.gauge("pool.workers", pool.workers() as f64);
+    rec.gauge("pool.queue_high_water", pool.queue_high_water() as f64);
+}
+
+/// Emit `fit_end` for a successful fit.
+fn record_fit_end(rec: &dyn Recorder, result: &Result<ProclusModel, ProclusError>) {
+    if !rec.enabled() {
+        return;
+    }
+    if let Ok(model) = result {
+        rec.event(&Event::FitEnd {
+            rounds: model.rounds(),
+            improvements: model.improvements(),
+            objective: model.objective(),
+            iterative_objective: model.iterative_objective(),
+            outliers: model.outliers().len(),
+        });
+    }
 }
 
 /// Reject data that cannot support any fit (fewer fully-finite rows
@@ -118,6 +184,21 @@ pub fn run_from_medoids(
     points: &Matrix,
     initial: &[usize],
 ) -> Result<ProclusModel, ProclusError> {
+    run_from_medoids_traced(params, points, initial, &NoopRecorder)
+}
+
+/// [`run_from_medoids`] with a [`Recorder`] observing the single climb
+/// (same event contract as [`run_traced`]).
+///
+/// # Errors
+///
+/// Same as [`run_from_medoids`].
+pub fn run_from_medoids_traced(
+    params: &Proclus,
+    points: &Matrix,
+    initial: &[usize],
+    rec: &dyn Recorder,
+) -> Result<ProclusModel, ProclusError> {
     params.validate(points.rows(), points.cols())?;
     if initial.len() != params.k {
         return Err(ProclusError::InvalidParameters(format!(
@@ -141,30 +222,54 @@ pub fn run_from_medoids(
         )));
     }
     let mut diag = preflight(params, points)?;
-    with_pool(points, params.distance, params.threads, |pool| {
+    if rec.enabled() {
+        rec.event(&Event::FitStart {
+            algorithm: "proclus",
+            n: points.rows(),
+            d: points.cols(),
+            k: params.k,
+            l: params.l,
+            seed: params.rng_seed,
+            restarts: 1,
+        });
+        rec.event(&Event::RestartStart {
+            restart: 0,
+            seed: params.rng_seed,
+        });
+    }
+    let result = with_pool(points, params.distance, params.threads, |pool| {
         diag.restarts = 1;
         let model = run_once(
             params,
             points,
             params.rng_seed,
             Some(initial),
+            0,
             pool,
             &mut diag,
+            rec,
         )?;
+        record_pool_measurements(rec, pool);
         Ok(model.with_diagnostics(diag.clone()))
-    })
+    });
+    record_fit_end(rec, &result);
+    result
 }
 
 /// One initialization + hill climb + refinement, from `seed`.
 /// `forced_start` pins the first vertex of the climb. All O(N·k·d)
-/// passes run through `pool`.
+/// passes run through `pool`; `rec` observes every round of the climb
+/// (`restart` tags the events with the climb's index).
+#[allow(clippy::too_many_arguments)]
 fn run_once(
     params: &Proclus,
     points: &Matrix,
     seed: u64,
     forced_start: Option<&[usize]>,
+    restart: usize,
     pool: &mut Pool<'_>,
     diag: &mut FitDiagnostics,
+    rec: &dyn Recorder,
 ) -> Result<ProclusModel, ProclusError> {
     let n = points.rows();
     let k = params.k;
@@ -173,7 +278,9 @@ fn run_once(
     let mut rng = StdRng::seed_from_u64(seed);
 
     // ---- Phase 1: initialization --------------------------------------
-    let mut candidates = candidate_medoids(params, points, &mut rng);
+    let mut candidates = timed(rec, Phase::Init, || {
+        candidate_medoids(params, points, &mut rng)
+    });
     debug_assert!(candidates.len() >= k);
 
     // Starting vertex: forced, or a random k-subset of the candidates.
@@ -202,13 +309,25 @@ fn run_once(
 
     loop {
         rounds += 1;
-        let deltas = medoid_deltas(points, &current, metric);
         // Fused pass: locality membership and the per-dimension average
         // distances X over the localities come from a single O(N·k·d)
         // sweep (the localities themselves are only needed for the X
         // reference sets, which the kernel folds in as it tests them).
-        let (_locs, x) = pool.fused_round(&current, &deltas);
-        let mut dims = find_dimensions_from_averages(&x, total_dims, params.standardize_dimensions);
+        let (locs, x) = timed(rec, Phase::Locality, || {
+            let deltas = medoid_deltas(points, &current, metric);
+            pool.fused_round(&current, &deltas)
+        });
+        let mut dims = timed(rec, Phase::Dims, || {
+            find_dimensions_from_averages(&x, total_dims, params.standardize_dimensions)
+        });
+        // The score of each chosen dimension, for the round event. Kept
+        // in sync with whichever averages produced the final `dims`
+        // (locality X here, cluster X after an inner refinement).
+        let mut dim_scores = if rec.enabled() {
+            chosen_scores(&x, &dims, params.standardize_dimensions)
+        } else {
+            Vec::new()
+        };
         // Sharpen the dimension estimates against the assigned clusters
         // (see `Proclus::inner_refinements`): localities blur together
         // in high dimensions, clusters do not. When a recomputation
@@ -216,32 +335,45 @@ fn run_once(
         // cluster-based X it will need (one sweep instead of two).
         let mut cluster_x: Option<Vec<Vec<f64>>> = None;
         let mut flat = if params.inner_refinements > 0 {
-            let (f, cx) = pool.assign_x(&current, &dims);
+            let (f, cx) = timed(rec, Phase::Assign, || pool.assign_x(&current, &dims));
             cluster_x = Some(cx);
             f
         } else {
-            pool.assign(&current, &dims)
+            timed(rec, Phase::Assign, || pool.assign(&current, &dims))
         };
         for r in 0..params.inner_refinements {
             let Some(cx) = cluster_x.take() else {
                 break;
             };
-            dims = find_dimensions_from_averages(&cx, total_dims, params.standardize_dimensions);
+            dims = timed(rec, Phase::Dims, || {
+                find_dimensions_from_averages(&cx, total_dims, params.standardize_dimensions)
+            });
+            if rec.enabled() {
+                dim_scores = chosen_scores(&cx, &dims, params.standardize_dimensions);
+            }
             if r + 1 < params.inner_refinements {
-                let (f, cx) = pool.assign_x(&current, &dims);
-                cluster_x = Some(cx);
+                let (f, next_cx) = timed(rec, Phase::Assign, || pool.assign_x(&current, &dims));
+                cluster_x = Some(next_cx);
                 flat = f;
             } else {
-                flat = pool.assign(&current, &dims);
+                flat = timed(rec, Phase::Assign, || pool.assign(&current, &dims));
             }
         }
         let clusters = {
             let opt: Vec<Option<usize>> = flat.iter().map(|&a| Some(a)).collect();
             group_members(&opt, k)
         };
-        let objective = evaluate_clusters(points, &clusters, &dims, n);
+        let objective = timed(rec, Phase::Evaluate, || {
+            evaluate_clusters(points, &clusters, &dims, n)
+        });
 
-        if objective < best_objective {
+        let improved = objective < best_objective;
+        let cluster_sizes_snapshot: Vec<usize> = if rec.enabled() {
+            clusters.iter().map(Vec::len).collect()
+        } else {
+            Vec::new()
+        };
+        if improved {
             best_objective = objective;
             best = current.clone();
             best_clusters = clusters;
@@ -249,6 +381,23 @@ fn run_once(
             stale = 0;
         } else {
             stale += 1;
+        }
+
+        if rec.enabled() {
+            let delta = pool.take_round_delta();
+            rec.event(&Event::Round {
+                restart,
+                round: rounds,
+                locality_sizes: locs.iter().map(Vec::len).collect(),
+                dims: dims.clone(),
+                dim_scores: std::mem::take(&mut dim_scores),
+                cluster_sizes: cluster_sizes_snapshot,
+                objective,
+                best_objective,
+                improved,
+                pool_dispatches: delta.dispatches,
+                pool_blocks: delta.blocks,
+            });
         }
 
         if stale >= params.max_stale_rounds || rounds >= params.max_rounds {
@@ -276,6 +425,15 @@ fn run_once(
         match replace_bad(&best, &bad, &candidates, &mut rng) {
             Some(next) => {
                 diag.bad_medoid_swaps += bad.len();
+                if rec.enabled() {
+                    rec.event(&Event::Swap {
+                        restart,
+                        round: rounds,
+                        bad: bad.clone(),
+                        cluster_sizes: sizes.clone(),
+                        threshold: (n as f64 / k.max(1) as f64) * params.min_deviation,
+                    });
+                }
                 current = next;
             }
             // Candidate pool exhausted (tiny datasets): nothing new to
@@ -290,13 +448,15 @@ fn run_once(
     diag.total_rounds += rounds;
 
     // ---- Phase 3: refinement -------------------------------------------
-    let refined = refine_with_pool(
-        pool,
-        &best,
-        &best_clusters,
-        total_dims,
-        params.standardize_dimensions,
-    );
+    let refined = timed(rec, Phase::Refine, || {
+        refine_with_pool(
+            pool,
+            &best,
+            &best_clusters,
+            total_dims,
+            params.standardize_dimensions,
+        )
+    });
     let final_clusters = group_members(&refined.assignment, k);
     let final_objective = evaluate_clusters(points, &final_clusters, &refined.dims, n);
 
@@ -305,6 +465,17 @@ fn run_once(
     // so the restart loop can try other seeds or report it.
     if n > 0 && refined.assignment.iter().all(Option::is_none) {
         return Err(ProclusError::ClusterCollapse { rounds });
+    }
+
+    if rec.enabled() {
+        rec.event(&Event::Refine {
+            restart,
+            medoids: best.clone(),
+            dims: refined.dims.clone(),
+            spheres: refined.spheres.clone(),
+            outliers: refined.assignment.iter().filter(|a| a.is_none()).count(),
+            objective: final_objective,
+        });
     }
 
     Ok(ProclusModel::from_parts(
@@ -473,6 +644,48 @@ mod tests {
             .iter()
             .any(|d| matches!(d, crate::model::Degradation::CandidatePoolExhausted { .. })));
         assert_eq!(model.assignment().len(), 4);
+    }
+
+    /// The traced fit is bit-identical to the untraced fit, and the
+    /// event stream accounts for every round the diagnostics report.
+    #[test]
+    fn traced_fit_matches_untraced_and_emits_events() {
+        use proclus_obs::{Event, Phase, RingRecorder};
+        let data = SyntheticSpec::new(600, 8, 2, 3.0).seed(3).generate();
+        let params = Proclus::new(2, 3.0).seed(5);
+        let rec = RingRecorder::new(8192);
+        let traced = params.fit_traced(&data.points, &rec).unwrap();
+        let plain = params.fit(&data.points).unwrap();
+        assert_eq!(traced.assignment(), plain.assignment());
+        assert_eq!(traced.objective(), plain.objective());
+
+        let events = rec.events();
+        assert_eq!(rec.dropped(), 0);
+        assert!(matches!(events.first(), Some(Event::FitStart { .. })));
+        assert!(matches!(events.last(), Some(Event::FitEnd { .. })));
+        let restarts = events
+            .iter()
+            .filter(|e| matches!(e, Event::RestartStart { .. }))
+            .count();
+        assert_eq!(restarts, traced.diagnostics().restarts);
+        let rounds = events
+            .iter()
+            .filter(|e| matches!(e, Event::Round { .. }))
+            .count();
+        assert_eq!(rounds, traced.diagnostics().total_rounds);
+        let refines = events
+            .iter()
+            .filter(|e| matches!(e, Event::Refine { .. }))
+            .count();
+        assert_eq!(
+            refines,
+            traced.diagnostics().restarts - traced.diagnostics().failed_restarts
+        );
+        // Measurements flowed through the span/counter channel.
+        assert!(rec.span_stats(Phase::Init).is_some());
+        assert!(rec.span_stats(Phase::Assign).is_some());
+        assert!(rec.span_stats(Phase::Refine).is_some());
+        assert!(rec.counter_value("pool.dispatches") > 0);
     }
 
     #[test]

@@ -249,6 +249,25 @@ impl Proclus {
         crate::iterate::run(self, points)
     }
 
+    /// [`Proclus::fit`] with a [`proclus_obs::Recorder`] observing the
+    /// run: structured per-round events (localities, chosen dimensions
+    /// and their Z-scores, assignment counts, objectives, swap
+    /// decisions) plus phase spans and pool counters. The event stream
+    /// is deterministic given `(self, points)` and independent of
+    /// [`Proclus::threads`]; `fit` is exactly this with the no-op
+    /// recorder.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Proclus::fit`].
+    pub fn fit_traced(
+        &self,
+        points: &Matrix,
+        rec: &dyn proclus_obs::Recorder,
+    ) -> Result<ProclusModel, ProclusError> {
+        crate::iterate::run_traced(self, points, rec)
+    }
+
     /// Run PROCLUS starting the hill climb from an explicit medoid set
     /// (one climb, no restarts) — useful for reproducing a specific run
     /// or studying the search from controlled starting points.
@@ -263,6 +282,21 @@ impl Proclus {
         medoids: &[usize],
     ) -> Result<ProclusModel, ProclusError> {
         crate::iterate::run_from_medoids(self, points, medoids)
+    }
+
+    /// [`Proclus::fit_with_initial_medoids`] with a recorder observing
+    /// the single climb (see [`Proclus::fit_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Proclus::fit_with_initial_medoids`].
+    pub fn fit_with_initial_medoids_traced(
+        &self,
+        points: &Matrix,
+        medoids: &[usize],
+        rec: &dyn proclus_obs::Recorder,
+    ) -> Result<ProclusModel, ProclusError> {
+        crate::iterate::run_from_medoids_traced(self, points, medoids, rec)
     }
 }
 

@@ -143,12 +143,37 @@ enum Mode {
     },
 }
 
+/// Work counters maintained by the pool. `dispatches` and `blocks` are
+/// **deterministic** — the serial and pooled modes sweep the same
+/// blocks in the same passes, so these counts are identical for every
+/// thread count and are safe to embed in the trace event stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fan-out passes executed (one per `fused_round`/`assign`/…).
+    pub dispatches: u64,
+    /// Row blocks processed across those passes.
+    pub blocks: u64,
+}
+
+impl PoolStats {
+    fn diff(self, earlier: PoolStats) -> PoolStats {
+        PoolStats {
+            dispatches: self.dispatches - earlier.dispatches,
+            blocks: self.blocks - earlier.blocks,
+        }
+    }
+}
+
 /// Handle to the per-fit worker pool (or its serial stand-in). Obtained
 /// via [`with_pool`]; all heavy passes of the fit go through it.
 pub struct Pool<'env> {
     points: &'env Matrix,
     metric: DistanceKind,
     mode: Mode,
+    workers: usize,
+    stats: PoolStats,
+    round_mark: PoolStats,
+    queue_high_water: u64,
 }
 
 /// Run `f` with a [`Pool`] over `points`. With `threads > 1` (and at
@@ -171,6 +196,10 @@ pub fn with_pool<R>(
             points,
             metric,
             mode: Mode::Serial,
+            workers: 0,
+            stats: PoolStats::default(),
+            round_mark: PoolStats::default(),
+            queue_high_water: 0,
         };
         return f(&mut pool);
     }
@@ -207,6 +236,10 @@ pub fn with_pool<R>(
             points,
             metric,
             mode: Mode::Pooled { job_tx, result_rx },
+            workers,
+            stats: PoolStats::default(),
+            round_mark: PoolStats::default(),
+            queue_high_water: 0,
         };
         let out = f(&mut pool);
         // Dropping the pool closes the job channel; every worker's next
@@ -229,10 +262,39 @@ impl<'env> Pool<'env> {
         self.metric
     }
 
+    /// Worker threads backing this pool (0 in serial mode). A
+    /// measurement, not a search fact: manifest gauges only, never the
+    /// event stream.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Cumulative deterministic work counters since pool creation.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Work counters accumulated since the previous call (or pool
+    /// creation). The iterative phase calls this once per round to tag
+    /// its `round` events with per-round pool work.
+    pub fn take_round_delta(&mut self) -> PoolStats {
+        let delta = self.stats.diff(self.round_mark);
+        self.round_mark = self.stats;
+        delta
+    }
+
+    /// Largest number of jobs queued by a single dispatch (0 in serial
+    /// mode). Scheduling-dependent by nature: manifest gauges only.
+    pub fn queue_high_water(&self) -> u64 {
+        self.queue_high_water
+    }
+
     /// Fan a task out over all row blocks and collect the partials in
     /// ascending block order.
     fn dispatch(&mut self, task: Task) -> Vec<Partial> {
         let blocks = kernel::blocks(self.points.rows());
+        self.stats.dispatches += 1;
+        self.stats.blocks += blocks.len() as u64;
         match &self.mode {
             Mode::Serial => blocks
                 .into_iter()
@@ -253,6 +315,7 @@ impl<'env> Pool<'env> {
                     }
                     queued += 1;
                 }
+                self.queue_high_water = self.queue_high_water.max(queued as u64);
                 let mut received = 0usize;
                 while received < queued {
                     match result_rx.recv() {

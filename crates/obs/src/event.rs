@@ -1,0 +1,547 @@
+//! The versioned, structured event schema every instrumented algorithm
+//! emits (schema version [`SCHEMA_VERSION`]).
+//!
+//! Events are **facts about the search**, not measurements of the
+//! machine: anything scheduling-dependent (wall-clock durations, worker
+//! counts, queue high-water marks) is deliberately excluded and flows
+//! through the recorder's span/counter/gauge channel into the run
+//! manifest instead. That split is what lets the golden-manifest test
+//! tier demand a **byte-identical** `events.jsonl` for every thread
+//! count, extending the workspace's bit-identical-parallelism
+//! guarantee to the trace layer.
+
+use crate::json::{self, Json};
+
+/// Version of the event schema written to `events.jsonl` and recorded
+/// in `run.json`. Bump when a variant or field changes meaning.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One structured fact emitted during a fit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A fit began. Emitted once per `fit_traced` call.
+    ///
+    /// Deliberately excludes the thread count: events must be identical
+    /// for every thread count (the manifest's gauges carry it).
+    FitStart {
+        /// `"proclus"`, `"orclus"`, `"clique"`, `"kmeans"`, `"clarans"`.
+        algorithm: &'static str,
+        /// Number of points.
+        n: usize,
+        /// Number of dimensions.
+        d: usize,
+        /// Target cluster count (0 when the algorithm has none, e.g. CLIQUE).
+        k: usize,
+        /// Average/target subspace dimensionality (0 when not applicable).
+        l: f64,
+        /// PRNG seed.
+        seed: u64,
+        /// Independent restarts the driver will attempt.
+        restarts: usize,
+    },
+    /// One hill-climbing restart began (PROCLUS).
+    RestartStart {
+        /// Restart index, `0..restarts`.
+        restart: usize,
+        /// Derived seed of this restart.
+        seed: u64,
+    },
+    /// One hill-climbing round of the iterative phase (PROCLUS).
+    Round {
+        /// Restart this round belongs to.
+        restart: usize,
+        /// 1-based round number within the restart.
+        round: usize,
+        /// `|Lᵢ|` for every medoid (locality sizes).
+        locality_sizes: Vec<usize>,
+        /// The dimension sets `Dᵢ` chosen by FindDimensions this round.
+        dims: Vec<Vec<usize>>,
+        /// The Z-score of each chosen dimension, parallel to `dims`
+        /// (raw averages when standardization is disabled).
+        dim_scores: Vec<Vec<f64>>,
+        /// `|Cᵢ|` after AssignPoints (sums to `n` — the iterative
+        /// phase assigns every point).
+        cluster_sizes: Vec<usize>,
+        /// This round's objective.
+        objective: f64,
+        /// Best objective seen so far in this restart (after this round).
+        best_objective: f64,
+        /// Did this round improve on the previous best?
+        improved: bool,
+        /// Worker-pool dispatches issued during this round (identical
+        /// for every thread count: the serial path counts the same
+        /// block sweeps).
+        pool_dispatches: u64,
+        /// Row blocks processed by those dispatches.
+        pool_blocks: u64,
+    },
+    /// The bad-medoid rule fired and medoids were replaced (PROCLUS).
+    Swap {
+        /// Restart the swap belongs to.
+        restart: usize,
+        /// Round whose clustering was judged.
+        round: usize,
+        /// Cluster indices whose medoids were swapped out, ascending.
+        bad: Vec<usize>,
+        /// Cluster sizes of the *best* clustering the rule judged.
+        cluster_sizes: Vec<usize>,
+        /// The rule's threshold `(n/k)·min_deviation`.
+        threshold: f64,
+    },
+    /// The refinement phase finished (PROCLUS).
+    Refine {
+        /// Restart being refined.
+        restart: usize,
+        /// The medoid point indices of the refined model.
+        medoids: Vec<usize>,
+        /// Final dimension sets.
+        dims: Vec<Vec<usize>>,
+        /// Spheres of influence `Δᵢ` (infinite for k = 1).
+        spheres: Vec<f64>,
+        /// Points outside every sphere (outliers).
+        outliers: usize,
+        /// Final objective after outlier removal.
+        objective: f64,
+    },
+    /// A generic per-step progress fact for the non-PROCLUS algorithms:
+    /// ORCLUS merge phases, CLIQUE subspace levels, k-means / CLARANS
+    /// iterations.
+    Iteration {
+        /// Algorithm name, as in [`Event::FitStart`].
+        algorithm: &'static str,
+        /// Step index (phase / level / iteration), 0-based.
+        step: usize,
+        /// Working cluster (or dense-unit) count after the step.
+        clusters: usize,
+        /// Working subspace dimensionality (0 when not applicable).
+        dimensionality: usize,
+        /// Objective after the step (NaN when the algorithm does not
+        /// evaluate one per step).
+        objective: f64,
+    },
+    /// The fit finished and a model was produced.
+    FitEnd {
+        /// Rounds (or steps) the returned model's search executed.
+        rounds: usize,
+        /// Rounds that improved the best objective.
+        improvements: usize,
+        /// Final objective.
+        objective: f64,
+        /// Best iterative-phase objective (equal to `objective` for
+        /// algorithms without a separate refinement).
+        iterative_objective: f64,
+        /// Outliers in the final model.
+        outliers: usize,
+    },
+}
+
+impl Event {
+    /// The event's `type` tag as written to JSON.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::FitStart { .. } => "fit_start",
+            Event::RestartStart { .. } => "restart_start",
+            Event::Round { .. } => "round",
+            Event::Swap { .. } => "swap",
+            Event::Refine { .. } => "refine",
+            Event::Iteration { .. } => "iteration",
+            Event::FitEnd { .. } => "fit_end",
+        }
+    }
+
+    /// Serialize as one JSON object (no trailing newline). The field
+    /// order is fixed, so equal events serialize to equal bytes.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"type\":\"");
+        s.push_str(self.kind());
+        s.push('"');
+        match self {
+            Event::FitStart {
+                algorithm,
+                n,
+                d,
+                k,
+                l,
+                seed,
+                restarts,
+            } => {
+                s.push_str(&format!(
+                    ",\"algorithm\":\"{algorithm}\",\"n\":{n},\"d\":{d},\"k\":{k},\"l\":"
+                ));
+                json::write_f64(&mut s, *l);
+                s.push_str(&format!(",\"seed\":{seed},\"restarts\":{restarts}"));
+            }
+            Event::RestartStart { restart, seed } => {
+                s.push_str(&format!(",\"restart\":{restart},\"seed\":{seed}"));
+            }
+            Event::Round {
+                restart,
+                round,
+                locality_sizes,
+                dims,
+                dim_scores,
+                cluster_sizes,
+                objective,
+                best_objective,
+                improved,
+                pool_dispatches,
+                pool_blocks,
+            } => {
+                s.push_str(&format!(
+                    ",\"restart\":{restart},\"round\":{round},\"locality_sizes\":"
+                ));
+                json::write_usize_arr(&mut s, locality_sizes);
+                s.push_str(",\"dims\":");
+                write_nested_usize(&mut s, dims);
+                s.push_str(",\"dim_scores\":");
+                write_nested_f64(&mut s, dim_scores);
+                s.push_str(",\"cluster_sizes\":");
+                json::write_usize_arr(&mut s, cluster_sizes);
+                s.push_str(",\"objective\":");
+                json::write_f64(&mut s, *objective);
+                s.push_str(",\"best_objective\":");
+                json::write_f64(&mut s, *best_objective);
+                s.push_str(&format!(
+                    ",\"improved\":{improved},\"pool_dispatches\":{pool_dispatches},\"pool_blocks\":{pool_blocks}"
+                ));
+            }
+            Event::Swap {
+                restart,
+                round,
+                bad,
+                cluster_sizes,
+                threshold,
+            } => {
+                s.push_str(&format!(
+                    ",\"restart\":{restart},\"round\":{round},\"bad\":"
+                ));
+                json::write_usize_arr(&mut s, bad);
+                s.push_str(",\"cluster_sizes\":");
+                json::write_usize_arr(&mut s, cluster_sizes);
+                s.push_str(",\"threshold\":");
+                json::write_f64(&mut s, *threshold);
+            }
+            Event::Refine {
+                restart,
+                medoids,
+                dims,
+                spheres,
+                outliers,
+                objective,
+            } => {
+                s.push_str(&format!(",\"restart\":{restart},\"medoids\":"));
+                json::write_usize_arr(&mut s, medoids);
+                s.push_str(",\"dims\":");
+                write_nested_usize(&mut s, dims);
+                s.push_str(",\"spheres\":");
+                json::write_f64_arr(&mut s, spheres);
+                s.push_str(&format!(",\"outliers\":{outliers},\"objective\":"));
+                json::write_f64(&mut s, *objective);
+            }
+            Event::Iteration {
+                algorithm,
+                step,
+                clusters,
+                dimensionality,
+                objective,
+            } => {
+                s.push_str(&format!(
+                    ",\"algorithm\":\"{algorithm}\",\"step\":{step},\"clusters\":{clusters},\"dimensionality\":{dimensionality},\"objective\":"
+                ));
+                json::write_f64(&mut s, *objective);
+            }
+            Event::FitEnd {
+                rounds,
+                improvements,
+                objective,
+                iterative_objective,
+                outliers,
+            } => {
+                s.push_str(&format!(
+                    ",\"rounds\":{rounds},\"improvements\":{improvements},\"objective\":"
+                ));
+                json::write_f64(&mut s, *objective);
+                s.push_str(",\"iterative_objective\":");
+                json::write_f64(&mut s, *iterative_objective);
+                s.push_str(&format!(",\"outliers\":{outliers}"));
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse one `events.jsonl` line back into an [`Event`].
+    pub fn parse_line(line: &str) -> Result<Event, String> {
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        Event::from_json(&v)
+    }
+
+    /// Reconstruct an event from a parsed JSON object.
+    pub fn from_json(v: &Json) -> Result<Event, String> {
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("missing \"type\"")?;
+        let get_usize = |key: &str| -> Result<usize, String> {
+            v.get(key)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| format!("missing or invalid {key:?}"))
+        };
+        let get_f64 = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing or invalid {key:?}"))
+        };
+        let get_usize_arr = |key: &str| -> Result<Vec<usize>, String> {
+            v.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("missing {key:?}"))?
+                .iter()
+                .map(|x| x.as_usize().ok_or_else(|| format!("bad entry in {key:?}")))
+                .collect()
+        };
+        let get_f64_arr = |key: &str| -> Result<Vec<f64>, String> {
+            v.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("missing {key:?}"))?
+                .iter()
+                .map(|x| x.as_f64().ok_or_else(|| format!("bad entry in {key:?}")))
+                .collect()
+        };
+        let get_nested_usize = |key: &str| -> Result<Vec<Vec<usize>>, String> {
+            v.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("missing {key:?}"))?
+                .iter()
+                .map(|row| {
+                    row.as_arr()
+                        .ok_or_else(|| format!("bad row in {key:?}"))?
+                        .iter()
+                        .map(|x| x.as_usize().ok_or_else(|| format!("bad entry in {key:?}")))
+                        .collect()
+                })
+                .collect()
+        };
+        let get_nested_f64 = |key: &str| -> Result<Vec<Vec<f64>>, String> {
+            v.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("missing {key:?}"))?
+                .iter()
+                .map(|row| {
+                    row.as_arr()
+                        .ok_or_else(|| format!("bad row in {key:?}"))?
+                        .iter()
+                        .map(|x| x.as_f64().ok_or_else(|| format!("bad entry in {key:?}")))
+                        .collect()
+                })
+                .collect()
+        };
+        let algorithm = || -> Result<&'static str, String> {
+            let name = v
+                .get("algorithm")
+                .and_then(Json::as_str)
+                .ok_or("missing \"algorithm\"")?;
+            // Static names keep Event cheap; unknown names are a schema
+            // violation, not data.
+            ["proclus", "orclus", "clique", "kmeans", "clarans"]
+                .iter()
+                .find(|&&a| a == name)
+                .copied()
+                .ok_or_else(|| format!("unknown algorithm {name:?}"))
+        };
+        let get_u64 = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_usize)
+                .map(|x| x as u64)
+                .ok_or_else(|| format!("missing or invalid {key:?}"))
+        };
+        match kind {
+            "fit_start" => Ok(Event::FitStart {
+                algorithm: algorithm()?,
+                n: get_usize("n")?,
+                d: get_usize("d")?,
+                k: get_usize("k")?,
+                l: get_f64("l")?,
+                seed: get_u64("seed")?,
+                restarts: get_usize("restarts")?,
+            }),
+            "restart_start" => Ok(Event::RestartStart {
+                restart: get_usize("restart")?,
+                seed: get_u64("seed")?,
+            }),
+            "round" => Ok(Event::Round {
+                restart: get_usize("restart")?,
+                round: get_usize("round")?,
+                locality_sizes: get_usize_arr("locality_sizes")?,
+                dims: get_nested_usize("dims")?,
+                dim_scores: get_nested_f64("dim_scores")?,
+                cluster_sizes: get_usize_arr("cluster_sizes")?,
+                objective: get_f64("objective")?,
+                best_objective: get_f64("best_objective")?,
+                improved: v
+                    .get("improved")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing \"improved\"")?,
+                pool_dispatches: get_u64("pool_dispatches")?,
+                pool_blocks: get_u64("pool_blocks")?,
+            }),
+            "swap" => Ok(Event::Swap {
+                restart: get_usize("restart")?,
+                round: get_usize("round")?,
+                bad: get_usize_arr("bad")?,
+                cluster_sizes: get_usize_arr("cluster_sizes")?,
+                threshold: get_f64("threshold")?,
+            }),
+            "refine" => Ok(Event::Refine {
+                restart: get_usize("restart")?,
+                medoids: get_usize_arr("medoids")?,
+                dims: get_nested_usize("dims")?,
+                spheres: get_f64_arr("spheres")?,
+                outliers: get_usize("outliers")?,
+                objective: get_f64("objective")?,
+            }),
+            "iteration" => Ok(Event::Iteration {
+                algorithm: algorithm()?,
+                step: get_usize("step")?,
+                clusters: get_usize("clusters")?,
+                dimensionality: get_usize("dimensionality")?,
+                objective: get_f64("objective")?,
+            }),
+            "fit_end" => Ok(Event::FitEnd {
+                rounds: get_usize("rounds")?,
+                improvements: get_usize("improvements")?,
+                objective: get_f64("objective")?,
+                iterative_objective: get_f64("iterative_objective")?,
+                outliers: get_usize("outliers")?,
+            }),
+            other => Err(format!("unknown event type {other:?}")),
+        }
+    }
+}
+
+fn write_nested_usize(out: &mut String, rows: &[Vec<usize>]) {
+    out.push('[');
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_usize_arr(out, row);
+    }
+    out.push(']');
+}
+
+fn write_nested_f64(out: &mut String, rows: &[Vec<f64>]) {
+    out.push('[');
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_f64_arr(out, row);
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::FitStart {
+                algorithm: "proclus",
+                n: 1000,
+                d: 12,
+                k: 4,
+                l: 3.5,
+                seed: 7,
+                restarts: 5,
+            },
+            Event::RestartStart {
+                restart: 2,
+                seed: 99,
+            },
+            Event::Round {
+                restart: 0,
+                round: 3,
+                locality_sizes: vec![10, 20],
+                dims: vec![vec![0, 2], vec![1, 3, 4]],
+                dim_scores: vec![vec![-1.5, -0.25], vec![-2.0, -1.0, 0.0]],
+                cluster_sizes: vec![400, 600],
+                objective: 1.25,
+                best_objective: 1.25,
+                improved: true,
+                pool_dispatches: 3,
+                pool_blocks: 12,
+            },
+            Event::Swap {
+                restart: 1,
+                round: 4,
+                bad: vec![0, 3],
+                cluster_sizes: vec![1, 500, 499, 0],
+                threshold: 25.0,
+            },
+            Event::Refine {
+                restart: 0,
+                medoids: vec![17, 530],
+                dims: vec![vec![0, 1], vec![2, 3]],
+                spheres: vec![4.5, f64::INFINITY],
+                outliers: 12,
+                objective: 0.875,
+            },
+            Event::Iteration {
+                algorithm: "orclus",
+                step: 2,
+                clusters: 8,
+                dimensionality: 6,
+                objective: f64::NAN,
+            },
+            Event::FitEnd {
+                rounds: 21,
+                improvements: 6,
+                objective: 0.875,
+                iterative_objective: 1.25,
+                outliers: 12,
+            },
+        ]
+    }
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        for e in samples() {
+            let line = e.to_json();
+            let back = Event::parse_line(&line).unwrap();
+            // NaN != NaN, so compare through re-serialization.
+            assert_eq!(back.to_json(), line, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        for e in samples() {
+            assert_eq!(e.to_json(), e.clone().to_json());
+        }
+    }
+
+    #[test]
+    fn lines_are_single_line_json_objects() {
+        for e in samples() {
+            let line = e.to_json();
+            assert!(!line.contains('\n'));
+            assert!(line.starts_with("{\"type\":\""));
+            assert!(crate::json::parse(&line).is_ok());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_events() {
+        assert!(Event::parse_line("not json").is_err());
+        assert!(Event::parse_line("{\"type\":\"nope\"}").is_err());
+        assert!(Event::parse_line("{\"no_type\":1}").is_err());
+        assert!(Event::parse_line("{\"type\":\"round\",\"restart\":0}").is_err());
+        assert!(
+            Event::parse_line("{\"type\":\"fit_start\",\"algorithm\":\"mystery\",\"n\":1,\"d\":1,\"k\":1,\"l\":2,\"seed\":0,\"restarts\":1}")
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! [`JsonlRecorder`]: streams events to `<dir>/events.jsonl` and, on
+//! [`JsonlRecorder::finish`], writes the aggregate run manifest to
+//! `<dir>/run.json`.
+//!
+//! The event stream holds only deterministic search facts, so it is
+//! byte-identical for every thread count; all measurements (span
+//! timings, pool gauges) live exclusively in the manifest. I/O errors
+//! mid-stream are stashed rather than panicked (workspace no-panic
+//! policy) and surfaced by `finish`.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::event::{Event, SCHEMA_VERSION};
+use crate::json::{self, Json};
+use crate::recorder::{Phase, Recorder};
+use crate::ring::{GaugeStats, SpanStats};
+
+/// File name of the event stream inside the trace directory.
+pub const EVENTS_FILE: &str = "events.jsonl";
+/// File name of the run manifest inside the trace directory.
+pub const MANIFEST_FILE: &str = "run.json";
+
+struct State {
+    writer: BufWriter<File>,
+    error: Option<io::Error>,
+    events_written: u64,
+    spans: Vec<(Phase, SpanStats)>,
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, GaugeStats)>,
+}
+
+/// Recorder that persists a run as `events.jsonl` + `run.json`.
+pub struct JsonlRecorder {
+    dir: PathBuf,
+    state: Mutex<State>,
+}
+
+impl JsonlRecorder {
+    /// Create the trace directory (and parents) and open a fresh
+    /// `events.jsonl` inside it, truncating any previous stream.
+    pub fn create(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let file = File::create(dir.join(EVENTS_FILE))?;
+        Ok(JsonlRecorder {
+            dir: dir.to_path_buf(),
+            state: Mutex::new(State {
+                writer: BufWriter::new(file),
+                error: None,
+                events_written: 0,
+                spans: Vec::new(),
+                counters: Vec::new(),
+                gauges: Vec::new(),
+            }),
+        })
+    }
+
+    /// The directory this recorder writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Flush the event stream and write the manifest. `params` and
+    /// `result` are caller-provided JSON objects describing the fit's
+    /// configuration and outcome; phases/counters/gauges come from the
+    /// recorder's own aggregates. Returns the manifest path.
+    ///
+    /// Any I/O error stashed during streaming is returned here instead.
+    pub fn finish(&self, params: Json, result: Json) -> io::Result<PathBuf> {
+        let mut state = self.lock();
+        if let Some(err) = state.error.take() {
+            return Err(err);
+        }
+        state.writer.flush()?;
+
+        let mut manifest = String::with_capacity(512);
+        manifest.push_str(&format!("{{\"schema_version\":{SCHEMA_VERSION}"));
+        manifest.push_str(",\"params\":");
+        json::write_json(&mut manifest, &params);
+        manifest.push_str(&format!(",\"events\":{}", state.events_written));
+
+        manifest.push_str(",\"phases\":{");
+        let mut first = true;
+        for phase in Phase::ALL {
+            if let Some((_, s)) = state.spans.iter().find(|(p, _)| *p == phase) {
+                if !first {
+                    manifest.push(',');
+                }
+                first = false;
+                manifest.push_str(&format!(
+                    "\"{}\":{{\"count\":{},\"total_us\":{},\"max_us\":{}}}",
+                    phase.name(),
+                    s.count,
+                    s.total.as_micros(),
+                    s.max.as_micros()
+                ));
+            }
+        }
+        manifest.push('}');
+
+        let mut counters = state.counters.clone();
+        counters.sort_by_key(|(n, _)| *n);
+        manifest.push_str(",\"counters\":{");
+        for (i, (name, value)) in counters.iter().enumerate() {
+            if i > 0 {
+                manifest.push(',');
+            }
+            manifest.push_str(&format!("\"{name}\":{value}"));
+        }
+        manifest.push('}');
+
+        let mut gauges = state.gauges.clone();
+        gauges.sort_by_key(|(n, _)| *n);
+        manifest.push_str(",\"gauges\":{");
+        for (i, (name, g)) in gauges.iter().enumerate() {
+            if i > 0 {
+                manifest.push(',');
+            }
+            manifest.push_str(&format!("\"{name}\":{{\"last\":"));
+            json::write_f64(&mut manifest, g.last);
+            manifest.push_str(",\"max\":");
+            json::write_f64(&mut manifest, g.max);
+            manifest.push('}');
+        }
+        manifest.push('}');
+
+        manifest.push_str(",\"result\":");
+        json::write_json(&mut manifest, &result);
+        manifest.push_str("}\n");
+
+        let path = self.dir.join(MANIFEST_FILE);
+        fs::write(&path, manifest)?;
+        Ok(path)
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn event(&self, event: &Event) {
+        let mut state = self.lock();
+        if state.error.is_some() {
+            return;
+        }
+        let line = event.to_json();
+        let write = state
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|_| state.writer.write_all(b"\n"));
+        match write {
+            Ok(()) => state.events_written += 1,
+            Err(err) => state.error = Some(err),
+        }
+    }
+
+    fn span(&self, phase: Phase, elapsed: Duration) {
+        let mut state = self.lock();
+        let entry = match state.spans.iter_mut().find(|(p, _)| *p == phase) {
+            Some((_, s)) => s,
+            None => {
+                state.spans.push((phase, SpanStats::default()));
+                match state.spans.last_mut() {
+                    Some((_, s)) => s,
+                    None => return,
+                }
+            }
+        };
+        entry.count += 1;
+        entry.total += elapsed;
+        entry.max = entry.max.max(elapsed);
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        let mut state = self.lock();
+        match state.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += delta,
+            None => state.counters.push((name, delta)),
+        }
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        let mut state = self.lock();
+        match state.gauges.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, g)) => {
+                g.last = value;
+                if value > g.max || g.max.is_nan() {
+                    g.max = value;
+                }
+            }
+            None => state.gauges.push((
+                name,
+                GaugeStats {
+                    last: value,
+                    max: value,
+                },
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("proclus-obs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn streams_events_and_writes_manifest() {
+        let dir = tmp_dir("stream");
+        let rec = JsonlRecorder::create(&dir).unwrap();
+        assert!(rec.enabled());
+        let events = [
+            Event::RestartStart {
+                restart: 0,
+                seed: 7,
+            },
+            Event::FitEnd {
+                rounds: 3,
+                improvements: 2,
+                objective: 1.5,
+                iterative_objective: 2.0,
+                outliers: 0,
+            },
+        ];
+        for e in &events {
+            rec.event(e);
+        }
+        rec.span(Phase::Assign, Duration::from_micros(120));
+        rec.span(Phase::Assign, Duration::from_micros(80));
+        rec.counter("pool.dispatches", 5);
+        rec.gauge("pool.workers", 4.0);
+
+        let params = json::parse("{\"k\":2,\"l\":3}").unwrap();
+        let result = json::parse("{\"objective\":1.5}").unwrap();
+        let manifest_path = rec.finish(params, result).unwrap();
+        assert_eq!(manifest_path, dir.join(MANIFEST_FILE));
+
+        let stream = fs::read_to_string(dir.join(EVENTS_FILE)).unwrap();
+        let lines: Vec<_> = stream.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (line, event) in lines.iter().zip(&events) {
+            assert_eq!(Event::parse_line(line).unwrap().to_json(), event.to_json());
+        }
+
+        let manifest = json::parse(&fs::read_to_string(&manifest_path).unwrap()).unwrap();
+        assert_eq!(
+            manifest.get("schema_version").and_then(Json::as_usize),
+            Some(SCHEMA_VERSION as usize)
+        );
+        assert_eq!(manifest.get("events").and_then(Json::as_usize), Some(2));
+        let assign = manifest
+            .get("phases")
+            .and_then(|p| p.get("assign"))
+            .unwrap();
+        assert_eq!(assign.get("count").and_then(Json::as_usize), Some(2));
+        assert_eq!(assign.get("total_us").and_then(Json::as_usize), Some(200));
+        assert_eq!(assign.get("max_us").and_then(Json::as_usize), Some(120));
+        assert_eq!(
+            manifest
+                .get("counters")
+                .and_then(|c| c.get("pool.dispatches"))
+                .and_then(Json::as_usize),
+            Some(5)
+        );
+        assert_eq!(
+            manifest
+                .get("gauges")
+                .and_then(|g| g.get("pool.workers"))
+                .and_then(|w| w.get("max"))
+                .and_then(Json::as_f64),
+            Some(4.0)
+        );
+        assert_eq!(
+            manifest
+                .get("result")
+                .and_then(|r| r.get("objective"))
+                .and_then(Json::as_f64),
+            Some(1.5)
+        );
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_truncates_previous_stream() {
+        let dir = tmp_dir("trunc");
+        {
+            let rec = JsonlRecorder::create(&dir).unwrap();
+            rec.event(&Event::RestartStart {
+                restart: 0,
+                seed: 1,
+            });
+            rec.finish(Json::Null, Json::Null).unwrap();
+        }
+        {
+            let rec = JsonlRecorder::create(&dir).unwrap();
+            rec.finish(Json::Null, Json::Null).unwrap();
+        }
+        let stream = fs::read_to_string(dir.join(EVENTS_FILE)).unwrap();
+        assert!(stream.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

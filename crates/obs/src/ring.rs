@@ -1,0 +1,278 @@
+//! [`RingRecorder`]: an in-memory recorder for tests and the CLI's
+//! verbose summary.
+//!
+//! Events are kept in a capacity-bounded ring (oldest dropped first,
+//! with a drop counter so tests can assert nothing was lost); spans,
+//! counters and gauges are folded into small aggregate maps. One
+//! `Mutex` guards everything — cheap because the algorithms emit from
+//! the driving thread only, and poisoning is absorbed with
+//! `PoisonError::into_inner` (the workspace's no-panic policy).
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::event::Event;
+use crate::recorder::{Phase, Recorder};
+
+/// Aggregate statistics for one phase's spans.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SpanStats {
+    /// Number of spans recorded.
+    pub count: u64,
+    /// Total duration across all spans.
+    pub total: Duration,
+    /// Longest single span.
+    pub max: Duration,
+}
+
+/// Last-value + maximum aggregate of one gauge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaugeStats {
+    /// Most recent observation.
+    pub last: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+#[derive(Default)]
+struct Inner {
+    events: VecDeque<Event>,
+    dropped: u64,
+    spans: Vec<(Phase, SpanStats)>,
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, GaugeStats)>,
+}
+
+/// Capacity-bounded in-memory recorder.
+pub struct RingRecorder {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl RingRecorder {
+    /// A recorder holding at most `capacity` events (aggregates are
+    /// unbounded — they are O(phases + names)).
+    pub fn new(capacity: usize) -> Self {
+        RingRecorder {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Aggregate span statistics for `phase`, if any were recorded.
+    pub fn span_stats(&self, phase: Phase) -> Option<SpanStats> {
+        self.lock()
+            .spans
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|(_, s)| *s)
+    }
+
+    /// Current value of the named counter (0 if never incremented).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.lock()
+            .counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Last observation of the named gauge.
+    pub fn gauge_last(&self, name: &str) -> Option<f64> {
+        self.lock()
+            .gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, g)| g.last)
+    }
+
+    /// Maximum observation of the named gauge.
+    pub fn gauge_max(&self, name: &str) -> Option<f64> {
+        self.lock()
+            .gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, g)| g.max)
+    }
+
+    /// All span aggregates in [`Phase::ALL`] order.
+    pub fn spans(&self) -> Vec<(Phase, SpanStats)> {
+        let inner = self.lock();
+        Phase::ALL
+            .iter()
+            .filter_map(|p| {
+                inner
+                    .spans
+                    .iter()
+                    .find(|(q, _)| q == p)
+                    .map(|(_, s)| (*p, *s))
+            })
+            .collect()
+    }
+
+    /// All counters, sorted by name for deterministic iteration.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let mut out = self.lock().counters.clone();
+        out.sort_by_key(|(n, _)| *n);
+        out
+    }
+
+    /// All gauges, sorted by name for deterministic iteration.
+    pub fn gauges(&self) -> Vec<(&'static str, GaugeStats)> {
+        let mut out = self.lock().gauges.clone();
+        out.sort_by_key(|(n, _)| *n);
+        out
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn event(&self, event: &Event) {
+        let mut inner = self.lock();
+        if self.capacity == 0 {
+            inner.dropped += 1;
+            return;
+        }
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(event.clone());
+    }
+
+    fn span(&self, phase: Phase, elapsed: Duration) {
+        let mut inner = self.lock();
+        let entry = match inner.spans.iter_mut().find(|(p, _)| *p == phase) {
+            Some((_, s)) => s,
+            None => {
+                inner.spans.push((phase, SpanStats::default()));
+                // Just pushed, so last() exists; avoid unwrap under the
+                // workspace lint by matching.
+                match inner.spans.last_mut() {
+                    Some((_, s)) => s,
+                    None => return,
+                }
+            }
+        };
+        entry.count += 1;
+        entry.total += elapsed;
+        entry.max = entry.max.max(elapsed);
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        let mut inner = self.lock();
+        match inner.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += delta,
+            None => inner.counters.push((name, delta)),
+        }
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        let mut inner = self.lock();
+        match inner.gauges.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, g)) => {
+                g.last = value;
+                if value > g.max || g.max.is_nan() {
+                    g.max = value;
+                }
+            }
+            None => inner.gauges.push((
+                name,
+                GaugeStats {
+                    last: value,
+                    max: value,
+                },
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let rec = RingRecorder::new(2);
+        for seed in 0..5u64 {
+            rec.event(&Event::RestartStart {
+                restart: seed as usize,
+                seed,
+            });
+        }
+        assert_eq!(rec.dropped(), 3);
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events,
+            vec![
+                Event::RestartStart {
+                    restart: 3,
+                    seed: 3
+                },
+                Event::RestartStart {
+                    restart: 4,
+                    seed: 4
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let rec = RingRecorder::new(0);
+        rec.event(&Event::RestartStart {
+            restart: 0,
+            seed: 0,
+        });
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.dropped(), 1);
+    }
+
+    #[test]
+    fn spans_aggregate_count_total_max() {
+        let rec = RingRecorder::new(4);
+        rec.span(Phase::Assign, Duration::from_micros(10));
+        rec.span(Phase::Assign, Duration::from_micros(30));
+        rec.span(Phase::Dims, Duration::from_micros(5));
+        let assign = rec.span_stats(Phase::Assign).unwrap();
+        assert_eq!(assign.count, 2);
+        assert_eq!(assign.total, Duration::from_micros(40));
+        assert_eq!(assign.max, Duration::from_micros(30));
+        assert_eq!(rec.span_stats(Phase::Evaluate), None);
+        assert_eq!(rec.spans().len(), 2);
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_track_last_and_max() {
+        let rec = RingRecorder::new(4);
+        rec.counter("pool.blocks", 4);
+        rec.counter("pool.blocks", 6);
+        assert_eq!(rec.counter_value("pool.blocks"), 10);
+        assert_eq!(rec.counter_value("unknown"), 0);
+
+        rec.gauge("queue", 3.0);
+        rec.gauge("queue", 7.0);
+        rec.gauge("queue", 2.0);
+        assert_eq!(rec.gauge_last("queue"), Some(2.0));
+        assert_eq!(rec.gauge_max("queue"), Some(7.0));
+    }
+}

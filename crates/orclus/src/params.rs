@@ -131,6 +131,21 @@ impl Orclus {
     pub fn fit(&self, points: &Matrix) -> Result<OrclusModel, OrclusError> {
         crate::phases::run(self, points)
     }
+
+    /// [`Orclus::fit`] with a [`proclus_obs::Recorder`] observing the
+    /// phases (see [`crate::phases::run_traced`]); `fit` is exactly
+    /// this with the no-op recorder.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Orclus::fit`].
+    pub fn fit_traced(
+        &self,
+        points: &Matrix,
+        rec: &dyn proclus_obs::Recorder,
+    ) -> Result<OrclusModel, OrclusError> {
+        crate::phases::run_traced(self, points, rec)
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@ use crate::model::{OrclusCluster, OrclusModel};
 use crate::params::{Orclus, OrclusError};
 use proclus_math::linalg::{covariance_of, jacobi_eigen, projected_distance};
 use proclus_math::Matrix;
+use proclus_obs::{timed, Event, NoopRecorder, Phase, Recorder};
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::SeedableRng;
@@ -19,9 +20,36 @@ struct Working {
 
 /// Execute ORCLUS.
 pub fn run(params: &Orclus, points: &Matrix) -> Result<OrclusModel, OrclusError> {
+    run_traced(params, points, &NoopRecorder)
+}
+
+/// [`run`] with a [`Recorder`] observing the fit: a `fit_start`, one
+/// `iteration` event per assign/merge phase (surviving cluster count
+/// and working dimensionality `l_c`), and a closing `fit_end`; spans
+/// cover the assign, subspace-recompute, and merge passes.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_traced(
+    params: &Orclus,
+    points: &Matrix,
+    rec: &dyn Recorder,
+) -> Result<OrclusModel, OrclusError> {
     let n = points.rows();
     let d = points.cols();
     params.validate(n, d)?;
+    if rec.enabled() {
+        rec.event(&Event::FitStart {
+            algorithm: "orclus",
+            n,
+            d,
+            k: params.k,
+            l: params.l as f64,
+            seed: params.rng_seed,
+            restarts: 1,
+        });
+    }
     let mut rng = StdRng::seed_from_u64(params.rng_seed);
 
     let k0 = params.k0(n);
@@ -58,16 +86,32 @@ pub fn run(params: &Orclus, points: &Matrix) -> Result<OrclusModel, OrclusError>
         .collect();
 
     let mut lc = d;
+    let mut step = 0usize;
     loop {
         // --- Assign ---------------------------------------------------
-        assign(points, &mut clusters);
+        timed(rec, Phase::Assign, || assign(points, &mut clusters));
         // --- Recompute centroids and subspaces -------------------------
-        for c in clusters.iter_mut() {
-            if !c.members.is_empty() {
-                c.centroid = points.centroid_of(&c.members);
+        timed(rec, Phase::Dims, || {
+            for c in clusters.iter_mut() {
+                if !c.members.is_empty() {
+                    c.centroid = points.centroid_of(&c.members);
+                }
+                c.basis = subspace_of(points, &c.members, lc, d);
             }
-            c.basis = subspace_of(points, &c.members, lc, d);
+        });
+        if rec.enabled() {
+            // Per-phase objectives are not evaluated by the algorithm
+            // (energy is only computed inside merge candidates and at
+            // the end), so the step objective is NaN by design.
+            rec.event(&Event::Iteration {
+                algorithm: "orclus",
+                step,
+                clusters: clusters.len(),
+                dimensionality: lc,
+                objective: f64::NAN,
+            });
         }
+        step += 1;
         if clusters.len() <= k && lc <= l {
             break;
         }
@@ -84,12 +128,14 @@ pub fn run(params: &Orclus, points: &Matrix) -> Result<OrclusModel, OrclusError>
             l
         };
         // --- Merge down to k_new at dimensionality l_new ---------------
-        merge(points, &mut clusters, k_new, l_new);
+        timed(rec, Phase::Merge, || {
+            merge(points, &mut clusters, k_new, l_new)
+        });
         lc = l_new;
     }
 
     // --- Final model ----------------------------------------------------
-    assign(points, &mut clusters);
+    timed(rec, Phase::Assign, || assign(points, &mut clusters));
     let mut assignment = vec![0usize; n];
     for (i, c) in clusters.iter().enumerate() {
         for &p in &c.members {
@@ -115,6 +161,15 @@ pub fn run(params: &Orclus, points: &Matrix) -> Result<OrclusModel, OrclusError>
         });
     }
     objective /= n as f64;
+    if rec.enabled() {
+        rec.event(&Event::FitEnd {
+            rounds: step,
+            improvements: 0,
+            objective,
+            iterative_objective: objective,
+            outliers: 0,
+        });
+    }
     Ok(OrclusModel {
         clusters: out,
         assignment,

@@ -43,6 +43,7 @@ pub use proclus_core as core;
 pub use proclus_data as data;
 pub use proclus_eval as eval;
 pub use proclus_math as math;
+pub use proclus_obs as obs;
 pub use proclus_orclus as orclus;
 
 /// The most commonly used items from every workspace crate.

@@ -1,8 +1,11 @@
 //! Cross-crate determinism guarantees: identical seeds produce
 //! identical results everywhere, and the thread count never changes a
-//! PROCLUS result (only its wall clock).
+//! PROCLUS result (only its wall clock) — including the recorded
+//! trace, whose `events.jsonl` must be byte-identical for every thread
+//! count and match a checked-in golden digest.
 
 use proclus::baselines::{Clarans, KMeans};
+use proclus::obs::JsonlRecorder;
 use proclus::prelude::*;
 
 fn dataset() -> GeneratedDataset {
@@ -85,6 +88,78 @@ fn every_algorithm_is_seed_deterministic() {
         .fit(&data.points)
         .unwrap();
     assert_eq!(cl1.assignment, cl2.assignment);
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and stable across platforms —
+/// exactly what a golden-file digest needs.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The digest of the event stream produced by the golden fit below.
+/// The stream is a pure function of (params, data, seed): if this
+/// digest moves, either the algorithm's search path or the event
+/// schema changed — both must be deliberate (bump the constant with
+/// the schema version in the same commit).
+const GOLDEN_EVENTS_FNV1A: u64 = 0x211E_D56F_4F5B_A36D;
+
+fn golden_trace(threads: usize) -> Vec<u8> {
+    let dir = std::env::temp_dir().join(format!(
+        "proclus-golden-trace-t{threads}-{}",
+        std::process::id()
+    ));
+    let data = SyntheticSpec::new(1_200, 10, 3, 3.0).seed(2024).generate();
+    let rec = JsonlRecorder::create(&dir).unwrap();
+    Proclus::new(3, 3.0)
+        .seed(17)
+        .restarts(2)
+        .threads(threads)
+        .fit_traced(&data.points, &rec)
+        .unwrap();
+    rec.finish(
+        proclus::obs::json::Json::Obj(Vec::new()),
+        proclus::obs::json::Json::Obj(Vec::new()),
+    )
+    .unwrap();
+    let bytes = std::fs::read(dir.join(proclus::obs::EVENTS_FILE)).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    bytes
+}
+
+#[test]
+fn golden_event_stream_is_byte_identical_across_threads() {
+    let serial = golden_trace(1);
+    assert!(!serial.is_empty());
+    let parallel = golden_trace(8);
+    assert_eq!(
+        serial, parallel,
+        "events.jsonl must be byte-identical for threads 1 and 8"
+    );
+    assert_eq!(
+        fnv1a64(&serial),
+        GOLDEN_EVENTS_FNV1A,
+        "golden event-stream digest moved — if the search path or event \
+         schema changed deliberately, update GOLDEN_EVENTS_FNV1A \
+         (got 0x{:016X})",
+        fnv1a64(&serial)
+    );
+    // Every line must round-trip through the parser (the stream is a
+    // machine interface, not just a log).
+    let text = String::from_utf8(serial).unwrap();
+    let mut kinds = Vec::new();
+    for line in text.lines() {
+        let ev = proclus::obs::Event::parse_line(line).unwrap();
+        kinds.push(ev.kind());
+    }
+    assert_eq!(kinds.first(), Some(&"fit_start"));
+    assert_eq!(kinds.last(), Some(&"fit_end"));
+    assert!(kinds.contains(&"round"));
+    assert!(kinds.contains(&"refine"));
 }
 
 #[test]

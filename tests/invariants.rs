@@ -1,0 +1,291 @@
+//! Paper-invariant tier: seeded fits recorded with a `RingRecorder`,
+//! with the PROCLUS paper's structural invariants asserted from the
+//! event stream. Every invariant here is a sentence from the paper
+//! (§2.2, §2.3) restated as an assertion over `proclus_obs::Event`s:
+//!
+//! * FindDimensions spreads exactly `k·l` dimensions with at least 2
+//!   per cluster, every round (paper §2.2, "greedy with constraint").
+//! * The hill climb's best objective is monotone non-increasing, and
+//!   `improved` flags exactly the rounds that lowered it.
+//! * AssignPoints partitions all `N` points during the iterative phase.
+//! * Bad-medoid swaps fire only under the `(n/k)·minDeviation` rule,
+//!   always including the smallest cluster (paper §2.2).
+//! * Refinement's outliers are exactly the points beyond every sphere
+//!   of influence `Δᵢ` (paper §2.3).
+
+use proclus::math::DistanceKind;
+use proclus::obs::{Event, RingRecorder};
+use proclus::prelude::*;
+
+const K: usize = 3;
+const L: f64 = 3.0;
+const SEEDS: [u64; 3] = [7, 41, 1999];
+
+/// One recorded fit: the dataset, the model, and the event stream.
+fn traced_fit(seed: u64) -> (GeneratedDataset, ProclusModel, Vec<Event>) {
+    let data = SyntheticSpec::new(1_500, 10, K, 3.5).seed(seed).generate();
+    let rec = RingRecorder::new(1 << 16);
+    let model = Proclus::new(K, L)
+        .seed(seed)
+        .restarts(3)
+        .fit_traced(&data.points, &rec)
+        .expect("fit");
+    assert_eq!(rec.dropped(), 0, "ring too small for the invariant tier");
+    (data, model, rec.events())
+}
+
+#[test]
+fn stream_is_bracketed_and_restarts_are_ordered() {
+    for seed in SEEDS {
+        let (_, _, events) = traced_fit(seed);
+        assert!(
+            matches!(
+                events.first(),
+                Some(Event::FitStart {
+                    algorithm: "proclus",
+                    ..
+                })
+            ),
+            "seed {seed}: stream must open with fit_start"
+        );
+        assert!(
+            matches!(events.last(), Some(Event::FitEnd { .. })),
+            "seed {seed}: stream must close with fit_end"
+        );
+        // Restart indices appear in order, and each restart's rounds
+        // count 1, 2, 3, ... without gaps.
+        let mut current_restart = None;
+        let mut next_round = 1;
+        for ev in &events {
+            match ev {
+                Event::RestartStart { restart, .. } => {
+                    let expected = current_restart.map_or(0, |r: usize| r + 1);
+                    assert_eq!(*restart, expected, "seed {seed}: restart order");
+                    current_restart = Some(*restart);
+                    next_round = 1;
+                }
+                Event::Round { restart, round, .. } => {
+                    assert_eq!(Some(*restart), current_restart, "seed {seed}");
+                    assert_eq!(*round, next_round, "seed {seed}: round numbering");
+                    next_round += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn find_dimensions_spreads_k_l_with_at_least_two_each() {
+    let total = Proclus::new(K, L).total_dimensions();
+    for seed in SEEDS {
+        let (_, _, events) = traced_fit(seed);
+        let mut rounds = 0;
+        for ev in &events {
+            let dims = match ev {
+                Event::Round { dims, .. } => dims,
+                Event::Refine { dims, .. } => dims,
+                _ => continue,
+            };
+            rounds += 1;
+            assert_eq!(dims.len(), K, "seed {seed}: one dimension set per medoid");
+            let sum: usize = dims.iter().map(Vec::len).sum();
+            assert_eq!(sum, total, "seed {seed}: Σ|Dᵢ| must equal k·l");
+            for (i, di) in dims.iter().enumerate() {
+                assert!(
+                    di.len() >= 2,
+                    "seed {seed}: cluster {i} got {} dims (< 2)",
+                    di.len()
+                );
+                assert!(
+                    di.windows(2).all(|w| w[0] < w[1]),
+                    "seed {seed}: dimension sets are sorted, duplicate-free"
+                );
+            }
+        }
+        assert!(rounds > 0, "seed {seed}: no rounds recorded");
+    }
+}
+
+#[test]
+fn round_payloads_are_shape_consistent() {
+    for seed in SEEDS {
+        let (data, _, events) = traced_fit(seed);
+        let n = data.points.rows();
+        for ev in &events {
+            if let Event::Round {
+                locality_sizes,
+                dims,
+                dim_scores,
+                cluster_sizes,
+                ..
+            } = ev
+            {
+                assert_eq!(locality_sizes.len(), K, "seed {seed}");
+                assert_eq!(cluster_sizes.len(), K, "seed {seed}");
+                // The iterative phase partitions every point.
+                assert_eq!(
+                    cluster_sizes.iter().sum::<usize>(),
+                    n,
+                    "seed {seed}: AssignPoints must partition all N points"
+                );
+                // Z-scores parallel the chosen dimensions exactly.
+                assert_eq!(dim_scores.len(), dims.len(), "seed {seed}");
+                for (di, si) in dims.iter().zip(dim_scores) {
+                    assert_eq!(di.len(), si.len(), "seed {seed}");
+                    assert!(si.iter().all(|z| z.is_finite()), "seed {seed}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn best_objective_is_monotone_and_improved_flags_match() {
+    for seed in SEEDS {
+        let (_, _, events) = traced_fit(seed);
+        let mut best: Option<f64> = None;
+        for ev in &events {
+            match ev {
+                Event::RestartStart { .. } => best = None,
+                Event::Round {
+                    objective,
+                    best_objective,
+                    improved,
+                    ..
+                } => {
+                    assert!(objective.is_finite(), "seed {seed}");
+                    let expected_improved = best.is_none_or(|b| *objective < b);
+                    assert_eq!(
+                        *improved, expected_improved,
+                        "seed {seed}: improved flag disagrees with history"
+                    );
+                    let expected_best = best.map_or(*objective, |b| b.min(*objective));
+                    assert_eq!(
+                        *best_objective, expected_best,
+                        "seed {seed}: best objective must be the running minimum"
+                    );
+                    if let Some(b) = best {
+                        assert!(*best_objective <= b, "seed {seed}: monotone");
+                    }
+                    best = Some(*best_objective);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn swaps_fire_only_under_the_min_deviation_rule() {
+    let min_deviation = 0.1;
+    for seed in SEEDS {
+        let (data, _, events) = traced_fit(seed);
+        let n = data.points.rows();
+        let mut swaps = 0;
+        for ev in &events {
+            if let Event::Swap {
+                bad,
+                cluster_sizes,
+                threshold,
+                ..
+            } = ev
+            {
+                swaps += 1;
+                let expected_threshold = (n as f64 / K as f64) * min_deviation;
+                assert_eq!(*threshold, expected_threshold, "seed {seed}");
+                // Recompute the paper's rule: smallest cluster plus
+                // everything under threshold, ascending.
+                let smallest = (0..K)
+                    .min_by_key(|&i| (cluster_sizes[i], i))
+                    .expect("k > 0");
+                let expected: Vec<usize> = (0..K)
+                    .filter(|&i| i == smallest || (cluster_sizes[i] as f64) < expected_threshold)
+                    .collect();
+                assert_eq!(*bad, expected, "seed {seed}: bad-medoid set");
+            }
+        }
+        // The hill climb must actually exercise the rule on this data.
+        assert!(
+            swaps > 0,
+            "seed {seed}: no swap ever fired — dead invariant"
+        );
+    }
+}
+
+#[test]
+fn refine_outliers_follow_the_sphere_of_influence_rule() {
+    for seed in SEEDS {
+        let (data, _, events) = traced_fit(seed);
+        let points = &data.points;
+        let metric = DistanceKind::Manhattan; // fit default
+        let mut refines = 0;
+        for ev in &events {
+            if let Event::Refine {
+                medoids,
+                dims,
+                spheres,
+                outliers,
+                ..
+            } = ev
+            {
+                refines += 1;
+                assert_eq!(medoids.len(), K, "seed {seed}");
+                // Δᵢ = min over other medoids of d_{Dᵢ}(mᵢ, mⱼ).
+                for i in 0..K {
+                    let expected = (0..K)
+                        .filter(|&j| j != i)
+                        .map(|j| {
+                            metric.eval_segmental(
+                                points.row(medoids[i]),
+                                points.row(medoids[j]),
+                                &dims[i],
+                            )
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    assert_eq!(spheres[i], expected, "seed {seed}: sphere {i}");
+                }
+                // A point is an outlier iff it lies beyond every sphere.
+                let recomputed = (0..points.rows())
+                    .filter(|&p| {
+                        (0..K).all(|i| {
+                            metric.eval_segmental(points.row(p), points.row(medoids[i]), &dims[i])
+                                > spheres[i]
+                        })
+                    })
+                    .count();
+                assert_eq!(
+                    *outliers, recomputed,
+                    "seed {seed}: δ-based outlier rule violated"
+                );
+            }
+        }
+        assert!(refines > 0, "seed {seed}: no refinement recorded");
+    }
+}
+
+#[test]
+fn fit_end_matches_the_returned_model() {
+    for seed in SEEDS {
+        let (_, model, events) = traced_fit(seed);
+        let Some(Event::FitEnd {
+            rounds,
+            improvements,
+            objective,
+            iterative_objective,
+            outliers,
+        }) = events.last()
+        else {
+            panic!("seed {seed}: missing fit_end");
+        };
+        assert_eq!(*rounds, model.rounds(), "seed {seed}");
+        assert_eq!(*improvements, model.improvements(), "seed {seed}");
+        assert_eq!(*objective, model.objective(), "seed {seed}");
+        assert_eq!(
+            *iterative_objective,
+            model.iterative_objective(),
+            "seed {seed}"
+        );
+        assert_eq!(*outliers, model.outliers().len(), "seed {seed}");
+    }
+}

@@ -1,7 +1,9 @@
 //! Second property-test battery: serialization, selection helpers,
-//! eigensolver invariants, silhouette bounds, and agreement-index
-//! sanity under random inputs. Driven by seeded randomized case loops
-//! (no registry access in the build environment, so no proptest).
+//! eigensolver invariants, silhouette bounds, agreement-index sanity
+//! under random inputs, and metamorphic relations of the clustering
+//! algorithms themselves (permutation equivariance, scale invariance).
+//! Driven by seeded randomized case loops (no registry access in the
+//! build environment, so no proptest).
 
 use proclus::data::binio::{decode, encode};
 use proclus::data::Label;
@@ -9,6 +11,8 @@ use proclus::eval::{adjusted_rand_index, normalized_mutual_information, projecte
 use proclus::math::linalg::{covariance_of, jacobi_eigen};
 use proclus::math::order::{k_smallest_indices, kth_smallest, ranks};
 use proclus::math::{DistanceKind, Matrix};
+use proclus::orclus::Orclus;
+use proclus::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -181,5 +185,182 @@ fn jacobi_invariants_on_random_covariances() {
         let trace: f64 = (0..d).map(|i| cov.get(i, i)).sum();
         let sum: f64 = e.values.iter().sum();
         assert!((trace - sum).abs() < 1e-6 * trace.abs().max(1.0));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metamorphic relations of the clustering algorithms. These compare
+// *discrete* outputs (assignments, chosen dimensions) exactly and
+// objectives with the transformation applied, so they hold despite
+// floating-point reassociation.
+
+/// Apply a row permutation: row `p` of the result is row `perm[p]` of
+/// the input.
+fn permute_rows(m: &Matrix, perm: &[usize]) -> Matrix {
+    let d = m.cols();
+    let mut data = Vec::with_capacity(m.rows() * d);
+    for &src in perm {
+        data.extend_from_slice(m.row(src));
+    }
+    Matrix::from_vec(data, m.rows(), d)
+}
+
+/// Uniformly scale every coordinate. With a power-of-two factor the
+/// scaling is *exact* in IEEE arithmetic (it only shifts exponents), so
+/// every distance comparison the algorithms make is preserved bit for
+/// bit and assignments must come out identical.
+fn scale_rows(m: &Matrix, factor: f64) -> Matrix {
+    let data: Vec<f64> = m
+        .iter_rows()
+        .flat_map(|r| r.iter().map(|&v| v * factor))
+        .collect();
+    Matrix::from_vec(data, m.rows(), m.cols())
+}
+
+/// PROCLUS is equivariant under point permutation: relabeling the rows
+/// (and mapping the pinned initial medoids along) relabels the output
+/// assignment the same way and chooses the same dimension sets.
+#[test]
+fn proclus_is_permutation_equivariant() {
+    for case in 0..4u64 {
+        let data = SyntheticSpec::new(800, 8, 2, 3.0)
+            .seed(0x3000 + case)
+            .generate();
+        let n = data.points.rows();
+        // A fixed derangement-ish permutation: reverse, then swap pairs.
+        let mut perm: Vec<usize> = (0..n).rev().collect();
+        perm.swap(0, n / 2);
+        let permuted = permute_rows(&data.points, &perm);
+        // perm maps new index -> old index; medoids carry old indices.
+        let medoids_old = [3usize, n - 7];
+        let inv = {
+            let mut inv = vec![0usize; n];
+            for (new, &old) in perm.iter().enumerate() {
+                inv[old] = new;
+            }
+            inv
+        };
+        let medoids_new: Vec<usize> = medoids_old.iter().map(|&m| inv[m]).collect();
+
+        // One round, no swaps: the climb is a pure function of the
+        // starting medoids, so the two runs walk the same path.
+        let params = Proclus::new(2, 3.0).max_rounds(1);
+        let a = params
+            .fit_with_initial_medoids(&data.points, &medoids_old)
+            .unwrap();
+        let b = params
+            .fit_with_initial_medoids(&permuted, &medoids_new)
+            .unwrap();
+
+        // Same dimension sets, cluster by cluster.
+        let adims: Vec<&[usize]> = a
+            .clusters()
+            .iter()
+            .map(|c| c.dimensions.as_slice())
+            .collect();
+        let bdims: Vec<&[usize]> = b
+            .clusters()
+            .iter()
+            .map(|c| c.dimensions.as_slice())
+            .collect();
+        assert_eq!(adims, bdims, "case {case}");
+        // Equivariant assignment: new point `p` is old point `perm[p]`.
+        for (new, &old) in perm.iter().enumerate() {
+            assert_eq!(
+                b.assignment()[new],
+                a.assignment()[old],
+                "case {case}: point {old} changed cluster under permutation"
+            );
+        }
+        // Objectives agree up to summation order.
+        let scale = a.objective().abs().max(1.0);
+        assert!(
+            (a.objective() - b.objective()).abs() < 1e-9 * scale,
+            "case {case}: {} vs {}",
+            a.objective(),
+            b.objective()
+        );
+    }
+}
+
+/// Uniform power-of-two scaling leaves every PROCLUS decision intact
+/// (distances scale exactly) and multiplies the objective by the same
+/// factor.
+#[test]
+fn proclus_is_scale_invariant_up_to_objective() {
+    const FACTOR: f64 = 4.0;
+    for case in 0..4u64 {
+        let data = SyntheticSpec::new(1_000, 9, 3, 3.0)
+            .seed(0x3100 + case)
+            .generate();
+        let scaled = scale_rows(&data.points, FACTOR);
+        let params = Proclus::new(3, 3.0).seed(11 + case).restarts(2);
+        let a = params.fit(&data.points).unwrap();
+        let b = params.fit(&scaled).unwrap();
+        assert_eq!(a.assignment(), b.assignment(), "case {case}");
+        let adims: Vec<&[usize]> = a
+            .clusters()
+            .iter()
+            .map(|c| c.dimensions.as_slice())
+            .collect();
+        let bdims: Vec<&[usize]> = b
+            .clusters()
+            .iter()
+            .map(|c| c.dimensions.as_slice())
+            .collect();
+        assert_eq!(adims, bdims, "case {case}");
+        assert_eq!(
+            a.objective() * FACTOR,
+            b.objective(),
+            "case {case}: objective must scale exactly with the data"
+        );
+    }
+}
+
+/// The same exact-scaling relation for ORCLUS: the covariance scales
+/// by `FACTOR²`, which rescales eigenvalues but not the rotation
+/// decisions, so assignments match and the (root-mean-square) projected
+/// objective scales by `FACTOR`.
+#[test]
+fn orclus_is_scale_invariant_up_to_objective() {
+    const FACTOR: f64 = 4.0;
+    for case in 0..3u64 {
+        let data = SyntheticSpec::new(600, 7, 3, 3.0)
+            .seed(0x3200 + case)
+            .generate();
+        let scaled = scale_rows(&data.points, FACTOR);
+        let a = Orclus::new(3, 3).seed(5 + case).fit(&data.points).unwrap();
+        let b = Orclus::new(3, 3).seed(5 + case).fit(&scaled).unwrap();
+        assert_eq!(a.assignment, b.assignment, "case {case}");
+        let scale = a.objective.abs().max(1e-12);
+        assert!(
+            (a.objective * FACTOR - b.objective).abs() < 1e-9 * scale,
+            "case {case}: {} vs {}",
+            a.objective,
+            b.objective
+        );
+    }
+}
+
+/// k-means under exact scaling: identical assignments, cost scaled.
+#[test]
+fn kmeans_is_scale_invariant_up_to_cost() {
+    use proclus::baselines::KMeans;
+    const FACTOR: f64 = 0.25;
+    for case in 0..4u64 {
+        let data = SyntheticSpec::new(500, 6, 3, 3.0)
+            .seed(0x3300 + case)
+            .generate();
+        let scaled = scale_rows(&data.points, FACTOR);
+        let a = KMeans::new(3).seed(case).fit(&data.points).unwrap();
+        let b = KMeans::new(3).seed(case).fit(&scaled).unwrap();
+        assert_eq!(a.assignment, b.assignment, "case {case}");
+        let scale = a.cost.abs().max(1e-12);
+        assert!(
+            (a.cost * FACTOR - b.cost).abs() < 1e-9 * scale,
+            "case {case}: {} vs {}",
+            a.cost,
+            b.cost
+        );
     }
 }

@@ -22,6 +22,9 @@ proclus fit — PROCLUS projected clustering (SIGMOD 1999)
   --metric <name>   manhattan | euclidean | chebyshev [default manhattan]
   --min-deviation <f> bad-medoid threshold factor [default 0.1]
   --paper-literal   disable the inner refinement (see DESIGN.md)
+  --no-round-cache  recompute every round from scratch instead of the
+                    incremental cross-round cache (results are
+                    bit-identical either way; see DESIGN.md §5d)
   --verbose         print the recorded trace summary (convergence,
                     swap history) plus fit diagnostics
   --trace-out <dir> stream events.jsonl + run.json into this directory
@@ -48,6 +51,7 @@ pub fn parse_metric(name: &str) -> Result<DistanceKind, ArgError> {
 /// The `params` object of the `run.json` manifest.
 fn params_json(input: &Path, params: &Proclus, metric: &str, paper_literal: bool) -> Json {
     Json::Obj(vec![
+        ("round_cache".into(), Json::Bool(params.round_cache)),
         ("algorithm".into(), Json::Str("proclus".into())),
         ("input".into(), Json::Str(input.display().to_string())),
         ("k".into(), Json::Num(params.k as f64)),
@@ -97,7 +101,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         .restarts(args.get_parsed("restarts", 5usize)?)
         .threads(args.get_parsed("threads", 1usize)?)
         .min_deviation(args.get_parsed("min-deviation", 0.1)?)
-        .distance(parse_metric(&metric)?);
+        .distance(parse_metric(&metric)?)
+        .round_cache(!args.switch("no-round-cache"));
     if paper_literal {
         params = params.inner_refinements(0);
     }
@@ -226,6 +231,32 @@ mod tests {
         let first = events.lines().next().unwrap();
         assert!(first.contains("\"type\":\"fit_start\""), "{first}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `--no-round-cache` is accepted and produces byte-identical
+    /// output (the cache is a pure performance layer).
+    #[test]
+    fn no_round_cache_flag_changes_nothing_but_the_manifest() {
+        let input = tmp("nrc.csv");
+        let data = SyntheticSpec::new(300, 5, 2, 3.0).seed(8).generate();
+        crate::io::write_dataset(input.as_ref(), &data.points, None).unwrap();
+        let run_with = |extra: &str| {
+            let args = Args::parse(
+                toks(&format!("--input {input} --k 2 --l 3 --seed 2{extra}")),
+                &["paper-literal", "verbose", "no-round-cache"],
+            )
+            .unwrap();
+            let mut buf = Vec::new();
+            run(&args, &mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        let cached = run_with("");
+        let uncached = run_with(" --no-round-cache");
+        std::fs::remove_file(&input).ok();
+        assert_eq!(
+            cached, uncached,
+            "model summary must not depend on the cache"
+        );
     }
 
     #[test]

@@ -38,6 +38,41 @@ fn read_to_string(path: &PathBuf) -> Result<String, Box<dyn Error>> {
     })
 }
 
+/// Derived round-cache effectiveness: hits / (hits + recomputes) per
+/// cache layer, from the `cache.*` manifest counters. `None` when the
+/// trace has no cache counters (cache disabled, or a pre-cache trace).
+fn cache_summary(manifest: &json::Json) -> Option<String> {
+    let counter = |name: &str| {
+        manifest
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(json::Json::as_usize)
+    };
+    let layer = |label: &str, hits: &str, recomputes: &str| -> Option<String> {
+        let h = counter(hits)?;
+        let r = counter(recomputes)?;
+        let total = h + r;
+        let pct = if total == 0 {
+            0.0
+        } else {
+            h as f64 * 100.0 / total as f64
+        };
+        Some(format!("{label} {h}/{total} hits ({pct:.1}%)"))
+    };
+    let fused = layer(
+        "fused",
+        "cache.fused_slot_hits",
+        "cache.fused_slot_recomputes",
+    )?;
+    let cols = layer("columns", "cache.column_hits", "cache.column_recomputes")?;
+    let rows = layer(
+        "cluster rows",
+        "cache.cluster_row_hits",
+        "cache.cluster_row_recomputes",
+    )?;
+    Some(format!("round cache: {fused}, {cols}, {rows}"))
+}
+
 /// Run the command.
 pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let dir = PathBuf::from(args.require("input")?);
@@ -54,6 +89,9 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let rendered = render_manifest(&manifest)
         .map_err(|e| MalformedTrace(format!("{}: {e}", manifest_path.display())))?;
     write!(out, "{rendered}")?;
+    if let Some(line) = cache_summary(&manifest) {
+        writeln!(out, "{line}")?;
+    }
     if let Some(json::Json::Obj(members)) = manifest.get("params") {
         let mut line = String::from("params:");
         for (key, value) in members {
@@ -123,6 +161,34 @@ mod tests {
         assert!(text.contains("algorithm: proclus"), "{text}");
         assert!(text.contains("convergence"), "{text}");
         assert!(text.contains("params: k=2"), "{text}");
+        // Cache counters surface both raw and as derived hit rates.
+        assert!(text.contains("cache.fused_slot_hits"), "{text}");
+        assert!(text.contains("round cache: fused "), "{text}");
+        assert!(text.contains("cluster rows "), "{text}");
+    }
+
+    /// A trace without cache counters (cache disabled) renders without
+    /// the derived cache line instead of failing or printing zeros.
+    #[test]
+    fn uncached_trace_omits_the_cache_summary() {
+        let dir = tmp("nocache");
+        let data = SyntheticSpec::new(200, 5, 2, 2.0).seed(6).generate();
+        let rec = proclus_obs::JsonlRecorder::create(&dir).unwrap();
+        Proclus::new(2, 2.0)
+            .seed(1)
+            .restarts(1)
+            .round_cache(false)
+            .fit_traced(&data.points, &rec)
+            .unwrap();
+        rec.finish(json::Json::Obj(Vec::new()), json::Json::Obj(Vec::new()))
+            .unwrap();
+        let args = Args::parse(toks(&format!("--input {}", dir.display())), &[]).unwrap();
+        let mut buf = Vec::new();
+        run(&args, &mut buf).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.contains("round cache:"), "{text}");
+        assert!(!text.contains("cache.fused_slot_hits"), "{text}");
     }
 
     #[test]

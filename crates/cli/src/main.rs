@@ -112,7 +112,7 @@ fn main() -> ExitCode {
         ),
         "fit" => (
             commands::fit::HELP,
-            &["paper-literal", "verbose"],
+            &["paper-literal", "verbose", "no-round-cache"],
             commands::fit::run,
         ),
         "clique" => (

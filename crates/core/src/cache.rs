@@ -1,0 +1,536 @@
+//! The cross-round iteration cache ([`RoundCache`]).
+//!
+//! PROCLUS's hill climb replaces only the *bad* medoids between rounds
+//! (Figure 2), yet the straightforward engine recomputes every
+//! locality, dimension average, distance, and cluster sum for all `k`
+//! medoids every round. This module caches the per-medoid round state
+//! and recomputes only what a swap actually touched, **bit-identically**
+//! — `fit` with the cache on and off produce byte-identical event
+//! streams and models (pinned by `tests/determinism.rs` and the
+//! cached-vs-uncached invariant in `tests/invariants.rs`).
+//!
+//! # What is cached, and its invalidation key
+//!
+//! * **Fused locality + `X` slots** — for each medoid slot, the
+//!   locality `Lᵢ` and the per-dimension average distances `Xᵢⱼ`,
+//!   keyed by `(mᵢ, δᵢ)` (the δ value compared *bitwise*). A slot's
+//!   fused result depends only on its own medoid and radius: swapping
+//!   medoid `j` invalidates slot `j` directly and exactly those slots
+//!   whose nearest-other-medoid distance changed — which is precisely a
+//!   δ bit-change, since `medoid_deltas` is recomputed (cheaply,
+//!   O(k²·d)) every round from the same code path.
+//! * **Distance columns** — for each slot, up to two columns of
+//!   per-point segmental distances keyed by `(mᵢ, Dᵢ)` (two, because a
+//!   round queries each slot under the locality-derived dimensions and
+//!   then the cluster-refined ones). A column is a pure per-point
+//!   function of its key, so value-keying is exact: the global greedy
+//!   dimension allocation may reshuffle another slot's `Dᵢ` after a
+//!   swap, and that slot's column then misses and recomputes.
+//! * **Cluster-`X` rows** — the per-cluster dimension averages the
+//!   inner refinement consumes, keyed by the slot's medoid plus the
+//!   cluster's membership (tracked as a diff of the previous round's
+//!   assignment — a cluster is touched iff its medoid changed or some
+//!   point entered/left it).
+//!
+//! # Why determinism survives
+//!
+//! Every recomputation runs the *same block kernels over the same
+//! fixed tiling* as the full pass, restricted to the invalidated slots;
+//! per-slot results are independent in those kernels (see
+//! [`crate::kernel`]), so a cached value and a recomputed one are the
+//! same bits. The assignment is rebuilt from columns by
+//! [`crate::kernel::argmin_columns`], whose loop is literally the
+//! comparison loop of the direct kernels. Logical pool accounting
+//! (`pool_dispatches`/`pool_blocks` in `round` events) is booked per
+//! *semantic* pass via [`Pool::note_logical_pass`] whether or not any
+//! physical work ran, so the event stream carries the same numbers as
+//! the uncached engine.
+//!
+//! Cache effectiveness is observable through the `cache.*` manifest
+//! counters and the per-round `cache.medoids_recomputed` gauge — both
+//! flow through the measurement channel only, never the event stream.
+
+use crate::pool::Pool;
+use std::sync::Arc;
+
+/// Monotone cache-effectiveness counters, exported to the run manifest
+/// as `cache.*` (measurement channel only — never the event stream).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Fused locality/`X` slots served from cache.
+    pub fused_slot_hits: u64,
+    /// Fused locality/`X` slots recomputed after invalidation.
+    pub fused_slot_recomputes: u64,
+    /// Distance columns served from cache.
+    pub column_hits: u64,
+    /// Distance columns recomputed after invalidation.
+    pub column_recomputes: u64,
+    /// Cluster-`X` rows served from cache.
+    pub cluster_row_hits: u64,
+    /// Cluster-`X` rows recomputed after invalidation.
+    pub cluster_row_recomputes: u64,
+}
+
+/// One cached fused slot: the locality and `X` row of a `(mᵢ, δᵢ)` pair.
+struct FusedSlot {
+    medoid: usize,
+    delta_bits: u64,
+    locs: Vec<usize>,
+    x: Vec<f64>,
+}
+
+/// One cached distance column for a `(mᵢ, Dᵢ)` pair.
+struct ColumnEntry {
+    medoid: usize,
+    dims: Vec<usize>,
+    col: Vec<f64>,
+}
+
+/// A cached cluster-`X` row, valid with respect to [`RoundCache::prev_flat`].
+struct ClusterRow {
+    medoid: usize,
+    x: Vec<f64>,
+}
+
+/// Columns kept per slot: the two dimension sets a round queries
+/// (locality-derived, then cluster-refined).
+const COLUMNS_PER_SLOT: usize = 2;
+
+/// Per-fit incremental state for the hill-climbing rounds. Create one
+/// per fit (it spans restarts — the value keys make stale state
+/// harmless) and route every round's heavy pass through it; disabled
+/// ([`Proclus::round_cache`](crate::params::Proclus::round_cache) =
+/// `false`) it forwards verbatim to the full pool passes.
+pub struct RoundCache {
+    enabled: bool,
+    fused: Vec<Option<FusedSlot>>,
+    columns: Vec<Vec<ColumnEntry>>,
+    cluster_rows: Vec<Option<ClusterRow>>,
+    /// The assignment produced by the previous `assign_x` call — the
+    /// membership baseline the cluster-row diff invalidates against.
+    prev_flat: Option<Vec<usize>>,
+    stats: CacheStats,
+    round_recomputed: u64,
+}
+
+impl RoundCache {
+    /// A cache for fits with `k` medoid slots. `enabled = false` builds
+    /// a pass-through shell (no memory, no counters beyond the
+    /// per-round recompute gauge, identical pool behavior to the
+    /// pre-cache engine).
+    pub fn new(enabled: bool, k: usize) -> Self {
+        let slots = if enabled { k } else { 0 };
+        RoundCache {
+            enabled,
+            fused: (0..slots).map(|_| None).collect(),
+            columns: (0..slots).map(|_| Vec::new()).collect(),
+            cluster_rows: (0..slots).map(|_| None).collect(),
+            prev_flat: None,
+            stats: CacheStats::default(),
+            round_recomputed: 0,
+        }
+    }
+
+    /// Is incremental caching active?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Cumulative effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Fused slots recomputed since the previous call — the per-round
+    /// "medoids recomputed" gauge. With the cache disabled this counts
+    /// every slot of every pass (the uncached engine recomputes all).
+    pub fn take_round_recomputed(&mut self) -> u64 {
+        std::mem::take(&mut self.round_recomputed)
+    }
+
+    /// The fused locality + `X` pass, serving unchanged `(mᵢ, δᵢ)`
+    /// slots from cache and recomputing the rest in one subset pass.
+    /// Output is bit-identical to [`Pool::fused_round`].
+    pub fn fused_round(
+        &mut self,
+        pool: &mut Pool<'_>,
+        medoids: &[usize],
+        deltas: &[f64],
+    ) -> (Vec<Vec<usize>>, Vec<Vec<f64>>) {
+        if !self.enabled {
+            self.round_recomputed += medoids.len() as u64;
+            return pool.fused_round(medoids, deltas);
+        }
+        pool.note_logical_pass();
+        self.grow_to(medoids.len());
+        let missing: Vec<usize> = medoids
+            .iter()
+            .zip(deltas)
+            .enumerate()
+            .filter(|&(i, (&m, &delta))| {
+                !matches!(
+                    &self.fused[i],
+                    Some(s) if s.medoid == m && s.delta_bits == delta.to_bits()
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        self.stats.fused_slot_hits += (medoids.len() - missing.len()) as u64;
+        self.stats.fused_slot_recomputes += missing.len() as u64;
+        self.round_recomputed += missing.len() as u64;
+        if !missing.is_empty() {
+            let sub_m: Vec<usize> = missing.iter().map(|&i| medoids[i]).collect();
+            let sub_d: Vec<f64> = missing.iter().map(|&i| deltas[i]).collect();
+            let (locs, x) = pool.fused_pass(&sub_m, &sub_d);
+            for ((&slot, li), xi) in missing.iter().zip(locs).zip(x) {
+                self.fused[slot] = Some(FusedSlot {
+                    medoid: medoids[slot],
+                    delta_bits: deltas[slot].to_bits(),
+                    locs: li,
+                    x: xi,
+                });
+            }
+        }
+        let mut locs = Vec::with_capacity(medoids.len());
+        let mut x = Vec::with_capacity(medoids.len());
+        for slot in self.fused.iter().take(medoids.len()) {
+            match slot {
+                Some(s) => {
+                    locs.push(s.locs.clone());
+                    x.push(s.x.clone());
+                }
+                // Unreachable by construction (every miss was filled
+                // above); keep the degenerate shape rather than panic.
+                None => {
+                    locs.push(Vec::new());
+                    x.push(Vec::new());
+                }
+            }
+        }
+        (locs, x)
+    }
+
+    /// Plain assignment pass via cached distance columns. Bit-identical
+    /// to [`Pool::assign`].
+    pub fn assign(
+        &mut self,
+        pool: &mut Pool<'_>,
+        medoids: &[usize],
+        dims: &[Vec<usize>],
+    ) -> Vec<usize> {
+        if !self.enabled {
+            return pool.assign(medoids, dims);
+        }
+        pool.note_logical_pass();
+        self.assign_via_columns(pool, medoids, dims)
+    }
+
+    /// Assignment fused with the per-cluster `X` averages (the inner
+    /// refinement's input): assignment from cached columns, cluster
+    /// rows diffed against the previous round's membership and
+    /// recomputed only where touched. Bit-identical to
+    /// [`Pool::assign_x`].
+    pub fn assign_x(
+        &mut self,
+        pool: &mut Pool<'_>,
+        medoids: &[usize],
+        dims: &[Vec<usize>],
+    ) -> (Vec<usize>, Vec<Vec<f64>>) {
+        if !self.enabled {
+            return pool.assign_x(medoids, dims);
+        }
+        pool.note_logical_pass();
+        let k = medoids.len();
+        let flat = self.assign_via_columns(pool, medoids, dims);
+
+        // A cluster's X row is stale iff its membership changed (some
+        // point moved in or out — visible in the flat-assignment diff)
+        // or its medoid row moved (a swap landed on the slot).
+        let mut touched = vec![false; k];
+        match &self.prev_flat {
+            Some(prev) if prev.len() == flat.len() => {
+                for (&a, &b) in prev.iter().zip(&flat) {
+                    if a != b {
+                        if a < k {
+                            touched[a] = true;
+                        }
+                        touched[b] = true;
+                    }
+                }
+            }
+            _ => touched.iter_mut().for_each(|t| *t = true),
+        }
+        for (i, t) in touched.iter_mut().enumerate() {
+            if !matches!(&self.cluster_rows[i], Some(r) if r.medoid == medoids[i]) {
+                *t = true;
+            }
+        }
+
+        let stale: Vec<usize> = (0..k).filter(|&i| touched[i]).collect();
+        self.stats.cluster_row_hits += (k - stale.len()) as u64;
+        self.stats.cluster_row_recomputes += stale.len() as u64;
+        if !stale.is_empty() {
+            // Masked assignment: only the stale clusters contribute,
+            // re-indexed to the subset's slots. Each recomputed row
+            // accumulates the same members in the same block-grouped
+            // order as the full fused pass — bit-identical.
+            let mut local = vec![usize::MAX; k];
+            for (j, &slot) in stale.iter().enumerate() {
+                local[slot] = j;
+            }
+            let masked: Vec<Option<usize>> = flat
+                .iter()
+                .map(|&a| (local[a] != usize::MAX).then(|| local[a]))
+                .collect();
+            let sub_m: Vec<usize> = stale.iter().map(|&i| medoids[i]).collect();
+            let rows = pool.cluster_x_pass(&sub_m, Arc::new(masked));
+            for (&slot, row) in stale.iter().zip(rows) {
+                self.cluster_rows[slot] = Some(ClusterRow {
+                    medoid: medoids[slot],
+                    x: row,
+                });
+            }
+        }
+        let x: Vec<Vec<f64>> = self
+            .cluster_rows
+            .iter()
+            .take(k)
+            .map(|r| match r {
+                Some(r) => r.x.clone(),
+                None => Vec::new(), // unreachable: every stale row was filled
+            })
+            .collect();
+        self.prev_flat = Some(flat.clone());
+        (flat, x)
+    }
+
+    /// Ensure a cached column per slot for `(medoids[i], dims[i])`,
+    /// recomputing misses in one subset pass, then assign every point
+    /// to its argmin slot.
+    fn assign_via_columns(
+        &mut self,
+        pool: &mut Pool<'_>,
+        medoids: &[usize],
+        dims: &[Vec<usize>],
+    ) -> Vec<usize> {
+        let k = medoids.len();
+        self.grow_to(k);
+        let mut entry: Vec<Option<usize>> = (0..k)
+            .map(|i| {
+                self.columns[i]
+                    .iter()
+                    .position(|e| e.medoid == medoids[i] && e.dims == dims[i])
+            })
+            .collect();
+        let missing: Vec<usize> = (0..k).filter(|&i| entry[i].is_none()).collect();
+        self.stats.column_hits += (k - missing.len()) as u64;
+        self.stats.column_recomputes += missing.len() as u64;
+        if !missing.is_empty() {
+            let sub_m: Vec<usize> = missing.iter().map(|&i| medoids[i]).collect();
+            let sub_d: Vec<Vec<usize>> = missing.iter().map(|&i| dims[i].clone()).collect();
+            let cols = pool.distance_columns(&sub_m, &sub_d);
+            for (&slot, col) in missing.iter().zip(cols) {
+                if self.columns[slot].len() >= COLUMNS_PER_SLOT {
+                    self.columns[slot].remove(0);
+                }
+                self.columns[slot].push(ColumnEntry {
+                    medoid: medoids[slot],
+                    dims: dims[slot].clone(),
+                    col,
+                });
+                entry[slot] = Some(self.columns[slot].len() - 1);
+            }
+        }
+        let mut refs: Vec<&[f64]> = Vec::with_capacity(k);
+        for (i, e) in entry.iter().enumerate() {
+            match e.and_then(|e| self.columns[i].get(e)) {
+                Some(entry) => refs.push(entry.col.as_slice()),
+                // Unreachable: every miss was just filled. Degrade to a
+                // direct full pass rather than panic.
+                None => return pool.assign(medoids, dims),
+            }
+        }
+        crate::kernel::argmin_columns(&refs, pool.points().rows())
+    }
+
+    /// Grow the per-slot tables to at least `k` slots (`run_once` is
+    /// called with a fixed `k`, but the cache does not assume it).
+    fn grow_to(&mut self, k: usize) {
+        while self.fused.len() < k {
+            self.fused.push(None);
+        }
+        while self.columns.len() < k {
+            self.columns.push(Vec::new());
+        }
+        while self.cluster_rows.len() < k {
+            self.cluster_rows.push(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locality::medoid_deltas;
+    use crate::pool::with_pool;
+    use proclus_math::{DistanceKind, Matrix};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Quantized coordinates force plenty of exact distance ties, so the
+    /// tie-breaking of every path is exercised, not just the generic
+    /// ordering.
+    fn tie_heavy_points(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * d)
+            .map(|_| f64::from(rng.random_range(0u32..6)))
+            .collect();
+        Matrix::from_vec(data, n, d)
+    }
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * d).map(|_| rng.random_range(0.0..100.0)).collect();
+        Matrix::from_vec(data, n, d)
+    }
+
+    /// S1 cross-path equivalence property test: the scalar
+    /// `assign_points`, the blocked kernel, the pooled pass, and the
+    /// cached column-argmin path must agree bit for bit over seeded
+    /// random matrices — including tie-heavy ones where quantized
+    /// coordinates make many distances exactly equal — for every
+    /// metric and thread count tried.
+    #[test]
+    fn all_assignment_paths_agree_on_seeded_matrices() {
+        for metric in [
+            DistanceKind::Manhattan,
+            DistanceKind::Euclidean,
+            DistanceKind::Chebyshev,
+        ] {
+            for seed in [1u64, 2, 3] {
+                for points in [
+                    tie_heavy_points(1500, 5, seed),
+                    random_points(1500, 5, seed),
+                ] {
+                    let medoids = vec![4usize, 600, 1100];
+                    let dims = vec![vec![0, 1], vec![1, 2, 3], vec![0, 4]];
+                    let scalar = crate::assign::assign_points(&points, &medoids, &dims, metric);
+                    let blocked: Vec<usize> = crate::kernel::blocks(points.rows())
+                        .into_iter()
+                        .flat_map(|(lo, hi)| {
+                            crate::kernel::assign_block(&points, metric, &medoids, &dims, lo, hi)
+                        })
+                        .collect();
+                    assert_eq!(scalar, blocked, "{metric:?} seed {seed}: blocked kernel");
+                    for threads in [1usize, 4] {
+                        let (pooled, cached, cached_again) =
+                            with_pool(&points, metric, threads, |pool| {
+                                let mut cache = RoundCache::new(true, medoids.len());
+                                let pooled = pool.assign(&medoids, &dims);
+                                let cached = cache.assign(pool, &medoids, &dims);
+                                // Second call is served from cache.
+                                let again = cache.assign(pool, &medoids, &dims);
+                                assert_eq!(cache.stats().column_hits, 3);
+                                (pooled, cached, again)
+                            });
+                        assert_eq!(scalar, pooled, "{metric:?} seed {seed} t{threads}: pooled");
+                        assert_eq!(scalar, cached, "{metric:?} seed {seed} t{threads}: cached");
+                        assert_eq!(scalar, cached_again, "{metric:?} seed {seed}: cache hit");
+                    }
+                }
+            }
+        }
+    }
+
+    /// A swap-style workload: cached rounds must be bit-identical to
+    /// uncached rounds while actually hitting the cache.
+    #[test]
+    fn cached_rounds_match_uncached_rounds_bit_for_bit() {
+        let points = random_points(4000, 8, 11);
+        let metric = DistanceKind::Manhattan;
+        let medoids = vec![10usize, 900, 2100, 3300];
+        let total_dims = 12;
+
+        let run_rounds = |cache_on: bool| {
+            let mut medoids = medoids.clone();
+            with_pool(&points, metric, 1, |pool| {
+                let mut cache = RoundCache::new(cache_on, medoids.len());
+                let mut out = Vec::new();
+                for round in 0..6 {
+                    // Swap one slot every other round, like the
+                    // bad-medoid step; the quiet rounds re-evaluate an
+                    // unchanged vertex (uniform random data reshuffles
+                    // every cluster after a swap, so only these rounds
+                    // can exercise the cluster-row hit path).
+                    if round % 2 == 1 {
+                        let slot = round % medoids.len();
+                        medoids[slot] = 123 * round + 17;
+                    }
+                    let deltas = medoid_deltas(&points, &medoids, metric);
+                    let (locs, x) = cache.fused_round(pool, &medoids, &deltas);
+                    let dims = crate::dims::find_dimensions_from_averages(&x, total_dims, true);
+                    let (flat, cx) = cache.assign_x(pool, &medoids, &dims);
+                    let dims2 = crate::dims::find_dimensions_from_averages(&cx, total_dims, true);
+                    let flat2 = cache.assign(pool, &medoids, &dims2);
+                    out.push((locs, x, dims, flat, cx, dims2, flat2));
+                }
+                (out, cache.stats(), pool.stats(), pool.physical_stats())
+            })
+        };
+
+        let (uncached, _, logical_a, physical_a) = run_rounds(false);
+        let (cached, stats, logical_b, physical_b) = run_rounds(true);
+        assert_eq!(uncached, cached, "cached engine diverged");
+        assert_eq!(
+            logical_a, logical_b,
+            "logical pool accounting must not see the cache"
+        );
+        assert_eq!(
+            logical_a, physical_a,
+            "uncached engine: physical work equals logical"
+        );
+        // Physical dispatch counts are not directly comparable: a
+        // cached `assign_x` splits into a columns pass plus a masked
+        // cluster-X pass (two cheap fan-outs instead of one full one),
+        // and a subset recompute still fans over every row block. The
+        // savings are per-block (fewer medoid slots per pass), which
+        // the wall-clock benchmark measures; here we only require that
+        // the cache did not silently run as a pass-through.
+        assert_ne!(
+            physical_b, logical_b,
+            "cached engine must actually skip or split physical passes"
+        );
+        assert!(
+            stats.fused_slot_hits > 0 && stats.column_hits > 0 && stats.cluster_row_hits > 0,
+            "workload must exercise the cache: {stats:?}"
+        );
+    }
+
+    /// Disabled cache is a pass-through: identical results, identical
+    /// logical == physical accounting, no cache memory.
+    #[test]
+    fn disabled_cache_is_a_pass_through() {
+        let points = random_points(1200, 4, 5);
+        let metric = DistanceKind::Manhattan;
+        let medoids = vec![3usize, 800];
+        let dims = vec![vec![0, 1], vec![2, 3]];
+        let deltas = medoid_deltas(&points, &medoids, metric);
+        with_pool(&points, metric, 1, |pool| {
+            let mut cache = RoundCache::new(false, medoids.len());
+            let direct = pool.fused_round(&medoids, &deltas);
+            let via_cache = cache.fused_round(pool, &medoids, &deltas);
+            assert_eq!(direct, via_cache);
+            assert_eq!(
+                pool.assign(&medoids, &dims),
+                cache.assign(pool, &medoids, &dims)
+            );
+            assert_eq!(
+                pool.assign_x(&medoids, &dims),
+                cache.assign_x(pool, &medoids, &dims)
+            );
+            assert_eq!(pool.stats(), pool.physical_stats());
+            assert_eq!(cache.stats(), CacheStats::default());
+            assert_eq!(cache.take_round_recomputed(), medoids.len() as u64);
+        });
+    }
+}

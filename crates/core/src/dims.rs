@@ -386,6 +386,59 @@ mod tests {
         rec(z, 0, total, min_per_row, d)
     }
 
+    /// Regression (tied Z-scores): exactly-equal values must break ties
+    /// deterministically — by column inside a row's preallocation, then
+    /// by (row, column) among the greedy leftovers — keep the ≥2 floor
+    /// and exact total, and still achieve the optimal sum (any
+    /// tie-break is optimal; ours must be the lexicographic one so the
+    /// fit, and hence the golden event digest, is reproducible).
+    #[test]
+    fn allocation_breaks_exact_ties_lexicographically() {
+        // Every interesting value tied: row 0 has three -1.0 cells,
+        // rows 0 and 1 compete for the last pick with equal 0.0 cells.
+        let z = vec![vec![-1.0, -1.0, -1.0, 0.0], vec![0.0, -2.0, 0.0, -2.0]];
+        let out = allocate_dimensions(&z, 5, 2);
+        // Row 0 preallocation: -1.0 tie among cols {0,1,2} → cols 0, 1.
+        // Row 1 preallocation: -2.0 tie among cols {1,3} → cols 1, 3.
+        // Fifth pick: four-way 0.0/-1.0 leftover tie resolved by value
+        // first (-1.0 at (0,2)), so row 0 gains col 2.
+        assert_eq!(out, vec![vec![0, 1, 2], vec![1, 3]]);
+
+        // All-tied degenerate matrix (what z_scores emits for
+        // degenerate rows): picks are the lexicographically first
+        // cells, never a panic or an unstable order.
+        let flat = vec![vec![0.0; 4], vec![0.0; 4]];
+        let out = allocate_dimensions(&flat, 5, 2);
+        assert_eq!(out, vec![vec![0, 1, 2], vec![0, 1]]);
+        // Deterministic under repetition.
+        assert_eq!(out, allocate_dimensions(&flat, 5, 2));
+
+        // Ties never cost optimality: greedy sum still matches brute
+        // force on a tie-heavy instance.
+        let z = vec![vec![-1.0, -1.0, 0.0, 0.0], vec![-1.0, 0.0, -1.0, 0.0]];
+        for total in 4..=6 {
+            let got = allocate_dimensions(&z, total, 2);
+            let got_sum: f64 = got
+                .iter()
+                .enumerate()
+                .flat_map(|(i, js)| js.iter().map(|&j| z[i][j]).collect::<Vec<_>>())
+                .sum();
+            let best = brute_force_best(&z, total, 2);
+            assert!((got_sum - best).abs() < 1e-12, "total {total}");
+        }
+    }
+
+    /// σᵢ in FindDimensions is the *sample* standard deviation (n − 1
+    /// divisor), per the paper's standardization: for X = [1, 2, 3] the
+    /// sample std is exactly 1 (the population divisor would give
+    /// √(2/3) ≈ 0.816 and Z[0] ≈ −1.22 instead of −1).
+    #[test]
+    fn z_scores_use_sample_std_n_minus_1() {
+        let z = z_scores(&[vec![1.0, 2.0, 3.0]]);
+        assert!((z[0][0] - (-1.0)).abs() < 1e-12, "got {}", z[0][0]);
+        assert!((stats::sample_std(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
     #[test]
     fn find_dimensions_picks_tight_axes() {
         // Medoid 0 at origin. Locality points are tight on dims {0, 1}

@@ -11,6 +11,7 @@
 //! phase.
 
 use crate::assign::group_members;
+use crate::cache::RoundCache;
 use crate::dims::{chosen_scores, find_dimensions_from_averages};
 use crate::error::ProclusError;
 use crate::evaluate::{bad_medoids, evaluate_clusters};
@@ -70,6 +71,10 @@ pub fn run_traced(
         });
     }
     let result = with_pool(points, params.distance, params.threads, |pool| {
+        // One cache for the whole fit: its entries are value-keyed, so
+        // state surviving a restart is either bit-identical (and
+        // served) or mismatched (and recomputed) — never stale.
+        let mut cache = RoundCache::new(params.round_cache, params.k);
         let mut best: Option<ProclusModel> = None;
         let mut last_error: Option<ProclusError> = None;
         for r in 0..restarts {
@@ -83,7 +88,9 @@ pub fn run_traced(
             // A collapsed restart is a degradation, not a failure, as
             // long as some other restart produces a usable model: record
             // it and keep climbing from the remaining seeds.
-            match run_once(params, points, seed, None, r, pool, &mut diag, rec) {
+            match run_once(
+                params, points, seed, None, r, pool, &mut cache, &mut diag, rec,
+            ) {
                 Ok(model) => {
                     if best
                         .as_ref()
@@ -103,6 +110,7 @@ pub fn run_traced(
             }
         }
         record_pool_measurements(rec, pool);
+        record_cache_measurements(rec, &cache);
         match best {
             Some(model) => Ok(model.with_diagnostics(diag.clone())),
             // Every restart collapsed. One restart: surface its error
@@ -118,6 +126,11 @@ pub fn run_traced(
 }
 
 /// Pool work totals → counters, scheduling-dependent facts → gauges.
+///
+/// `pool.dispatches`/`pool.blocks` are the *logical* (semantic-pass)
+/// totals — identical with the round cache on or off. The `physical_*`
+/// pair counts fan-outs that actually ran; the gap between the two is
+/// the work the cache saved.
 fn record_pool_measurements(rec: &dyn Recorder, pool: &Pool<'_>) {
     if !rec.enabled() {
         return;
@@ -125,8 +138,27 @@ fn record_pool_measurements(rec: &dyn Recorder, pool: &Pool<'_>) {
     let stats = pool.stats();
     rec.counter("pool.dispatches", stats.dispatches);
     rec.counter("pool.blocks", stats.blocks);
+    let physical = pool.physical_stats();
+    rec.counter("pool.physical_dispatches", physical.dispatches);
+    rec.counter("pool.physical_blocks", physical.blocks);
     rec.gauge("pool.workers", pool.workers() as f64);
     rec.gauge("pool.queue_high_water", pool.queue_high_water() as f64);
+}
+
+/// Round-cache effectiveness → `cache.*` counters (manifest channel
+/// only; emitted only when the cache is enabled so an uncached run's
+/// manifest does not advertise zero-valued cache counters).
+fn record_cache_measurements(rec: &dyn Recorder, cache: &RoundCache) {
+    if !rec.enabled() || !cache.is_enabled() {
+        return;
+    }
+    let stats = cache.stats();
+    rec.counter("cache.fused_slot_hits", stats.fused_slot_hits);
+    rec.counter("cache.fused_slot_recomputes", stats.fused_slot_recomputes);
+    rec.counter("cache.column_hits", stats.column_hits);
+    rec.counter("cache.column_recomputes", stats.column_recomputes);
+    rec.counter("cache.cluster_row_hits", stats.cluster_row_hits);
+    rec.counter("cache.cluster_row_recomputes", stats.cluster_row_recomputes);
 }
 
 /// Emit `fit_end` for a successful fit.
@@ -239,6 +271,7 @@ pub fn run_from_medoids_traced(
     }
     let result = with_pool(points, params.distance, params.threads, |pool| {
         diag.restarts = 1;
+        let mut cache = RoundCache::new(params.round_cache, params.k);
         let model = run_once(
             params,
             points,
@@ -246,10 +279,12 @@ pub fn run_from_medoids_traced(
             Some(initial),
             0,
             pool,
+            &mut cache,
             &mut diag,
             rec,
         )?;
         record_pool_measurements(rec, pool);
+        record_cache_measurements(rec, &cache);
         Ok(model.with_diagnostics(diag.clone()))
     });
     record_fit_end(rec, &result);
@@ -258,8 +293,10 @@ pub fn run_from_medoids_traced(
 
 /// One initialization + hill climb + refinement, from `seed`.
 /// `forced_start` pins the first vertex of the climb. All O(N·k·d)
-/// passes run through `pool`; `rec` observes every round of the climb
-/// (`restart` tags the events with the climb's index).
+/// passes run through `pool`, routed via `cache` so rounds that share
+/// per-medoid state with earlier rounds recompute only what a swap
+/// touched; `rec` observes every round of the climb (`restart` tags
+/// the events with the climb's index).
 #[allow(clippy::too_many_arguments)]
 fn run_once(
     params: &Proclus,
@@ -268,6 +305,7 @@ fn run_once(
     forced_start: Option<&[usize]>,
     restart: usize,
     pool: &mut Pool<'_>,
+    cache: &mut RoundCache,
     diag: &mut FitDiagnostics,
     rec: &dyn Recorder,
 ) -> Result<ProclusModel, ProclusError> {
@@ -315,7 +353,7 @@ fn run_once(
         // reference sets, which the kernel folds in as it tests them).
         let (locs, x) = timed(rec, Phase::Locality, || {
             let deltas = medoid_deltas(points, &current, metric);
-            pool.fused_round(&current, &deltas)
+            cache.fused_round(pool, &current, &deltas)
         });
         let mut dims = timed(rec, Phase::Dims, || {
             find_dimensions_from_averages(&x, total_dims, params.standardize_dimensions)
@@ -335,11 +373,11 @@ fn run_once(
         // cluster-based X it will need (one sweep instead of two).
         let mut cluster_x: Option<Vec<Vec<f64>>> = None;
         let mut flat = if params.inner_refinements > 0 {
-            let (f, cx) = timed(rec, Phase::Assign, || pool.assign_x(&current, &dims));
+            let (f, cx) = timed(rec, Phase::Assign, || cache.assign_x(pool, &current, &dims));
             cluster_x = Some(cx);
             f
         } else {
-            timed(rec, Phase::Assign, || pool.assign(&current, &dims))
+            timed(rec, Phase::Assign, || cache.assign(pool, &current, &dims))
         };
         for r in 0..params.inner_refinements {
             let Some(cx) = cluster_x.take() else {
@@ -352,11 +390,12 @@ fn run_once(
                 dim_scores = chosen_scores(&cx, &dims, params.standardize_dimensions);
             }
             if r + 1 < params.inner_refinements {
-                let (f, next_cx) = timed(rec, Phase::Assign, || pool.assign_x(&current, &dims));
+                let (f, next_cx) =
+                    timed(rec, Phase::Assign, || cache.assign_x(pool, &current, &dims));
                 cluster_x = Some(next_cx);
                 flat = f;
             } else {
-                flat = timed(rec, Phase::Assign, || pool.assign(&current, &dims));
+                flat = timed(rec, Phase::Assign, || cache.assign(pool, &current, &dims));
             }
         }
         let clusters = {
@@ -384,6 +423,13 @@ fn run_once(
         }
 
         if rec.enabled() {
+            // How many fused slots this round actually recomputed: the
+            // per-round cache-effectiveness gauge (measurement channel
+            // only — `round` events stay cache-independent).
+            rec.gauge(
+                "cache.medoids_recomputed",
+                cache.take_round_recomputed() as f64,
+            );
             let delta = pool.take_round_delta();
             rec.event(&Event::Round {
                 restart,

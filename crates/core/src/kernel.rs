@@ -115,13 +115,21 @@ pub fn fused_block(
 
 /// Merge fused partials (given in ascending block order) into the final
 /// localities and the `X` averages (`Xᵢⱼ` = mean over locality `i` of
-/// `|p_j − m_j|`; an empty locality yields an all-zero row, matching
-/// [`crate::dims::average_dimension_distances`]).
+/// `|p_j − m_j|`).
+///
+/// An empty locality — only reachable when a medoid's coordinates are
+/// non-finite, since a finite medoid is always within `δᵢ ≥ 0` of
+/// itself — falls back to the singleton `Lᵢ = {mᵢ}` with an all-zero
+/// `X` row (`|m_j − m_j| = 0` in exact arithmetic; pinning the row
+/// avoids poisoning FindDimensions with NaN differences). The same
+/// fallback lives in [`crate::locality::localities`], so the fused and
+/// legacy paths stay identical.
 pub fn merge_fused(
     partials: Vec<FusedPartial>,
-    k: usize,
+    medoids: &[usize],
     d: usize,
 ) -> (Vec<Vec<usize>>, Vec<Vec<f64>>) {
+    let k = medoids.len();
     let mut locs: Vec<Vec<usize>> = vec![Vec::new(); k];
     let mut x = vec![vec![0.0; d]; k];
     for mut part in partials {
@@ -134,8 +142,13 @@ pub fn merge_fused(
             }
         }
     }
-    for (xi, li) in x.iter_mut().zip(&locs) {
-        if !li.is_empty() {
+    for ((xi, li), &m) in x.iter_mut().zip(locs.iter_mut()).zip(medoids) {
+        if li.is_empty() {
+            li.push(m);
+            for v in xi.iter_mut() {
+                *v = 0.0;
+            }
+        } else {
             let inv = 1.0 / li.len() as f64;
             for v in xi.iter_mut() {
                 *v *= inv;
@@ -164,6 +177,59 @@ pub fn assign_block(
         let mut best_dist = f64::INFINITY;
         for (i, (&m, di)) in medoids.iter().zip(dims).enumerate() {
             let dist = metric.eval_segmental(row, points.row(m), di);
+            if dist < best_dist {
+                best_dist = dist;
+                best = i;
+            }
+        }
+        out.push(best);
+    }
+    out
+}
+
+/// Per-slot segmental-distance columns over rows `lo..hi`:
+/// `out[s][p − lo] = metric.eval_segmental(points.row(p),
+/// points.row(medoids[s]), &dims[s])`.
+///
+/// Each value is exactly the scalar the assignment kernels compare —
+/// there is no accumulation across rows — so a column computed here and
+/// cached across rounds is bit-identical to recomputing the distance
+/// inside [`assign_block`].
+pub fn columns_block(
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    lo: usize,
+    hi: usize,
+) -> Vec<Vec<f64>> {
+    let mut out: Vec<Vec<f64>> = vec![Vec::with_capacity(hi - lo); medoids.len()];
+    for p in lo..hi {
+        let row = points.row(p);
+        for ((&m, di), col) in medoids.iter().zip(dims).zip(out.iter_mut()) {
+            col.push(metric.eval_segmental(row, points.row(m), di));
+        }
+    }
+    out
+}
+
+/// Assignment from per-slot distance columns: for every row, the slot
+/// with the smallest distance, ties (and the all-NaN degenerate case)
+/// to the lower slot index.
+///
+/// Iterates slots in ascending order with a strict `<` comparison —
+/// exactly the loop of [`assign_block`]/[`crate::assign::assign_points`]
+/// — so feeding it columns produced by [`columns_block`] (cached or
+/// fresh) reproduces the direct assignment bit for bit, including the
+/// NaN behavior (a NaN distance never wins; a row whose every distance
+/// is NaN lands on slot 0).
+pub fn argmin_columns(columns: &[&[f64]], n: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(n);
+    for p in 0..n {
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for (i, col) in columns.iter().enumerate() {
+            let dist = col[p];
             if dist < best_dist {
                 best_dist = dist;
                 best = i;
@@ -379,7 +445,7 @@ mod tests {
                 .into_iter()
                 .map(|(lo, hi)| fused_block(&points, metric, &medoids, &deltas, lo, hi))
                 .collect();
-            let (locs, _) = merge_fused(partials, medoids.len(), points.cols());
+            let (locs, _) = merge_fused(partials, &medoids, points.cols());
             assert_eq!(locs, legacy, "{metric:?}");
         }
     }
@@ -394,12 +460,12 @@ mod tests {
         let metric = DistanceKind::Manhattan;
         let deltas = medoid_deltas(&points, &medoids, metric);
         let one_block = fused_block(&points, metric, &medoids, &deltas, 0, 300);
-        let (locs_a, x_a) = merge_fused(vec![one_block], 2, 4);
+        let (locs_a, x_a) = merge_fused(vec![one_block], &medoids, 4);
         let partials: Vec<FusedPartial> = [(0, 77), (77, 200), (200, 300)]
             .into_iter()
             .map(|(lo, hi)| fused_block(&points, metric, &medoids, &deltas, lo, hi))
             .collect();
-        let (locs_b, x_b) = merge_fused(partials, 2, 4);
+        let (locs_b, x_b) = merge_fused(partials, &medoids, 4);
         assert_eq!(locs_a, locs_b);
         // Note: different groupings may differ in the last ulp of the
         // sums; the canonical tiling is fixed, so production paths never
@@ -462,6 +528,68 @@ mod tests {
         let spheres = crate::refine::spheres_of_influence(&points, &medoids, &dims, metric);
         let out = refine_assign_block(&points, metric, &medoids, &dims, &spheres, 0, 3);
         assert_eq!(out, vec![Some(0), Some(1), None]);
+    }
+
+    #[test]
+    fn columns_match_direct_evaluation_and_argmin_matches_assign() {
+        for metric in [
+            DistanceKind::Manhattan,
+            DistanceKind::Euclidean,
+            DistanceKind::Chebyshev,
+        ] {
+            let points = random_points(600, 5, 23);
+            let medoids = vec![2usize, 170, 444];
+            let dims = vec![vec![0, 1], vec![2, 3], vec![1, 4]];
+            let cols: Vec<Vec<f64>> = blocks(points.rows()).into_iter().fold(
+                vec![Vec::new(); medoids.len()],
+                |mut acc, (lo, hi)| {
+                    for (full, part) in acc
+                        .iter_mut()
+                        .zip(columns_block(&points, metric, &medoids, &dims, lo, hi))
+                    {
+                        full.extend(part);
+                    }
+                    acc
+                },
+            );
+            for (s, (&m, di)) in medoids.iter().zip(&dims).enumerate() {
+                for (p, &got) in cols[s].iter().enumerate() {
+                    let direct = metric.eval_segmental(points.row(p), points.row(m), di);
+                    assert_eq!(got.to_bits(), direct.to_bits(), "{metric:?} {s} {p}");
+                }
+            }
+            let refs: Vec<&[f64]> = cols.iter().map(Vec::as_slice).collect();
+            let via_cols = argmin_columns(&refs, points.rows());
+            let direct = crate::assign::assign_points(&points, &medoids, &dims, metric);
+            assert_eq!(via_cols, direct, "{metric:?}");
+        }
+    }
+
+    #[test]
+    fn argmin_columns_nan_rows_fall_to_slot_zero() {
+        let a = [f64::NAN, 1.0, f64::NAN];
+        let b = [f64::NAN, 2.0, 0.5];
+        let out = argmin_columns(&[&a, &b], 3);
+        // Row 0: all NaN -> slot 0. Row 1: 1.0 < 2.0 -> slot 0.
+        // Row 2: NaN never beats 0.5 -> slot 1.
+        assert_eq!(out, vec![0, 0, 1]);
+    }
+
+    /// A medoid with non-finite coordinates has a NaN distance to every
+    /// point (including itself), so its locality would come out empty;
+    /// the merge falls back to the singleton {mᵢ} with a zero `X` row.
+    #[test]
+    fn merge_fused_empty_locality_falls_back_to_medoid_singleton() {
+        let rows: Vec<[f64; 2]> = vec![[0.0, 0.0], [f64::NAN, 1.0], [2.0, 2.0]];
+        let points = Matrix::from_rows(&rows, 2);
+        let medoids = vec![0usize, 1];
+        let metric = DistanceKind::Manhattan;
+        let deltas = crate::locality::medoid_deltas(&points, &medoids, metric);
+        let partials = vec![fused_block(&points, metric, &medoids, &deltas, 0, 3)];
+        let (locs, x) = merge_fused(partials, &medoids, 2);
+        assert_eq!(locs[1], vec![1], "empty locality becomes {{medoid}}");
+        assert_eq!(x[1], vec![0.0, 0.0], "fallback X row is pinned to zero");
+        assert!(!locs[0].is_empty());
     }
 
     #[test]

@@ -45,6 +45,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod assign;
+pub mod cache;
 pub mod dims;
 pub mod error;
 pub mod evaluate;

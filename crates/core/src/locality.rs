@@ -11,6 +11,21 @@
 //! and the point distances scale by the same constant, the resulting
 //! localities are identical to the unnormalized convention, and the
 //! values are directly comparable to segmental distances elsewhere.
+//!
+//! # Degenerate medoids
+//!
+//! Coincident medoids are *not* a problem: `δᵢ = 0` keeps the locality
+//! non-empty because membership is tested with `≤` and the medoid (and
+//! every coordinate-identical point) sits at distance exactly zero. The
+//! only way a locality can come out empty is a medoid with non-finite
+//! coordinates (reachable through
+//! [`crate::params::Proclus::fit_with_initial_medoids`], which does not
+//! require finite rows): its distance to every point — itself included —
+//! is NaN, which fails the `≤ δᵢ` test. An empty `Lᵢ` would make
+//! FindDimensions degenerate (no reference set at all), so both this
+//! module and the fused kernel path ([`crate::kernel::merge_fused`])
+//! fall back to the singleton `Lᵢ = {mᵢ}` with a zero `X` row — the
+//! values a finite medoid would contribute, since `|m_j − m_j| = 0`.
 
 use proclus_math::{DistanceKind, Matrix};
 
@@ -41,8 +56,10 @@ pub fn medoid_deltas(points: &Matrix, medoids: &[usize], metric: DistanceKind) -
 /// The localities `L₁ … L_k`: for each medoid, the indices of all points
 /// whose full-space distance to it is at most `δᵢ`.
 ///
-/// Each locality always contains at least the medoid itself (distance
-/// zero).
+/// Each locality always contains at least the medoid itself: a finite
+/// medoid is at distance zero from itself, and a non-finite medoid
+/// (whose NaN distances would otherwise empty the locality) falls back
+/// to the singleton `{mᵢ}` — see the module docs.
 pub fn localities(
     points: &Matrix,
     medoids: &[usize],
@@ -59,6 +76,11 @@ pub fn localities(
             if dist <= deltas[i] {
                 out[i].push(p);
             }
+        }
+    }
+    for (li, &m) in out.iter_mut().zip(medoids) {
+        if li.is_empty() {
+            li.push(m);
         }
     }
     out
@@ -150,6 +172,66 @@ mod tests {
         for xi in &x {
             assert!(xi.iter().all(|&v| v == 0.0), "X over duplicates is zero");
         }
+    }
+
+    /// Regression (empty-locality fallback): a forced medoid with a NaN
+    /// coordinate is at NaN distance from everything including itself,
+    /// which used to produce an empty locality. Both the legacy and the
+    /// fused/pooled paths must now fall back to `Lᵢ = {mᵢ}` and agree
+    /// with each other.
+    #[test]
+    fn non_finite_medoid_locality_falls_back_to_singleton() {
+        let rows: Vec<[f64; 2]> = vec![
+            [0.0, 0.0],
+            [f64::NAN, 1.0],
+            [1.0, 0.5],
+            [10.0, 10.0],
+            [10.5, 10.2],
+        ];
+        let m = Matrix::from_rows(&rows, 2);
+        let medoids = [1usize, 3];
+        let metric = DistanceKind::Manhattan;
+        let deltas = medoid_deltas(&m, &medoids, metric);
+
+        let legacy = localities(&m, &medoids, &deltas, metric);
+        assert_eq!(legacy[0], vec![1], "NaN medoid degenerates to {{mᵢ}}");
+        assert!(legacy[1].contains(&3));
+
+        let (fused, x) =
+            crate::pool::with_pool(&m, metric, 1, |pool| pool.fused_round(&medoids, &deltas));
+        assert_eq!(fused, legacy, "fused path applies the same fallback");
+        assert_eq!(x[0], vec![0.0, 0.0], "fallback X row is zero, not NaN");
+    }
+
+    /// Regression (empty-locality fallback, end-to-end): a fit forced to
+    /// start from a NaN-coordinate medoid completes without panicking
+    /// and still reports non-empty localities for every round.
+    #[test]
+    fn fit_from_non_finite_medoid_survives() {
+        use proclus_obs::{Event, RingRecorder};
+        let mut rows: Vec<[f64; 2]> = (0..30)
+            .map(|i| [(i % 5) as f64, (i / 5) as f64 * 10.0])
+            .collect();
+        rows[7] = [f64::NAN, 2.0];
+        let m = Matrix::from_rows(&rows, 2);
+        let rec = RingRecorder::new(4096);
+        let model = crate::Proclus::new(2, 2.0)
+            .seed(3)
+            .restarts(1)
+            .fit_with_initial_medoids_traced(&m, &[7, 20], &rec)
+            .expect("fallback keeps the fit alive");
+        assert_eq!(model.assignment().len(), 30);
+        let mut rounds = 0;
+        for ev in rec.events() {
+            if let Event::Round { locality_sizes, .. } = ev {
+                rounds += 1;
+                assert!(
+                    locality_sizes.iter().all(|&s| s >= 1),
+                    "every locality non-empty after the fallback: {locality_sizes:?}"
+                );
+            }
+        }
+        assert!(rounds > 0);
     }
 
     #[test]

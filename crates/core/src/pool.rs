@@ -46,6 +46,10 @@ enum Task {
         medoids: Arc<Vec<usize>>,
         dims: Arc<Vec<Vec<usize>>>,
     },
+    Columns {
+        medoids: Arc<Vec<usize>>,
+        dims: Arc<Vec<Vec<usize>>>,
+    },
     ClusterX {
         medoids: Arc<Vec<usize>>,
         assignment: Arc<Vec<Option<usize>>>,
@@ -69,6 +73,7 @@ enum Partial {
     Fused(FusedPartial),
     Assign(Vec<usize>),
     AssignX(AssignXPartial),
+    Columns(Vec<Vec<f64>>),
     ClusterX(Vec<Vec<f64>>),
     RefineAssign(Vec<Option<usize>>),
 }
@@ -85,6 +90,9 @@ impl Task {
             Task::AssignX { medoids, dims } => Partial::AssignX(kernel::assign_x_block(
                 points, metric, medoids, dims, lo, hi,
             )),
+            Task::Columns { medoids, dims } => {
+                Partial::Columns(kernel::columns_block(points, metric, medoids, dims, lo, hi))
+            }
             Task::ClusterX {
                 medoids,
                 assignment,
@@ -110,6 +118,10 @@ impl Task {
                 dims: Arc::clone(dims),
             },
             Task::AssignX { medoids, dims } => Task::AssignX {
+                medoids: Arc::clone(medoids),
+                dims: Arc::clone(dims),
+            },
+            Task::Columns { medoids, dims } => Task::Columns {
                 medoids: Arc::clone(medoids),
                 dims: Arc::clone(dims),
             },
@@ -143,10 +155,23 @@ enum Mode {
     },
 }
 
-/// Work counters maintained by the pool. `dispatches` and `blocks` are
-/// **deterministic** — the serial and pooled modes sweep the same
-/// blocks in the same passes, so these counts are identical for every
-/// thread count and are safe to embed in the trace event stream.
+/// Work counters maintained by the pool.
+///
+/// The pool keeps two of these with different contracts:
+///
+/// * **Logical** stats count *semantic* passes — one per
+///   `fused_round`/`assign`/… as the uncached engine would dispatch
+///   them, always over every row block. They are **deterministic**: a
+///   pure function of `(params, data, seed)`, identical for every
+///   thread count *and* for the cached and uncached engines (the
+///   [`crate::cache::RoundCache`] books a full logical pass even when
+///   it serves the result from cache). Safe to embed in the trace
+///   event stream, and `round` events do.
+/// * **Physical** stats count the fan-outs that actually ran, which the
+///   cache shrinks (a pass fully served from cache dispatches
+///   nothing). Scheduling-independent too, but *engine*-dependent, so
+///   they go only to the run-manifest counters, never the event
+///   stream.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Fan-out passes executed (one per `fused_round`/`assign`/…).
@@ -172,6 +197,7 @@ pub struct Pool<'env> {
     mode: Mode,
     workers: usize,
     stats: PoolStats,
+    physical: PoolStats,
     round_mark: PoolStats,
     queue_high_water: u64,
 }
@@ -198,6 +224,7 @@ pub fn with_pool<R>(
             mode: Mode::Serial,
             workers: 0,
             stats: PoolStats::default(),
+            physical: PoolStats::default(),
             round_mark: PoolStats::default(),
             queue_high_water: 0,
         };
@@ -238,6 +265,7 @@ pub fn with_pool<R>(
             mode: Mode::Pooled { job_tx, result_rx },
             workers,
             stats: PoolStats::default(),
+            physical: PoolStats::default(),
             round_mark: PoolStats::default(),
             queue_high_water: 0,
         };
@@ -269,9 +297,29 @@ impl<'env> Pool<'env> {
         self.workers
     }
 
-    /// Cumulative deterministic work counters since pool creation.
+    /// Cumulative **logical** work counters since pool creation: the
+    /// canonical semantic passes, identical for every thread count and
+    /// for the cached and uncached engines.
     pub fn stats(&self) -> PoolStats {
         self.stats
+    }
+
+    /// Cumulative **physical** work counters since pool creation: the
+    /// fan-outs that actually ran. With the round cache active this is
+    /// at most [`Pool::stats`]; manifest counters only, never the
+    /// event stream.
+    pub fn physical_stats(&self) -> PoolStats {
+        self.physical
+    }
+
+    /// Book one logical pass (a full sweep over every row block)
+    /// without running anything. The round cache calls this for every
+    /// semantic pass it serves — fully or partially — from cache, so
+    /// the logical counters embedded in `round` events stay identical
+    /// to the uncached engine's.
+    pub(crate) fn note_logical_pass(&mut self) {
+        self.stats.dispatches += 1;
+        self.stats.blocks += self.points.rows().div_ceil(kernel::BLOCK) as u64;
     }
 
     /// Work counters accumulated since the previous call (or pool
@@ -289,12 +337,21 @@ impl<'env> Pool<'env> {
         self.queue_high_water
     }
 
-    /// Fan a task out over all row blocks and collect the partials in
-    /// ascending block order.
+    /// Fan a task out over all row blocks, booking both a logical and a
+    /// physical pass (the default for the uncached full passes).
     fn dispatch(&mut self, task: Task) -> Vec<Partial> {
+        self.note_logical_pass();
+        self.dispatch_physical(task)
+    }
+
+    /// Fan a task out over all row blocks and collect the partials in
+    /// ascending block order. Books only a *physical* pass — used
+    /// directly by the cache's subset recomputations, whose logical
+    /// accounting happens at the semantic-pass level instead.
+    fn dispatch_physical(&mut self, task: Task) -> Vec<Partial> {
         let blocks = kernel::blocks(self.points.rows());
-        self.stats.dispatches += 1;
-        self.stats.blocks += blocks.len() as u64;
+        self.physical.dispatches += 1;
+        self.physical.blocks += blocks.len() as u64;
         match &self.mode {
             Mode::Serial => blocks
                 .into_iter()
@@ -347,9 +404,22 @@ impl<'env> Pool<'env> {
         medoids: &[usize],
         deltas: &[f64],
     ) -> (Vec<Vec<usize>>, Vec<Vec<f64>>) {
-        let k = medoids.len();
+        self.note_logical_pass();
+        self.fused_pass(medoids, deltas)
+    }
+
+    /// [`Pool::fused_round`] booking only physical work. The cache uses
+    /// this to recompute the invalidated *subset* of medoid slots: each
+    /// slot's locality and `X` row depend only on its own `(mᵢ, δᵢ)`
+    /// pair and the fixed block tiling, so a subset pass is bit-identical
+    /// to the matching slots of the full pass.
+    pub(crate) fn fused_pass(
+        &mut self,
+        medoids: &[usize],
+        deltas: &[f64],
+    ) -> (Vec<Vec<usize>>, Vec<Vec<f64>>) {
         let d = self.points.cols();
-        let partials = self.dispatch(Task::Fused {
+        let partials = self.dispatch_physical(Task::Fused {
             medoids: Arc::new(medoids.to_vec()),
             deltas: Arc::new(deltas.to_vec()),
         });
@@ -360,7 +430,41 @@ impl<'env> Pool<'env> {
                 _ => unreachable!("fused task returns fused partials"),
             })
             .collect();
-        kernel::merge_fused(fused, k, d)
+        kernel::merge_fused(fused, medoids, d)
+    }
+
+    /// Segmental-distance columns for the given medoid slots: one
+    /// `Vec<f64>` of length `N` per slot, `cols[s][p]` the distance of
+    /// point `p` to `medoids[s]` under `dims[s]`. Physical work only —
+    /// this is the cache's column-recomputation pass; see
+    /// [`crate::kernel::columns_block`] for the bit-identity argument.
+    pub(crate) fn distance_columns(
+        &mut self,
+        medoids: &[usize],
+        dims: &[Vec<usize>],
+    ) -> Vec<Vec<f64>> {
+        if medoids.is_empty() {
+            return Vec::new();
+        }
+        let partials = self.dispatch_physical(Task::Columns {
+            medoids: Arc::new(medoids.to_vec()),
+            dims: Arc::new(dims.to_vec()),
+        });
+        let mut cols: Vec<Vec<f64>> = medoids
+            .iter()
+            .map(|_| Vec::with_capacity(self.points.rows()))
+            .collect();
+        for p in partials {
+            match p {
+                Partial::Columns(c) => {
+                    for (full, mut part) in cols.iter_mut().zip(c) {
+                        full.append(&mut part);
+                    }
+                }
+                _ => unreachable!("columns task returns column partials"),
+            }
+        }
+        cols
     }
 
     /// Plain assignment pass (no `X` accumulation).
@@ -409,13 +513,28 @@ impl<'env> Pool<'env> {
         medoids: &[usize],
         assignment: Arc<Vec<Option<usize>>>,
     ) -> Vec<Vec<f64>> {
+        self.note_logical_pass();
+        self.cluster_x_pass(medoids, assignment)
+    }
+
+    /// [`Pool::cluster_x`] booking only physical work. The cache uses
+    /// this with a *masked* assignment (`Some` only for the clusters
+    /// whose membership or medoid changed) to recompute just the
+    /// invalidated cluster-`X` rows: each cluster's row accumulates its
+    /// own members in the same block-grouped ascending order either
+    /// way, so the subset rows are bit-identical to the full pass.
+    pub(crate) fn cluster_x_pass(
+        &mut self,
+        medoids: &[usize],
+        assignment: Arc<Vec<Option<usize>>>,
+    ) -> Vec<Vec<f64>> {
         let k = medoids.len();
         let d = self.points.cols();
         let mut counts = vec![0usize; k];
         for a in assignment.iter().flatten() {
             counts[*a] += 1;
         }
-        let partials = self.dispatch(Task::ClusterX {
+        let partials = self.dispatch_physical(Task::ClusterX {
             medoids: Arc::new(medoids.to_vec()),
             assignment,
         });
@@ -504,6 +623,70 @@ mod tests {
             assert_eq!(serial.3, pooled.3, "cluster_x, threads = {threads}");
             assert_eq!(serial.4, pooled.4, "refine, threads = {threads}");
         }
+    }
+
+    /// A subset fused pass (the cache's invalidation recompute) must be
+    /// bit-identical to the matching slots of the full pass, and the
+    /// column pass must reproduce the exact distances the assignment
+    /// kernels compare.
+    #[test]
+    fn subset_passes_match_full_pass_slots() {
+        let points = random_points(2600, 6, 17);
+        let medoids = vec![5usize, 700, 1800, 2100];
+        let dims = vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![0, 5]];
+        let metric = DistanceKind::Manhattan;
+        let deltas = medoid_deltas(&points, &medoids, metric);
+
+        for threads in [1, 4] {
+            with_pool(&points, metric, threads, |pool| {
+                let (full_locs, full_x) = pool.fused_round(&medoids, &deltas);
+                for subset in [vec![1usize], vec![0, 2], vec![3, 1]] {
+                    let sub_m: Vec<usize> = subset.iter().map(|&i| medoids[i]).collect();
+                    let sub_d: Vec<f64> = subset.iter().map(|&i| deltas[i]).collect();
+                    let (locs, x) = pool.fused_pass(&sub_m, &sub_d);
+                    for (j, &slot) in subset.iter().enumerate() {
+                        assert_eq!(locs[j], full_locs[slot], "threads {threads} slot {slot}");
+                        assert_eq!(x[j], full_x[slot], "threads {threads} slot {slot}");
+                    }
+                }
+
+                let cols = pool.distance_columns(&medoids, &dims);
+                for (s, (&m, di)) in medoids.iter().zip(&dims).enumerate() {
+                    for (p, &got) in cols[s].iter().enumerate() {
+                        let direct = metric.eval_segmental(points.row(p), points.row(m), di);
+                        assert_eq!(got.to_bits(), direct.to_bits(), "slot {s} row {p}");
+                    }
+                }
+                assert!(pool.distance_columns(&[], &[]).is_empty());
+            });
+        }
+    }
+
+    /// Logical stats count semantic passes over every block; physical
+    /// stats count what actually ran. A subset pass moves only the
+    /// physical needle.
+    #[test]
+    fn logical_and_physical_stats_diverge_on_subset_passes() {
+        let points = random_points(3000, 4, 3);
+        let medoids = vec![1usize, 2000];
+        let metric = DistanceKind::Manhattan;
+        let deltas = medoid_deltas(&points, &medoids, metric);
+        with_pool(&points, metric, 1, |pool| {
+            let nblocks = kernel::blocks(points.rows()).len() as u64;
+            pool.fused_round(&medoids, &deltas);
+            assert_eq!(pool.stats(), pool.physical_stats());
+            assert_eq!(pool.stats().dispatches, 1);
+            assert_eq!(pool.stats().blocks, nblocks);
+
+            pool.fused_pass(&medoids[..1], &deltas[..1]);
+            assert_eq!(pool.stats().dispatches, 1, "subset pass is not logical");
+            assert_eq!(pool.physical_stats().dispatches, 2);
+
+            pool.note_logical_pass();
+            assert_eq!(pool.stats().dispatches, 2);
+            assert_eq!(pool.stats().blocks, 2 * nblocks);
+            assert_eq!(pool.physical_stats().dispatches, 2);
+        });
     }
 
     #[test]

@@ -264,6 +264,113 @@ fn refine_outliers_follow_the_sphere_of_influence_rule() {
     }
 }
 
+/// FNV-1a 64-bit over the serialized event stream (same digest
+/// construction as the golden-trace determinism test).
+fn event_stream_digest(events: &[Event]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for ev in events {
+        for b in ev.to_json().bytes().chain(std::iter::once(b'\n')) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// The round cache is a pure performance layer: with it on (default)
+/// and off, a fit must emit the *identical* event stream (compared by
+/// digest and element-wise) and return the identical model — across
+/// datasets that exercise swap-heavy climbs, multi-restart reuse,
+/// candidate-pool exhaustion, and thread counts 1 and 8.
+#[test]
+fn cached_and_uncached_fits_emit_identical_event_streams() {
+    // (dataset, params, label): five seeded configurations.
+    let swap_rich = |seed: u64| SyntheticSpec::new(1_500, 10, K, 3.5).seed(seed).generate();
+    let mut cases: Vec<(GeneratedDataset, Proclus, &str)> = vec![
+        (
+            swap_rich(7),
+            Proclus::new(K, L).seed(7).restarts(3),
+            "swap-rich seed 7",
+        ),
+        (
+            swap_rich(41),
+            Proclus::new(K, L).seed(41).restarts(3),
+            "swap-rich seed 41",
+        ),
+        (
+            swap_rich(1999),
+            Proclus::new(K, L).seed(1999).restarts(3).threads(8),
+            "swap-rich seed 1999, 8 threads",
+        ),
+        (
+            SyntheticSpec::new(800, 8, 2, 3.0).seed(5).generate(),
+            Proclus::new(2, 3.0)
+                .seed(5)
+                .restarts(2)
+                .inner_refinements(2),
+            "deeper inner refinement",
+        ),
+    ];
+    // Candidate-pool exhaustion: k equals N, so the bad-medoid step
+    // runs out of fresh candidates and the climb stops degraded.
+    let tiny = SyntheticSpec::new(4, 2, 1, 2.0).seed(2).generate();
+    cases.push((tiny, Proclus::new(4, 2.0).seed(2), "pool exhaustion"));
+
+    for (data, params, label) in &mut cases {
+        let run = |cache_on: bool, data: &GeneratedDataset, params: &Proclus| {
+            let rec = RingRecorder::new(1 << 16);
+            let model = params
+                .clone()
+                .round_cache(cache_on)
+                .fit_traced(&data.points, &rec)
+                .expect(label);
+            assert_eq!(rec.dropped(), 0, "{label}: ring too small");
+            (model, rec.events())
+        };
+        let (cached_model, cached_events) = run(true, data, params);
+        let (plain_model, plain_events) = run(false, data, params);
+        assert_eq!(
+            event_stream_digest(&cached_events),
+            event_stream_digest(&plain_events),
+            "{label}: cached fit changed the event-stream digest"
+        );
+        assert_eq!(cached_events, plain_events, "{label}: event streams");
+        assert_eq!(
+            cached_model.assignment(),
+            plain_model.assignment(),
+            "{label}: assignments"
+        );
+        assert_eq!(
+            cached_model.objective(),
+            plain_model.objective(),
+            "{label}: objective"
+        );
+        assert_eq!(
+            cached_model.iterative_objective(),
+            plain_model.iterative_objective(),
+            "{label}: iterative objective"
+        );
+    }
+    // The suite must actually cover both degenerate regimes it claims:
+    // at least one case with swaps and one with pool exhaustion.
+    let (data, params, _) = &cases[0];
+    let rec = RingRecorder::new(1 << 16);
+    params.fit_traced(&data.points, &rec).expect("swap-rich");
+    assert!(
+        rec.events().iter().any(|e| matches!(e, Event::Swap { .. })),
+        "swap-rich case never swapped"
+    );
+    let (data, params, _) = &cases[4];
+    let model = params.fit(&data.points).expect("tiny");
+    assert!(
+        model.diagnostics().degradations.iter().any(|d| matches!(
+            d,
+            proclus::core::model::Degradation::CandidatePoolExhausted { .. }
+        )),
+        "tiny case never exhausted the candidate pool"
+    );
+}
+
 #[test]
 fn fit_end_matches_the_returned_model() {
     for seed in SEEDS {

@@ -25,6 +25,10 @@ proclus fit — PROCLUS projected clustering (SIGMOD 1999)
   --no-round-cache  recompute every round from scratch instead of the
                     incremental cross-round cache (results are
                     bit-identical either way; see DESIGN.md §5d)
+  --no-index        skip the exact-pruning neighbor index (sketch +
+                    triangle bounds); every distance is then computed
+                    directly (results are bit-identical either way;
+                    see DESIGN.md §5e)
   --verbose         print the recorded trace summary (convergence,
                     swap history) plus fit diagnostics
   --trace-out <dir> stream events.jsonl + run.json into this directory
@@ -52,6 +56,7 @@ pub fn parse_metric(name: &str) -> Result<DistanceKind, ArgError> {
 fn params_json(input: &Path, params: &Proclus, metric: &str, paper_literal: bool) -> Json {
     Json::Obj(vec![
         ("round_cache".into(), Json::Bool(params.round_cache)),
+        ("neighbor_index".into(), Json::Bool(params.neighbor_index)),
         ("algorithm".into(), Json::Str("proclus".into())),
         ("input".into(), Json::Str(input.display().to_string())),
         ("k".into(), Json::Num(params.k as f64)),
@@ -102,7 +107,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         .threads(args.get_parsed("threads", 1usize)?)
         .min_deviation(args.get_parsed("min-deviation", 0.1)?)
         .distance(parse_metric(&metric)?)
-        .round_cache(!args.switch("no-round-cache"));
+        .round_cache(!args.switch("no-round-cache"))
+        .neighbor_index(!args.switch("no-index"));
     if paper_literal {
         params = params.inner_refinements(0);
     }
@@ -256,6 +262,32 @@ mod tests {
         assert_eq!(
             cached, uncached,
             "model summary must not depend on the cache"
+        );
+    }
+
+    /// `--no-index` is accepted and produces byte-identical output
+    /// (the pruning index is a pure performance layer).
+    #[test]
+    fn no_index_flag_changes_nothing_but_the_manifest() {
+        let input = tmp("noidx.csv");
+        let data = SyntheticSpec::new(300, 5, 2, 3.0).seed(9).generate();
+        crate::io::write_dataset(input.as_ref(), &data.points, None).unwrap();
+        let run_with = |extra: &str| {
+            let args = Args::parse(
+                toks(&format!("--input {input} --k 2 --l 3 --seed 2{extra}")),
+                &["paper-literal", "verbose", "no-round-cache", "no-index"],
+            )
+            .unwrap();
+            let mut buf = Vec::new();
+            run(&args, &mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        let indexed = run_with("");
+        let unindexed = run_with(" --no-index");
+        std::fs::remove_file(&input).ok();
+        assert_eq!(
+            indexed, unindexed,
+            "model summary must not depend on the pruning index"
         );
     }
 

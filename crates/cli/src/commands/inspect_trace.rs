@@ -73,6 +73,39 @@ fn cache_summary(manifest: &json::Json) -> Option<String> {
     Some(format!("round cache: {fused}, {cols}, {rows}"))
 }
 
+/// Derived neighbor-index effectiveness: pruned / (pruned + verified)
+/// per query family, from the `index.*` manifest counters. `None` when
+/// the trace has no index counters (index disabled, or a pre-index
+/// trace).
+fn index_summary(manifest: &json::Json) -> Option<String> {
+    let counter = |name: &str| {
+        manifest
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(json::Json::as_usize)
+    };
+    let rate = |pruned: usize, verified: usize| -> String {
+        let total = pruned + verified;
+        let pct = if total == 0 {
+            0.0
+        } else {
+            pruned as f64 * 100.0 / total as f64
+        };
+        format!("{pruned}/{total} pruned ({pct:.1}%)")
+    };
+    let sketch = counter("index.range_sketch_pruned")?;
+    let triangle = counter("index.range_triangle_pruned")?;
+    let prefix = counter("index.range_prefix_pruned").unwrap_or(0);
+    let range_verified = counter("index.range_verified")?;
+    let nearest_pruned = counter("index.nearest_pruned")?;
+    let nearest_verified = counter("index.nearest_verified")?;
+    Some(format!(
+        "neighbor index: range {} (sketch {sketch}, triangle {triangle}, prefix {prefix}), nearest {}",
+        rate(sketch + triangle + prefix, range_verified),
+        rate(nearest_pruned, nearest_verified),
+    ))
+}
+
 /// Run the command.
 pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let dir = PathBuf::from(args.require("input")?);
@@ -90,6 +123,9 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         .map_err(|e| MalformedTrace(format!("{}: {e}", manifest_path.display())))?;
     write!(out, "{rendered}")?;
     if let Some(line) = cache_summary(&manifest) {
+        writeln!(out, "{line}")?;
+    }
+    if let Some(line) = index_summary(&manifest) {
         writeln!(out, "{line}")?;
     }
     if let Some(json::Json::Obj(members)) = manifest.get("params") {
@@ -165,6 +201,34 @@ mod tests {
         assert!(text.contains("cache.fused_slot_hits"), "{text}");
         assert!(text.contains("round cache: fused "), "{text}");
         assert!(text.contains("cluster rows "), "{text}");
+        // Index counters surface both raw and as derived prune rates.
+        assert!(text.contains("index.range_verified"), "{text}");
+        assert!(text.contains("neighbor index: range "), "{text}");
+        assert!(text.contains("pruned ("), "{text}");
+    }
+
+    /// A trace from an unindexed fit renders without the derived index
+    /// line instead of failing or printing zeros.
+    #[test]
+    fn unindexed_trace_omits_the_index_summary() {
+        let dir = tmp("noindex");
+        let data = SyntheticSpec::new(200, 5, 2, 2.0).seed(6).generate();
+        let rec = proclus_obs::JsonlRecorder::create(&dir).unwrap();
+        Proclus::new(2, 2.0)
+            .seed(1)
+            .restarts(1)
+            .neighbor_index(false)
+            .fit_traced(&data.points, &rec)
+            .unwrap();
+        rec.finish(json::Json::Obj(Vec::new()), json::Json::Obj(Vec::new()))
+            .unwrap();
+        let args = Args::parse(toks(&format!("--input {}", dir.display())), &[]).unwrap();
+        let mut buf = Vec::new();
+        run(&args, &mut buf).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.contains("neighbor index:"), "{text}");
+        assert!(!text.contains("index.range_verified"), "{text}");
     }
 
     /// A trace without cache counters (cache disabled) renders without

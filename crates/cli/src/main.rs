@@ -112,7 +112,7 @@ fn main() -> ExitCode {
         ),
         "fit" => (
             commands::fit::HELP,
-            &["paper-literal", "verbose", "no-round-cache"],
+            &["paper-literal", "verbose", "no-round-cache", "no-index"],
             commands::fit::run,
         ),
         "clique" => (

@@ -15,6 +15,13 @@
 //! `k·(l − 2)` smallest among the leftovers. [`allocate_dimensions`]
 //! implements exactly that (and the optimality is property-tested
 //! against brute force).
+//!
+//! The "at least 2 per medoid" floor is not just paper fidelity — it is
+//! the guarantee downstream assignment relies on: `eval_segmental`
+//! defines the distance over an *empty* projection as `0.0`, so a
+//! medoid with `Dᵢ = ∅` would sit at distance zero from every point
+//! and absorb the entire dataset. [`crate::assign`] rejects empty
+//! dimension sets outright; this module never produces one.
 
 use proclus_math::order::total_cmp_nan_last;
 use proclus_math::{stats, Matrix};

@@ -1,0 +1,848 @@
+//! The exact-pruning neighbor index (ROADMAP item 4).
+//!
+//! Every hill-climbing round spends O(N·k·d) on two queries: the
+//! **range query** behind [`crate::locality::localities`] ("which
+//! points lie within `δᵢ` of medoid `mᵢ` under the full-dimensional
+//! segmental metric?") and the **nearest-medoid query** behind
+//! [`crate::assign::assign_points`] ("which medoid is closest under its
+//! own dimension set?"). This module provides a zero-dependency pruning
+//! index that skips most of the exact segmental-distance evaluations in
+//! those queries **without changing a single result bit**: every bound
+//! is a *certified lower bound* on the exact distance, so it can only
+//! rule out candidates that provably cannot qualify — the surviving
+//! candidate superset is always verified by the exact evaluation the
+//! unindexed code would have run, in the same order, producing the same
+//! bits (including the `X` accumulations of the fused kernels, which
+//! add exactly the same member rows in the same ascending order).
+//!
+//! # Sketch table (range query)
+//!
+//! Following the random-projection bounds of Kerber & Raghvendra
+//! (arXiv:1407.2063), the index precomputes [`SKETCH_ROWS`] signed
+//! projections per point: `S_r(p) = Σ_j s_{rj}·p_j` with fixed signs
+//! `s_{rj} ∈ {±1}`. For any sign vector and any pair `(p, m)`,
+//!
+//! ```text
+//! |S_r(p) − S_r(m)| = |Σ_j s_{rj}(p_j − m_j)| ≤ Σ_j |p_j − m_j| = ‖p − m‖₁
+//! ```
+//!
+//! by the triangle inequality, which yields a lower bound on every
+//! segmental metric the workspace supports over the full dimension set:
+//!
+//! * Manhattan: `d(p,m) = ‖p−m‖₁ / d ≥ |ΔS_r| / d`
+//! * Euclidean: `d(p,m) = ‖p−m‖₂ / √d ≥ (|ΔS_r|/√d) / √d = |ΔS_r| / d`
+//!   (Cauchy–Schwarz: `|ΔS_r| ≤ ‖s_r‖₂·‖p−m‖₂ = √d·‖p−m‖₂`)
+//! * Chebyshev: `d(p,m) = ‖p−m‖∞ ≥ ‖p−m‖₁ / d ≥ |ΔS_r| / d`
+//!
+//! so the single formula `max_r |ΔS_r| / d` is a valid lower bound for
+//! all three. The signs come from a dedicated constant-seeded RNG —
+//! *not* the fit's RNG stream — so building the index perturbs no
+//! search decision.
+//!
+//! # Per-medoid triangle bounds (range query)
+//!
+//! Within one range pass all distances live in the same metric, so for
+//! any anchor medoid `mⱼ` whose exact distance `d(p, mⱼ)` was already
+//! computed for this point, `d(p, mᵢ) ≥ |d(p, mⱼ) − d(mⱼ, mᵢ)|`. The
+//! medoid–medoid distances are O(k²·d) per pass (the same order as the
+//! `medoid_deltas` computation each round already performs) and cached
+//! in the per-pass [`FusedPruneCtx`].
+//!
+//! # Adaptive gating
+//!
+//! Whole-pair bounds only pay when the data's *full-dimensional*
+//! geometry separates points from medoids. On exactly the inputs the
+//! paper targets — clusters that exist only in small projected
+//! subspaces, drowned in noise dimensions — full-dimensional distances
+//! concentrate and the bounds almost never fire, yet every pair would
+//! still pay for them. Each range scan therefore probes its first
+//! [`PROBE_POINTS`] points with the bounds enabled and switches them
+//! off for the remainder when fewer than 1 in
+//! 2^[`PROBE_DISABLE_SHIFT`] probed pairs pruned. The decision is a
+//! pure function of the scanned block's rows, so counters and results
+//! stay independent of thread count, and the gate can only skip an
+//! *attempt* to prune — never change a result bit.
+//!
+//! # Floating-point safety margin
+//!
+//! The mathematical bounds above hold for real arithmetic; the computed
+//! sketch differences and anchor distances carry rounding error. Summing
+//! `d` terms bounded by the coordinate magnitudes gives an absolute
+//! error of at most `γ_d·(‖p‖₁ + ‖m‖₁)` with `γ_d ≈ d·ε/2`, and after
+//! the `1/d` segmental normalization every quantity the prune compares
+//! (the bound *and* the exact evaluation it reasons about) has error
+//! `O(ε·(‖p‖₁ + ‖m‖₁))`. A candidate is therefore only pruned when
+//!
+//! ```text
+//! lower_bound − SLACK·(‖p‖₁ + max_m ‖m‖₁) > radius
+//! ```
+//!
+//! with [`SLACK`] = 1024·ε — three orders of magnitude above the worst
+//! error term, yet ~1e-13 relative to the coordinate scale, so it costs
+//! essentially no pruning power. NaN or infinite coordinates make the
+//! bound (or the slack) NaN/∞, every comparison comes out `false`, and
+//! the point falls through to the exact evaluation — degenerate data
+//! keeps the exact path's semantics automatically.
+//!
+//! # Nearest-medoid query (monotone prefix bound)
+//!
+//! The per-medoid dimension sets `Dᵢ` change every round, so the
+//! full-dimensional sketches cannot bound the *subspace* segmental
+//! distance (a restricted distance can be arbitrarily smaller than any
+//! full-dimensional functional). The assignment kernels prune with an
+//! exact device instead: [`segmental_bounded`] accumulates the
+//! segmental distance dimension by dimension and abandons the candidate
+//! as soon as the **prefix accumulator already certifies the final
+//! value cannot beat the current best**. IEEE-754 addition of
+//! non-negative terms is monotone (`fl(a + b) ≥ a` for `b ≥ 0`,
+//! because `a` is representable and rounding-to-nearest of a value
+//! `≥ a` cannot fall below `a`), and division by a positive constant,
+//! `sqrt`, and `max` are monotone too, so the final value is always `≥`
+//! every prefix value. A skipped candidate satisfies `dist ≥ best`,
+//! which under the strict `<` tie-break rule ("ties go to the lower
+//! cluster index") is precisely "cannot win", so winners are
+//! bit-identical to the full evaluation.
+//!
+//! To keep the accumulation loop at one add per dimension plus one
+//! compare per [`PRUNE_CHUNK`] dimensions (no division or square root
+//! inside the loop, no compare on the add's dependency chain), the
+//! comparison runs in **raw accumulator units**: [`raw_ge_threshold`]
+//! converts a segmental-value threshold `t` into a raw threshold `R` —
+//! the plain sum for
+//! Manhattan, the sum of squares for Euclidean, the running max for
+//! Chebyshev — such that `prefix_raw ≥ R` certifies
+//! `final_segmental ≥ t`. For Chebyshev the conversion is exact
+//! (`R = t`; the accumulator *is* the segmental value). For the other
+//! two metrics `R` carries a small upward rounding margin, so the
+//! conversion can only make pruning *more* conservative, never unsound;
+//! thresholds in the deep-subnormal range, where relative-error
+//! reasoning breaks down, are refused outright (`R = ∞`, no pruning).
+//! [`raw_gt_threshold`] is the strict-inequality twin used where the
+//! decided comparison is `dist ≤ radius` rather than `dist < best`.
+//!
+//! # Observability
+//!
+//! Pruning effectiveness is *engine configuration*, not a search fact:
+//! the [`PruneStats`] counters flow to the run manifest as `index.*`
+//! (see `inspect-trace`), never into the deterministic event stream —
+//! the same split as the cache's `cache.*` counters and the pool's
+//! physical stats.
+
+use proclus_math::{DistanceKind, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Signed projections kept per point. Eight rows make the sketch bound
+/// `max_r |ΔS_r|/d` tight enough to matter while keeping the per-pair
+/// bound check an order of magnitude cheaper than an exact evaluation
+/// at the dimensionalities the paper studies.
+pub const SKETCH_ROWS: usize = 8;
+
+/// Fixed seed for the sketch sign vectors. Deliberately decoupled from
+/// the fit's RNG: the index must not shift any seeded search decision,
+/// and indexed/unindexed fits must emit identical event streams.
+const SKETCH_SEED: u64 = 0x5EED_1DE7_ACE5_0FB1;
+
+/// Floating-point safety margin multiplier (see the module docs): a
+/// candidate is pruned only when its lower bound clears the query
+/// radius by more than `SLACK · (‖p‖₁ + max_m ‖m‖₁)`.
+const SLACK: f64 = 1024.0 * f64::EPSILON;
+
+/// Monotone pruning-effectiveness counters, exported to the run
+/// manifest as `index.*` (measurement channel only — never the event
+/// stream; see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Range-query candidates pruned by the sketch lower bound.
+    pub range_sketch_pruned: u64,
+    /// Range-query candidates pruned by a medoid triangle bound.
+    pub range_triangle_pruned: u64,
+    /// Range-query candidates that survived the whole-pair bounds but
+    /// were abandoned mid-evaluation by the monotone prefix bound.
+    pub range_prefix_pruned: u64,
+    /// Range-query candidates that survived the bounds and were
+    /// verified by an exact segmental-distance evaluation.
+    pub range_verified: u64,
+    /// Nearest-medoid candidates abandoned early by the monotone
+    /// prefix bound.
+    pub nearest_pruned: u64,
+    /// Nearest-medoid candidates evaluated to completion.
+    pub nearest_verified: u64,
+}
+
+impl PruneStats {
+    /// Accumulate another block's counters.
+    pub fn merge(&mut self, other: PruneStats) {
+        self.range_sketch_pruned += other.range_sketch_pruned;
+        self.range_triangle_pruned += other.range_triangle_pruned;
+        self.range_prefix_pruned += other.range_prefix_pruned;
+        self.range_verified += other.range_verified;
+        self.nearest_pruned += other.nearest_pruned;
+        self.nearest_verified += other.nearest_verified;
+    }
+}
+
+/// The per-fit pruning index: one signed-projection sketch row set and
+/// the L1 norm per point. Built once per fit (O(N·d·[`SKETCH_ROWS`]))
+/// and reused by every round, restart, and the refinement phase;
+/// immutable, so it is shared with the worker pool behind an [`Arc`].
+#[derive(Debug)]
+pub struct NeighborIndex {
+    /// `sketches[p·R .. (p+1)·R]` = the R signed projections of point p.
+    sketches: Vec<f64>,
+    /// `‖p‖₁` per point — the magnitude scale of the slack term.
+    norm1: Vec<f64>,
+}
+
+impl NeighborIndex {
+    /// Build the index over `points`. The sketch signs come from a
+    /// constant-seeded RNG (never the fit's RNG), so the build is a
+    /// pure function of the data shape — two fits over the same matrix
+    /// share bit-identical index state regardless of their seeds.
+    ///
+    /// The bounds are valid for every [`DistanceKind`] (see the module
+    /// docs), so the index itself is metric-agnostic; `_metric` is
+    /// accepted for future metric-specialized sketches.
+    pub fn build(points: &Matrix, _metric: DistanceKind) -> Self {
+        let n = points.rows();
+        let d = points.cols();
+        let mut rng = StdRng::seed_from_u64(SKETCH_SEED);
+        let mut signs = vec![1.0f64; SKETCH_ROWS * d];
+        for s in signs.iter_mut() {
+            if rng.random_bool(0.5) {
+                *s = -1.0;
+            }
+        }
+        let mut sketches = vec![0.0f64; n * SKETCH_ROWS];
+        let mut norm1 = vec![0.0f64; n];
+        for p in 0..n {
+            let row = points.row(p);
+            norm1[p] = row.iter().map(|v| v.abs()).sum();
+            for r in 0..SKETCH_ROWS {
+                let srow = &signs[r * d..(r + 1) * d];
+                sketches[p * SKETCH_ROWS + r] = row.iter().zip(srow).map(|(x, s)| x * s).sum();
+            }
+        }
+        NeighborIndex { sketches, norm1 }
+    }
+
+    /// The sketch row of point `p`.
+    #[inline]
+    fn point_sketch(&self, p: usize) -> &[f64] {
+        &self.sketches[p * SKETCH_ROWS..(p + 1) * SKETCH_ROWS]
+    }
+
+    /// `‖p‖₁` of point `p`.
+    #[inline]
+    pub fn norm1(&self, p: usize) -> f64 {
+        self.norm1[p]
+    }
+}
+
+/// Per-pass context for the pruned range query: the queried medoids'
+/// sketch rows, their pairwise full-dimensional segmental distances
+/// (the triangle-bound anchors), and the precomputed slack scale.
+/// O(k²·d + k·R) to build — the same order as the `medoid_deltas`
+/// computation every round already performs.
+pub struct FusedPruneCtx {
+    index: Arc<NeighborIndex>,
+    /// `med_sketch[i·R .. (i+1)·R]` = sketch row of `medoids[i]`.
+    med_sketch: Vec<f64>,
+    /// `mm[j·k + i]` = full-dimensional segmental distance between
+    /// `medoids[j]` and `medoids[i]`.
+    mm: Vec<f64>,
+    /// `SLACK · max_i ‖medoids[i]‖₁` — the medoid half of the margin.
+    slack_med: f64,
+    /// `d · (1 + 32ε)` — the sketch test compares `|ΔS_r|` against
+    /// `(radius + slack) · d_up` directly, so the per-row check is one
+    /// subtract, one abs, and one compare; the upward margin on `d`
+    /// absorbs the rounding of the reformulated comparison (the `1024ε`
+    /// slack dwarfs it, but the margin keeps the argument local).
+    d_up: f64,
+    k: usize,
+}
+
+impl FusedPruneCtx {
+    /// Build the context for a range pass over `medoids`.
+    pub fn new(
+        index: Arc<NeighborIndex>,
+        points: &Matrix,
+        medoids: &[usize],
+        metric: DistanceKind,
+    ) -> Self {
+        let k = medoids.len();
+        let d = points.cols();
+        let all_dims: Vec<usize> = (0..d).collect();
+        let mut med_sketch = Vec::with_capacity(k * SKETCH_ROWS);
+        let mut slack_med = 0.0f64;
+        for &m in medoids {
+            med_sketch.extend_from_slice(index.point_sketch(m));
+            slack_med = slack_med.max(index.norm1(m));
+        }
+        slack_med *= SLACK;
+        let mut mm = vec![0.0f64; k * k];
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let dist = metric.eval_segmental(
+                    points.row(medoids[i]),
+                    points.row(medoids[j]),
+                    &all_dims,
+                );
+                mm[i * k + j] = dist;
+                mm[j * k + i] = dist;
+            }
+        }
+        FusedPruneCtx {
+            index,
+            med_sketch,
+            mm,
+            slack_med,
+            d_up: d.max(1) as f64 * (1.0 + 32.0 * f64::EPSILON),
+            k,
+        }
+    }
+
+    /// Number of medoid slots this context covers.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.k
+    }
+
+    /// Can point `p` be proven to lie strictly outside radius `radius`
+    /// of medoid slot `slot`? `evaluated[j]` holds the exact distances
+    /// of `p` to the slots `j < slot` already verified in this pass
+    /// (`NaN` for slots that were pruned — a NaN anchor yields a NaN
+    /// bound, which never prunes, so the sentinel is safe).
+    ///
+    /// Returns `true` only when the exact evaluation would certainly
+    /// fail the `dist ≤ radius` membership test (up to the documented
+    /// slack margin) — never for NaN/∞ data, which always falls
+    /// through to the exact path.
+    #[inline]
+    pub fn prunes(
+        &self,
+        p: usize,
+        slot: usize,
+        radius: f64,
+        evaluated: &[f64],
+        stats: &mut PruneStats,
+    ) -> bool {
+        let idx = &*self.index;
+        let slack = SLACK * idx.norm1[p] + self.slack_med;
+        // Triangle bounds from anchors exactly evaluated earlier for
+        // this point: d(p, m_slot) >= |d(p, m_j) - d(m_j, m_slot)|.
+        let mm_row = &self.mm[..];
+        for (j, &dj) in evaluated.iter().enumerate() {
+            let lb = (dj - mm_row[j * self.k + slot]).abs();
+            if lb - slack > radius {
+                stats.range_triangle_pruned += 1;
+                return true;
+            }
+        }
+        // Sketch bound: any row with |S_r(p) - S_r(m)| / d - slack >
+        // radius prunes. Tested in the pre-multiplied form
+        // |ΔS_r| > (radius + slack)·d_up — one subtract, abs, and
+        // compare per row, exiting on the first row that decides (the
+        // per-row test fires iff the max-over-rows test would, since
+        // the comparison is monotone in |ΔS_r|). A NaN or infinite
+        // operand anywhere makes the comparison false and falls
+        // through to the exact path.
+        let rhs = (radius + slack) * self.d_up;
+        let ps = idx.point_sketch(p);
+        let ms = &self.med_sketch[slot * SKETCH_ROWS..(slot + 1) * SKETCH_ROWS];
+        for (a, b) in ps.iter().zip(ms) {
+            if (a - b).abs() > rhs {
+                stats.range_sketch_pruned += 1;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Points probed with the full pruning machinery at the start of each
+/// scan before the adaptive gate decides whether the whole-pair bounds
+/// pay for themselves (see [`PROBE_DISABLE_SHIFT`]). The probe spans
+/// whole points (× the slot count in pairs), so the decision is a pure
+/// function of the scanned rows — never of thread count or timing.
+pub const PROBE_POINTS: usize = 64;
+
+/// The gate disables the whole-pair bounds for the rest of a scan when
+/// fewer than `probed_pairs >> PROBE_DISABLE_SHIFT` (1 in 8) of the
+/// probed pairs pruned: below that rate the O(k + R) per-pair bound
+/// arithmetic costs more than the exact evaluations it saves, which is
+/// exactly what happens when projected clusters leave no structure in
+/// the full-dimensional geometry. Disabling changes no result bit —
+/// the gate only decides whether to *attempt* pruning.
+pub const PROBE_DISABLE_SHIFT: u32 = 3;
+
+/// The monotone prefix device (mid-evaluation abandonment) stays
+/// enabled after the probe only when at least `PREFIX_KEEP_NUM /
+/// PREFIX_KEEP_DEN` (3 in 4) of the probed evaluations abandoned. The
+/// abandonment branch is data-dependent: at mixed exit depths it
+/// mispredicts roughly once per candidate, which costs more than the
+/// skipped tail of a 5–20-dimension evaluation saves. Only a heavily
+/// biased regime — almost every reached candidate abandons, and early —
+/// beats the plain evaluation, and that is exactly the regime a high
+/// keep-rate selects for. Like the whole-pair gate, the decision is a
+/// pure function of the probed rows and can only skip an *attempt* to
+/// abandon.
+pub const PREFIX_KEEP_NUM: u64 = 3;
+/// See [`PREFIX_KEEP_NUM`].
+pub const PREFIX_KEEP_DEN: u64 = 4;
+
+/// Dimensions accumulated between abandonment checks in the bounded
+/// evaluations. Per-element checks put a compare-and-branch on the
+/// floating-point dependency chain of every add — nearly doubling the
+/// cost of the (majority) evaluations that never abandon. Checking at
+/// chunk boundaries keeps the overhead at one compare per
+/// [`PRUNE_CHUNK`] dims while giving up at most `PRUNE_CHUNK − 1`
+/// elements of savings per abandoned pair.
+pub const PRUNE_CHUNK: usize = 4;
+
+/// Minimum dimension-set size for which the nearest-medoid kernels use
+/// the bounded evaluation at all. An abandonment can skip at most
+/// `len − PRUNE_CHUNK` element operations, while the bounded form pays
+/// a fixed per-candidate toll (threshold multiply, chunk bookkeeping,
+/// boundary compares) — below roughly two chunks of potential savings
+/// the toll always exceeds the win and the exact evaluation is cheaper
+/// than reasoning about skipping it. The paper's typical `l` (≈ 3–7)
+/// lands below this cutoff on purpose: tiny projections are evaluated
+/// plainly, and the device engages exactly when evaluations are
+/// expensive enough to be worth abandoning.
+pub const NEAREST_MIN_DIMS: usize = 2 * PRUNE_CHUNK + 1;
+
+/// Raw accumulators below the normal floating-point range are refused
+/// by the threshold conversions (no pruning) — absolute rounding error
+/// in the subnormal regime is not covered by relative-error margins.
+const RAW_FLOOR: f64 = 1e-280;
+
+/// Upward rounding margin applied to converted raw thresholds: a few
+/// ulps of headroom over the two or three roundings the conversion
+/// itself performs, so `prefix_raw ≥ R` keeps certifying the real
+/// inequality. Overshooting only costs pruning power, never soundness.
+const RAW_MARGIN: f64 = 1.0 + 32.0 * f64::EPSILON;
+
+/// The next representable `f64` above `x` (`f64::next_up`, which this
+/// workspace's MSRV predates). NaN and `+∞` map to themselves.
+fn next_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return f64::from_bits(1); // smallest positive subnormal
+    }
+    if x > 0.0 {
+        f64::from_bits(x.to_bits() + 1)
+    } else {
+        f64::from_bits(x.to_bits() - 1)
+    }
+}
+
+/// Convert a segmental-value threshold `t` into a **raw accumulator**
+/// threshold `R` for [`segmental_bounded`]: whenever the running
+/// accumulator (Manhattan sum, Euclidean sum of squares, Chebyshev
+/// running max) over `len` dimensions reaches `R`, the final segmental
+/// value is certified `≥ t`.
+///
+/// * `t ≤ 0` → `R = 0`: every segmental value is `≥ 0 ≥ t` (and a NaN
+///   accumulator never satisfies `≥ 0`, preserving NaN fall-through).
+/// * `t = ∞` → `R = ∞`: only an infinite accumulator triggers, and an
+///   infinite accumulator does force an infinite final value.
+/// * `t = NaN` → `R = ∞` is still sound (an infinite accumulator means
+///   an infinite final value, but a NaN threshold comes from NaN state
+///   the caller's comparisons already treat as "never wins").
+/// * Deep-subnormal conversions (below [`RAW_FLOOR`]) → `R = ∞`:
+///   pruning is refused rather than argued about.
+#[inline]
+pub fn raw_ge_threshold(metric: DistanceKind, t: f64, len: usize) -> f64 {
+    raw_tbase(metric, t) * raw_len_factor(metric, len)
+}
+
+/// The length-independent half of [`raw_ge_threshold`], for argmin
+/// loops that compare one incumbent threshold against many candidate
+/// dimension sets: precompute `raw_tbase(metric, best)` once per
+/// incumbent update and `raw_len_factor(metric, di.len())` once per
+/// slot, and the per-candidate threshold is the single multiply
+/// `tbase * len_factor`. The margin is applied here (to `t` rather
+/// than to `t·len`); the extra rounding of the deferred multiply is
+/// covered by the same [`RAW_MARGIN`] headroom. The special values
+/// survive the multiply: `∞ · len = ∞`, `0 · len = 0`, and for
+/// Chebyshev the factor is exactly `1.0`.
+#[inline]
+pub fn raw_tbase(metric: DistanceKind, t: f64) -> f64 {
+    if t.is_nan() {
+        return f64::INFINITY;
+    }
+    if t <= 0.0 {
+        return 0.0;
+    }
+    match metric {
+        // The accumulator *is* the final value prefix: exact, no margin.
+        DistanceKind::Chebyshev => t,
+        DistanceKind::Manhattan => {
+            if t < RAW_FLOOR {
+                f64::INFINITY
+            } else {
+                t * RAW_MARGIN
+            }
+        }
+        DistanceKind::Euclidean => {
+            let sq = t * t;
+            if sq < RAW_FLOOR {
+                f64::INFINITY
+            } else {
+                sq * RAW_MARGIN
+            }
+        }
+    }
+}
+
+/// The per-dimension-set half of [`raw_ge_threshold`]: `len` as a
+/// float for the sum-style accumulators, `1.0` for Chebyshev (whose
+/// accumulator carries no length normalization).
+#[inline]
+pub fn raw_len_factor(metric: DistanceKind, len: usize) -> f64 {
+    match metric {
+        DistanceKind::Chebyshev => 1.0,
+        DistanceKind::Manhattan | DistanceKind::Euclidean => len.max(1) as f64,
+    }
+}
+
+/// Strict-inequality twin of [`raw_ge_threshold`]: accumulator `≥ R`
+/// certifies the final segmental value is strictly `> t`. Used where
+/// the decided comparison is a `dist ≤ radius` membership test. Returns
+/// NaN (which no accumulator ever satisfies) when `t` is NaN or `+∞` —
+/// no finite-or-infinite value is strictly greater, so pruning must
+/// never fire.
+#[inline]
+pub fn raw_gt_threshold(metric: DistanceKind, t: f64, len: usize) -> f64 {
+    if t.is_nan() || t == f64::INFINITY {
+        return f64::NAN;
+    }
+    if t < 0.0 {
+        return 0.0;
+    }
+    raw_ge_threshold(metric, next_up(t), len)
+}
+
+/// Evaluate `metric.eval_segmental(a, b, dims)` incrementally,
+/// abandoning the candidate as soon as the running raw accumulator
+/// reaches `raw_threshold` (converted from a segmental-value threshold
+/// by [`raw_ge_threshold`] / [`raw_gt_threshold`]; the prefix
+/// accumulator is a certified lower bound on the final accumulator —
+/// see the module docs for the IEEE monotonicity argument). Returns
+/// `None` on abandonment, otherwise `Some(exact)` with a value
+/// bit-identical to the plain evaluation (same summation order, same
+/// final normalization).
+///
+/// The threshold is checked at [`PRUNE_CHUNK`] boundaries (and after
+/// the final element), not per element: per-element compares sit on
+/// the accumulator's dependency chain and nearly double the cost of
+/// evaluations that never abandon, while a chunk-boundary check gives
+/// up at most `PRUNE_CHUNK − 1` elements of savings. The final check
+/// runs even when the accumulator is complete — abandoning there is
+/// still sound (the "prefix" is the whole sum) and saves the
+/// normalization, and it keeps the device live for dimension sets
+/// shorter than one chunk.
+///
+/// A NaN `raw_threshold` never prunes; a NaN accumulator (NaN data)
+/// never satisfies the `≥` comparison and falls through to the exact
+/// NaN result, preserving the unpruned kernels' NaN semantics.
+#[inline]
+pub fn segmental_bounded(
+    metric: DistanceKind,
+    a: &[f64],
+    b: &[f64],
+    dims: &[usize],
+    raw_threshold: f64,
+) -> Option<f64> {
+    if dims.is_empty() {
+        // Mirror `eval_segmental`'s empty-projection convention exactly
+        // (0.0, not 0/0) so the bounded form is a drop-in replacement.
+        return if 0.0 >= raw_threshold {
+            None
+        } else {
+            Some(0.0)
+        };
+    }
+    let len = dims.len() as f64;
+    match metric {
+        DistanceKind::Manhattan => {
+            let mut sum = 0.0f64;
+            for chunk in dims.chunks(PRUNE_CHUNK) {
+                for &j in chunk {
+                    sum += (a[j] - b[j]).abs();
+                }
+                if sum >= raw_threshold {
+                    return None;
+                }
+            }
+            Some(sum / len)
+        }
+        DistanceKind::Euclidean => {
+            let mut sum = 0.0f64;
+            for chunk in dims.chunks(PRUNE_CHUNK) {
+                for &j in chunk {
+                    let diff = a[j] - b[j];
+                    sum += diff * diff;
+                }
+                if sum >= raw_threshold {
+                    return None;
+                }
+            }
+            Some((sum / len).sqrt())
+        }
+        DistanceKind::Chebyshev => {
+            let mut worst = 0.0f64;
+            for chunk in dims.chunks(PRUNE_CHUNK) {
+                for &j in chunk {
+                    worst = worst.max((a[j] - b[j]).abs());
+                }
+                if worst >= raw_threshold {
+                    return None;
+                }
+            }
+            Some(worst)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * d).map(|_| rng.random_range(0.0..100.0)).collect();
+        Matrix::from_vec(data, n, d)
+    }
+
+    /// The heart of the prune-only guarantee: across metrics and seeds,
+    /// whenever `prunes` fires for a (point, slot, radius) triple, the
+    /// exact segmental distance really exceeds the radius.
+    #[test]
+    fn prune_decisions_are_never_false_negatives() {
+        for metric in [
+            DistanceKind::Manhattan,
+            DistanceKind::Euclidean,
+            DistanceKind::Chebyshev,
+        ] {
+            for seed in [1u64, 7, 42] {
+                let points = random_points(400, 9, seed);
+                let medoids = vec![3usize, 57, 200, 311];
+                let all_dims: Vec<usize> = (0..points.cols()).collect();
+                let index = Arc::new(NeighborIndex::build(&points, metric));
+                let ctx = FusedPruneCtx::new(Arc::clone(&index), &points, &medoids, metric);
+                let mut stats = PruneStats::default();
+                for p in 0..points.rows() {
+                    let mut evaluated = [f64::NAN; 4];
+                    for (i, &m) in medoids.iter().enumerate() {
+                        let exact = metric.eval_segmental(points.row(p), points.row(m), &all_dims);
+                        // Radii straddling the exact distance: pruning
+                        // must only fire for radii strictly below it.
+                        for radius in [exact * 0.5, exact * 0.99, exact, exact * 1.5] {
+                            if ctx.prunes(p, i, radius, &evaluated[..i], &mut stats) {
+                                assert!(
+                                    exact > radius,
+                                    "{metric:?} seed {seed}: pruned p={p} slot={i} \
+                                     at radius {radius} but exact = {exact}"
+                                );
+                            }
+                        }
+                        evaluated[i] = exact;
+                    }
+                }
+                assert!(
+                    stats.range_sketch_pruned + stats.range_triangle_pruned > 0,
+                    "{metric:?} seed {seed}: the bounds never fired — index is inert"
+                );
+            }
+        }
+    }
+
+    /// An unreachable threshold never abandons, and completing the
+    /// evaluation reproduces `eval_segmental` bit for bit.
+    #[test]
+    fn segmental_bounded_completes_bit_identically() {
+        for metric in [
+            DistanceKind::Manhattan,
+            DistanceKind::Euclidean,
+            DistanceKind::Chebyshev,
+        ] {
+            let points = random_points(60, 12, 5);
+            let dims = vec![0usize, 3, 5, 7, 11];
+            for p in 0..points.rows() {
+                for q in 0..points.rows() {
+                    let exact = metric.eval_segmental(points.row(p), points.row(q), &dims);
+                    let full =
+                        segmental_bounded(metric, points.row(p), points.row(q), &dims, f64::NAN);
+                    assert_eq!(full.map(f64::to_bits), Some(exact.to_bits()), "{metric:?}");
+                }
+            }
+        }
+    }
+
+    /// Abandoning against a converted threshold is equivalent to the
+    /// full evaluation's comparison: whenever the bounded form returns
+    /// `None` under `raw_ge_threshold(best)`, the exact distance really
+    /// is `>= best` (and under `raw_gt_threshold(radius)`, strictly
+    /// `> radius`).
+    #[test]
+    fn segmental_bounded_skips_only_losers() {
+        for metric in [
+            DistanceKind::Manhattan,
+            DistanceKind::Euclidean,
+            DistanceKind::Chebyshev,
+        ] {
+            let points = random_points(80, 8, 13);
+            let dims = vec![1usize, 2, 4, 6];
+            for p in 0..points.rows() {
+                for q in (0..points.rows()).step_by(7) {
+                    let exact = metric.eval_segmental(points.row(p), points.row(q), &dims);
+                    for t in [exact * 0.3, exact * 0.9999, exact, exact * 1.5] {
+                        let rt = raw_ge_threshold(metric, t, dims.len());
+                        match segmental_bounded(metric, points.row(p), points.row(q), &dims, rt) {
+                            Some(v) => assert_eq!(v.to_bits(), exact.to_bits()),
+                            None => assert!(
+                                exact >= t,
+                                "{metric:?}: skipped but exact {exact} < threshold {t}"
+                            ),
+                        }
+                        let rt = raw_gt_threshold(metric, t, dims.len());
+                        match segmental_bounded(metric, points.row(p), points.row(q), &dims, rt) {
+                            Some(v) => assert_eq!(v.to_bits(), exact.to_bits()),
+                            None => assert!(
+                                exact > t,
+                                "{metric:?}: skipped but exact {exact} <= radius {t}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Threshold-conversion edge cases: `t ≤ 0` prunes immediately for
+    /// the `≥` form, NaN / `+∞` radii never prune the strict form, the
+    /// deep-subnormal range refuses to prune, and the Chebyshev
+    /// conversion is exact.
+    #[test]
+    fn raw_threshold_edge_cases() {
+        for metric in [
+            DistanceKind::Manhattan,
+            DistanceKind::Euclidean,
+            DistanceKind::Chebyshev,
+        ] {
+            assert_eq!(raw_ge_threshold(metric, 0.0, 5), 0.0, "{metric:?}");
+            assert_eq!(raw_ge_threshold(metric, -1.0, 5), 0.0, "{metric:?}");
+            assert_eq!(
+                raw_ge_threshold(metric, f64::NAN, 5),
+                f64::INFINITY,
+                "{metric:?}"
+            );
+            assert_eq!(
+                raw_ge_threshold(metric, f64::INFINITY, 5),
+                f64::INFINITY,
+                "{metric:?}"
+            );
+            assert!(raw_gt_threshold(metric, f64::NAN, 5).is_nan(), "{metric:?}");
+            assert!(
+                raw_gt_threshold(metric, f64::INFINITY, 5).is_nan(),
+                "a dist <= INF membership test is always true; pruning must never fire"
+            );
+            assert_eq!(raw_gt_threshold(metric, -0.5, 5), 0.0, "{metric:?}");
+        }
+        // Subnormal thresholds are refused for the normalized metrics…
+        assert_eq!(
+            raw_ge_threshold(DistanceKind::Manhattan, 1e-300, 4),
+            f64::INFINITY
+        );
+        assert_eq!(
+            raw_ge_threshold(DistanceKind::Euclidean, 1e-200, 4),
+            f64::INFINITY
+        );
+        // …while Chebyshev needs no margin at all: the accumulator is
+        // the segmental value itself.
+        assert_eq!(raw_ge_threshold(DistanceKind::Chebyshev, 1e-300, 4), 1e-300);
+        assert_eq!(
+            raw_gt_threshold(DistanceKind::Chebyshev, 0.0, 4),
+            f64::from_bits(1)
+        );
+        // Finite positive thresholds sit strictly above the real
+        // product, so the conversion can only under-prune.
+        let rt = raw_ge_threshold(DistanceKind::Manhattan, 2.5, 4);
+        assert!(rt > 2.5 * 4.0);
+        let rt = raw_ge_threshold(DistanceKind::Euclidean, 2.5, 4);
+        assert!(rt > 2.5 * 2.5 * 4.0);
+    }
+
+    /// NaN data must never be pruned — it has to reach the exact path
+    /// so the NaN semantics of the unindexed kernels are preserved.
+    #[test]
+    fn nan_rows_are_never_pruned() {
+        let rows: Vec<[f64; 3]> = vec![
+            [0.0, 0.0, 0.0],
+            [f64::NAN, 1.0, 2.0],
+            [1e3, 1e3, 1e3],
+            [f64::INFINITY, 0.0, 0.0],
+        ];
+        let points = Matrix::from_rows(&rows, 3);
+        let metric = DistanceKind::Manhattan;
+        let index = Arc::new(NeighborIndex::build(&points, metric));
+        let medoids = vec![1usize, 3];
+        let ctx = FusedPruneCtx::new(Arc::clone(&index), &points, &medoids, metric);
+        let mut stats = PruneStats::default();
+        for p in 0..points.rows() {
+            for slot in 0..medoids.len() {
+                assert!(
+                    !ctx.prunes(p, slot, 0.0, &[f64::NAN; 0], &mut stats),
+                    "non-finite medoid pruned p={p} slot={slot}"
+                );
+            }
+        }
+        // A NaN accumulator never satisfies a `>=` threshold: no skip,
+        // even against the always-prunable threshold 0.
+        let rt = raw_ge_threshold(metric, 0.0, 2);
+        let got = segmental_bounded(metric, points.row(1), points.row(0), &[0, 1], rt);
+        assert!(got.is_some_and(f64::is_nan));
+    }
+
+    /// The index build is deterministic and independent of the fit
+    /// seed (the sign RNG is constant-seeded).
+    #[test]
+    fn index_build_is_deterministic() {
+        let points = random_points(100, 6, 77);
+        let a = NeighborIndex::build(&points, DistanceKind::Manhattan);
+        let b = NeighborIndex::build(&points, DistanceKind::Euclidean);
+        assert_eq!(a.sketches, b.sketches);
+        assert_eq!(a.norm1, b.norm1);
+    }
+
+    #[test]
+    fn prune_stats_merge_adds_fields() {
+        let mut a = PruneStats {
+            range_sketch_pruned: 1,
+            range_triangle_pruned: 2,
+            range_prefix_pruned: 6,
+            range_verified: 3,
+            nearest_pruned: 4,
+            nearest_verified: 5,
+        };
+        a.merge(a);
+        assert_eq!(
+            a,
+            PruneStats {
+                range_sketch_pruned: 2,
+                range_triangle_pruned: 4,
+                range_prefix_pruned: 12,
+                range_verified: 6,
+                nearest_pruned: 8,
+                nearest_verified: 10,
+            }
+        );
+    }
+}

@@ -15,6 +15,7 @@ use crate::cache::RoundCache;
 use crate::dims::{chosen_scores, find_dimensions_from_averages};
 use crate::error::ProclusError;
 use crate::evaluate::{bad_medoids, evaluate_clusters};
+use crate::index::NeighborIndex;
 use crate::init::candidate_medoids;
 use crate::locality::medoid_deltas;
 use crate::model::{Degradation, FitDiagnostics, ProclusModel};
@@ -71,6 +72,7 @@ pub fn run_traced(
         });
     }
     let result = with_pool(points, params.distance, params.threads, |pool| {
+        install_index(params, points, pool, rec);
         // One cache for the whole fit: its entries are value-keyed, so
         // state surviving a restart is either bit-identical (and
         // served) or mismatched (and recomputed) — never stale.
@@ -111,6 +113,7 @@ pub fn run_traced(
         }
         record_pool_measurements(rec, pool);
         record_cache_measurements(rec, &cache);
+        record_index_measurements(rec, pool);
         match best {
             Some(model) => Ok(model.with_diagnostics(diag.clone())),
             // Every restart collapsed. One restart: surface its error
@@ -123,6 +126,37 @@ pub fn run_traced(
     });
     record_fit_end(rec, &result);
     result
+}
+
+/// Build and install the per-fit neighbor index when enabled. One
+/// O(N·d·R) build serves every restart, round, and the refinement (the
+/// sketches depend only on the data, never on search state). The build
+/// time goes to the `Phase::Index` span; the index itself changes no
+/// result bit, so nothing here touches the event stream.
+fn install_index(params: &Proclus, points: &Matrix, pool: &mut Pool<'_>, rec: &dyn Recorder) {
+    if !params.neighbor_index {
+        return;
+    }
+    let index = timed(rec, Phase::Index, || {
+        std::sync::Arc::new(NeighborIndex::build(points, params.distance))
+    });
+    pool.set_index(Some(index));
+}
+
+/// Index-pruning effectiveness → `index.*` counters (manifest channel
+/// only; emitted only when the index is enabled, mirroring the cache
+/// counters, so an unindexed run's manifest stays silent).
+fn record_index_measurements(rec: &dyn Recorder, pool: &Pool<'_>) {
+    if !rec.enabled() || !pool.index_enabled() {
+        return;
+    }
+    let stats = pool.prune_stats();
+    rec.counter("index.range_sketch_pruned", stats.range_sketch_pruned);
+    rec.counter("index.range_triangle_pruned", stats.range_triangle_pruned);
+    rec.counter("index.range_prefix_pruned", stats.range_prefix_pruned);
+    rec.counter("index.range_verified", stats.range_verified);
+    rec.counter("index.nearest_pruned", stats.nearest_pruned);
+    rec.counter("index.nearest_verified", stats.nearest_verified);
 }
 
 /// Pool work totals → counters, scheduling-dependent facts → gauges.
@@ -270,6 +304,7 @@ pub fn run_from_medoids_traced(
         });
     }
     let result = with_pool(points, params.distance, params.threads, |pool| {
+        install_index(params, points, pool, rec);
         diag.restarts = 1;
         let mut cache = RoundCache::new(params.round_cache, params.k);
         let model = run_once(
@@ -285,6 +320,7 @@ pub fn run_from_medoids_traced(
         )?;
         record_pool_measurements(rec, pool);
         record_cache_measurements(rec, &cache);
+        record_index_measurements(rec, pool);
         Ok(model.with_diagnostics(diag.clone()))
     });
     record_fit_end(rec, &result);

@@ -30,7 +30,27 @@
 //! dimension list: the summation order is the same, and for the
 //! Euclidean kind `|x|·|x|` equals `x·x` bitwise (taking the absolute
 //! value only clears the sign bit).
+//!
+//! # Pruned variants
+//!
+//! Each assignment-style kernel has a `*_pruned` twin that consults the
+//! neighbor index ([`crate::index`]) to skip exact evaluations whose
+//! outcome is already decided — a certified lower bound above the
+//! locality radius (range queries) or a monotone prefix value at or
+//! above the current best (nearest-medoid queries). Pruning never
+//! changes which evaluations *matter*: a pruned candidate is provably a
+//! non-member / non-winner, every surviving evaluation runs the exact
+//! code in the exact order, and the `X` accumulations add exactly the
+//! member rows the unpruned kernel would add. The pruned kernels are
+//! therefore bit-identical to their twins (asserted by the agreement
+//! tests below), and the per-block [`PruneStats`] they fill count work
+//! saved, not results changed.
 
+use crate::index::{
+    raw_gt_threshold, raw_len_factor, raw_tbase, segmental_bounded, FusedPruneCtx, PruneStats,
+    NEAREST_MIN_DIMS, PREFIX_KEEP_DEN, PREFIX_KEEP_NUM, PROBE_DISABLE_SHIFT, PROBE_POINTS,
+    PRUNE_CHUNK,
+};
 use proclus_math::{DistanceKind, Matrix};
 
 /// Rows per work block. Large enough that per-block dispatch overhead
@@ -94,6 +114,30 @@ pub fn fused_block(
     let mut locs: Vec<Vec<usize>> = vec![Vec::new(); k];
     let mut xsums = vec![vec![0.0; d]; k];
     let mut diffs = vec![0.0; d];
+    fused_range(
+        points, metric, medoids, deltas, lo, hi, &mut locs, &mut xsums, &mut diffs,
+    );
+    FusedPartial { locs, xsums }
+}
+
+/// The plain fused scan over rows `lo..hi`, continuing accumulation
+/// into existing `locs`/`xsums`. Kept separate so the pruned kernel can
+/// hand the post-probe tail of a block to the exact plain loop (same
+/// codegen, same summation order) when its adaptive gates turn the
+/// pruning machinery off.
+#[allow(clippy::too_many_arguments)]
+fn fused_range(
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    deltas: &[f64],
+    lo: usize,
+    hi: usize,
+    locs: &mut [Vec<usize>],
+    xsums: &mut [Vec<f64>],
+    diffs: &mut [f64],
+) {
+    let d = points.cols();
     for p in lo..hi {
         let prow = points.row(p);
         for (i, &m) in medoids.iter().enumerate() {
@@ -101,7 +145,7 @@ pub fn fused_block(
             for j in 0..d {
                 diffs[j] = (prow[j] - mrow[j]).abs();
             }
-            if segmental_from_diffs(metric, &diffs) <= deltas[i] {
+            if segmental_from_diffs(metric, diffs) <= deltas[i] {
                 locs[i].push(p);
                 let xi = &mut xsums[i];
                 for j in 0..d {
@@ -110,7 +154,6 @@ pub fn fused_block(
             }
         }
     }
-    FusedPartial { locs, xsums }
 }
 
 /// Merge fused partials (given in ascending block order) into the final
@@ -266,6 +309,35 @@ pub fn assign_x_block(
     let d = points.cols();
     let mut xsums = vec![vec![0.0; d]; medoids.len()];
     let mut assignment = Vec::with_capacity(hi - lo);
+    assign_x_range(
+        points,
+        metric,
+        medoids,
+        dims,
+        lo,
+        hi,
+        &mut xsums,
+        &mut assignment,
+    );
+    AssignXPartial { assignment, xsums }
+}
+
+/// The plain assign + `X` scan over rows `lo..hi`, continuing
+/// accumulation into existing `xsums`/`assignment` — the tail loop the
+/// pruned kernel falls back to when its adaptive gate turns abandonment
+/// off, preserving the plain codegen and the exact `X` summation order.
+#[allow(clippy::too_many_arguments)]
+fn assign_x_range(
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    lo: usize,
+    hi: usize,
+    xsums: &mut [Vec<f64>],
+    assignment: &mut Vec<usize>,
+) {
+    let d = points.cols();
     for p in lo..hi {
         let row = points.row(p);
         let mut best = 0usize;
@@ -284,7 +356,6 @@ pub fn assign_x_block(
             xi[j] += (row[j] - mrow[j]).abs();
         }
     }
-    AssignXPartial { assignment, xsums }
 }
 
 /// Merge assign-`X` partials (ascending block order) into the flat
@@ -400,9 +471,444 @@ pub fn refine_assign_block(
     out
 }
 
+/// Fill `diffs` with `|a_j − b_j|` while accumulating the segmental
+/// raw value, abandoning as soon as the prefix accumulator reaches
+/// `raw_threshold` — a raw-unit encoding of "the final distance is
+/// certainly `> δᵢ`" (see [`crate::index::raw_gt_threshold`]). The
+/// threshold is checked at [`PRUNE_CHUNK`] boundaries, like
+/// [`segmental_bounded`], to keep the compare off the accumulator's
+/// per-element dependency chain. On completion the buffer *and* the
+/// returned distance are bit-identical to the plain fill +
+/// [`segmental_from_diffs`]: same element order, same summation order,
+/// `|x|·|x|` equals `x·x` bitwise.
+#[inline]
+fn fill_diffs_bounded(
+    metric: DistanceKind,
+    a: &[f64],
+    b: &[f64],
+    diffs: &mut [f64],
+    raw_threshold: f64,
+) -> Option<f64> {
+    // Fill exactly like the plain path — one flat, vectorizable loop
+    // with no interleaved control flow — then fold with chunk-boundary
+    // abandonment checks. An abandoned pair wastes its (cheap, SIMD)
+    // fill but skips the tail of the serial accumulation chain, which
+    // is the latency bottleneck; a completed fold visits the elements
+    // in the plain order and is bit-identical.
+    for ((&x, &y), dv) in a.iter().zip(b).zip(diffs.iter_mut()) {
+        *dv = (x - y).abs();
+    }
+    let len = diffs.len() as f64;
+    match metric {
+        DistanceKind::Manhattan => {
+            let mut sum = 0.0f64;
+            for dc in diffs.chunks(PRUNE_CHUNK) {
+                for &v in dc {
+                    sum += v;
+                }
+                if sum >= raw_threshold {
+                    return None;
+                }
+            }
+            Some(sum / len)
+        }
+        DistanceKind::Euclidean => {
+            let mut sum = 0.0f64;
+            for dc in diffs.chunks(PRUNE_CHUNK) {
+                for &v in dc {
+                    sum += v * v;
+                }
+                if sum >= raw_threshold {
+                    return None;
+                }
+            }
+            Some((sum / len).sqrt())
+        }
+        DistanceKind::Chebyshev => {
+            let mut worst = 0.0f64;
+            for dc in diffs.chunks(PRUNE_CHUNK) {
+                for &v in dc {
+                    worst = worst.max(v);
+                }
+                if worst >= raw_threshold {
+                    return None;
+                }
+            }
+            Some(worst)
+        }
+    }
+}
+
+/// [`fused_block`] with index pruning: candidates whose sketch or
+/// triangle lower bound proves them outside `δᵢ` skip the exact
+/// evaluation entirely, and the surviving evaluations abandon mid-sum
+/// once their prefix accumulator certifies `dist > δᵢ`. Members, their
+/// order, and the `X` sums are bit-identical to the unpruned kernel — a
+/// pruned or abandoned pair is certainly a non-member, so it would have
+/// contributed nothing either way, and a member's evaluation never
+/// abandons (its accumulator stays below the threshold throughout).
+#[allow(clippy::too_many_arguments)]
+pub fn fused_block_pruned(
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    deltas: &[f64],
+    ctx: &FusedPruneCtx,
+    lo: usize,
+    hi: usize,
+    stats: &mut PruneStats,
+) -> FusedPartial {
+    let d = points.cols();
+    let k = medoids.len();
+    let mut locs: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut xsums = vec![vec![0.0; d]; k];
+    let mut diffs = vec![0.0; d];
+    // Raw-unit "certainly outside δᵢ" thresholds, one per slot.
+    let rt_member: Vec<f64> = deltas
+        .iter()
+        .map(|&delta| raw_gt_threshold(metric, delta, d))
+        .collect();
+    // Exact distances of the current point to the slots already
+    // verified this sweep — the triangle-bound anchors. NaN marks a
+    // pruned or abandoned slot (a NaN anchor yields a NaN bound and
+    // never prunes).
+    let mut evaluated = vec![f64::NAN; k];
+    // Adaptive gates: probe the first PROBE_POINTS rows with the full
+    // machinery, then disable (a) the whole-pair bounds if too few
+    // probed pairs pruned, and (b) the prefix device if too few reached
+    // evaluations abandoned (see `crate::index`). The decisions depend
+    // only on the block's rows, so counters and results stay
+    // independent of thread count.
+    let probe_end = (lo + PROBE_POINTS).min(hi);
+    let base_bounds = stats.range_sketch_pruned + stats.range_triangle_pruned;
+    let base_prefix = stats.range_prefix_pruned;
+    let base_verified = stats.range_verified;
+    let mut probing = true;
+    let mut bounds_on = true;
+    let mut prefix_on = true;
+    for p in lo..hi {
+        if probing && p == probe_end {
+            probing = false;
+            let pruned = stats.range_sketch_pruned + stats.range_triangle_pruned - base_bounds;
+            let probed = ((probe_end - lo) * k) as u64;
+            bounds_on = pruned >= probed >> PROBE_DISABLE_SHIFT;
+            let abandoned = stats.range_prefix_pruned - base_prefix;
+            let reached = abandoned + (stats.range_verified - base_verified);
+            prefix_on = abandoned * PREFIX_KEEP_DEN >= reached * PREFIX_KEEP_NUM;
+            if !bounds_on && !prefix_on {
+                // Nothing left of the pruning machinery: hand the rest
+                // of the block to the plain loop, continuing the same
+                // accumulators so membership order and `X` summation
+                // order stay bit-identical.
+                stats.range_verified += ((hi - p) * k) as u64;
+                fused_range(
+                    points, metric, medoids, deltas, p, hi, &mut locs, &mut xsums, &mut diffs,
+                );
+                return FusedPartial { locs, xsums };
+            }
+        }
+        let prow = points.row(p);
+        for e in evaluated.iter_mut() {
+            *e = f64::NAN;
+        }
+        for (i, &m) in medoids.iter().enumerate() {
+            if bounds_on && ctx.prunes(p, i, deltas[i], &evaluated[..i], stats) {
+                continue;
+            }
+            let mrow = points.row(m);
+            let dist = if prefix_on {
+                match fill_diffs_bounded(metric, prow, mrow, &mut diffs, rt_member[i]) {
+                    Some(dist) => dist,
+                    None => {
+                        stats.range_prefix_pruned += 1;
+                        continue;
+                    }
+                }
+            } else {
+                for j in 0..d {
+                    diffs[j] = (prow[j] - mrow[j]).abs();
+                }
+                segmental_from_diffs(metric, &diffs)
+            };
+            evaluated[i] = dist;
+            stats.range_verified += 1;
+            if dist <= deltas[i] {
+                locs[i].push(p);
+                let xi = &mut xsums[i];
+                for j in 0..d {
+                    xi[j] += diffs[j];
+                }
+            }
+        }
+    }
+    FusedPartial { locs, xsums }
+}
+
+/// [`assign_block`] with monotone prefix pruning: a candidate's
+/// evaluation is abandoned once its running segmental prefix reaches
+/// the incumbent best distance — the prefix is a certified lower bound
+/// (see [`crate::index`]), and `prefix ≥ best` already decides the
+/// strict `<` comparison against it. Winners are bit-identical.
+pub fn assign_block_pruned(
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    lo: usize,
+    hi: usize,
+    stats: &mut PruneStats,
+) -> Vec<usize> {
+    // When every projection is tiny, evaluating is cheaper than
+    // reasoning about abandoning (see `NEAREST_MIN_DIMS`) — run the
+    // plain kernel unchanged and count everything as verified.
+    if dims.iter().all(|di| di.len() < NEAREST_MIN_DIMS) {
+        stats.nearest_verified += ((hi - lo) * medoids.len()) as u64;
+        return assign_block(points, metric, medoids, dims, lo, hi);
+    }
+    // Hoisted threshold halves: the per-candidate raw threshold is the
+    // single multiply `tbase · lens[i]` (see `raw_tbase`).
+    let lens: Vec<f64> = dims
+        .iter()
+        .map(|di| raw_len_factor(metric, di.len()))
+        .collect();
+    // Adaptive gate: probe the first PROBE_POINTS rows with abandonment
+    // enabled, then keep it only when most reached evaluations abandon
+    // (see `crate::index::PREFIX_KEEP_NUM`). Only slots with large
+    // projections ever consult the device.
+    let big_slots = dims
+        .iter()
+        .filter(|di| di.len() >= NEAREST_MIN_DIMS)
+        .count() as u64;
+    let probe_end = (lo + PROBE_POINTS).min(hi);
+    let base_pruned = stats.nearest_pruned;
+    let mut out = Vec::with_capacity(hi - lo);
+    for p in lo..hi {
+        if p == probe_end {
+            let abandoned = stats.nearest_pruned - base_pruned;
+            let reached = ((probe_end - lo) as u64) * big_slots;
+            if abandoned * PREFIX_KEEP_DEN < reached * PREFIX_KEEP_NUM {
+                // Abandonment is not paying for its branches: hand the
+                // rest of the block to the plain loop.
+                stats.nearest_verified += ((hi - p) * medoids.len()) as u64;
+                out.extend(assign_block(points, metric, medoids, dims, p, hi));
+                return out;
+            }
+        }
+        let row = points.row(p);
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        // raw_tbase(metric, ∞) = ∞ for every metric.
+        let mut tbase = f64::INFINITY;
+        for (i, ((&m, di), &lf)) in medoids.iter().zip(dims).zip(&lens).enumerate() {
+            // Tiny projections are cheaper to evaluate than to reason
+            // about abandoning (see `NEAREST_MIN_DIMS`).
+            let verdict = if di.len() < NEAREST_MIN_DIMS {
+                Some(metric.eval_segmental(row, points.row(m), di))
+            } else {
+                segmental_bounded(metric, row, points.row(m), di, tbase * lf)
+            };
+            match verdict {
+                Some(dist) => {
+                    stats.nearest_verified += 1;
+                    if dist < best_dist {
+                        best_dist = dist;
+                        best = i;
+                        tbase = raw_tbase(metric, dist);
+                    }
+                }
+                None => stats.nearest_pruned += 1,
+            }
+        }
+        out.push(best);
+    }
+    out
+}
+
+/// [`assign_x_block`] with the same prefix pruning as
+/// [`assign_block_pruned`]. The `X` accumulation only ever reads the
+/// *winning* medoid's full-dimensional differences, which are computed
+/// outside the pruned comparison, so the sums are untouched by pruning.
+pub fn assign_x_block_pruned(
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    lo: usize,
+    hi: usize,
+    stats: &mut PruneStats,
+) -> AssignXPartial {
+    if dims.iter().all(|di| di.len() < NEAREST_MIN_DIMS) {
+        stats.nearest_verified += ((hi - lo) * medoids.len()) as u64;
+        return assign_x_block(points, metric, medoids, dims, lo, hi);
+    }
+    let d = points.cols();
+    let lens: Vec<f64> = dims
+        .iter()
+        .map(|di| raw_len_factor(metric, di.len()))
+        .collect();
+    let big_slots = dims
+        .iter()
+        .filter(|di| di.len() >= NEAREST_MIN_DIMS)
+        .count() as u64;
+    let probe_end = (lo + PROBE_POINTS).min(hi);
+    let base_pruned = stats.nearest_pruned;
+    let mut xsums = vec![vec![0.0; d]; medoids.len()];
+    let mut assignment = Vec::with_capacity(hi - lo);
+    for p in lo..hi {
+        if p == probe_end {
+            let abandoned = stats.nearest_pruned - base_pruned;
+            let reached = ((probe_end - lo) as u64) * big_slots;
+            if abandoned * PREFIX_KEEP_DEN < reached * PREFIX_KEEP_NUM {
+                // Hand the rest of the block to the plain loop,
+                // continuing the same accumulators so the `X` summation
+                // order stays bit-identical.
+                stats.nearest_verified += ((hi - p) * medoids.len()) as u64;
+                assign_x_range(
+                    points,
+                    metric,
+                    medoids,
+                    dims,
+                    p,
+                    hi,
+                    &mut xsums,
+                    &mut assignment,
+                );
+                return AssignXPartial { assignment, xsums };
+            }
+        }
+        let row = points.row(p);
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        let mut tbase = f64::INFINITY;
+        for (i, ((&m, di), &lf)) in medoids.iter().zip(dims).zip(&lens).enumerate() {
+            let verdict = if di.len() < NEAREST_MIN_DIMS {
+                Some(metric.eval_segmental(row, points.row(m), di))
+            } else {
+                segmental_bounded(metric, row, points.row(m), di, tbase * lf)
+            };
+            match verdict {
+                Some(dist) => {
+                    stats.nearest_verified += 1;
+                    if dist < best_dist {
+                        best_dist = dist;
+                        best = i;
+                        tbase = raw_tbase(metric, dist);
+                    }
+                }
+                None => stats.nearest_pruned += 1,
+            }
+        }
+        assignment.push(best);
+        let mrow = points.row(medoids[best]);
+        let xi = &mut xsums[best];
+        for j in 0..d {
+            xi[j] += (row[j] - mrow[j]).abs();
+        }
+    }
+    AssignXPartial { assignment, xsums }
+}
+
+/// [`refine_assign_block`] with prefix pruning. A candidate here feeds
+/// *two* comparisons — `dist ≤ spheres[i]` (inside any sphere?) and
+/// `dist < best` (nearest?) — so an evaluation may only be abandoned
+/// when the prefix already decides **both**: `dist > spheres[i]`
+/// forces the membership test false, and `dist ≥ best` forces the
+/// nearest test false. Both conditions are "accumulator reaches a raw
+/// threshold", so their conjunction is the *larger* threshold (a NaN
+/// sphere threshold — an unconditionally-inside `∞` sphere — makes the
+/// conjunction unreachable). Outlier flags and winners are
+/// bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_assign_block_pruned(
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    spheres: &[f64],
+    lo: usize,
+    hi: usize,
+    stats: &mut PruneStats,
+) -> Vec<Option<usize>> {
+    if dims.iter().all(|di| di.len() < NEAREST_MIN_DIMS) {
+        stats.nearest_verified += ((hi - lo) * medoids.len()) as u64;
+        return refine_assign_block(points, metric, medoids, dims, spheres, lo, hi);
+    }
+    // Raw-unit "certainly outside the sphere" thresholds, one per slot
+    // (spheres and dimension sets are fixed for the whole block).
+    let rt_sphere: Vec<f64> = spheres
+        .iter()
+        .zip(dims)
+        .map(|(&sphere, di)| raw_gt_threshold(metric, sphere, di.len()))
+        .collect();
+    let lens: Vec<f64> = dims
+        .iter()
+        .map(|di| raw_len_factor(metric, di.len()))
+        .collect();
+    let big_slots = dims
+        .iter()
+        .filter(|di| di.len() >= NEAREST_MIN_DIMS)
+        .count() as u64;
+    let probe_end = (lo + PROBE_POINTS).min(hi);
+    let base_pruned = stats.nearest_pruned;
+    let mut out = Vec::with_capacity(hi - lo);
+    for p in lo..hi {
+        if p == probe_end {
+            let abandoned = stats.nearest_pruned - base_pruned;
+            let reached = ((probe_end - lo) as u64) * big_slots;
+            if abandoned * PREFIX_KEEP_DEN < reached * PREFIX_KEEP_NUM {
+                // Hand the rest of the block to the plain loop.
+                stats.nearest_verified += ((hi - p) * medoids.len()) as u64;
+                out.extend(refine_assign_block(
+                    points, metric, medoids, dims, spheres, p, hi,
+                ));
+                return out;
+            }
+        }
+        let row = points.row(p);
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        let mut tbase = f64::INFINITY;
+        let mut inside_any = false;
+        for (i, ((&m, di), &lf)) in medoids.iter().zip(dims).zip(&lens).enumerate() {
+            let rt_best = tbase * lf;
+            // Once some sphere already contains the point, later
+            // candidates only matter for the nearest test.
+            let rt = if inside_any {
+                rt_best
+            } else if rt_sphere[i].is_nan() {
+                f64::NAN
+            } else {
+                rt_best.max(rt_sphere[i])
+            };
+            let verdict = if di.len() < NEAREST_MIN_DIMS {
+                Some(metric.eval_segmental(row, points.row(m), di))
+            } else {
+                segmental_bounded(metric, row, points.row(m), di, rt)
+            };
+            match verdict {
+                Some(dist) => {
+                    stats.nearest_verified += 1;
+                    if dist <= spheres[i] {
+                        inside_any = true;
+                    }
+                    if dist < best_dist {
+                        best_dist = dist;
+                        best = i;
+                        tbase = raw_tbase(metric, dist);
+                    }
+                }
+                None => stats.nearest_pruned += 1,
+            }
+        }
+        out.push(inside_any.then_some(best));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::NeighborIndex;
     use crate::locality::{localities, medoid_deltas};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -601,5 +1107,113 @@ mod tests {
         let x = merge_cluster_x(vec![partial], &[2], 2);
         // Members {0, 1}: mean |diff| = (0 + 1)/2 and (0 + 3)/2.
         assert_eq!(x, vec![vec![0.5, 1.5]]);
+    }
+
+    /// The pruned fused kernel must be **bit-identical** to the plain
+    /// one — members, order, and X sums — across all metrics, and
+    /// actually prune something on clustered data.
+    #[test]
+    fn fused_block_pruned_is_bit_identical_to_plain() {
+        for metric in [
+            DistanceKind::Manhattan,
+            DistanceKind::Euclidean,
+            DistanceKind::Chebyshev,
+        ] {
+            for seed in [11u64, 29] {
+                let points = random_points(900, 7, seed);
+                let medoids = vec![3usize, 99, 402, 777];
+                let deltas = medoid_deltas(&points, &medoids, metric);
+                let index = std::sync::Arc::new(NeighborIndex::build(&points, metric));
+                let ctx = FusedPruneCtx::new(index, &points, &medoids, metric);
+                let mut stats = PruneStats::default();
+                for (lo, hi) in blocks(points.rows()) {
+                    let plain = fused_block(&points, metric, &medoids, &deltas, lo, hi);
+                    let pruned = fused_block_pruned(
+                        &points, metric, &medoids, &deltas, &ctx, lo, hi, &mut stats,
+                    );
+                    assert_eq!(plain.locs, pruned.locs, "{metric:?} seed {seed}");
+                    for (a, b) in plain.xsums.iter().zip(&pruned.xsums) {
+                        let ab: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+                        let bb: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(ab, bb, "{metric:?} seed {seed}: X bits moved");
+                    }
+                }
+                assert!(
+                    stats.range_sketch_pruned + stats.range_triangle_pruned > 0,
+                    "{metric:?} seed {seed}: range pruning inert"
+                );
+            }
+        }
+    }
+
+    /// The pruned assignment kernels must reproduce the plain winners
+    /// (and X sums, and outlier flags) bit for bit.
+    #[test]
+    fn pruned_assignment_kernels_are_bit_identical_to_plain() {
+        for metric in [
+            DistanceKind::Manhattan,
+            DistanceKind::Euclidean,
+            DistanceKind::Chebyshev,
+        ] {
+            // Dimension sets must reach NEAREST_MIN_DIMS for the
+            // bounded path to engage at all; a couple of small sets
+            // exercise the mixed small/large case.
+            let points = random_points(800, 12, 31);
+            let medoids = vec![2usize, 170, 444, 650];
+            let dims = vec![
+                (0..10).collect::<Vec<_>>(),
+                (1..11).collect(),
+                (2..12).collect(),
+                vec![0, 5],
+            ];
+            let spheres = crate::refine::spheres_of_influence(&points, &medoids, &dims, metric);
+            let mut stats = PruneStats::default();
+            for (lo, hi) in blocks(points.rows()) {
+                assert_eq!(
+                    assign_block(&points, metric, &medoids, &dims, lo, hi),
+                    assign_block_pruned(&points, metric, &medoids, &dims, lo, hi, &mut stats),
+                    "{metric:?} assign"
+                );
+                let plain = assign_x_block(&points, metric, &medoids, &dims, lo, hi);
+                let pruned =
+                    assign_x_block_pruned(&points, metric, &medoids, &dims, lo, hi, &mut stats);
+                assert_eq!(plain.assignment, pruned.assignment, "{metric:?} assign_x");
+                for (a, b) in plain.xsums.iter().zip(&pruned.xsums) {
+                    let ab: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+                    let bb: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(ab, bb, "{metric:?} assign_x X bits moved");
+                }
+                assert_eq!(
+                    refine_assign_block(&points, metric, &medoids, &dims, &spheres, lo, hi),
+                    refine_assign_block_pruned(
+                        &points, metric, &medoids, &dims, &spheres, lo, hi, &mut stats
+                    ),
+                    "{metric:?} refine"
+                );
+            }
+            assert!(stats.nearest_pruned > 0, "{metric:?}: prefix pruning inert");
+        }
+    }
+
+    /// Pruned kernels preserve the NaN semantics of the plain path (a
+    /// NaN-coordinate medoid never wins, all-NaN rows land on slot 0).
+    #[test]
+    fn pruned_kernels_preserve_nan_semantics() {
+        let rows: Vec<[f64; 2]> = vec![[0.0, 0.0], [f64::NAN, 1.0], [2.0, 2.0], [50.0, 50.0]];
+        let points = Matrix::from_rows(&rows, 2);
+        let medoids = vec![1usize, 3];
+        let dims = vec![vec![0, 1], vec![0, 1]];
+        let metric = DistanceKind::Manhattan;
+        let mut stats = PruneStats::default();
+        assert_eq!(
+            assign_block(&points, metric, &medoids, &dims, 0, 4),
+            assign_block_pruned(&points, metric, &medoids, &dims, 0, 4, &mut stats),
+        );
+        let deltas = medoid_deltas(&points, &medoids, metric);
+        let index = std::sync::Arc::new(NeighborIndex::build(&points, metric));
+        let ctx = FusedPruneCtx::new(index, &points, &medoids, metric);
+        let plain = fused_block(&points, metric, &medoids, &deltas, 0, 4);
+        let pruned = fused_block_pruned(&points, metric, &medoids, &deltas, &ctx, 0, 4, &mut stats);
+        assert_eq!(plain, pruned);
     }
 }

@@ -50,6 +50,7 @@ pub mod dims;
 pub mod error;
 pub mod evaluate;
 pub mod greedy;
+pub mod index;
 pub mod init;
 pub mod iterate;
 pub mod kernel;
@@ -61,5 +62,6 @@ pub mod pool;
 pub mod refine;
 
 pub use error::ProclusError;
+pub use index::NeighborIndex;
 pub use model::{Degradation, FitDiagnostics, ProclusModel, ProjectedCluster};
 pub use params::{InitStrategy, Proclus};

@@ -99,6 +99,17 @@ pub struct Proclus {
     /// correctness baseline; also what `cache.*` counters compare
     /// against).
     pub round_cache: bool,
+    /// Use the exact-pruning neighbor index (default `true`). A per-fit
+    /// [`crate::index::NeighborIndex`] (random-projection sketches plus
+    /// per-pass medoid triangle bounds) lets the locality, assignment,
+    /// and refinement passes skip exact segmental-distance evaluations
+    /// whose outcome a certified lower bound already decides. The index
+    /// only *prunes* — every surviving candidate is verified by the
+    /// exact evaluation — so fits, event streams, and golden digests
+    /// are **bit-identical** with it on or off; `index.*` manifest
+    /// counters report the work saved. Disable for the unpruned
+    /// baseline (`fit --no-index` on the CLI).
+    pub neighbor_index: bool,
 }
 
 impl Proclus {
@@ -121,6 +132,7 @@ impl Proclus {
             standardize_dimensions: true,
             threads: 1,
             round_cache: true,
+            neighbor_index: true,
         }
     }
 
@@ -128,6 +140,13 @@ impl Proclus {
     /// are bit-identical either way — see [`crate::cache`]).
     pub fn round_cache(mut self, v: bool) -> Self {
         self.round_cache = v;
+        self
+    }
+
+    /// Toggle the exact-pruning neighbor index (default on; results are
+    /// bit-identical either way — see [`crate::index`]).
+    pub fn neighbor_index(mut self, v: bool) -> Self {
+        self.neighbor_index = v;
         self
     }
 

@@ -25,6 +25,7 @@
 //!   the same order, so it is the reference the pooled path is compared
 //!   against in the property tests.
 
+use crate::index::{FusedPruneCtx, NeighborIndex, PruneStats};
 use crate::kernel::{self, AssignXPartial, FusedPartial};
 use proclus_math::{DistanceKind, Matrix};
 use std::sync::mpsc::{Receiver, Sender};
@@ -33,18 +34,27 @@ use std::sync::{mpsc, Arc, Mutex};
 /// Owned per-round job data shipped to the workers. Small (O(k·d) plus
 /// one `Arc`'d assignment for the refinement pass) — the point matrix
 /// itself is borrowed by the workers, never sent.
+///
+/// The fused task optionally carries a shared [`FusedPruneCtx`], and
+/// the assignment-style tasks a `pruned` flag; either engages the
+/// pruned kernel twin ([`crate::kernel`]), which is bit-identical to
+/// the plain kernel, so the choice never reaches the results — only
+/// the [`PruneStats`] riding back with each partial.
 enum Task {
     Fused {
         medoids: Arc<Vec<usize>>,
         deltas: Arc<Vec<f64>>,
+        ctx: Option<Arc<FusedPruneCtx>>,
     },
     Assign {
         medoids: Arc<Vec<usize>>,
         dims: Arc<Vec<Vec<usize>>>,
+        pruned: bool,
     },
     AssignX {
         medoids: Arc<Vec<usize>>,
         dims: Arc<Vec<Vec<usize>>>,
+        pruned: bool,
     },
     Columns {
         medoids: Arc<Vec<usize>>,
@@ -58,6 +68,7 @@ enum Task {
         medoids: Arc<Vec<usize>>,
         dims: Arc<Vec<Vec<usize>>>,
         spheres: Arc<Vec<f64>>,
+        pruned: bool,
     },
 }
 
@@ -79,17 +90,47 @@ enum Partial {
 }
 
 impl Task {
-    fn run(&self, points: &Matrix, metric: DistanceKind, lo: usize, hi: usize) -> Partial {
-        match self {
-            Task::Fused { medoids, deltas } => {
-                Partial::Fused(kernel::fused_block(points, metric, medoids, deltas, lo, hi))
-            }
-            Task::Assign { medoids, dims } => {
-                Partial::Assign(kernel::assign_block(points, metric, medoids, dims, lo, hi))
-            }
-            Task::AssignX { medoids, dims } => Partial::AssignX(kernel::assign_x_block(
-                points, metric, medoids, dims, lo, hi,
-            )),
+    /// Run the task over one row block. The returned [`PruneStats`] are
+    /// this block's index-pruning counters (zero for unpruned tasks) —
+    /// per-pair decisions depend only on the pair, so the totals are
+    /// scheduling-independent even though they ride back with partials.
+    fn run(
+        &self,
+        points: &Matrix,
+        metric: DistanceKind,
+        lo: usize,
+        hi: usize,
+    ) -> (Partial, PruneStats) {
+        let mut prune = PruneStats::default();
+        let partial = match self {
+            Task::Fused {
+                medoids,
+                deltas,
+                ctx,
+            } => Partial::Fused(match ctx {
+                Some(ctx) => kernel::fused_block_pruned(
+                    points, metric, medoids, deltas, ctx, lo, hi, &mut prune,
+                ),
+                None => kernel::fused_block(points, metric, medoids, deltas, lo, hi),
+            }),
+            Task::Assign {
+                medoids,
+                dims,
+                pruned,
+            } => Partial::Assign(if *pruned {
+                kernel::assign_block_pruned(points, metric, medoids, dims, lo, hi, &mut prune)
+            } else {
+                kernel::assign_block(points, metric, medoids, dims, lo, hi)
+            }),
+            Task::AssignX {
+                medoids,
+                dims,
+                pruned,
+            } => Partial::AssignX(if *pruned {
+                kernel::assign_x_block_pruned(points, metric, medoids, dims, lo, hi, &mut prune)
+            } else {
+                kernel::assign_x_block(points, metric, medoids, dims, lo, hi)
+            }),
             Task::Columns { medoids, dims } => {
                 Partial::Columns(kernel::columns_block(points, metric, medoids, dims, lo, hi))
             }
@@ -101,25 +142,46 @@ impl Task {
                 medoids,
                 dims,
                 spheres,
-            } => Partial::RefineAssign(kernel::refine_assign_block(
-                points, metric, medoids, dims, spheres, lo, hi,
-            )),
-        }
+                pruned,
+            } => Partial::RefineAssign(if *pruned {
+                kernel::refine_assign_block_pruned(
+                    points, metric, medoids, dims, spheres, lo, hi, &mut prune,
+                )
+            } else {
+                kernel::refine_assign_block(points, metric, medoids, dims, spheres, lo, hi)
+            }),
+        };
+        (partial, prune)
     }
 
     fn clone_refs(&self) -> Task {
         match self {
-            Task::Fused { medoids, deltas } => Task::Fused {
+            Task::Fused {
+                medoids,
+                deltas,
+                ctx,
+            } => Task::Fused {
                 medoids: Arc::clone(medoids),
                 deltas: Arc::clone(deltas),
+                ctx: ctx.as_ref().map(Arc::clone),
             },
-            Task::Assign { medoids, dims } => Task::Assign {
+            Task::Assign {
+                medoids,
+                dims,
+                pruned,
+            } => Task::Assign {
                 medoids: Arc::clone(medoids),
                 dims: Arc::clone(dims),
+                pruned: *pruned,
             },
-            Task::AssignX { medoids, dims } => Task::AssignX {
+            Task::AssignX {
+                medoids,
+                dims,
+                pruned,
+            } => Task::AssignX {
                 medoids: Arc::clone(medoids),
                 dims: Arc::clone(dims),
+                pruned: *pruned,
             },
             Task::Columns { medoids, dims } => Task::Columns {
                 medoids: Arc::clone(medoids),
@@ -136,10 +198,12 @@ impl Task {
                 medoids,
                 dims,
                 spheres,
+                pruned,
             } => Task::RefineAssign {
                 medoids: Arc::clone(medoids),
                 dims: Arc::clone(dims),
                 spheres: Arc::clone(spheres),
+                pruned: *pruned,
             },
         }
     }
@@ -151,7 +215,7 @@ enum Mode {
     /// Persistent workers consuming from a shared job queue.
     Pooled {
         job_tx: Sender<Job>,
-        result_rx: Receiver<(usize, Partial)>,
+        result_rx: Receiver<(usize, Partial, PruneStats)>,
     },
 }
 
@@ -200,6 +264,12 @@ pub struct Pool<'env> {
     physical: PoolStats,
     round_mark: PoolStats,
     queue_high_water: u64,
+    /// The per-fit neighbor index; `Some` engages the pruned kernel
+    /// twins in every fused/assign/refine pass.
+    index: Option<Arc<NeighborIndex>>,
+    /// Cumulative pruning counters across all passes (manifest-only —
+    /// see [`crate::index::PruneStats`]).
+    prune: PruneStats,
 }
 
 /// Run `f` with a [`Pool`] over `points`. With `threads > 1` (and at
@@ -227,13 +297,15 @@ pub fn with_pool<R>(
             physical: PoolStats::default(),
             round_mark: PoolStats::default(),
             queue_high_water: 0,
+            index: None,
+            prune: PruneStats::default(),
         };
         return f(&mut pool);
     }
     std::thread::scope(|s| {
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
-        let (result_tx, result_rx) = mpsc::channel::<(usize, Partial)>();
+        let (result_tx, result_rx) = mpsc::channel::<(usize, Partial, PruneStats)>();
         for _ in 0..workers {
             let rx = Arc::clone(&job_rx);
             let tx = result_tx.clone();
@@ -251,8 +323,8 @@ pub fn with_pool<R>(
                         Err(_) => break, // pool dropped: fit is over
                     };
                     let (lo, hi) = job.block;
-                    let partial = job.task.run(points, metric, lo, hi);
-                    if tx.send((job.index, partial)).is_err() {
+                    let (partial, prune) = job.task.run(points, metric, lo, hi);
+                    if tx.send((job.index, partial, prune)).is_err() {
                         break;
                     }
                 }
@@ -268,6 +340,8 @@ pub fn with_pool<R>(
             physical: PoolStats::default(),
             round_mark: PoolStats::default(),
             queue_high_water: 0,
+            index: None,
+            prune: PruneStats::default(),
         };
         let out = f(&mut pool);
         // Dropping the pool closes the job channel; every worker's next
@@ -337,6 +411,26 @@ impl<'env> Pool<'env> {
         self.queue_high_water
     }
 
+    /// Install (or remove) the neighbor index. With an index set, every
+    /// fused, assignment, and refinement pass runs its pruned kernel
+    /// twin; results are bit-identical either way.
+    pub fn set_index(&mut self, index: Option<Arc<NeighborIndex>>) {
+        self.index = index;
+    }
+
+    /// Whether a neighbor index is installed.
+    pub fn index_enabled(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Cumulative index-pruning counters since pool creation.
+    /// Scheduling-independent (per-pair decisions depend only on the
+    /// pair) but engine-dependent: manifest counters only, never the
+    /// event stream.
+    pub fn prune_stats(&self) -> PruneStats {
+        self.prune
+    }
+
     /// Fan a task out over all row blocks, booking both a logical and a
     /// physical pass (the default for the uncached full passes).
     fn dispatch(&mut self, task: Task) -> Vec<Partial> {
@@ -355,7 +449,11 @@ impl<'env> Pool<'env> {
         match &self.mode {
             Mode::Serial => blocks
                 .into_iter()
-                .map(|(lo, hi)| task.run(self.points, self.metric, lo, hi))
+                .map(|(lo, hi)| {
+                    let (partial, prune) = task.run(self.points, self.metric, lo, hi);
+                    self.prune.merge(prune);
+                    partial
+                })
                 .collect(),
             Mode::Pooled { job_tx, result_rx } => {
                 let total = blocks.len();
@@ -374,11 +472,13 @@ impl<'env> Pool<'env> {
                 }
                 self.queue_high_water = self.queue_high_water.max(queued as u64);
                 let mut received = 0usize;
+                let mut prune = PruneStats::default();
                 while received < queued {
                     match result_rx.recv() {
-                        Ok((index, partial)) => {
+                        Ok((index, partial, block_prune)) => {
                             if slots[index].replace(partial).is_none() {
                                 received += 1;
+                                prune.merge(block_prune);
                             }
                         }
                         Err(_) => break, // all workers gone mid-dispatch
@@ -389,9 +489,12 @@ impl<'env> Pool<'env> {
                 // pass always completes with the exact serial result.
                 for (slot, &(lo, hi)) in slots.iter_mut().zip(&blocks) {
                     if slot.is_none() {
-                        *slot = Some(task.run(self.points, self.metric, lo, hi));
+                        let (partial, block_prune) = task.run(self.points, self.metric, lo, hi);
+                        *slot = Some(partial);
+                        prune.merge(block_prune);
                     }
                 }
+                self.prune.merge(prune);
                 slots.into_iter().flatten().collect()
             }
         }
@@ -419,9 +522,20 @@ impl<'env> Pool<'env> {
         deltas: &[f64],
     ) -> (Vec<Vec<usize>>, Vec<Vec<f64>>) {
         let d = self.points.cols();
+        // O(k²·d + k·R) per pass — amortized over the O(N·k·d) sweep it
+        // prunes. Built fresh each pass because the medoid set changes.
+        let ctx = self.index.as_ref().map(|idx| {
+            Arc::new(FusedPruneCtx::new(
+                Arc::clone(idx),
+                self.points,
+                medoids,
+                self.metric,
+            ))
+        });
         let partials = self.dispatch_physical(Task::Fused {
             medoids: Arc::new(medoids.to_vec()),
             deltas: Arc::new(deltas.to_vec()),
+            ctx,
         });
         let fused = partials
             .into_iter()
@@ -469,9 +583,11 @@ impl<'env> Pool<'env> {
 
     /// Plain assignment pass (no `X` accumulation).
     pub fn assign(&mut self, medoids: &[usize], dims: &[Vec<usize>]) -> Vec<usize> {
+        let pruned = self.index.is_some();
         let partials = self.dispatch(Task::Assign {
             medoids: Arc::new(medoids.to_vec()),
             dims: Arc::new(dims.to_vec()),
+            pruned,
         });
         let mut flat = Vec::with_capacity(self.points.rows());
         for p in partials {
@@ -492,9 +608,11 @@ impl<'env> Pool<'env> {
     ) -> (Vec<usize>, Vec<Vec<f64>>) {
         let k = medoids.len();
         let d = self.points.cols();
+        let pruned = self.index.is_some();
         let partials = self.dispatch(Task::AssignX {
             medoids: Arc::new(medoids.to_vec()),
             dims: Arc::new(dims.to_vec()),
+            pruned,
         });
         let parts = partials
             .into_iter()
@@ -556,10 +674,12 @@ impl<'env> Pool<'env> {
         dims: &[Vec<usize>],
         spheres: &[f64],
     ) -> Vec<Option<usize>> {
+        let pruned = self.index.is_some();
         let partials = self.dispatch(Task::RefineAssign {
             medoids: Arc::new(medoids.to_vec()),
             dims: Arc::new(dims.to_vec()),
             spheres: Arc::new(spheres.to_vec()),
+            pruned,
         });
         let mut flat = Vec::with_capacity(self.points.rows());
         for p in partials {
@@ -714,6 +834,52 @@ mod tests {
             sum
         });
         assert_eq!(total, serial_total);
+    }
+
+    /// Installing the neighbor index must not move a single bit of any
+    /// pass result — only the prune counters — at any thread count.
+    #[test]
+    fn indexed_pool_passes_match_unindexed_bit_for_bit() {
+        let points = random_points(3000, 6, 42);
+        let medoids = vec![5usize, 700, 1800];
+        let dims = vec![vec![0, 1], vec![2, 3], vec![4, 5]];
+        let metric = DistanceKind::Manhattan;
+        let deltas = medoid_deltas(&points, &medoids, metric);
+        let spheres = crate::refine::spheres_of_influence(&points, &medoids, &dims, metric);
+
+        let run = |threads: usize, indexed: bool| {
+            with_pool(&points, metric, threads, |pool| {
+                if indexed {
+                    pool.set_index(Some(Arc::new(NeighborIndex::build(&points, metric))));
+                    assert!(pool.index_enabled());
+                }
+                let fused = pool.fused_round(&medoids, &deltas);
+                let assign = pool.assign(&medoids, &dims);
+                let ax = pool.assign_x(&medoids, &dims);
+                let ra = pool.refine_assign(&medoids, &dims, &spheres);
+                let pruned = {
+                    let s = pool.prune_stats();
+                    s.range_sketch_pruned
+                        + s.range_triangle_pruned
+                        + s.range_prefix_pruned
+                        + s.nearest_pruned
+                };
+                (fused, assign, ax, ra, pruned)
+            })
+        };
+
+        let plain = run(1, false);
+        assert_eq!(plain.4, 0, "unindexed pool must not count prunes");
+        for threads in [1, 4] {
+            let indexed = run(threads, true);
+            assert_eq!(plain.0, indexed.0, "fused, threads {threads}");
+            assert_eq!(plain.1, indexed.1, "assign, threads {threads}");
+            assert_eq!(plain.2, indexed.2, "assign_x, threads {threads}");
+            assert_eq!(plain.3, indexed.3, "refine, threads {threads}");
+            assert!(indexed.4 > 0, "index inert at threads {threads}");
+        }
+        // The counters themselves are scheduling-independent.
+        assert_eq!(run(1, true).4, run(4, true).4);
     }
 
     #[test]

@@ -24,10 +24,26 @@ pub struct Refined {
     pub spheres: Vec<f64>,
 }
 
-/// Spheres of influence: `Δᵢ = min_{j ≠ i} d_{Dᵢ}(mᵢ, mⱼ)`.
+/// Spheres of influence: `Δᵢ = min_{j ≠ i} d_{Dᵢ}(mᵢ, mⱼ)`, taken over
+/// the medoids at *non-zero* projected distance from `mᵢ`.
 ///
 /// Note the asymmetry: `Δᵢ` is measured in medoid `i`'s own subspace.
 /// With a single medoid, `Δ` is infinite and no point is an outlier.
+///
+/// # Zero-distance medoids are excluded
+///
+/// A medoid `mⱼ` that coincides with `mᵢ` in `mᵢ`'s subspace
+/// (duplicate data rows, or distinct rows that project onto the same
+/// coordinates) would yield `Δᵢ = 0`, and a zero sphere marks every
+/// point of cluster `i` except the medoid itself an outlier — the
+/// cluster silently collapses. The paper defines `Δᵢ` as the distance
+/// to the nearest *other* cluster's center; a coincident medoid
+/// carries no locality information at all, so — consistent with the
+/// empty-locality fallback of the iterative phase (`Lᵢ = {mᵢ}` when no
+/// point is strictly within `δᵢ`) — such medoids are skipped. When
+/// *every* other medoid coincides, `Δᵢ` stays infinite and medoid `i`
+/// degenerates to the single-medoid rule (no point is its outlier),
+/// rather than every point becoming one.
 pub fn spheres_of_influence(
     points: &Matrix,
     medoids: &[usize],
@@ -42,7 +58,7 @@ pub fn spheres_of_influence(
                 continue;
             }
             let d = metric.eval_segmental(points.row(medoids[i]), points.row(medoids[j]), &dims[i]);
-            if d < spheres[i] {
+            if d > 0.0 && d < spheres[i] {
                 spheres[i] = d;
             }
         }
@@ -218,26 +234,67 @@ mod tests {
     /// non-outliers to the closest medoid, full stop.
     #[test]
     fn inside_one_sphere_but_nearest_to_another_medoid() {
-        // m0 = (0,0) on dims {0}; m1 = (10,0) on dims {1}.
-        let m = Matrix::from_rows(&[[0.0, 0.0], [10.0, 0.0], [6.0, 5.0], [100.0, 100.0]], 2);
+        // m0 = (0,0) on dims {0}; m1 = (10,3) on dims {1}.
+        let m = Matrix::from_rows(&[[0.0, 0.0], [10.0, 3.0], [6.0, 7.0], [100.0, 100.0]], 2);
         let medoids = [0usize, 1];
         let dims = vec![vec![0], vec![1]];
         let metric = DistanceKind::Manhattan;
         let spheres = spheres_of_influence(&m, &medoids, &dims, metric);
-        // Δ0 = d_{D0}(m0, m1) = 10; Δ1 = d_{D1}(m1, m0) = 0.
-        assert_eq!(spheres, vec![10.0, 0.0]);
+        // Δ0 = d_{D0}(m0, m1) = 10; Δ1 = d_{D1}(m1, m0) = 3.
+        assert_eq!(spheres, vec![10.0, 3.0]);
         let assignment = crate::pool::with_pool(&m, metric, 1, |pool| {
             pool.refine_assign(&medoids, &dims, &spheres)
         });
-        // Point 2 = (6,5): distance 6 to m0 (inside Δ0 = 10) but
-        // distance 5 to m1 (outside Δ1 = 0). Non-outlier, assigned to
+        // Point 2 = (6,7): distance 6 to m0 (inside Δ0 = 10) but
+        // distance 4 to m1 (outside Δ1 = 3). Non-outlier, assigned to
         // the *nearest* medoid m1, not the sphere owner m0.
         assert_eq!(assignment[2], Some(1));
         // The far point is outside both spheres: outlier.
         assert_eq!(assignment[3], None);
-        // Each medoid stays home (m1 is inside its own zero sphere).
+        // Each medoid stays home.
         assert_eq!(assignment[0], Some(0));
         assert_eq!(assignment[1], Some(1));
+    }
+
+    /// Regression: duplicate (or subspace-coincident) medoids used to
+    /// produce `Δᵢ = 0`, which marked every cluster point except the
+    /// medoid itself an outlier. Zero projected distances are now
+    /// excluded, so a fully-duplicated medoid pair degenerates to the
+    /// single-medoid rule (infinite spheres, no outliers) instead of
+    /// collapsing both clusters.
+    #[test]
+    fn coincident_medoids_do_not_collapse_spheres() {
+        // Rows 0 and 1 are byte-identical; rows 2..5 form one tight
+        // group around them.
+        let rows: Vec<[f64; 2]> = vec![[5.0, 5.0], [5.0, 5.0], [5.5, 5.2], [4.8, 5.1], [5.1, 4.7]];
+        let m = Matrix::from_rows(&rows, 2);
+        let medoids = [0usize, 1];
+        let dims = vec![vec![0, 1], vec![0, 1]];
+        let metric = DistanceKind::Manhattan;
+
+        let spheres = spheres_of_influence(&m, &medoids, &dims, metric);
+        assert_eq!(spheres, vec![f64::INFINITY, f64::INFINITY]);
+
+        // With the old zero spheres, points 2..5 were all outliers.
+        // Now every point lands in a cluster (ties to the lower index).
+        let refined = refine(&m, &medoids, &[vec![0, 2, 3], vec![1, 4]], 4, metric);
+        assert!(
+            refined.assignment.iter().all(|a| a.is_some()),
+            "coincident medoids must not outlier the whole dataset: {:?}",
+            refined.assignment
+        );
+
+        // Mixed case: a third, genuinely distinct medoid still bounds
+        // the duplicated pair's spheres by its own non-zero distance.
+        let rows: Vec<[f64; 2]> = vec![[0.0, 0.0], [0.0, 0.0], [10.0, 0.0]];
+        let m = Matrix::from_rows(&rows, 2);
+        let spheres = spheres_of_influence(
+            &m,
+            &[0, 1, 2],
+            &[vec![0], vec![0], vec![0]],
+            DistanceKind::Manhattan,
+        );
+        assert_eq!(spheres, vec![10.0, 10.0, 10.0]);
     }
 
     #[test]

@@ -28,6 +28,8 @@ use crate::event::Event;
 pub enum Phase {
     /// PROCLUS phase 1: greedy candidate-medoid selection.
     Init,
+    /// Neighbor-index construction (per-fit sketch table build).
+    Index,
     /// Locality computation (`Lᵢ`, fused with per-dim averages).
     Locality,
     /// FindDimensions (Z-score allocation).
@@ -51,6 +53,7 @@ impl Phase {
     pub fn name(self) -> &'static str {
         match self {
             Phase::Init => "init",
+            Phase::Index => "index",
             Phase::Locality => "locality",
             Phase::Dims => "dims",
             Phase::Assign => "assign",
@@ -63,8 +66,9 @@ impl Phase {
     }
 
     /// Every phase, in the order summaries print them.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Init,
+        Phase::Index,
         Phase::Locality,
         Phase::Dims,
         Phase::Assign,

@@ -342,6 +342,121 @@ fn orclus_is_scale_invariant_up_to_objective() {
     }
 }
 
+/// Tie-breaking audit: "ties go to the lower cluster index" must hold
+/// identically on every assignment path — the scalar loops (exact and
+/// monotone-prefix pruned), the blocked pool kernels at 1 and 4
+/// threads, and the sketch/triangle-pruned pool kernels. Quantized
+/// integer coordinates make exact distance ties common (including
+/// duplicated medoid rows), so any path that resolved ties by
+/// evaluation order instead of cluster index would diverge here.
+#[test]
+fn tie_breaking_is_identical_across_all_assignment_paths() {
+    use proclus::core::assign::{assign_points, assign_points_pruned};
+    use proclus::core::index::{NeighborIndex, PruneStats};
+    use proclus::core::pool::with_pool;
+    use std::sync::Arc;
+
+    for metric in [
+        DistanceKind::Manhattan,
+        DistanceKind::Euclidean,
+        DistanceKind::Chebyshev,
+    ] {
+        for case in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(0x71E_0000 + case);
+            let n = 300;
+            let d = 5;
+            // Coordinates on a tiny integer grid: ties everywhere.
+            let data: Vec<f64> = (0..n * d)
+                .map(|_| f64::from(rng.random_range(0u32..4)))
+                .collect();
+            let m = Matrix::from_vec(data, n, d);
+            // Duplicated grid points mean some medoids coincide too.
+            let medoids: Vec<usize> = vec![
+                rng.random_range(0..n / 4),
+                rng.random_range(n / 4..n / 2),
+                rng.random_range(n / 2..3 * n / 4),
+                rng.random_range(3 * n / 4..n),
+            ];
+            let dims: Vec<Vec<usize>> = (0..medoids.len())
+                .map(|_| {
+                    let a = rng.random_range(0..d);
+                    let b = (a + 1 + rng.random_range(0..d - 1)) % d;
+                    let mut v = vec![a, b];
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+
+            // The reference: scalar exact loop (strict `<`, first wins).
+            let reference = assign_points(&m, &medoids, &dims, metric);
+
+            // The ties must actually occur, or the test is inert.
+            let tied = (0..n)
+                .filter(|&p| {
+                    let dists: Vec<f64> = medoids
+                        .iter()
+                        .zip(&dims)
+                        .map(|(&md, di)| metric.eval_segmental(m.row(p), m.row(md), di))
+                        .collect();
+                    let min = dists.iter().cloned().fold(f64::INFINITY, f64::min);
+                    dists.iter().filter(|&&x| x == min).count() > 1
+                })
+                .count();
+            assert!(tied > 0, "{metric:?} case {case}: no ties generated");
+
+            // Scalar pruned loop.
+            let mut stats = PruneStats::default();
+            let pruned = assign_points_pruned(&m, &medoids, &dims, metric, &mut stats);
+            assert_eq!(reference, pruned, "{metric:?} case {case}: scalar pruned");
+
+            // Pool paths: blocked kernels, plain and index-pruned, at 1
+            // and 4 threads.
+            for threads in [1usize, 4] {
+                for indexed in [false, true] {
+                    let got = with_pool(&m, metric, threads, |pool| {
+                        if indexed {
+                            pool.set_index(Some(Arc::new(NeighborIndex::build(&m, metric))));
+                        }
+                        pool.assign(&medoids, &dims)
+                    });
+                    assert_eq!(
+                        reference, got,
+                        "{metric:?} case {case}: pool threads={threads} indexed={indexed}"
+                    );
+                }
+            }
+
+            // Refinement path: the sphere-gated assignment breaks its
+            // nearest-medoid ties the same way on every path.
+            let spheres = proclus::core::refine::spheres_of_influence(&m, &medoids, &dims, metric);
+            let reference_refine = with_pool(&m, metric, 1, |pool| {
+                pool.refine_assign(&medoids, &dims, &spheres)
+            });
+            for threads in [1usize, 4] {
+                for indexed in [false, true] {
+                    let got = with_pool(&m, metric, threads, |pool| {
+                        if indexed {
+                            pool.set_index(Some(Arc::new(NeighborIndex::build(&m, metric))));
+                        }
+                        pool.refine_assign(&medoids, &dims, &spheres)
+                    });
+                    assert_eq!(
+                        reference_refine, got,
+                        "{metric:?} case {case}: refine threads={threads} indexed={indexed}"
+                    );
+                }
+            }
+            // Non-outliers follow the scalar winner exactly.
+            for (p, r) in reference_refine.iter().enumerate() {
+                if let Some(c) = r {
+                    assert_eq!(*c, reference[p], "{metric:?} case {case}: point {p}");
+                }
+            }
+        }
+    }
+}
+
 /// k-means under exact scaling: identical assignments, cost scaled.
 #[test]
 fn kmeans_is_scale_invariant_up_to_cost() {

@@ -7,3 +7,4 @@ pub mod generate;
 pub mod inspect;
 pub mod inspect_trace;
 pub mod orclus;
+pub mod stream;

@@ -38,7 +38,7 @@ proclus fit — PROCLUS projected clustering (SIGMOD 1999)
 
 /// Ring capacity for the `--verbose` summary; old events are evicted
 /// (and counted) beyond this, which the summary reports.
-const VERBOSE_RING_CAPACITY: usize = 8192;
+pub(crate) const VERBOSE_RING_CAPACITY: usize = 8192;
 
 /// Parse a metric name.
 pub fn parse_metric(name: &str) -> Result<DistanceKind, ArgError> {
@@ -133,17 +133,25 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         (None, None) => params.fit(&points)?,
     };
 
+    // Close the trace stream *before* reporting success: JsonlRecorder
+    // stashes mid-stream write errors until finish, and a fit whose
+    // trace was lost must fail (exit 74) rather than print a model
+    // summary over a truncated events.jsonl.
+    let manifest = match &jsonl {
+        Some(jsonl) => Some(jsonl.finish(
+            params_json(&input, &params, &metric, paper_literal),
+            result_json(&model),
+        )?),
+        None => None,
+    };
+
     writeln!(out, "{model}")?;
     if let Some(ring) = &ring {
         let summary = TraceSummary::from_events(&ring.events(), ring.dropped());
         write!(out, "{}", summary.render())?;
         writeln!(out, "diagnostics: {}", model.diagnostics())?;
     }
-    if let Some(jsonl) = &jsonl {
-        let manifest = jsonl.finish(
-            params_json(&input, &params, &metric, paper_literal),
-            result_json(&model),
-        )?;
+    if let Some(manifest) = manifest {
         writeln!(out, "trace written to {}", manifest.display())?;
     }
     if let Some(path) = out_path {
@@ -289,6 +297,38 @@ mod tests {
             indexed, unindexed,
             "model summary must not depend on the pruning index"
         );
+    }
+
+    /// `--trace-out` into an unwritable location must fail the command
+    /// with a located I/O error (the CLI maps it to exit 74) and leave
+    /// no truncated events.jsonl behind.
+    #[test]
+    fn unwritable_trace_dir_fails_with_located_io_error() {
+        let input = tmp("badtrace.csv");
+        let data = SyntheticSpec::new(200, 5, 2, 2.0).seed(5).generate();
+        crate::io::write_dataset(input.as_ref(), &data.points, None).unwrap();
+        // A *file* where the trace directory's parent should be makes
+        // every create under it fail naturally (works even as root,
+        // where permission bits are ignored).
+        let blocker = tmp("blocker");
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let trace_dir = format!("{blocker}/trace");
+        let args = Args::parse(
+            toks(&format!(
+                "--input {input} --k 2 --l 2 --trace-out {trace_dir}"
+            )),
+            &["paper-literal"],
+        )
+        .unwrap();
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        std::fs::remove_file(&input).ok();
+        let msg = err.to_string();
+        assert!(msg.contains(&trace_dir) || msg.contains(&blocker), "{msg}");
+        assert_eq!(crate::exit_code_for(err.as_ref()), 74, "{msg}");
+        assert!(!std::path::Path::new(&trace_dir)
+            .join(proclus_obs::EVENTS_FILE)
+            .exists());
+        std::fs::remove_file(&blocker).ok();
     }
 
     #[test]

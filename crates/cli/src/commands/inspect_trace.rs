@@ -106,6 +106,26 @@ fn index_summary(manifest: &json::Json) -> Option<String> {
     ))
 }
 
+/// Derived stream health from a `proclus stream` manifest's result
+/// object: ingest volume, quarantine count, and rollover tallies.
+/// `None` for non-streaming traces (e.g. a plain `fit`).
+fn stream_summary(manifest: &json::Json) -> Option<String> {
+    let result = manifest.get("result")?;
+    let num = |name: &str| result.get(name).and_then(json::Json::as_usize);
+    let batches = num("batches")?;
+    let quarantined = num("quarantined")?;
+    let promotions = num("promotions")?;
+    let rollbacks = num("rollbacks")?;
+    let serving = result
+        .get("serving_generation")
+        .and_then(json::Json::as_usize)
+        .map_or_else(|| "none".to_string(), |g| format!("generation {g}"));
+    Some(format!(
+        "stream health: {batches} batches ({quarantined} quarantined), \
+         {promotions} promoted / {rollbacks} rolled back, serving {serving}"
+    ))
+}
+
 /// Run the command.
 pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
     let dir = PathBuf::from(args.require("input")?);
@@ -126,6 +146,9 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         writeln!(out, "{line}")?;
     }
     if let Some(line) = index_summary(&manifest) {
+        writeln!(out, "{line}")?;
+    }
+    if let Some(line) = stream_summary(&manifest) {
         writeln!(out, "{line}")?;
     }
     if let Some(json::Json::Obj(members)) = manifest.get("params") {

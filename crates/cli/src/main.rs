@@ -23,6 +23,7 @@ commands:
   fit        PROCLUS projected clustering
   clique     CLIQUE subspace clustering baseline
   orclus     generalized (oriented) projected clustering
+  stream     continuous ingest with drift-triggered, gated rollover
   evaluate   confusion matrix / ARI / NMI of two labeled files
   inspect    summarize a dataset file
   inspect-trace  summarize a fit trace written by `fit --trace-out`
@@ -44,10 +45,27 @@ exit codes:
 /// Map an error to its documented exit code by walking the concrete
 /// error types a run can surface.
 fn exit_code_for(e: &(dyn Error + 'static)) -> u8 {
-    use proclus_core::ProclusError;
+    use proclus_core::{ProclusError, RegistryError, StreamError};
     use proclus_data::DataError;
+    fn registry_code(re: &RegistryError) -> u8 {
+        match re {
+            // Registry I/O is never "missing input": the directory is
+            // created on open, so any failure is a real I/O fault.
+            RegistryError::Io { .. } => 74,
+            RegistryError::Corrupt { .. } => 65,
+        }
+    }
     if e.downcast_ref::<ArgError>().is_some() {
         return 2;
+    }
+    if let Some(se) = e.downcast_ref::<StreamError>() {
+        return match se {
+            StreamError::Config(_) => 64,
+            StreamError::Registry(re) => registry_code(re),
+        };
+    }
+    if let Some(re) = e.downcast_ref::<RegistryError>() {
+        return registry_code(re);
     }
     if let Some(pe) = e.downcast_ref::<ProclusError>() {
         return match pe {
@@ -121,6 +139,11 @@ fn main() -> ExitCode {
             commands::clique::run,
         ),
         "orclus" => (commands::orclus::HELP, &[], commands::orclus::run),
+        "stream" => (
+            commands::stream::HELP,
+            &["verbose", "no-round-cache", "no-index"],
+            commands::stream::run,
+        ),
         "evaluate" => (commands::evaluate::HELP, &[], commands::evaluate::run),
         "inspect" => (commands::inspect::HELP, &[], commands::inspect::run),
         "inspect-trace" => (
@@ -233,5 +256,31 @@ mod tests {
         );
         assert_eq!(code(std::io::Error::other("hup")), 74);
         assert_eq!(code(std::fmt::Error), 1);
+    }
+
+    #[test]
+    fn stream_and_registry_errors_map_to_documented_codes() {
+        use proclus_core::{RegistryError, StreamError};
+        assert_eq!(
+            code(StreamError::Config(ProclusError::InvalidParameters(
+                "patience".into()
+            ))),
+            64
+        );
+        assert_eq!(
+            code(StreamError::Registry(RegistryError::Io {
+                path: "reg".into(),
+                source: std::io::Error::other("disk"),
+            })),
+            74
+        );
+        assert_eq!(
+            code(RegistryError::Corrupt {
+                path: "gen-000001.prcm".into(),
+                offset: 12,
+                reason: "checksum mismatch".into(),
+            }),
+            65
+        );
     }
 }

@@ -60,8 +60,19 @@ pub mod parallel;
 pub mod params;
 pub mod pool;
 pub mod refine;
+pub mod registry;
+pub mod rollover;
+pub mod stream;
 
 pub use error::ProclusError;
 pub use index::NeighborIndex;
 pub use model::{Degradation, FitDiagnostics, ProclusModel, ProjectedCluster};
 pub use params::{InitStrategy, Proclus};
+pub use registry::{
+    decode_model, encode_model, ModelCodecError, ModelRegistry, RecoveryReport, RegistryError,
+};
+pub use rollover::{GateScores, RolloverOutcome, RolloverReport};
+pub use stream::{
+    BatchReport, DriftDetector, GateConfig, StreamConfig, StreamDiagnostics, StreamError,
+    StreamServer, WindowSampler,
+};

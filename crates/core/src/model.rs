@@ -214,6 +214,21 @@ impl ProclusModel {
         }
     }
 
+    /// The segmental distance from `point` to the *nearest* medoid,
+    /// each medoid evaluated under its own cluster's dimension set —
+    /// the per-point serving cost the streaming canary gate compares
+    /// between a live model and a candidate. `None` for a model with
+    /// no clusters.
+    pub fn nearest_cost(&self, point: &[f64]) -> Option<f64> {
+        self.clusters
+            .iter()
+            .map(|c| {
+                self.distance
+                    .eval_segmental(point, &c.medoid, &c.dimensions)
+            })
+            .reduce(f64::min)
+    }
+
     /// Convenience: assignment as plain labels where outliers map to
     /// `usize::MAX` (useful for quick comparisons in tests/benches).
     pub fn labels(&self) -> Vec<usize> {
@@ -366,6 +381,15 @@ mod tests {
     fn classify_outside_all_spheres_is_none() {
         let m = toy_model();
         assert_eq!(m.classify(&[500.0, 500.0]), None);
+    }
+
+    #[test]
+    fn nearest_cost_is_min_over_per_cluster_segmental() {
+        let m = toy_model();
+        // Cluster 0 medoid (0,0), cluster 1 medoid (10,10), both on
+        // dims {0,1}: segmental Manhattan to (1,1) is 1.0 vs 9.0.
+        assert_eq!(m.nearest_cost(&[1.0, 1.0]), Some(1.0));
+        assert_eq!(m.nearest_cost(&[9.0, 9.0]), Some(1.0));
     }
 
     #[test]

@@ -208,7 +208,47 @@ pub fn decode(buf: &[u8]) -> Result<(Matrix, Option<Vec<Label>>), DataError> {
     Ok((Matrix::from_vec(data, rows, cols), labels))
 }
 
-/// Write the binary format to a file.
+/// The temp-file sibling that [`write_atomic`] stages into: `<path>.tmp`.
+///
+/// Exposed so recovery scans (and tests) can recognize the leftovers of
+/// a write that died before its rename.
+#[must_use]
+pub fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    std::path::PathBuf::from(os)
+}
+
+/// Crash-safe whole-file write: stage the bytes in `<path>.tmp`, fsync,
+/// then rename over `path` (atomic on POSIX), then best-effort fsync
+/// the parent directory so the rename itself is durable.
+///
+/// A crash at any instant leaves either the old file intact (possibly
+/// next to a detectable partial `.tmp`) or the new file complete —
+/// never a torn `path`.
+///
+/// # Errors
+///
+/// [`DataError::Io`] naming the staged or final path on any failure.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), DataError> {
+    use std::io::Write;
+    let tmp = tmp_path(path);
+    let mut f = fs::File::create(&tmp).map_err(|e| DataError::io(&tmp, e))?;
+    f.write_all(bytes).map_err(|e| DataError::io(&tmp, e))?;
+    f.sync_all().map_err(|e| DataError::io(&tmp, e))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| DataError::io(path, e))?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Write the binary format to a file (crash-safe: temp file + rename).
 ///
 /// # Errors
 ///
@@ -219,7 +259,7 @@ pub fn write_binary(
     points: &Matrix,
     labels: Option<&[Label]>,
 ) -> Result<(), DataError> {
-    fs::write(path, encode(points, labels)?).map_err(|e| DataError::io(path, e))
+    write_atomic(path, &encode(points, labels)?)
 }
 
 /// Read a file produced by [`write_binary`].
@@ -392,6 +432,42 @@ mod tests {
         let err = read_binary(&path).unwrap_err();
         assert!(err.to_string().contains("proclus-binio-corrupt"), "{err}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn killed_mid_write_leaves_original_intact_and_partial_detectable() {
+        // Simulate a crash mid-overwrite: the staged temp file holds a
+        // FaultReader-truncated prefix of the new bytes and the process
+        // dies before the rename. The original must read back intact,
+        // and the partial temp must be rejected by decode — the two
+        // properties the registry recovery scan relies on.
+        let dir = std::env::temp_dir().join(format!("proclus-midwrite-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dataset.prcl");
+        let (m, l) = sample();
+        write_binary(&path, &m, Some(&l)).unwrap();
+
+        let replacement = Matrix::from_rows(&[[9.0, 9.0, 9.0]], 3);
+        let new_bytes = encode(&replacement, None).unwrap();
+        let faults = crate::fault::FaultReader::new(new_bytes.clone());
+        for cut in [1, 7, new_bytes.len() / 2, new_bytes.len() - 1] {
+            let partial = faults.truncated(cut);
+            std::fs::write(tmp_path(&path), partial).unwrap();
+            // Crash point: temp staged, rename never happened.
+            let (m2, l2) = read_binary(&path).unwrap();
+            assert_eq!(m2, m, "original torn after cut at {cut}");
+            assert_eq!(l2, Some(l.clone()));
+            let leftover = std::fs::read(tmp_path(&path)).unwrap();
+            assert!(decode(&leftover).is_err(), "partial at {cut} not detected");
+        }
+
+        // A completed atomic write replaces the file and leaves no temp.
+        write_atomic(&path, &new_bytes).unwrap();
+        assert!(!tmp_path(&path).exists());
+        let (m3, l3) = read_binary(&path).unwrap();
+        assert_eq!(m3, replacement);
+        assert_eq!(l3, None);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

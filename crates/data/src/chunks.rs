@@ -1,0 +1,323 @@
+//! Self-delimiting chunk framing for streaming ingest.
+//!
+//! The streaming server consumes points batch-by-batch; this module
+//! frames each batch as an independently verifiable chunk so that a
+//! corrupted batch can be quarantined without poisoning the stream:
+//!
+//! ```text
+//! magic    b"PRCK"               4 bytes
+//! version  u8 = 1
+//! rows     u32 LE
+//! cols     u32 LE
+//! payload  rows*cols f64 LE, row-major
+//! check    u64 LE = FNV-1a 64 over magic..payload
+//! ```
+//!
+//! The per-chunk checksum localizes damage: a bit flip fails only its
+//! own chunk's verification, and [`ChunkReader`] resynchronizes at the
+//! next frame boundary (the header's lengths are checksum-protected
+//! along with the payload, so the boundary itself is trustworthy for a
+//! chunk whose header bytes survived). Truncation and header damage
+//! are unrecoverable — the reader reports one located error and ends.
+
+use crate::error::DataError;
+use proclus_math::{fnv1a64, Matrix};
+
+/// Frame magic for one streamed chunk.
+pub const CHUNK_MAGIC: &[u8; 4] = b"PRCK";
+/// Current chunk framing version.
+pub const CHUNK_VERSION: u8 = 1;
+/// Fixed byte length of a chunk header (magic + version + rows + cols).
+pub const CHUNK_HEADER_LEN: usize = 4 + 1 + 4 + 4;
+/// Upper bound on `rows * cols` per chunk, enforced before any
+/// payload-sized allocation (4M cells = 32 MiB of f64).
+pub const MAX_CHUNK_CELLS: usize = 1 << 22;
+
+/// Serialize one batch of points as a framed chunk.
+///
+/// # Errors
+///
+/// [`DataError::LengthMismatch`] when the batch exceeds
+/// [`MAX_CHUNK_CELLS`] cells or its dimensions overflow `u32`.
+pub fn encode_chunk(batch: &Matrix) -> Result<Vec<u8>, DataError> {
+    let cells = batch.rows().saturating_mul(batch.cols());
+    if cells > MAX_CHUNK_CELLS {
+        return Err(DataError::LengthMismatch {
+            what: "chunk cells",
+            expected: MAX_CHUNK_CELLS,
+            got: cells,
+        });
+    }
+    let (Ok(rows), Ok(cols)) = (u32::try_from(batch.rows()), u32::try_from(batch.cols())) else {
+        return Err(DataError::LengthMismatch {
+            what: "chunk dimensions (u32)",
+            expected: u32::MAX as usize,
+            got: batch.rows().max(batch.cols()),
+        });
+    };
+    let mut buf = Vec::with_capacity(CHUNK_HEADER_LEN + cells * 8 + 8);
+    buf.extend_from_slice(CHUNK_MAGIC);
+    buf.push(CHUNK_VERSION);
+    buf.extend_from_slice(&rows.to_le_bytes());
+    buf.extend_from_slice(&cols.to_le_bytes());
+    for v in batch.as_slice() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    let check = fnv1a64(&buf);
+    buf.extend_from_slice(&check.to_le_bytes());
+    Ok(buf)
+}
+
+/// Serialize `points` into a sequence of chunks of at most
+/// `batch_rows` rows each (in row order).
+///
+/// # Errors
+///
+/// As [`encode_chunk`]; `batch_rows` of 0 is a
+/// [`DataError::LengthMismatch`].
+pub fn encode_chunk_stream(points: &Matrix, batch_rows: usize) -> Result<Vec<u8>, DataError> {
+    if batch_rows == 0 {
+        return Err(DataError::LengthMismatch {
+            what: "chunk batch_rows",
+            expected: 1,
+            got: 0,
+        });
+    }
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < points.rows() {
+        let end = (start + batch_rows).min(points.rows());
+        let idx: Vec<usize> = (start..end).collect();
+        out.extend_from_slice(&encode_chunk(&points.select_rows(&idx))?);
+        start = end;
+    }
+    Ok(out)
+}
+
+/// Iterator over the chunks of a byte stream.
+///
+/// Yields `Ok(batch)` per intact chunk. A checksum failure yields one
+/// `Err` and the reader *continues* at the next frame (the damaged
+/// chunk's extent is known from its protected header). Header damage
+/// or truncation yields one `Err` and then the stream ends — without
+/// a trustworthy length there is no boundary to resync to.
+pub struct ChunkReader<'a> {
+    buf: &'a [u8],
+    offset: usize,
+    dead: bool,
+}
+
+impl<'a> ChunkReader<'a> {
+    /// Start reading chunks from the front of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self {
+            buf,
+            offset: 0,
+            dead: false,
+        }
+    }
+
+    /// Absolute byte offset of the next unread byte.
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    fn err(&mut self, field: &'static str, reason: String, fatal: bool) -> DataError {
+        self.dead = fatal;
+        DataError::Binary {
+            path: None,
+            offset: self.offset,
+            field,
+            reason,
+        }
+    }
+}
+
+impl Iterator for ChunkReader<'_> {
+    type Item = Result<Matrix, DataError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.dead {
+            return None;
+        }
+        let rest = &self.buf[self.offset..];
+        if rest.is_empty() {
+            return None;
+        }
+        if rest.len() < CHUNK_HEADER_LEN {
+            return Some(Err(self.err(
+                "chunk header",
+                format!(
+                    "truncated: need {CHUNK_HEADER_LEN} header bytes, {} left",
+                    rest.len()
+                ),
+                true,
+            )));
+        }
+        if rest[..4] != *CHUNK_MAGIC {
+            return Some(Err(self.err(
+                "chunk magic",
+                "bad magic (not a PRCK chunk)".into(),
+                true,
+            )));
+        }
+        if rest[4] != CHUNK_VERSION {
+            return Some(Err(self.err(
+                "chunk version",
+                format!("unsupported version {}", rest[4]),
+                true,
+            )));
+        }
+        let rows = u32::from_le_bytes([rest[5], rest[6], rest[7], rest[8]]) as usize;
+        let cols = u32::from_le_bytes([rest[9], rest[10], rest[11], rest[12]]) as usize;
+        let cells = match rows.checked_mul(cols) {
+            Some(c) if c <= MAX_CHUNK_CELLS => c,
+            _ => {
+                return Some(Err(self.err(
+                    "chunk header",
+                    format!("implausible chunk size {rows}x{cols}"),
+                    true,
+                )))
+            }
+        };
+        let frame = CHUNK_HEADER_LEN + cells * 8 + 8;
+        if rest.len() < frame {
+            return Some(Err(self.err(
+                "chunk payload",
+                format!("truncated: frame needs {frame} bytes, {} left", rest.len()),
+                true,
+            )));
+        }
+        let body = &rest[..frame - 8];
+        let stored = u64::from_le_bytes(
+            rest[frame - 8..frame].try_into().unwrap_or([0; 8]), // length checked above; never hit
+        );
+        if fnv1a64(body) != stored {
+            // Recoverable: skip this frame, resume at the next.
+            let at = self.offset;
+            self.offset += frame;
+            return Some(Err(DataError::Binary {
+                path: None,
+                offset: at,
+                field: "chunk checksum",
+                reason: format!(
+                    "checksum mismatch (stored {stored:#018x}); chunk of {rows}x{cols} skipped"
+                ),
+            }));
+        }
+        let mut data = Vec::with_capacity(cells);
+        for c in body[CHUNK_HEADER_LEN..].chunks_exact(8) {
+            data.push(f64::from_le_bytes(c.try_into().unwrap_or([0; 8])));
+        }
+        self.offset += frame;
+        Some(Ok(Matrix::from_vec(data, rows, cols)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultReader;
+
+    fn batches() -> Vec<Matrix> {
+        vec![
+            Matrix::from_rows(&[[1.0, 2.0], [3.0, 4.0]], 2),
+            Matrix::from_rows(&[[5.0, 6.0]], 2),
+            Matrix::from_rows(&[[7.0, 8.0], [9.0, 10.0], [11.0, 12.0]], 2),
+        ]
+    }
+
+    fn stream() -> Vec<u8> {
+        let mut out = Vec::new();
+        for b in batches() {
+            out.extend_from_slice(&encode_chunk(&b).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let bytes = stream();
+        let got: Vec<Matrix> = ChunkReader::new(&bytes).map(|r| r.unwrap()).collect();
+        assert_eq!(got, batches());
+    }
+
+    #[test]
+    fn encode_stream_slices_in_row_order() {
+        let m = Matrix::from_rows(&[[0.0], [1.0], [2.0], [3.0], [4.0]], 1);
+        let bytes = encode_chunk_stream(&m, 2).unwrap();
+        let got: Vec<Matrix> = ChunkReader::new(&bytes).map(|r| r.unwrap()).collect();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].rows(), 2);
+        assert_eq!(got[2].rows(), 1);
+        let flat: Vec<f64> = got.iter().flat_map(|b| b.as_slice().to_vec()).collect();
+        assert_eq!(flat, m.as_slice());
+    }
+
+    #[test]
+    fn bit_flip_fails_one_chunk_and_resyncs() {
+        let mut bytes = stream();
+        let first_frame = encode_chunk(&batches()[0]).unwrap().len();
+        // Flip a payload bit in the middle chunk.
+        bytes[first_frame + CHUNK_HEADER_LEN + 3] ^= 0x10;
+        let results: Vec<_> = ChunkReader::new(&bytes).collect();
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        let err = results[1].as_ref().unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // The third chunk is recovered intact after the resync.
+        assert_eq!(results[2].as_ref().unwrap(), &batches()[2]);
+    }
+
+    #[test]
+    fn truncation_is_a_single_located_error() {
+        let bytes = stream();
+        let first_frame = encode_chunk(&batches()[0]).unwrap().len();
+        let faults = FaultReader::new(bytes);
+        let cut = faults.truncated(first_frame + 5);
+        let results: Vec<_> = ChunkReader::new(cut).collect();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok());
+        let err = results[1].as_ref().unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        match err {
+            DataError::Binary { offset, .. } => assert_eq!(*offset, first_frame),
+            other => panic!("expected Binary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_prefix_ends_the_stream_with_an_error() {
+        let mut bytes = vec![0xAB; 32];
+        bytes.extend_from_slice(&stream());
+        let results: Vec<_> = ChunkReader::new(&bytes).collect();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_err());
+    }
+
+    #[test]
+    fn implausible_header_sizes_do_not_allocate() {
+        let mut bytes = encode_chunk(&batches()[0]).unwrap();
+        bytes[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        let results: Vec<_> = ChunkReader::new(&bytes).collect();
+        assert_eq!(results.len(), 1);
+        let err = results[0].as_ref().unwrap_err();
+        assert!(err.to_string().contains("implausible"), "{err}");
+    }
+
+    #[test]
+    fn oversized_batch_rejected_at_encode() {
+        let m = Matrix::zeros(MAX_CHUNK_CELLS + 1, 1);
+        assert!(encode_chunk(&m).is_err());
+        assert!(encode_chunk_stream(&m, MAX_CHUNK_CELLS + 1).is_err());
+        // But slicing the same matrix into bounded batches works.
+        assert!(encode_chunk_stream(&m, 1024).is_ok());
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        assert!(ChunkReader::new(&[]).next().is_none());
+    }
+}

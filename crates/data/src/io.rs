@@ -5,14 +5,19 @@
 //! matching the paper's tables — or `Out.` for outliers). A single
 //! header line `x0,x1,…[,label]` is always written.
 
+use crate::binio::write_atomic;
 use crate::error::DataError;
 use crate::label::Label;
 use proclus_math::Matrix;
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 
 /// Write `points` (and optionally aligned `labels`) as CSV.
+///
+/// Crash-safe: the CSV is rendered in memory and published with
+/// [`write_atomic`] (temp file + rename), so a crash can never leave a
+/// half-written dataset under the final name.
 ///
 /// # Errors
 ///
@@ -30,7 +35,7 @@ pub fn write_csv(path: &Path, points: &Matrix, labels: Option<&[Label]>) -> Resu
         }
     }
     let oserr = |e| DataError::io(path, e);
-    let mut w = BufWriter::new(File::create(path).map_err(oserr)?);
+    let mut w: Vec<u8> = Vec::new();
     for j in 0..points.cols() {
         if j > 0 {
             write!(w, ",").map_err(oserr)?;
@@ -54,7 +59,7 @@ pub fn write_csv(path: &Path, points: &Matrix, labels: Option<&[Label]>) -> Resu
         }
         writeln!(w).map_err(oserr)?;
     }
-    w.flush().map_err(oserr)
+    write_atomic(path, &w)
 }
 
 /// Read a CSV produced by [`write_csv`] (header required).

@@ -39,6 +39,7 @@
 
 pub mod adversarial;
 pub mod binio;
+pub mod chunks;
 pub mod error;
 pub mod fault;
 pub mod generator;
@@ -46,6 +47,7 @@ pub mod io;
 pub mod label;
 pub mod spec;
 
+pub use chunks::{encode_chunk, encode_chunk_stream, ChunkReader};
 pub use error::DataError;
 pub use generator::{GeneratedCluster, GeneratedDataset};
 pub use label::Label;

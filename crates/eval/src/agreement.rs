@@ -9,7 +9,7 @@
 //! points both clusterings consider clusterable.
 
 use crate::error::EvalError;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Select the positions where both labelings are `Some`, densified.
 ///
@@ -36,16 +36,22 @@ fn paired(a: &[Option<usize>], b: &[Option<usize>]) -> Result<(Vec<usize>, Vec<u
 }
 
 /// Joint and marginal count tables of two parallel label vectors.
+///
+/// Ordered maps, deliberately: the index sums below iterate these
+/// tables, and f64 addition is order-sensitive in the last bits. The
+/// streaming rollover gates write ARI values into the deterministic
+/// decision log, so the fold order must be a pure function of the
+/// labels — which a hash map's seeded iteration order is not.
 type Contingency = (
-    HashMap<(usize, usize), f64>,
-    HashMap<usize, f64>,
-    HashMap<usize, f64>,
+    BTreeMap<(usize, usize), f64>,
+    BTreeMap<usize, f64>,
+    BTreeMap<usize, f64>,
 );
 
 fn contingency(xs: &[usize], ys: &[usize]) -> Contingency {
-    let mut joint: HashMap<(usize, usize), f64> = HashMap::new();
-    let mut ma: HashMap<usize, f64> = HashMap::new();
-    let mut mb: HashMap<usize, f64> = HashMap::new();
+    let mut joint: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    let mut ma: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut mb: BTreeMap<usize, f64> = BTreeMap::new();
     for (&x, &y) in xs.iter().zip(ys) {
         *joint.entry((x, y)).or_default() += 1.0;
         *ma.entry(x).or_default() += 1.0;
@@ -103,7 +109,7 @@ pub fn normalized_mutual_information(
         return Ok(1.0);
     }
     let (joint, ma, mb) = contingency(&xs, &ys);
-    let h = |m: &HashMap<usize, f64>| -> f64 {
+    let h = |m: &BTreeMap<usize, f64>| -> f64 {
         m.values()
             .map(|&c| {
                 let p = c / n;

@@ -28,6 +28,18 @@ pub enum EvalError {
         /// The declared number of clusters for that side.
         k: usize,
     },
+    /// The labeling is too degenerate for the requested index to carry
+    /// information (single cluster, all outliers, k = 1, empty shared
+    /// support, …). The streaming rollover gates treat this as a gate
+    /// *failure*: a score that cannot be computed must never read as a
+    /// passing score.
+    Degenerate {
+        /// Which index refused to evaluate (`"agreement"` or
+        /// `"silhouette"`).
+        what: &'static str,
+        /// Human-readable description of the degeneracy.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -39,6 +51,9 @@ impl fmt::Display for EvalError {
             ),
             Self::LabelOutOfRange { side, label, k } => {
                 write!(f, "{side} label {label} out of range for k = {k}")
+            }
+            Self::Degenerate { what, reason } => {
+                write!(f, "{what} is undefined on degenerate labeling: {reason}")
             }
         }
     }
@@ -64,5 +79,11 @@ mod tests {
             k: 4,
         };
         assert_eq!(e.to_string(), "output label 9 out of range for k = 4");
+        let e = EvalError::Degenerate {
+            what: "silhouette",
+            reason: "all points are outliers".into(),
+        };
+        assert!(e.to_string().contains("silhouette"));
+        assert!(e.to_string().contains("outliers"));
     }
 }

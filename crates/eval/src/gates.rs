@@ -1,0 +1,257 @@
+//! Gate-grade wrappers around the agreement and silhouette indices.
+//!
+//! The streaming rollover pipeline promotes a candidate model only if
+//! its validation scores clear configured thresholds. The raw indices
+//! in [`crate::agreement`] and [`crate::silhouette`] deliberately fold
+//! degenerate inputs into conventional values (ARI = 1.0 on empty
+//! shared support, silhouette = 0.0 on a single cluster) — fine for
+//! reporting, catastrophic for a gate: an all-outlier candidate would
+//! "agree perfectly" with anything and sail through promotion.
+//!
+//! These `checked_*` variants return [`EvalError::Degenerate`] instead,
+//! so callers must make the no-information case an explicit decision.
+//! The rollover gates map it to *failure*, never promotion.
+
+use crate::agreement::adjusted_rand_index;
+use crate::error::EvalError;
+use crate::silhouette::projected_silhouette;
+use proclus_math::{DistanceKind, Matrix};
+
+/// Adjusted Rand Index that refuses to score degenerate comparisons.
+///
+/// Unlike [`adjusted_rand_index`], which returns the conventional 1.0
+/// for fewer than two shared clustered points and for two identical
+/// trivial partitions, this variant demands enough shared structure
+/// for the index to mean something.
+///
+/// # Errors
+///
+/// * [`EvalError::LengthMismatch`] — the slices differ in length.
+/// * [`EvalError::Degenerate`] — fewer than 2 points are clustered by
+///   *both* sides, both sides are a single cluster on the shared
+///   support, or the index comes out non-finite.
+pub fn checked_agreement(a: &[Option<usize>], b: &[Option<usize>]) -> Result<f64, EvalError> {
+    if a.len() != b.len() {
+        return Err(EvalError::LengthMismatch {
+            output: a.len(),
+            truth: b.len(),
+        });
+    }
+    let mut shared = 0usize;
+    let (mut first, mut multi_a, mut multi_b) = (None, false, false);
+    for (x, y) in a.iter().zip(b) {
+        if let (Some(x), Some(y)) = (x, y) {
+            shared += 1;
+            match first {
+                None => first = Some((x, y)),
+                Some((fx, fy)) => {
+                    multi_a |= fx != x;
+                    multi_b |= fy != y;
+                }
+            }
+        }
+    }
+    if shared < 2 {
+        return Err(EvalError::Degenerate {
+            what: "agreement",
+            reason: format!("only {shared} point(s) clustered by both labelings"),
+        });
+    }
+    if !multi_a && !multi_b {
+        return Err(EvalError::Degenerate {
+            what: "agreement",
+            reason: "both labelings are a single cluster on the shared support".into(),
+        });
+    }
+    let v = adjusted_rand_index(a, b)?;
+    if !v.is_finite() {
+        return Err(EvalError::Degenerate {
+            what: "agreement",
+            reason: format!("index evaluated to a non-finite value ({v})"),
+        });
+    }
+    Ok(v)
+}
+
+/// Projected silhouette that refuses to score degenerate clusterings.
+///
+/// Unlike [`projected_silhouette`], which returns 0.0 when there is
+/// nothing to measure, this variant distinguishes "mediocre clusters"
+/// (a legitimate 0.0) from "no information" (all points outliers, or
+/// fewer than two non-empty clusters — including k = 1).
+///
+/// # Errors
+///
+/// [`EvalError::Degenerate`] when no point is clustered, when fewer
+/// than two clusters are non-empty, when a non-empty cluster claims an
+/// empty dimension set, or when the score comes out non-finite.
+pub fn checked_silhouette(
+    points: &Matrix,
+    clusters: &[(Vec<usize>, Vec<usize>)],
+    metric: DistanceKind,
+    max_samples: usize,
+) -> Result<f64, EvalError> {
+    let clustered: usize = clusters.iter().map(|(m, _)| m.len()).sum();
+    if clustered == 0 {
+        return Err(EvalError::Degenerate {
+            what: "silhouette",
+            reason: "all points are outliers (no cluster has members)".into(),
+        });
+    }
+    let nonempty = clusters.iter().filter(|(m, _)| !m.is_empty()).count();
+    if nonempty < 2 {
+        return Err(EvalError::Degenerate {
+            what: "silhouette",
+            reason: format!("{nonempty} non-empty cluster(s); separation needs at least 2"),
+        });
+    }
+    if clusters.iter().any(|(m, d)| !m.is_empty() && d.is_empty()) {
+        return Err(EvalError::Degenerate {
+            what: "silhouette",
+            reason: "a non-empty cluster has an empty dimension set".into(),
+        });
+    }
+    let v = projected_silhouette(points, clusters, metric, max_samples);
+    if !v.is_finite() {
+        return Err(EvalError::Degenerate {
+            what: "silhouette",
+            reason: format!("score evaluated to a non-finite value ({v})"),
+        });
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lab(v: &[usize]) -> Vec<Option<usize>> {
+        v.iter().map(|&x| Some(x)).collect()
+    }
+
+    fn degenerate(r: Result<f64, EvalError>) -> bool {
+        matches!(r, Err(EvalError::Degenerate { .. }))
+    }
+
+    #[test]
+    fn agreement_on_real_partitions_matches_raw_index() {
+        let a = lab(&[0, 0, 1, 1, 1]);
+        let b = lab(&[0, 0, 0, 1, 1]);
+        let checked = checked_agreement(&a, &b).unwrap();
+        let raw = adjusted_rand_index(&a, &b).unwrap();
+        assert_eq!(checked, raw);
+        assert!(checked.is_finite());
+    }
+
+    #[test]
+    fn agreement_rejects_empty_shared_support() {
+        // The raw index says 1.0 here — exactly the auto-pass hazard.
+        let a = vec![None, Some(0)];
+        let b = vec![Some(0), None];
+        assert_eq!(adjusted_rand_index(&a, &b).unwrap(), 1.0);
+        assert!(degenerate(checked_agreement(&a, &b)));
+    }
+
+    #[test]
+    fn agreement_rejects_all_outliers() {
+        let a = vec![None, None, None];
+        let b = vec![None, None, None];
+        assert!(degenerate(checked_agreement(&a, &b)));
+    }
+
+    #[test]
+    fn agreement_rejects_single_shared_point() {
+        let a = vec![Some(0), None, None];
+        let b = vec![Some(1), None, Some(0)];
+        assert!(degenerate(checked_agreement(&a, &b)));
+    }
+
+    #[test]
+    fn agreement_rejects_both_sides_trivial() {
+        // Two identical single-cluster labelings: raw index says 1.0.
+        let a = lab(&[0, 0, 0, 0]);
+        assert_eq!(adjusted_rand_index(&a, &a).unwrap(), 1.0);
+        assert!(degenerate(checked_agreement(&a, &a)));
+    }
+
+    #[test]
+    fn agreement_allows_one_trivial_side() {
+        // Single cluster vs a real partition: ARI is well-defined
+        // (and low) — that is a legitimate failing score, not a
+        // degeneracy.
+        let a = lab(&[0, 0, 0, 0]);
+        let b = lab(&[0, 0, 1, 1]);
+        let v = checked_agreement(&a, &b).unwrap();
+        assert!(v.is_finite());
+        assert!(v < 0.5, "trivial-vs-real ARI should be low, got {v}");
+    }
+
+    #[test]
+    fn agreement_still_checks_lengths() {
+        let a = lab(&[0, 0]);
+        let b = lab(&[0]);
+        assert!(matches!(
+            checked_agreement(&a, &b),
+            Err(EvalError::LengthMismatch {
+                output: 2,
+                truth: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn silhouette_on_real_clusters_matches_raw_score() {
+        let rows: Vec<[f64; 1]> = vec![[0.0], [1.0], [100.0], [101.0]];
+        let m = Matrix::from_rows(&rows, 1);
+        let clusters = vec![(vec![0, 1], vec![0]), (vec![2, 3], vec![0])];
+        let checked = checked_silhouette(&m, &clusters, DistanceKind::Manhattan, 64).unwrap();
+        let raw = projected_silhouette(&m, &clusters, DistanceKind::Manhattan, 64);
+        assert_eq!(checked, raw);
+        assert!(checked > 0.9);
+    }
+
+    #[test]
+    fn silhouette_rejects_all_outliers() {
+        let m = Matrix::from_rows(&[[0.0], [1.0]], 1);
+        let clusters = vec![(vec![], vec![0]), (vec![], vec![0])];
+        assert!(degenerate(checked_silhouette(
+            &m,
+            &clusters,
+            DistanceKind::Manhattan,
+            8
+        )));
+    }
+
+    #[test]
+    fn silhouette_rejects_single_cluster() {
+        // k = 1 (and "k clusters but only one non-empty") both reduce
+        // to this: no foreign cluster to separate from.
+        let m = Matrix::from_rows(&[[0.0], [1.0], [2.0]], 1);
+        let one = vec![(vec![0, 1, 2], vec![0])];
+        assert!(degenerate(checked_silhouette(
+            &m,
+            &one,
+            DistanceKind::Manhattan,
+            8
+        )));
+        let collapsed = vec![(vec![0, 1, 2], vec![0]), (vec![], vec![0])];
+        assert!(degenerate(checked_silhouette(
+            &m,
+            &collapsed,
+            DistanceKind::Manhattan,
+            8
+        )));
+    }
+
+    #[test]
+    fn silhouette_rejects_empty_dimension_sets() {
+        let m = Matrix::from_rows(&[[0.0], [1.0], [2.0], [3.0]], 1);
+        let clusters = vec![(vec![0, 1], vec![]), (vec![2, 3], vec![0])];
+        assert!(degenerate(checked_silhouette(
+            &m,
+            &clusters,
+            DistanceKind::Manhattan,
+            8
+        )));
+    }
+}

@@ -42,6 +42,7 @@ pub mod agreement;
 pub mod confusion;
 pub mod dims_match;
 pub mod error;
+pub mod gates;
 pub mod overlap;
 pub mod silhouette;
 
@@ -49,5 +50,6 @@ pub use agreement::{adjusted_rand_index, normalized_mutual_information};
 pub use confusion::ConfusionMatrix;
 pub use dims_match::DimensionMatch;
 pub use error::EvalError;
+pub use gates::{checked_agreement, checked_silhouette};
 pub use overlap::{average_overlap, coverage};
 pub use silhouette::projected_silhouette;

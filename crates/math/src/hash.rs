@@ -1,0 +1,52 @@
+//! Deterministic non-cryptographic hashing.
+//!
+//! A single FNV-1a 64-bit implementation shared by everything in the
+//! workspace that needs a platform-independent, seed-independent
+//! digest: chunk and registry checksums, canary subset selection, and
+//! the golden event-stream digests in the test tiers. Keeping one copy
+//! here guarantees they can never drift apart.
+
+/// FNV-1a offset basis (64-bit).
+pub const FNV1A_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+pub const FNV1A_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit digest of `bytes`, continuing from `state`.
+///
+/// Pass [`FNV1A_BASIS`] as the initial state; feeding slices one after
+/// another is identical to hashing their concatenation, so callers can
+/// stream fields through without building a contiguous buffer.
+#[must_use]
+pub fn fnv1a64_continue(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV1A_PRIME);
+    }
+    state
+}
+
+/// FNV-1a 64-bit digest of `bytes` from the standard offset basis.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_continue(FNV1A_BASIS, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_matches_contiguous() {
+        let whole = fnv1a64(b"hello world");
+        let streamed = fnv1a64_continue(fnv1a64(b"hello "), b"world");
+        assert_eq!(whole, streamed);
+    }
+}

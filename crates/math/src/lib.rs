@@ -33,6 +33,7 @@
 
 pub mod distance;
 pub mod distributions;
+pub mod hash;
 pub mod linalg;
 pub mod matrix;
 pub mod order;
@@ -42,4 +43,5 @@ pub use distance::{
     chebyshev, euclidean, manhattan, manhattan_segmental, minkowski, segmental, Distance,
     DistanceKind,
 };
+pub use hash::{fnv1a64, fnv1a64_continue};
 pub use matrix::Matrix;

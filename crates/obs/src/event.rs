@@ -133,7 +133,104 @@ pub enum Event {
         /// Outliers in the final model.
         outliers: usize,
     },
+    /// A streaming batch was offered to the stream server (accepted
+    /// batches only — rejected ones emit [`Event::StreamQuarantine`]).
+    StreamBatch {
+        /// 1-based batch sequence number.
+        batch: u64,
+        /// Rows in the batch.
+        rows: usize,
+        /// Sliding-window fill after ingest.
+        window: usize,
+        /// Drift score of the window against the reservoir reference
+        /// (NaN before the reference exists).
+        drift_score: f64,
+        /// Did the score exceed the configured threshold?
+        drifted: bool,
+    },
+    /// A batch was rejected and quarantined; the live model keeps
+    /// serving and the window is untouched.
+    StreamQuarantine {
+        /// 1-based batch sequence number.
+        batch: u64,
+        /// One of [`QUARANTINE_REASONS`].
+        reason: &'static str,
+    },
+    /// The drift detector's patience was exhausted — a rebuild begins.
+    DriftDetected {
+        /// Batch at which patience ran out.
+        batch: u64,
+        /// The triggering drift score.
+        score: f64,
+        /// The configured threshold it exceeded.
+        threshold: f64,
+    },
+    /// One transition of the rollover state machine.
+    RolloverTransition {
+        /// 1-based rebuild attempt this transition belongs to.
+        rebuild: u64,
+        /// Source state, one of [`ROLLOVER_STATES`].
+        from: &'static str,
+        /// Target state, one of [`ROLLOVER_STATES`].
+        to: &'static str,
+        /// Why, one of [`ROLLOVER_REASONS`].
+        reason: &'static str,
+    },
+    /// Gate scores at one rollover validation stage. NaN marks a score
+    /// that could not be computed (degenerate labeling) — by contract
+    /// an unscorable gate counts as *failed*, never as passed.
+    RolloverGate {
+        /// Rebuild attempt being gated.
+        rebuild: u64,
+        /// `"shadow"` or `"canary"` (see [`GATE_STAGES`]).
+        stage: &'static str,
+        /// Candidate projected silhouette on the window.
+        silhouette: f64,
+        /// Live-vs-candidate ARI over the canary subset.
+        ari: f64,
+        /// Fraction of canary points the live model still clusters.
+        coverage: f64,
+        /// Candidate/live mean serving-cost ratio on the canary subset.
+        cost_ratio: f64,
+        /// Outlier fraction of the candidate on the window.
+        outlier_fraction: f64,
+        /// Did the stage pass?
+        passed: bool,
+    },
+    /// A candidate model was durably published to the registry.
+    ModelPublished {
+        /// Registry generation assigned to the model.
+        generation: u64,
+        /// Rebuild attempt that produced it.
+        rebuild: u64,
+        /// The published model's objective.
+        objective: f64,
+    },
 }
+
+/// The closed set of batch quarantine reasons.
+pub const QUARANTINE_REASONS: [&str; 4] = [
+    "empty_batch",
+    "dimension_mismatch",
+    "non_finite",
+    "corrupt_chunk",
+];
+
+/// The closed set of rollover state names.
+pub const ROLLOVER_STATES: [&str; 5] = ["idle", "shadow", "canary", "promoted", "rolled_back"];
+
+/// The closed set of rollover transition reasons.
+pub const ROLLOVER_REASONS: [&str; 6] = [
+    "bootstrap",
+    "drift",
+    "gates_passed",
+    "gate_failed",
+    "fit_error",
+    "publish_error",
+];
+
+/// The rollover validation stages that emit [`Event::RolloverGate`].
+pub const GATE_STAGES: [&str; 2] = ["shadow", "canary"];
 
 impl Event {
     /// The event's `type` tag as written to JSON.
@@ -146,6 +243,12 @@ impl Event {
             Event::Refine { .. } => "refine",
             Event::Iteration { .. } => "iteration",
             Event::FitEnd { .. } => "fit_end",
+            Event::StreamBatch { .. } => "stream_batch",
+            Event::StreamQuarantine { .. } => "stream_quarantine",
+            Event::DriftDetected { .. } => "drift_detected",
+            Event::RolloverTransition { .. } => "rollover_transition",
+            Event::RolloverGate { .. } => "rollover_gate",
+            Event::ModelPublished { .. } => "model_published",
         }
     }
 
@@ -266,6 +369,76 @@ impl Event {
                 json::write_f64(&mut s, *iterative_objective);
                 s.push_str(&format!(",\"outliers\":{outliers}"));
             }
+            Event::StreamBatch {
+                batch,
+                rows,
+                window,
+                drift_score,
+                drifted,
+            } => {
+                s.push_str(&format!(
+                    ",\"batch\":{batch},\"rows\":{rows},\"window\":{window},\"drift_score\":"
+                ));
+                json::write_f64(&mut s, *drift_score);
+                s.push_str(&format!(",\"drifted\":{drifted}"));
+            }
+            Event::StreamQuarantine { batch, reason } => {
+                s.push_str(&format!(",\"batch\":{batch},\"reason\":\"{reason}\""));
+            }
+            Event::DriftDetected {
+                batch,
+                score,
+                threshold,
+            } => {
+                s.push_str(&format!(",\"batch\":{batch},\"score\":"));
+                json::write_f64(&mut s, *score);
+                s.push_str(",\"threshold\":");
+                json::write_f64(&mut s, *threshold);
+            }
+            Event::RolloverTransition {
+                rebuild,
+                from,
+                to,
+                reason,
+            } => {
+                s.push_str(&format!(
+                    ",\"rebuild\":{rebuild},\"from\":\"{from}\",\"to\":\"{to}\",\"reason\":\"{reason}\""
+                ));
+            }
+            Event::RolloverGate {
+                rebuild,
+                stage,
+                silhouette,
+                ari,
+                coverage,
+                cost_ratio,
+                outlier_fraction,
+                passed,
+            } => {
+                s.push_str(&format!(
+                    ",\"rebuild\":{rebuild},\"stage\":\"{stage}\",\"silhouette\":"
+                ));
+                json::write_f64(&mut s, *silhouette);
+                s.push_str(",\"ari\":");
+                json::write_f64(&mut s, *ari);
+                s.push_str(",\"coverage\":");
+                json::write_f64(&mut s, *coverage);
+                s.push_str(",\"cost_ratio\":");
+                json::write_f64(&mut s, *cost_ratio);
+                s.push_str(",\"outlier_fraction\":");
+                json::write_f64(&mut s, *outlier_fraction);
+                s.push_str(&format!(",\"passed\":{passed}"));
+            }
+            Event::ModelPublished {
+                generation,
+                rebuild,
+                objective,
+            } => {
+                s.push_str(&format!(
+                    ",\"generation\":{generation},\"rebuild\":{rebuild},\"objective\":"
+                ));
+                json::write_f64(&mut s, *objective);
+            }
         }
         s.push('}');
         s
@@ -356,6 +529,25 @@ impl Event {
                 .map(|x| x as u64)
                 .ok_or_else(|| format!("missing or invalid {key:?}"))
         };
+        let get_bool = |key: &str| -> Result<bool, String> {
+            v.get(key)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("missing {key:?}"))
+        };
+        // Enum-valued string fields resolve against a closed vocabulary
+        // (same policy as `algorithm`): unknown names are a schema
+        // violation, and resolving to the static str keeps Event cheap.
+        let vocab = |key: &str, allowed: &'static [&'static str]| -> Result<&'static str, String> {
+            let name = v
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("missing {key:?}"))?;
+            allowed
+                .iter()
+                .find(|&&a| a == name)
+                .copied()
+                .ok_or_else(|| format!("unknown {key} {name:?}"))
+        };
         match kind {
             "fit_start" => Ok(Event::FitStart {
                 algorithm: algorithm()?,
@@ -414,6 +606,43 @@ impl Event {
                 objective: get_f64("objective")?,
                 iterative_objective: get_f64("iterative_objective")?,
                 outliers: get_usize("outliers")?,
+            }),
+            "stream_batch" => Ok(Event::StreamBatch {
+                batch: get_u64("batch")?,
+                rows: get_usize("rows")?,
+                window: get_usize("window")?,
+                drift_score: get_f64("drift_score")?,
+                drifted: get_bool("drifted")?,
+            }),
+            "stream_quarantine" => Ok(Event::StreamQuarantine {
+                batch: get_u64("batch")?,
+                reason: vocab("reason", &QUARANTINE_REASONS)?,
+            }),
+            "drift_detected" => Ok(Event::DriftDetected {
+                batch: get_u64("batch")?,
+                score: get_f64("score")?,
+                threshold: get_f64("threshold")?,
+            }),
+            "rollover_transition" => Ok(Event::RolloverTransition {
+                rebuild: get_u64("rebuild")?,
+                from: vocab("from", &ROLLOVER_STATES)?,
+                to: vocab("to", &ROLLOVER_STATES)?,
+                reason: vocab("reason", &ROLLOVER_REASONS)?,
+            }),
+            "rollover_gate" => Ok(Event::RolloverGate {
+                rebuild: get_u64("rebuild")?,
+                stage: vocab("stage", &GATE_STAGES)?,
+                silhouette: get_f64("silhouette")?,
+                ari: get_f64("ari")?,
+                coverage: get_f64("coverage")?,
+                cost_ratio: get_f64("cost_ratio")?,
+                outlier_fraction: get_f64("outlier_fraction")?,
+                passed: get_bool("passed")?,
+            }),
+            "model_published" => Ok(Event::ModelPublished {
+                generation: get_u64("generation")?,
+                rebuild: get_u64("rebuild")?,
+                objective: get_f64("objective")?,
             }),
             other => Err(format!("unknown event type {other:?}")),
         }
@@ -503,6 +732,43 @@ mod tests {
                 iterative_objective: 1.25,
                 outliers: 12,
             },
+            Event::StreamBatch {
+                batch: 14,
+                rows: 256,
+                window: 2048,
+                drift_score: 0.37,
+                drifted: false,
+            },
+            Event::StreamQuarantine {
+                batch: 15,
+                reason: "corrupt_chunk",
+            },
+            Event::DriftDetected {
+                batch: 19,
+                score: 1.4,
+                threshold: 0.6,
+            },
+            Event::RolloverTransition {
+                rebuild: 2,
+                from: "shadow",
+                to: "canary",
+                reason: "gates_passed",
+            },
+            Event::RolloverGate {
+                rebuild: 2,
+                stage: "canary",
+                silhouette: 0.41,
+                ari: f64::NAN,
+                coverage: 0.125,
+                cost_ratio: 1.02,
+                outlier_fraction: 0.05,
+                passed: true,
+            },
+            Event::ModelPublished {
+                generation: 3,
+                rebuild: 2,
+                objective: 0.91,
+            },
         ]
     }
 
@@ -543,5 +809,29 @@ mod tests {
             Event::parse_line("{\"type\":\"fit_start\",\"algorithm\":\"mystery\",\"n\":1,\"d\":1,\"k\":1,\"l\":2,\"seed\":0,\"restarts\":1}")
                 .is_err()
         );
+    }
+
+    #[test]
+    fn stream_vocabularies_are_closed() {
+        // Every static string the stream/rollover layer emits must be
+        // in the vocabulary, or from_json would reject our own traces.
+        for e in samples() {
+            assert_eq!(
+                Event::parse_line(&e.to_json()).unwrap().to_json(),
+                e.to_json()
+            );
+        }
+        assert!(Event::parse_line(
+            "{\"type\":\"stream_quarantine\",\"batch\":1,\"reason\":\"cosmic_rays\"}"
+        )
+        .is_err());
+        assert!(Event::parse_line(
+            "{\"type\":\"rollover_transition\",\"rebuild\":1,\"from\":\"shadow\",\"to\":\"orbit\",\"reason\":\"drift\"}"
+        )
+        .is_err());
+        assert!(Event::parse_line(
+            "{\"type\":\"rollover_gate\",\"rebuild\":1,\"stage\":\"dress_rehearsal\",\"silhouette\":0,\"ari\":0,\"coverage\":0,\"cost_ratio\":1,\"outlier_fraction\":0,\"passed\":true}"
+        )
+        .is_err());
     }
 }

@@ -6,7 +6,10 @@
 //! byte-identical for every thread count; all measurements (span
 //! timings, pool gauges) live exclusively in the manifest. I/O errors
 //! mid-stream are stashed rather than panicked (workspace no-panic
-//! policy) and surfaced by `finish`.
+//! policy) and surfaced by `finish` as a *located* error naming the
+//! stream path and how many events made it out — and the truncated
+//! `events.jsonl` is removed, so a failed trace can never masquerade
+//! as a complete one.
 
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
@@ -25,9 +28,10 @@ pub const EVENTS_FILE: &str = "events.jsonl";
 pub const MANIFEST_FILE: &str = "run.json";
 
 struct State {
-    writer: BufWriter<File>,
+    writer: BufWriter<Box<dyn Write + Send>>,
     error: Option<io::Error>,
     events_written: u64,
+    events_lost: u64,
     spans: Vec<(Phase, SpanStats)>,
     counters: Vec<(&'static str, u64)>,
     gauges: Vec<(&'static str, GaugeStats)>,
@@ -36,26 +40,53 @@ struct State {
 /// Recorder that persists a run as `events.jsonl` + `run.json`.
 pub struct JsonlRecorder {
     dir: PathBuf,
+    /// Does `<dir>/events.jsonl` actually back the writer? True for
+    /// [`JsonlRecorder::create`]; false for the injected-writer seam,
+    /// where there is no partial file to clean up.
+    owns_stream_file: bool,
     state: Mutex<State>,
 }
 
 impl JsonlRecorder {
     /// Create the trace directory (and parents) and open a fresh
     /// `events.jsonl` inside it, truncating any previous stream.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors are returned with the offending path in the message,
+    /// so a CLI can print them without extra bookkeeping.
     pub fn create(dir: &Path) -> io::Result<Self> {
-        fs::create_dir_all(dir)?;
-        let file = File::create(dir.join(EVENTS_FILE))?;
-        Ok(JsonlRecorder {
+        fs::create_dir_all(dir)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", dir.display())))?;
+        let events_path = dir.join(EVENTS_FILE);
+        let file = File::create(&events_path)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", events_path.display())))?;
+        Ok(Self::with_writer(dir, Box::new(file), true))
+    }
+
+    /// Build a recorder over an arbitrary writer instead of
+    /// `<dir>/events.jsonl` — the injection seam the fault tests use to
+    /// simulate mid-stream failures (ENOSPC, revoked handles) without
+    /// needing a hostile filesystem. `dir` is still where `finish`
+    /// writes the manifest.
+    pub fn from_writer(dir: &Path, writer: Box<dyn Write + Send>) -> Self {
+        Self::with_writer(dir, writer, false)
+    }
+
+    fn with_writer(dir: &Path, writer: Box<dyn Write + Send>, owns_stream_file: bool) -> Self {
+        JsonlRecorder {
             dir: dir.to_path_buf(),
+            owns_stream_file,
             state: Mutex::new(State {
-                writer: BufWriter::new(file),
+                writer: BufWriter::new(writer),
                 error: None,
                 events_written: 0,
+                events_lost: 0,
                 spans: Vec::new(),
                 counters: Vec::new(),
                 gauges: Vec::new(),
             }),
-        })
+        }
     }
 
     /// The directory this recorder writes into.
@@ -67,18 +98,40 @@ impl JsonlRecorder {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Wrap a stream I/O error with its location and damage extent,
+    /// and remove the truncated stream file so it cannot pass for a
+    /// complete trace.
+    fn stream_error(&self, err: &io::Error, written: u64, lost: u64) -> io::Error {
+        let path = self.dir.join(EVENTS_FILE);
+        if self.owns_stream_file {
+            let _ = fs::remove_file(&path);
+        }
+        io::Error::new(
+            err.kind(),
+            format!(
+                "{}: event stream write failed after {written} event(s) ({lost} more lost); \
+                 partial stream removed: {err}",
+                path.display()
+            ),
+        )
+    }
+
     /// Flush the event stream and write the manifest. `params` and
     /// `result` are caller-provided JSON objects describing the fit's
     /// configuration and outcome; phases/counters/gauges come from the
     /// recorder's own aggregates. Returns the manifest path.
     ///
-    /// Any I/O error stashed during streaming is returned here instead.
+    /// Any I/O error stashed during streaming is returned here instead,
+    /// located (stream path, events written/lost), with the partial
+    /// `events.jsonl` removed; no manifest is written in that case.
     pub fn finish(&self, params: Json, result: Json) -> io::Result<PathBuf> {
         let mut state = self.lock();
         if let Some(err) = state.error.take() {
-            return Err(err);
+            return Err(self.stream_error(&err, state.events_written, state.events_lost));
         }
-        state.writer.flush()?;
+        if let Err(err) = state.writer.flush() {
+            return Err(self.stream_error(&err, state.events_written, state.events_lost));
+        }
 
         let mut manifest = String::with_capacity(512);
         manifest.push_str(&format!("{{\"schema_version\":{SCHEMA_VERSION}"));
@@ -136,7 +189,8 @@ impl JsonlRecorder {
         manifest.push_str("}\n");
 
         let path = self.dir.join(MANIFEST_FILE);
-        fs::write(&path, manifest)?;
+        fs::write(&path, manifest)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
         Ok(path)
     }
 }
@@ -149,6 +203,9 @@ impl Recorder for JsonlRecorder {
     fn event(&self, event: &Event) {
         let mut state = self.lock();
         if state.error.is_some() {
+            // Already failed: count what keeps arriving so the final
+            // error can report the full extent of the loss.
+            state.events_lost += 1;
             return;
         }
         let line = event.to_json();
@@ -291,6 +348,73 @@ mod tests {
             Some(1.5)
         );
 
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Accepts `limit` bytes, then fails every write with the given
+    /// error kind — an ENOSPC/dying-disk simulator.
+    struct FailingWriter {
+        limit: usize,
+        written: usize,
+        kind: io::ErrorKind,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.written + buf.len() > self.limit {
+                return Err(io::Error::new(self.kind, "no space left on device"));
+            }
+            self.written += buf.len();
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn mid_stream_failure_is_stashed_and_located_by_finish() {
+        let dir = tmp_dir("enospc");
+        fs::create_dir_all(&dir).unwrap();
+        // Plant a stale stream: a failed run must not leave it looking
+        // like this run's (complete) output.
+        fs::write(dir.join(EVENTS_FILE), "{\"stale\":true}\n").unwrap();
+        // Inject the failing backend through the writer seam but mark
+        // the stream file owned, as a real create-backed recorder
+        // hitting ENOSPC would be.
+        let rec = JsonlRecorder {
+            owns_stream_file: true,
+            ..JsonlRecorder::from_writer(
+                &dir,
+                Box::new(FailingWriter {
+                    limit: 64,
+                    written: 0,
+                    kind: io::ErrorKind::StorageFull,
+                }),
+            )
+        };
+        // Enough events to overflow the BufWriter and hit the full
+        // device mid-stream (not just at the final flush), so later
+        // events are counted as lost.
+        for _ in 0..500 {
+            rec.event(&Event::FitEnd {
+                rounds: 3,
+                improvements: 2,
+                objective: 1.5,
+                iterative_objective: 2.0,
+                outliers: 0,
+            });
+        }
+        let err = rec.finish(Json::Null, Json::Null).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        let msg = err.to_string();
+        assert!(msg.contains(EVENTS_FILE), "unlocated error: {msg}");
+        assert!(msg.contains("event stream write failed after"), "{msg}");
+        // The device died mid-stream, so a nonzero tail was lost.
+        assert!(!msg.contains("(0 more lost)"), "{msg}");
+        // The truncated stream was removed, not left as a fake trace.
+        assert!(!dir.join(EVENTS_FILE).exists());
+        assert!(!dir.join(MANIFEST_FILE).exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -44,7 +44,9 @@ pub mod recorder;
 pub mod ring;
 pub mod summary;
 
-pub use event::{Event, SCHEMA_VERSION};
+pub use event::{
+    Event, GATE_STAGES, QUARANTINE_REASONS, ROLLOVER_REASONS, ROLLOVER_STATES, SCHEMA_VERSION,
+};
 pub use jsonl::{JsonlRecorder, EVENTS_FILE, MANIFEST_FILE};
 pub use recorder::{timed, Fanout, NoopRecorder, Phase, Recorder};
 pub use ring::{GaugeStats, RingRecorder, SpanStats};

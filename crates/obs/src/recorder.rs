@@ -46,6 +46,10 @@ pub enum Phase {
     Cluster,
     /// ORCLUS merge / CLIQUE level advance.
     Merge,
+    /// Streaming ingest: batch validation, window/reservoir upkeep,
+    /// drift scoring, and rollover gating (candidate fits record their
+    /// own phases).
+    Stream,
 }
 
 impl Phase {
@@ -62,11 +66,12 @@ impl Phase {
             Phase::Mine => "mine",
             Phase::Cluster => "cluster",
             Phase::Merge => "merge",
+            Phase::Stream => "stream",
         }
     }
 
     /// Every phase, in the order summaries print them.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 11] = [
         Phase::Init,
         Phase::Index,
         Phase::Locality,
@@ -77,6 +82,7 @@ impl Phase {
         Phase::Mine,
         Phase::Cluster,
         Phase::Merge,
+        Phase::Stream,
     ];
 }
 

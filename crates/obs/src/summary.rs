@@ -61,6 +61,18 @@ pub struct TraceSummary {
     /// Events dropped before folding (ring eviction), reported so a
     /// truncated summary says so.
     pub dropped: u64,
+    /// Accepted streaming batches (`stream_batch` events).
+    pub stream_batches: usize,
+    /// Quarantined batches `(batch, reason)`, in stream order.
+    pub quarantines: Vec<(u64, String)>,
+    /// Drift detections `(batch, score, threshold)`, in stream order.
+    pub drifts: Vec<(u64, f64, f64)>,
+    /// Rollover transitions `(rebuild, from, to, reason)`.
+    pub transitions: Vec<(u64, String, String, String)>,
+    /// Rollover gate outcomes `(rebuild, stage, passed)`.
+    pub gates: Vec<(u64, String, bool)>,
+    /// Published models `(generation, rebuild, objective)`.
+    pub publishes: Vec<(u64, u64, f64)>,
 }
 
 impl TraceSummary {
@@ -143,6 +155,37 @@ impl TraceSummary {
                         *outliers,
                     ))
                 }
+                Event::StreamBatch { .. } => s.stream_batches += 1,
+                Event::StreamQuarantine { batch, reason } => {
+                    s.quarantines.push((*batch, (*reason).to_string()))
+                }
+                Event::DriftDetected {
+                    batch,
+                    score,
+                    threshold,
+                } => s.drifts.push((*batch, *score, *threshold)),
+                Event::RolloverTransition {
+                    rebuild,
+                    from,
+                    to,
+                    reason,
+                } => s.transitions.push((
+                    *rebuild,
+                    (*from).to_string(),
+                    (*to).to_string(),
+                    (*reason).to_string(),
+                )),
+                Event::RolloverGate {
+                    rebuild,
+                    stage,
+                    passed,
+                    ..
+                } => s.gates.push((*rebuild, (*stage).to_string(), *passed)),
+                Event::ModelPublished {
+                    generation,
+                    rebuild,
+                    objective,
+                } => s.publishes.push((*generation, *rebuild, *objective)),
             }
         }
         s
@@ -214,6 +257,37 @@ impl TraceSummary {
             out.push_str(&format!(
                 "refine: clusters={medoids} outliers={outliers} objective={objective}\n"
             ));
+        }
+        if self.stream_batches > 0 || !self.quarantines.is_empty() {
+            out.push_str(&format!(
+                "stream: {} accepted batches, {} quarantined, {} drift detections\n",
+                self.stream_batches,
+                self.quarantines.len(),
+                self.drifts.len()
+            ));
+            for (batch, reason) in &self.quarantines {
+                out.push_str(&format!("  batch {batch}: quarantined ({reason})\n"));
+            }
+            for (batch, score, threshold) in &self.drifts {
+                out.push_str(&format!(
+                    "  batch {batch}: drift detected (score {score} > threshold {threshold})\n"
+                ));
+            }
+        }
+        if !self.transitions.is_empty() {
+            out.push_str("rollover decision log:\n");
+            for (rebuild, from, to, reason) in &self.transitions {
+                out.push_str(&format!("  rebuild {rebuild}: {from} -> {to} ({reason})\n"));
+            }
+            for (rebuild, stage, passed) in &self.gates {
+                let verdict = if *passed { "passed" } else { "FAILED" };
+                out.push_str(&format!("  rebuild {rebuild}: {stage} gate {verdict}\n"));
+            }
+            for (generation, rebuild, objective) in &self.publishes {
+                out.push_str(&format!(
+                    "  rebuild {rebuild}: published generation {generation} (objective {objective})\n"
+                ));
+            }
         }
         out
     }
@@ -378,6 +452,69 @@ mod tests {
     fn render_reports_eviction() {
         let s = TraceSummary::from_events(&stream()[5..], 5);
         assert!(s.render().contains("5 early events evicted"));
+    }
+
+    #[test]
+    fn stream_and_rollover_events_fold_and_render() {
+        let events = vec![
+            Event::StreamBatch {
+                batch: 1,
+                rows: 100,
+                window: 100,
+                drift_score: f64::NAN,
+                drifted: false,
+            },
+            Event::StreamQuarantine {
+                batch: 2,
+                reason: "corrupt_chunk",
+            },
+            Event::DriftDetected {
+                batch: 5,
+                score: 1.5,
+                threshold: 0.6,
+            },
+            Event::RolloverTransition {
+                rebuild: 1,
+                from: "idle",
+                to: "shadow",
+                reason: "drift",
+            },
+            Event::RolloverGate {
+                rebuild: 1,
+                stage: "shadow",
+                silhouette: 0.4,
+                ari: f64::NAN,
+                coverage: f64::NAN,
+                cost_ratio: f64::NAN,
+                outlier_fraction: 0.03,
+                passed: true,
+            },
+            Event::RolloverTransition {
+                rebuild: 1,
+                from: "canary",
+                to: "promoted",
+                reason: "gates_passed",
+            },
+            Event::ModelPublished {
+                generation: 2,
+                rebuild: 1,
+                objective: 0.9,
+            },
+        ];
+        let s = TraceSummary::from_events(&events, 0);
+        assert_eq!(s.stream_batches, 1);
+        assert_eq!(s.quarantines, vec![(2, "corrupt_chunk".to_string())]);
+        assert_eq!(s.drifts.len(), 1);
+        assert_eq!(s.transitions.len(), 2);
+        assert_eq!(s.gates, vec![(1, "shadow".to_string(), true)]);
+        assert_eq!(s.publishes, vec![(2, 1, 0.9)]);
+        let text = s.render();
+        assert!(text.contains("1 accepted batches, 1 quarantined, 1 drift detections"));
+        assert!(text.contains("batch 2: quarantined (corrupt_chunk)"));
+        assert!(text.contains("rebuild 1: idle -> shadow (drift)"));
+        assert!(text.contains("rebuild 1: canary -> promoted (gates_passed)"));
+        assert!(text.contains("rebuild 1: shadow gate passed"));
+        assert!(text.contains("published generation 2"));
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Streaming ingest with drift-gated rollover: the library API behind
+//! `proclus stream`.
+//!
+//! A `StreamServer` ingests batches into a sliding window, detects
+//! distribution drift with seeded random projections (window vs a
+//! long-term reservoir), and — when drift persists — fits a candidate
+//! model and drives it through the Shadow → Canary → Promote state
+//! machine. Only a candidate that passes every gate is atomically
+//! published to the crash-safe model registry; failures roll back with
+//! the previous model still serving. Every decision is a pure function
+//! of `(params, config, data, seeds)` — see DESIGN.md §5f.
+//!
+//! This example streams a distribution shift (blobs jump to new
+//! centers mid-stream), prints the decision log as it unfolds, and
+//! then reopens the registry to show recovery/resume.
+//!
+//! Run with: `cargo run --release --example streaming_rollover`
+
+use proclus::core::{GateConfig, ModelRegistry, RolloverOutcome, StreamConfig, StreamServer};
+use proclus::obs::NoopRecorder;
+use proclus::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One batch of points around the given centers (one blob per center).
+fn batch(centers: &[f64], rows_per_blob: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(centers.len() * rows_per_blob * d);
+    for &c in centers {
+        for _ in 0..rows_per_blob {
+            for _ in 0..d {
+                data.push(c + rng.random_range(-1.0..1.0));
+            }
+        }
+    }
+    Matrix::from_vec(data, centers.len() * rows_per_blob, d)
+}
+
+fn main() {
+    let registry_dir =
+        std::env::temp_dir().join(format!("proclus-example-registry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&registry_dir);
+
+    let params = Proclus::new(2, 3.0).seed(7).restarts(2);
+    let config = StreamConfig {
+        window: 512,
+        min_fit_points: 256,
+        reservoir: 128,
+        drift_threshold: 0.6,
+        patience: 2,
+        cooldown: 2,
+        seed: 11,
+        ..StreamConfig::default()
+    };
+    let rec = NoopRecorder;
+    let (mut server, recovery) =
+        StreamServer::new(params, config, GateConfig::default(), &registry_dir, &rec)
+            .expect("valid configuration and writable registry dir");
+    assert!(recovery.is_clean(), "fresh registry should recover clean");
+
+    // Phase 1: the stream starts around centers {5, 60}. Once the
+    // window holds `min_fit_points`, the server bootstraps a model.
+    // Phase 2: the distribution jumps to {200, 255} — the drift
+    // detector notices, waits out its patience, and a gated rollover
+    // replaces the model.
+    for step in 0..24u64 {
+        let centers: &[f64] = if step < 12 {
+            &[5.0, 60.0]
+        } else {
+            &[200.0, 255.0]
+        };
+        let report = server.ingest_batch(&batch(centers, 32, 8, 1_000 + step));
+        print!(
+            "batch {:>2}: window {:>3}, drift {:>5}",
+            report.batch,
+            server.window_matrix().rows(),
+            if report.drift_score.is_nan() {
+                "  n/a".to_string()
+            } else {
+                format!("{:.2}", report.drift_score)
+            },
+        );
+        match &report.rollover {
+            Some(roll) => match &roll.outcome {
+                RolloverOutcome::Promoted { generation } => println!(
+                    " -> rebuild {} [{}] promoted as generation {generation}",
+                    roll.rebuild, roll.trigger
+                ),
+                RolloverOutcome::RolledBack { stage, reason } => println!(
+                    " -> rebuild {} [{}] rolled back at {stage} ({reason})",
+                    roll.rebuild, roll.trigger
+                ),
+            },
+            None => println!(),
+        }
+    }
+
+    let diag = server.diagnostics();
+    println!(
+        "\n{} batches, {} points accepted, {} drift detection(s), \
+         {} promoted, {} rolled back",
+        diag.batches, diag.accepted_points, diag.drift_detections, diag.promotions, diag.rollbacks
+    );
+    let generation = server.live_generation().expect("a model is serving");
+    println!(
+        "serving generation {generation} (k = {} clusters)",
+        server.live().expect("live model").clusters().len()
+    );
+
+    // A new process opening the same registry resumes serving the
+    // CURRENT generation — the crash-safe pointer is the commit point.
+    drop(server);
+    let (reopened, report) = ModelRegistry::open(&registry_dir).expect("reopen");
+    assert!(report.is_clean());
+    println!(
+        "reopened registry: generations {:?}, CURRENT = {:?}",
+        reopened.generations(),
+        reopened.current()
+    );
+    let (current_gen, model) = reopened
+        .load_current()
+        .expect("readable entry")
+        .expect("a CURRENT model");
+    assert_eq!(current_gen, generation);
+    println!(
+        "recovered generation {current_gen}: objective {:.3}",
+        model.objective()
+    );
+
+    let _ = std::fs::remove_dir_all(&registry_dir);
+}

@@ -4,11 +4,15 @@
 //! valid value — never a panic"**.
 
 use proclus::baselines::{Clarans, KMeans};
+use proclus::core::{GateConfig, StreamConfig, StreamServer};
 use proclus::data::adversarial::all_cases;
 use proclus::data::binio::{decode, encode};
 use proclus::data::fault::FaultReader;
 use proclus::data::io::{read_csv, write_csv};
+use proclus::data::{encode_chunk, encode_chunk_stream, ChunkReader};
+use proclus::obs::NoopRecorder;
 use proclus::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::env;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -231,4 +235,215 @@ fn decoded_faulted_payloads_that_parse_still_fit_safely() {
     // Most garbage runs only corrupt the f64 payload, so plenty of
     // corrupted-but-decodable matrices must have reached the fit.
     assert!(fitted > 10, "only {fitted} corrupted payloads decoded");
+}
+
+// ---------------------------------------------------------------------
+// Streaming ingest under chunk-level faults. The invariant is the
+// streaming analogue of "typed error or valid value": a damaged chunk
+// is quarantined (recorded in the diagnostics and the decision log),
+// the live model keeps serving at its generation, and the very next
+// clean batch is accepted — never a panic, never a poisoned server.
+// ---------------------------------------------------------------------
+
+fn stream_blob(center: f64, rows: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(rows * d);
+    for _ in 0..rows {
+        for _ in 0..d {
+            data.push(center + rng.random_range(-1.0..1.0));
+        }
+    }
+    Matrix::from_vec(data, rows, d)
+}
+
+/// A server bootstrapped to a live generation-1 model (two separated
+/// blobs, d = 3), ready to have faulted chunk streams thrown at it.
+fn bootstrapped_server<'a>(dir: &std::path::Path, rec: &'a NoopRecorder) -> StreamServer<'a> {
+    let _ = std::fs::remove_dir_all(dir);
+    let params = Proclus::new(2, 2.0).seed(3).restarts(1);
+    let config = StreamConfig {
+        window: 128,
+        min_fit_points: 64,
+        reservoir: 32,
+        // Effectively undriftable: these scenarios are about ingest
+        // faults, not rollovers.
+        drift_threshold: 1e9,
+        ..StreamConfig::default()
+    };
+    let (mut server, report) =
+        StreamServer::new(params, config, GateConfig::default(), dir, rec).expect("server");
+    assert!(report.is_clean());
+    for i in 0..6u64 {
+        let center = if i % 2 == 0 { 5.0 } else { 60.0 };
+        server.ingest_batch(&stream_blob(center, 16, 3, 300 + i));
+    }
+    assert_eq!(server.live_generation(), Some(1), "bootstrap fit failed");
+    server
+}
+
+/// Drive a chunk byte stream into the server: intact frames are
+/// ingested, decode failures are quarantined. Returns how many frames
+/// went each way.
+fn drive_chunks(server: &mut StreamServer<'_>, bytes: &[u8]) -> (usize, usize) {
+    let (mut ok, mut corrupt) = (0usize, 0usize);
+    for frame in ChunkReader::new(bytes) {
+        match frame {
+            Ok(batch) => {
+                server.ingest_batch(&batch);
+                ok += 1;
+            }
+            Err(_) => {
+                server.quarantine_corrupt();
+                corrupt += 1;
+            }
+        }
+    }
+    (ok, corrupt)
+}
+
+/// After any fault sequence the server must still be serving the
+/// bootstrap generation and must accept a clean batch.
+fn assert_still_serving(server: &mut StreamServer<'_>, what: &str) {
+    assert_eq!(
+        server.live_generation(),
+        Some(1),
+        "generation moved on {what}"
+    );
+    let before = server.diagnostics().accepted_points;
+    let report = server.ingest_batch(&stream_blob(5.0, 16, 3, 999));
+    assert!(report.accepted, "clean batch rejected after {what}");
+    assert_eq!(server.diagnostics().accepted_points, before + 16);
+}
+
+fn pristine_chunk_stream() -> Vec<u8> {
+    let points = stream_blob(5.0, 64, 3, 41);
+    encode_chunk_stream(&points, 16).expect("encode stream")
+}
+
+#[test]
+fn stream_survives_truncated_chunk_streams() {
+    let dir = tmp("stream-trunc");
+    let rec = NoopRecorder;
+    let mut server = bootstrapped_server(&dir, &rec);
+    let bytes = pristine_chunk_stream();
+    // Every 97th prefix: covers mid-header, mid-payload and
+    // mid-checksum cuts of several frames.
+    for cut in (0..bytes.len()).step_by(97) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            drive_chunks(&mut server, &bytes[..cut])
+        }));
+        assert!(outcome.is_ok(), "panic on truncation at byte {cut}");
+    }
+    assert!(
+        server
+            .diagnostics()
+            .quarantined
+            .iter()
+            .any(|(_, r)| *r == "corrupt_chunk"),
+        "no truncation was quarantined"
+    );
+    assert_still_serving(&mut server, "truncated chunk streams");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stream_survives_bit_flipped_chunks() {
+    let dir = tmp("stream-flip");
+    let rec = NoopRecorder;
+    let mut server = bootstrapped_server(&dir, &rec);
+    let bytes = pristine_chunk_stream();
+    let fr = FaultReader::new(bytes);
+    for (i, flipped) in fr.bit_flips().enumerate().step_by(89) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| drive_chunks(&mut server, &flipped)));
+        assert!(outcome.is_ok(), "panic on bit flip #{i}");
+    }
+    // Payload flips break the checksum; the reader resyncs and the
+    // batch is quarantined rather than silently ingested.
+    assert!(
+        server
+            .diagnostics()
+            .quarantined
+            .iter()
+            .any(|(_, r)| *r == "corrupt_chunk"),
+        "no bit flip was quarantined"
+    );
+    assert_still_serving(&mut server, "bit-flipped chunks");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stream_survives_garbage_runs_in_chunks() {
+    let dir = tmp("stream-garbage");
+    let rec = NoopRecorder;
+    let mut server = bootstrapped_server(&dir, &rec);
+    let fr = FaultReader::new(pristine_chunk_stream());
+    for (i, garbled) in fr.garbage_runs(0x5EED, 48).iter().enumerate() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| drive_chunks(&mut server, garbled)));
+        assert!(outcome.is_ok(), "panic on garbage run #{i}");
+    }
+    assert!(!server.diagnostics().quarantined.is_empty());
+    assert_still_serving(&mut server, "garbage runs");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stream_quarantines_flipped_checksum_but_resyncs_to_next_frame() {
+    let dir = tmp("stream-cksum");
+    let rec = NoopRecorder;
+    let mut server = bootstrapped_server(&dir, &rec);
+    let mut bytes = pristine_chunk_stream();
+    // Flip one checksum byte of the FIRST frame only: its batch must be
+    // quarantined while the remaining three frames still ingest.
+    let frame_len = encode_chunk(&stream_blob(5.0, 16, 3, 41))
+        .expect("frame")
+        .len();
+    bytes[frame_len - 1] ^= 0xFF;
+    let (ok, corrupt) = drive_chunks(&mut server, &bytes);
+    assert_eq!(
+        (ok, corrupt),
+        (3, 1),
+        "reader failed to resync past the bad frame"
+    );
+    assert_eq!(
+        server.diagnostics().quarantined.last().map(|(_, r)| *r),
+        Some("corrupt_chunk")
+    );
+    assert_still_serving(&mut server, "flipped checksum");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stream_quarantines_decodable_but_malformed_batches() {
+    let dir = tmp("stream-malformed");
+    let rec = NoopRecorder;
+    let mut server = bootstrapped_server(&dir, &rec);
+
+    // A frame that decodes fine but carries a NaN cell: the chunk layer
+    // passes it through (checksums protect bytes, not semantics) and
+    // the server's ingest validation quarantines it.
+    let mut nan_batch = stream_blob(5.0, 8, 3, 77);
+    nan_batch.set(2, 1, f64::NAN);
+    let nan_frame = encode_chunk(&nan_batch).expect("nan frame");
+    let (ok, corrupt) = drive_chunks(&mut server, &nan_frame);
+    assert_eq!((ok, corrupt), (1, 0));
+    assert_eq!(
+        server.diagnostics().quarantined.last().map(|(_, r)| *r),
+        Some("non_finite")
+    );
+
+    // A frame with the wrong dimensionality (d = 2 against a d = 3
+    // server) is likewise quarantined, not fatal.
+    let wrong = encode_chunk(&stream_blob(5.0, 8, 2, 78)).expect("2d frame");
+    drive_chunks(&mut server, &wrong);
+    assert_eq!(
+        server.diagnostics().quarantined.last().map(|(_, r)| *r),
+        Some("dimension_mismatch")
+    );
+
+    // An empty stream contributes nothing and breaks nothing.
+    let (ok, corrupt) = drive_chunks(&mut server, &[]);
+    assert_eq!((ok, corrupt), (0, 0));
+
+    assert_still_serving(&mut server, "malformed-but-decodable batches");
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -7,4 +7,5 @@ pub mod generate;
 pub mod inspect;
 pub mod inspect_trace;
 pub mod orclus;
+pub mod serve;
 pub mod stream;

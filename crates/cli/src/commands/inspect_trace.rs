@@ -106,6 +106,30 @@ fn index_summary(manifest: &json::Json) -> Option<String> {
     ))
 }
 
+/// Derived serving health from a `proclus serve` manifest's `serve.*`
+/// counters: request volume, error split, queue pressure, and job
+/// outcomes. `None` for traces that never served traffic.
+fn serve_summary(manifest: &json::Json) -> Option<String> {
+    let counter = |name: &str| {
+        manifest
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(json::Json::as_usize)
+    };
+    let requests = counter("serve.requests")?;
+    let c4xx = counter("serve.status_4xx").unwrap_or(0);
+    let c5xx = counter("serve.status_5xx").unwrap_or(0);
+    let queue_full = counter("serve.queue_full").unwrap_or(0);
+    let done = counter("serve.jobs_done").unwrap_or(0);
+    let failed = counter("serve.jobs_failed").unwrap_or(0);
+    let protocol = counter("serve.protocol_errors").unwrap_or(0);
+    Some(format!(
+        "serve health: {requests} requests ({c4xx} 4xx, {c5xx} 5xx, \
+         {protocol} protocol faults), {queue_full} backpressured, \
+         jobs {done} done / {failed} failed"
+    ))
+}
+
 /// Derived stream health from a `proclus stream` manifest's result
 /// object: ingest volume, quarantine count, and rollover tallies.
 /// `None` for non-streaming traces (e.g. a plain `fit`).
@@ -149,6 +173,9 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         writeln!(out, "{line}")?;
     }
     if let Some(line) = stream_summary(&manifest) {
+        writeln!(out, "{line}")?;
+    }
+    if let Some(line) = serve_summary(&manifest) {
         writeln!(out, "{line}")?;
     }
     if let Some(json::Json::Obj(members)) = manifest.get("params") {

@@ -1,0 +1,188 @@
+//! `proclus serve` — the resident clustering daemon.
+//!
+//! Binds a TCP address, opens (or creates) a model registry, and
+//! serves the HTTP API from `proclus-serve` until `POST /v1/shutdown`
+//! drains it: dataset upload, async fits on a bounded queue, and
+//! point-batch assign/classify from the registry's `CURRENT` model —
+//! so promotions made by a concurrent `proclus stream` process are
+//! visible to traffic on the very next request.
+
+use crate::args::Args;
+use proclus_obs::json::Json;
+use proclus_obs::{JsonlRecorder, NoopRecorder, Recorder};
+use proclus_serve::{start, ServeConfig};
+use std::error::Error;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+pub const HELP: &str = "\
+proclus serve — resident clustering server (upload / fit / assign)
+
+  --registry <dir>  model registry directory (created if missing; a
+                    recovery scan quarantines partial/corrupt entries)
+                    (required)
+  --addr <host:port> address to bind [default 127.0.0.1:0]
+                    (port 0 picks an ephemeral port, printed on start)
+  --queue <n>       fit job queue capacity; a full queue answers 429
+                    [default 4]
+  --threads <n>     worker threads per fit [default 1]
+  --trace-out <dir> stream serve events.jsonl + run.json into this
+                    directory (closed when the server drains)
+
+The server runs until `POST /v1/shutdown` (or SIGKILL). Shutdown is
+graceful: queued fit jobs are drained, in-flight requests complete,
+then every thread is joined. See DESIGN.md §5g for the protocol.
+";
+
+fn params_json(addr: &str, config: &ServeConfig) -> Json {
+    Json::Obj(vec![
+        ("algorithm".into(), Json::Str("proclus-serve".into())),
+        ("addr".into(), Json::Str(addr.into())),
+        (
+            "registry".into(),
+            Json::Str(config.registry_dir.display().to_string()),
+        ),
+        (
+            "queue_capacity".into(),
+            Json::Num(config.queue_capacity as f64),
+        ),
+        ("threads".into(), Json::Num(config.threads as f64)),
+    ])
+}
+
+/// Run the command. Blocks until the server is asked to shut down.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
+    let registry_dir = PathBuf::from(args.require("registry")?);
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0").to_string();
+    let config = ServeConfig {
+        registry_dir,
+        queue_capacity: args.get_parsed("queue", 4usize)?,
+        threads: args.get_parsed("threads", 1usize)?,
+    };
+    let trace_dir = args.get("trace-out").map(PathBuf::from);
+    args.reject_unknown()?;
+
+    let jsonl: Option<Arc<JsonlRecorder>> = match &trace_dir {
+        Some(dir) => Some(Arc::new(JsonlRecorder::create(dir)?)),
+        None => None,
+    };
+    let recorder: Arc<dyn Recorder + Send> = match &jsonl {
+        Some(j) => j.clone(),
+        None => Arc::new(NoopRecorder),
+    };
+
+    let server = start(&addr, config.clone(), recorder)?;
+    super::stream::describe_recovery(out, server.state().recovery_report())?;
+    writeln!(out, "listening on {}", server.addr())?;
+    // The address line is the startup handshake scripts wait for (the
+    // CI smoke job parses the ephemeral port out of it), so it must
+    // reach the pipe before we block in wait().
+    out.flush()?;
+
+    let jobs = server.state().clone();
+    server.wait();
+
+    let done = jobs
+        .list_jobs()
+        .iter()
+        .filter(|j| matches!(j.state, proclus_serve::JobState::Done { .. }))
+        .count();
+    let failed = jobs
+        .list_jobs()
+        .iter()
+        .filter(|j| matches!(j.state, proclus_serve::JobState::Failed { .. }))
+        .count();
+    writeln!(
+        out,
+        "serve: drained ({} job{} done, {failed} failed)",
+        done,
+        if done == 1 { "" } else { "s" }
+    )?;
+
+    // Close the trace stream *before* reporting success: a stashed
+    // mid-stream write error must surface as this command's error.
+    if let Some(jsonl) = &jsonl {
+        let result = Json::Obj(vec![
+            ("jobs_done".into(), Json::Num(done as f64)),
+            ("jobs_failed".into(), Json::Num(failed as f64)),
+        ]);
+        let manifest = jsonl.finish(params_json(&addr, &config), result)?;
+        writeln!(out, "trace written to {}", manifest.display())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+    use std::net::TcpStream;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("proclus-cli-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn missing_registry_is_a_usage_error() {
+        let args = Args::parse(toks(""), &[]).unwrap();
+        let mut out = Vec::new();
+        let err = run(&args, &mut out).unwrap_err();
+        assert!(err.to_string().contains("registry"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let reg = tmp_dir("unknown-flag");
+        let args = Args::parse(
+            toks(&format!("--registry {} --bogus 1", reg.display())),
+            &[],
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let err = run(&args, &mut out).unwrap_err();
+        assert!(err.to_string().contains("bogus"), "{err}");
+    }
+
+    /// Full loop through the real `run`: serve on an ephemeral port in
+    /// a thread, shut it down over the wire, and check the report.
+    #[test]
+    fn serves_and_reports_drain_on_shutdown() {
+        let reg = tmp_dir("roundtrip");
+        let args = Args::parse(
+            toks(&format!("--registry {} --addr 127.0.0.1:0", reg.display())),
+            &[],
+        )
+        .unwrap();
+        // Pipe: the runner writes "listening on ADDR\n" and flushes
+        // before blocking, so the parent can read the port back.
+        let (mut reader, mut writer) = std::io::pipe().unwrap();
+        let t = std::thread::spawn(move || run(&args, &mut writer).map_err(|e| e.to_string()));
+        let mut line = Vec::new();
+        loop {
+            let mut b = [0u8; 1];
+            reader.read_exact(&mut b).unwrap();
+            if b[0] == b'\n' {
+                break;
+            }
+            line.push(b[0]);
+        }
+        let line = String::from_utf8(line).unwrap();
+        let addr = line.strip_prefix("listening on ").unwrap().trim();
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /v1/shutdown HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 202"), "{resp}");
+        t.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&reg);
+    }
+}

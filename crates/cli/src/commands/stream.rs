@@ -112,7 +112,10 @@ fn result_json(diag: &StreamDiagnostics, generation: Option<u64>) -> Json {
     ])
 }
 
-fn describe_recovery(out: &mut dyn Write, report: &RecoveryReport) -> std::io::Result<()> {
+pub(crate) fn describe_recovery(
+    out: &mut dyn Write,
+    report: &RecoveryReport,
+) -> std::io::Result<()> {
     if report.is_clean() {
         return Ok(());
     }

@@ -24,6 +24,7 @@ commands:
   clique     CLIQUE subspace clustering baseline
   orclus     generalized (oriented) projected clustering
   stream     continuous ingest with drift-triggered, gated rollover
+  serve      resident HTTP server (upload / fit / assign / classify)
   evaluate   confusion matrix / ARI / NMI of two labeled files
   inspect    summarize a dataset file
   inspect-trace  summarize a fit trace written by `fit --trace-out`
@@ -66,6 +67,12 @@ fn exit_code_for(e: &(dyn Error + 'static)) -> u8 {
     }
     if let Some(re) = e.downcast_ref::<RegistryError>() {
         return registry_code(re);
+    }
+    if let Some(se) = e.downcast_ref::<proclus_serve::ServeError>() {
+        return match se {
+            proclus_serve::ServeError::Bind { .. } => 74,
+            proclus_serve::ServeError::Registry(re) => registry_code(re),
+        };
     }
     if let Some(pe) = e.downcast_ref::<ProclusError>() {
         return match pe {
@@ -144,6 +151,7 @@ fn main() -> ExitCode {
             &["verbose", "no-round-cache", "no-index"],
             commands::stream::run,
         ),
+        "serve" => (commands::serve::HELP, &[], commands::serve::run),
         "evaluate" => (commands::evaluate::HELP, &[], commands::evaluate::run),
         "inspect" => (commands::inspect::HELP, &[], commands::inspect::run),
         "inspect-trace" => (

@@ -1,5 +1,6 @@
 //! The fitted model returned by [`Proclus::fit`](crate::Proclus::fit).
 
+use crate::error::ProclusError;
 use proclus_math::{DistanceKind, Matrix};
 use std::fmt;
 
@@ -227,6 +228,70 @@ impl ProclusModel {
                     .eval_segmental(point, &c.medoid, &c.dimensions)
             })
             .reduce(f64::min)
+    }
+
+    /// Dimensionality of the space the model was fitted in (0 for a
+    /// model with no clusters).
+    pub fn dimensionality(&self) -> usize {
+        self.clusters.first().map_or(0, |c| c.medoid.len())
+    }
+
+    /// AssignPoints (Figure 5) against the fitted clusters: every row
+    /// of `points` is assigned to the cluster whose medoid is closest
+    /// under that cluster's own dimension set, ties to the lower
+    /// cluster index. This is the serving twin of
+    /// [`crate::assign::assign_points`] — the medoid coordinates are
+    /// exact copies of the training rows, so assigning the training
+    /// matrix through this method is bit-identical to the offline pass.
+    ///
+    /// # Errors
+    ///
+    /// [`ProclusError::InvalidParameters`] when the model has no
+    /// clusters or `points` does not match the model's dimensionality.
+    pub fn assign_batch(&self, points: &Matrix) -> Result<Vec<usize>, ProclusError> {
+        self.check_batch(points)?;
+        let mut out = Vec::with_capacity(points.rows());
+        for row in points.iter_rows() {
+            let mut best = 0usize;
+            let mut best_dist = f64::INFINITY;
+            for (i, c) in self.clusters.iter().enumerate() {
+                let dist = self.distance.eval_segmental(row, &c.medoid, &c.dimensions);
+                if dist < best_dist {
+                    best_dist = dist;
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// [`ProclusModel::classify`] over a whole batch: nearest cluster
+    /// per row, or `None` for rows outside every medoid's sphere of
+    /// influence.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ProclusModel::assign_batch`].
+    pub fn classify_batch(&self, points: &Matrix) -> Result<Vec<Option<usize>>, ProclusError> {
+        self.check_batch(points)?;
+        Ok(points.iter_rows().map(|row| self.classify(row)).collect())
+    }
+
+    fn check_batch(&self, points: &Matrix) -> Result<(), ProclusError> {
+        if self.clusters.is_empty() {
+            return Err(ProclusError::InvalidParameters(
+                "model has no clusters to assign against".into(),
+            ));
+        }
+        let d = self.dimensionality();
+        if points.cols() != d {
+            return Err(ProclusError::InvalidParameters(format!(
+                "batch has {} columns but the model was fitted in {d} dimensions",
+                points.cols()
+            )));
+        }
+        Ok(())
     }
 
     /// Convenience: assignment as plain labels where outliers map to

@@ -618,6 +618,84 @@ impl ModelRegistry {
         }
     }
 
+    /// Read the `CURRENT` pointer **from disk** rather than from this
+    /// handle's cached view, so a generation published by another
+    /// process (e.g. `proclus stream` promoting during a rollover) is
+    /// visible without reopening the registry.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Io`] when the pointer file exists but cannot be
+    /// read; [`RegistryError::Corrupt`] when its contents do not parse
+    /// as a generation number. A missing pointer is `Ok(None)`.
+    pub fn current_generation_on_disk(&self) -> Result<Option<u64>, RegistryError> {
+        let path = self.dir.join(CURRENT_FILE);
+        match fs::read_to_string(&path) {
+            Ok(s) => match s.trim().parse::<u64>() {
+                Ok(g) => Ok(Some(g)),
+                Err(_) => Err(RegistryError::Corrupt {
+                    path,
+                    offset: 0,
+                    reason: format!("CURRENT does not name a generation: {:?}", s.trim()),
+                }),
+            },
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(RegistryError::Io { path, source: e }),
+        }
+    }
+
+    /// Load the serving model using a fresh on-disk read of `CURRENT`.
+    ///
+    /// This is the TOCTOU-hardened serving path: between reading the
+    /// pointer and opening the entry, a concurrent writer may retire
+    /// the named generation (publish then prune). When the entry turns
+    /// out to be missing, the pointer is re-read — if it moved, the
+    /// load retries against the new generation (bounded, so a
+    /// pathological writer cannot livelock a reader); if it did not
+    /// move, the registry really is dangling and the typed I/O error
+    /// is returned as-is. Either way the race surfaces as a
+    /// [`RegistryError`], never a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Io`] / [`RegistryError::Corrupt`] as
+    /// [`ModelRegistry::load`] and
+    /// [`ModelRegistry::current_generation_on_disk`].
+    pub fn load_current_fresh(&self) -> Result<Option<(u64, ProclusModel)>, RegistryError> {
+        const MAX_POINTER_CHASES: usize = 3;
+        let mut generation = match self.current_generation_on_disk()? {
+            Some(g) => g,
+            None => return Ok(None),
+        };
+        for _ in 0..MAX_POINTER_CHASES {
+            match self.load(generation) {
+                Ok(model) => return Ok(Some((generation, model))),
+                Err(RegistryError::Io { path, source })
+                    if source.kind() == io::ErrorKind::NotFound =>
+                {
+                    // Entry vanished after we read the pointer. Re-read
+                    // it: a moved pointer means a writer raced us and we
+                    // should chase; an unchanged pointer is a genuinely
+                    // dangling registry.
+                    match self.current_generation_on_disk()? {
+                        Some(g) if g != generation => generation = g,
+                        _ => return Err(RegistryError::Io { path, source }),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Pointer kept moving for MAX_POINTER_CHASES loads; report the
+        // last target as unavailable rather than spinning forever.
+        Err(RegistryError::Io {
+            path: self.entry_path(generation),
+            source: io::Error::new(
+                io::ErrorKind::NotFound,
+                "CURRENT kept moving while chasing it; entry never observed",
+            ),
+        })
+    }
+
     /// Publish `model` as the next generation and point `CURRENT` at
     /// it. Both writes are atomic and the `CURRENT` flip is the commit
     /// point: a crash *between* them leaves the previous generation
@@ -851,6 +929,81 @@ mod tests {
         assert!(report.current_repaired);
         assert_eq!(reg.current(), None);
         assert!(!dir.join(CURRENT_FILE).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn entry_deleted_between_pointer_read_and_open_is_a_typed_error() {
+        // The TOCTOU regression: CURRENT names generation 1, but the
+        // entry vanishes before the reader opens it (a racing writer
+        // pruned it without moving the pointer). The load must surface
+        // a typed I/O error — not panic, not loop.
+        let dir = tmp_dir("toctou-dangling");
+        let (mut reg, _) = ModelRegistry::open(&dir).unwrap();
+        reg.publish(&toy_model(0.0)).unwrap();
+        fs::remove_file(reg.entry_path(1)).unwrap();
+        let err = reg.load_current_fresh().unwrap_err();
+        match &err {
+            RegistryError::Io { path, source } => {
+                assert_eq!(source.kind(), io::ErrorKind::NotFound);
+                assert!(path.ends_with("gen-000001.prcm"), "{err}");
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pointer_moved_during_load_is_chased_to_the_new_generation() {
+        // The recoverable half of the race: the entry named by the
+        // first pointer read is gone, but CURRENT has moved on to a
+        // live generation — the reader must chase and succeed.
+        let dir = tmp_dir("toctou-chase");
+        let (mut reg, _) = ModelRegistry::open(&dir).unwrap();
+        reg.publish(&toy_model(0.0)).unwrap();
+        let (stale_reg, _) = ModelRegistry::open(&dir).unwrap();
+        reg.publish(&toy_model(1.0)).unwrap();
+        fs::remove_file(reg.entry_path(1)).unwrap();
+        // stale_reg's cached view still says generation 1; the fresh
+        // path reads the moved pointer from disk and serves gen 2.
+        let (g, model) = stale_reg.load_current_fresh().unwrap().unwrap();
+        assert_eq!(g, 2);
+        assert_eq!(model.assignment(), toy_model(1.0).assignment());
+        // The cached path against the deleted entry stays a typed
+        // error rather than a panic.
+        assert!(matches!(
+            stale_reg.load_current(),
+            Err(RegistryError::Io { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unparsable_current_on_disk_is_corrupt_not_panic() {
+        let dir = tmp_dir("toctou-garbage");
+        let (mut reg, _) = ModelRegistry::open(&dir).unwrap();
+        reg.publish(&toy_model(0.0)).unwrap();
+        fs::write(dir.join(CURRENT_FILE), "not-a-number\n").unwrap();
+        assert!(matches!(
+            reg.current_generation_on_disk(),
+            Err(RegistryError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_load_sees_cross_handle_promotions() {
+        let dir = tmp_dir("toctou-fresh");
+        let (mut writer, _) = ModelRegistry::open(&dir).unwrap();
+        writer.publish(&toy_model(0.0)).unwrap();
+        let (reader, _) = ModelRegistry::open(&dir).unwrap();
+        assert_eq!(reader.current(), Some(1));
+        writer.publish(&toy_model(1.0)).unwrap();
+        // Cached view is stale; the fresh path sees the promotion.
+        assert_eq!(reader.current(), Some(1));
+        assert_eq!(reader.current_generation_on_disk().unwrap(), Some(2));
+        let (g, _) = reader.load_current_fresh().unwrap().unwrap();
+        assert_eq!(g, 2);
         fs::remove_dir_all(&dir).unwrap();
     }
 

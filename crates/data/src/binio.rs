@@ -26,7 +26,10 @@ use proclus_math::Matrix;
 use std::fs;
 use std::path::Path;
 
-const MAGIC: &[u8; 4] = b"PRCL";
+/// File magic opening every `PRCL` binary dataset (public so format
+/// sniffers — e.g. the serving daemon's upload endpoint — can route a
+/// buffer without attempting a full decode).
+pub const MAGIC: &[u8; 4] = b"PRCL";
 const VERSION: u8 = 1;
 
 /// Serialize `points` (and optional aligned `labels`) into the binary

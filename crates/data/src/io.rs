@@ -73,6 +73,29 @@ pub fn write_csv(path: &Path, points: &Matrix, labels: Option<&[Label]>) -> Resu
 /// malformed headers, or unknown label tokens; [`DataError::Io`] on
 /// OS-level failures.
 pub fn read_csv(path: &Path) -> Result<(Matrix, Option<Vec<Label>>), DataError> {
+    let r = BufReader::new(File::open(path).map_err(|e| DataError::io(path, e))?);
+    read_csv_from(path, r)
+}
+
+/// Parse an in-memory CSV buffer (same grammar as [`read_csv`]).
+///
+/// `origin` names the buffer in error messages — e.g. `"<upload>"` for
+/// a network request body, where no real file exists.
+///
+/// # Errors
+///
+/// Same as [`read_csv`]; non-UTF-8 bytes surface as [`DataError::Io`]
+/// carrying `origin` as the path.
+pub fn read_csv_bytes(
+    origin: &Path,
+    bytes: &[u8],
+) -> Result<(Matrix, Option<Vec<Label>>), DataError> {
+    read_csv_from(origin, bytes)
+}
+
+/// Shared CSV parser over any buffered source; `path` is only for
+/// error context.
+fn read_csv_from(path: &Path, r: impl BufRead) -> Result<(Matrix, Option<Vec<Label>>), DataError> {
     let oserr = |e| DataError::io(path, e);
     let at =
         |line: usize, column: Option<usize>, token: Option<&str>, reason: String| DataError::Csv {
@@ -82,7 +105,6 @@ pub fn read_csv(path: &Path) -> Result<(Matrix, Option<Vec<Label>>), DataError> 
             token: token.map(str::to_string),
             reason,
         };
-    let r = BufReader::new(File::open(path).map_err(oserr)?);
     let mut lines = r.lines();
     let header = lines
         .next()

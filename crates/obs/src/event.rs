@@ -206,6 +206,27 @@ pub enum Event {
         /// The published model's objective.
         objective: f64,
     },
+    /// One HTTP request handled by the serving daemon.
+    ///
+    /// Deliberately excludes wall-clock latency and peer addresses:
+    /// like every other event this is a fact about *what* the server
+    /// did, so a replayed request sequence produces an identical
+    /// trace (latency flows through the manifest's counters instead).
+    ServeRequest {
+        /// Endpoint served, one of [`SERVE_ENDPOINTS`].
+        endpoint: &'static str,
+        /// HTTP status code of the response.
+        status: u16,
+    },
+    /// One transition of a fit job through its lifecycle.
+    ServeJob {
+        /// 1-based job sequence number (the numeric part of the job ID).
+        job: u64,
+        /// Source state, one of [`JOB_STATES`].
+        from: &'static str,
+        /// Target state, one of [`JOB_STATES`].
+        to: &'static str,
+    },
 }
 
 /// The closed set of batch quarantine reasons.
@@ -232,6 +253,16 @@ pub const ROLLOVER_REASONS: [&str; 6] = [
 /// The rollover validation stages that emit [`Event::RolloverGate`].
 pub const GATE_STAGES: [&str; 2] = ["shadow", "canary"];
 
+/// The closed set of serving endpoints named by [`Event::ServeRequest`]
+/// (`"unknown"` covers unroutable paths, which still get a response).
+pub const SERVE_ENDPOINTS: [&str; 12] = [
+    "health", "upload", "datasets", "fit", "job", "jobs", "models", "model", "assign", "classify",
+    "shutdown", "unknown",
+];
+
+/// The closed set of fit-job lifecycle states.
+pub const JOB_STATES: [&str; 4] = ["queued", "running", "done", "failed"];
+
 impl Event {
     /// The event's `type` tag as written to JSON.
     pub fn kind(&self) -> &'static str {
@@ -249,6 +280,8 @@ impl Event {
             Event::RolloverTransition { .. } => "rollover_transition",
             Event::RolloverGate { .. } => "rollover_gate",
             Event::ModelPublished { .. } => "model_published",
+            Event::ServeRequest { .. } => "serve_request",
+            Event::ServeJob { .. } => "serve_job",
         }
     }
 
@@ -438,6 +471,14 @@ impl Event {
                     ",\"generation\":{generation},\"rebuild\":{rebuild},\"objective\":"
                 ));
                 json::write_f64(&mut s, *objective);
+            }
+            Event::ServeRequest { endpoint, status } => {
+                s.push_str(&format!(",\"endpoint\":\"{endpoint}\",\"status\":{status}"));
+            }
+            Event::ServeJob { job, from, to } => {
+                s.push_str(&format!(
+                    ",\"job\":{job},\"from\":\"{from}\",\"to\":\"{to}\""
+                ));
             }
         }
         s.push('}');
@@ -644,6 +685,16 @@ impl Event {
                 rebuild: get_u64("rebuild")?,
                 objective: get_f64("objective")?,
             }),
+            "serve_request" => Ok(Event::ServeRequest {
+                endpoint: vocab("endpoint", &SERVE_ENDPOINTS)?,
+                status: u16::try_from(get_usize("status")?)
+                    .map_err(|_| "status out of range".to_string())?,
+            }),
+            "serve_job" => Ok(Event::ServeJob {
+                job: get_u64("job")?,
+                from: vocab("from", &JOB_STATES)?,
+                to: vocab("to", &JOB_STATES)?,
+            }),
             other => Err(format!("unknown event type {other:?}")),
         }
     }
@@ -769,6 +820,15 @@ mod tests {
                 rebuild: 2,
                 objective: 0.91,
             },
+            Event::ServeRequest {
+                endpoint: "assign",
+                status: 200,
+            },
+            Event::ServeJob {
+                job: 1,
+                from: "queued",
+                to: "running",
+            },
         ]
     }
 
@@ -831,6 +891,14 @@ mod tests {
         .is_err());
         assert!(Event::parse_line(
             "{\"type\":\"rollover_gate\",\"rebuild\":1,\"stage\":\"dress_rehearsal\",\"silhouette\":0,\"ari\":0,\"coverage\":0,\"cost_ratio\":1,\"outlier_fraction\":0,\"passed\":true}"
+        )
+        .is_err());
+        assert!(Event::parse_line(
+            "{\"type\":\"serve_request\",\"endpoint\":\"teapot\",\"status\":418}"
+        )
+        .is_err());
+        assert!(Event::parse_line(
+            "{\"type\":\"serve_job\",\"job\":1,\"from\":\"queued\",\"to\":\"vanished\"}"
         )
         .is_err());
     }

@@ -1,0 +1,141 @@
+//! Server startup errors and the HTTP mapping of the workspace error
+//! taxonomy.
+//!
+//! The daemon never invents new failure vocabulary: everything a
+//! request can trip over is already a [`DataError`], [`ProclusError`],
+//! or [`RegistryError`], and this module gives each one HTTP status.
+//! The policy mirrors the CLI's exit-code mapping: caller mistakes
+//! (bad parameters, malformed uploads) are 4xx, environment and
+//! durability failures are 5xx.
+
+use proclus_core::registry::RegistryError;
+use proclus_core::ProclusError;
+use proclus_data::DataError;
+use std::fmt;
+use std::io;
+
+/// Why the server could not start or keep running.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listen address could not be bound.
+    Bind {
+        /// The requested address.
+        addr: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The registry could not be opened at startup.
+    Registry(RegistryError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Bind { addr, source } => {
+                write!(f, "cannot bind {addr}: {source}")
+            }
+            ServeError::Registry(e) => write!(f, "cannot open registry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind { source, .. } => Some(source),
+            ServeError::Registry(e) => Some(e),
+        }
+    }
+}
+
+impl From<RegistryError> for ServeError {
+    fn from(e: RegistryError) -> Self {
+        ServeError::Registry(e)
+    }
+}
+
+/// HTTP status for a dataset decode failure: every [`DataError`] from
+/// an upload or an assign body is the client's malformed content.
+pub fn status_for_data(_: &DataError) -> u16 {
+    400
+}
+
+/// HTTP status for a fit failure. Parameter mistakes are the caller's
+/// (400); data that cannot support any fit is unprocessable (422).
+pub fn status_for_fit(e: &ProclusError) -> u16 {
+    match e {
+        ProclusError::InvalidParameters(_)
+        | ProclusError::TooFewPoints { .. }
+        | ProclusError::DimensionalityTooLow { .. } => 400,
+        ProclusError::DegenerateData { .. }
+        | ProclusError::ClusterCollapse { .. }
+        | ProclusError::NonConvergence { .. } => 422,
+    }
+}
+
+/// HTTP status for a registry failure on the serving path: the model
+/// store is server-side state, so both flavors are 5xx — a vanished
+/// entry means no model is servable right now (503), corrupt bytes are
+/// an internal durability failure (500).
+pub fn status_for_registry(e: &RegistryError) -> u16 {
+    match e {
+        RegistryError::Io { .. } => 503,
+        RegistryError::Corrupt { .. } => 500,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn fit_errors_split_caller_from_data() {
+        assert_eq!(
+            status_for_fit(&ProclusError::InvalidParameters("k".into())),
+            400
+        );
+        assert_eq!(
+            status_for_fit(&ProclusError::TooFewPoints { needed: 3, got: 1 }),
+            400
+        );
+        assert_eq!(
+            status_for_fit(&ProclusError::DegenerateData {
+                reason: "NaN".into()
+            }),
+            422
+        );
+        assert_eq!(
+            status_for_fit(&ProclusError::NonConvergence { restarts: 2 }),
+            422
+        );
+    }
+
+    #[test]
+    fn registry_errors_are_server_side() {
+        assert_eq!(
+            status_for_registry(&RegistryError::Io {
+                path: PathBuf::from("x"),
+                source: io::Error::new(io::ErrorKind::NotFound, "gone"),
+            }),
+            503
+        );
+        assert_eq!(
+            status_for_registry(&RegistryError::Corrupt {
+                path: PathBuf::from("x"),
+                offset: 0,
+                reason: "checksum".into(),
+            }),
+            500
+        );
+    }
+
+    #[test]
+    fn serve_error_displays_the_address() {
+        let e = ServeError::Bind {
+            addr: "127.0.0.1:80".into(),
+            source: io::Error::new(io::ErrorKind::PermissionDenied, "denied"),
+        };
+        assert!(e.to_string().contains("127.0.0.1:80"), "{e}");
+    }
+}

@@ -1,0 +1,50 @@
+//! **proclus-serve** — the resident clustering daemon.
+//!
+//! Turns the one-shot batch fit of the PROCLUS paper (SIGMOD 1999)
+//! into a long-lived server: datasets are uploaded over HTTP, fits run
+//! asynchronously on a bounded job queue, and point batches are
+//! assigned/classified from the model named by the registry's
+//! `CURRENT` pointer — so a promotion by the streaming rollover path
+//! (`proclus stream`, PR 7) is visible to traffic on the very next
+//! request, whichever process performed it.
+//!
+//! The HTTP layer is hand-rolled over `std::net` (zero dependencies,
+//! like the rest of the workspace): HTTP/1.1 keep-alive,
+//! `Content-Length` framing only, and hard bounds on request line,
+//! header block, and body *before* any proportional allocation. See
+//! [`http`] for the grammar, [`router`] for the URL space, [`state`]
+//! for the shared-state and job-lifecycle model, and DESIGN.md §5g for
+//! the full protocol contract (statuses, backpressure, shutdown).
+//!
+//! Serving is deterministic end-to-end: responses carry no clocks, no
+//! random tokens, and no per-connection state, so the wire bytes of an
+//! `assign` response are a pure function of (model bytes, request
+//! body) — the workspace's bit-identical determinism contract extended
+//! to HTTP, and pinned by the `tests/serve.rs` golden digests.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
+
+pub mod error;
+pub mod http;
+pub mod router;
+pub mod server;
+pub mod state;
+
+pub use error::ServeError;
+pub use http::{Request, Response};
+pub use server::{start, ServerHandle};
+pub use state::{AppState, FitParams, JobRecord, JobState, ServeConfig, SubmitError};
+
+/// Append `s` as a JSON string literal (quoted, escaped) to `out`.
+pub(crate) fn json_str(out: &mut String, s: &str) {
+    proclus_obs::json::write_str(out, s);
+}

@@ -1,0 +1,110 @@
+//! Driving the resident clustering server from library code: the API
+//! behind `proclus serve`.
+//!
+//! Starts an in-process server on an ephemeral port, then speaks its
+//! wire protocol with nothing but `std::net::TcpStream`: upload a
+//! dataset, submit an async fit, poll the job to completion, and
+//! assign a batch of points against the published model. The
+//! `X-Proclus-Generation` header names the exact registry generation
+//! that served each assignment — see DESIGN.md §5g for the protocol.
+//!
+//! Run with: `cargo run --release --example serve_assign`
+
+use proclus::data::binio;
+use proclus::obs::NoopRecorder;
+use proclus::prelude::*;
+use proclus::serve::{start, ServeConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// One `Connection: close` HTTP exchange; returns the raw response.
+fn exchange(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    s.write_all(head.as_bytes()).expect("send head");
+    s.write_all(body).expect("send body");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("receive");
+    out
+}
+
+fn body_of(resp: &str) -> &str {
+    resp.split_once("\r\n\r\n").map_or("", |(_, b)| b)
+}
+
+fn main() {
+    let registry_dir =
+        std::env::temp_dir().join(format!("proclus-example-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&registry_dir);
+
+    // Start the server on an ephemeral port (the CLI equivalent is
+    // `proclus serve --registry <dir> --addr 127.0.0.1:0`).
+    let server = start(
+        "127.0.0.1:0",
+        ServeConfig {
+            registry_dir: registry_dir.clone(),
+            queue_capacity: 4,
+            threads: 1,
+        },
+        Arc::new(NoopRecorder),
+    )
+    .expect("bind");
+    let addr = server.addr();
+    println!("serving on {addr}");
+
+    // Upload a synthetic dataset as compact binary (CSV works too —
+    // the server sniffs the body format).
+    let data = SyntheticSpec::new(600, 10, 3, 3.0).seed(42).generate();
+    let upload = binio::encode(&data.points, None).expect("encode");
+    let resp = exchange(addr, "POST", "/v1/datasets/demo", &upload);
+    println!("upload:   {}", body_of(&resp).trim());
+
+    // Submit an async fit; the job ID is deterministic and gapless.
+    let resp = exchange(
+        addr,
+        "POST",
+        "/v1/fit",
+        b"{\"dataset\":\"demo\",\"k\":3,\"l\":3.0,\"seed\":17,\"restarts\":3}",
+    );
+    println!("fit:      {}", body_of(&resp).trim());
+
+    // Poll until the job leaves the queue and finishes.
+    loop {
+        let resp = exchange(addr, "GET", "/v1/jobs/job-000001", b"");
+        let body = body_of(&resp).trim().to_string();
+        if body.contains("\"state\":\"done\"") || body.contains("\"state\":\"failed\"") {
+            println!("job:      {body}");
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // Assign a fresh batch against the published generation. The
+    // response is computed from one atomic model snapshot; the header
+    // says which generation that was.
+    let probe = binio::encode(&data.points, None).expect("encode probe");
+    let resp = exchange(addr, "POST", "/v1/assign", &probe);
+    let generation = resp
+        .lines()
+        .find_map(|l| l.strip_prefix("X-Proclus-Generation: "))
+        .unwrap_or("?")
+        .trim();
+    let body = body_of(&resp);
+    println!(
+        "assign:   generation {generation}, {} bytes of assignment",
+        body.len()
+    );
+    let preview: String = body.chars().take(72).collect();
+    println!("          {preview}…");
+
+    // Graceful shutdown: queued jobs drain, then every thread joins.
+    let resp = exchange(addr, "POST", "/v1/shutdown", b"");
+    println!("shutdown: {}", body_of(&resp).trim());
+    server.wait();
+    println!("drained; registry left at {}", registry_dir.display());
+    let _ = std::fs::remove_dir_all(&registry_dir);
+}

@@ -45,6 +45,7 @@ pub use proclus_eval as eval;
 pub use proclus_math as math;
 pub use proclus_obs as obs;
 pub use proclus_orclus as orclus;
+pub use proclus_serve as serve;
 
 /// The most commonly used items from every workspace crate.
 pub mod prelude {
@@ -54,4 +55,5 @@ pub mod prelude {
     pub use proclus_eval::ConfusionMatrix;
     pub use proclus_math::{DistanceKind, Matrix};
     pub use proclus_orclus::{Orclus, OrclusModel};
+    pub use proclus_serve::{ServeConfig, ServerHandle};
 }

@@ -447,3 +447,197 @@ fn stream_quarantines_decodable_but_malformed_batches() {
     assert_still_serving(&mut server, "malformed-but-decodable batches");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------
+// Protocol fault injection: the resident server under wire-level abuse
+// ---------------------------------------------------------------------
+//
+// Same invariant as every other decoder in this file — typed error or
+// valid value, never a panic — lifted to the HTTP layer: every fault
+// ends with the right status (or a silently dropped connection, when
+// there is nothing left to answer), and the server keeps serving.
+
+mod serve_faults {
+    use proclus::obs::NoopRecorder;
+    use proclus::serve::{start, ServeConfig, ServerHandle};
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+    use std::sync::Arc;
+
+    fn server(tag: &str) -> ServerHandle {
+        let dir =
+            std::env::temp_dir().join(format!("proclus-rb-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        start(
+            "127.0.0.1:0",
+            ServeConfig {
+                registry_dir: dir,
+                queue_capacity: 2,
+                threads: 1,
+            },
+            Arc::new(NoopRecorder),
+        )
+        .expect("bind")
+    }
+
+    /// Send raw bytes, read whatever comes back until EOF. A dropped
+    /// connection yields an empty (or truncated) response — that is a
+    /// legal outcome for faults the server cannot answer.
+    fn exchange(addr: SocketAddr, raw: &[u8]) -> Vec<u8> {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let _ = s.write_all(raw);
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        out
+    }
+
+    /// The liveness probe run after every fault: the server must still
+    /// answer a clean health check.
+    fn assert_still_serving(addr: SocketAddr, after: &str) {
+        let resp = exchange(addr, b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let text = String::from_utf8_lossy(&resp);
+        assert!(
+            text.starts_with("HTTP/1.1 200 OK"),
+            "server stopped serving after {after}: {text:?}"
+        );
+    }
+
+    fn status_of(resp: &[u8]) -> String {
+        String::from_utf8_lossy(resp)
+            .lines()
+            .next()
+            .unwrap_or_default()
+            .to_string()
+    }
+
+    /// Send a torn request and half-close, so the server observes EOF
+    /// (not a 30 s read timeout) exactly as a crashed client looks.
+    fn send_torn(addr: SocketAddr, raw: &[u8]) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let _ = s.write_all(raw);
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+    }
+
+    #[test]
+    fn torn_and_partial_requests_never_kill_the_server() {
+        let server = server("torn");
+        let addr = server.addr();
+        // Torn at every interesting boundary of a valid request.
+        let full = b"POST /v1/assign HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        for cut in [3, 10, 24, 30, 44, 46, full.len() - 2] {
+            send_torn(addr, &full[..cut]);
+            assert_still_serving(addr, &format!("request torn at byte {cut}"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_content_length_is_413_before_allocation() {
+        let server = server("oversize");
+        let addr = server.addr();
+        // 10 GiB promised, zero bytes sent: the bound check must fire
+        // on the header alone, never waiting for (or allocating) the
+        // body.
+        let resp = exchange(
+            addr,
+            b"POST /v1/assign HTTP/1.1\r\nContent-Length: 10737418240\r\n\r\n",
+        );
+        assert!(
+            status_of(&resp).starts_with("HTTP/1.1 413"),
+            "{}",
+            status_of(&resp)
+        );
+        assert_still_serving(addr, "an oversized Content-Length");
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_bytes_get_400_and_a_closed_connection() {
+        let server = server("garbage");
+        let addr = server.addr();
+        let cases: &[&[u8]] = &[
+            b"\x00\x01\x02\x03\r\n\r\n",
+            b"lowercase verbs are not http\r\n\r\n",
+            b"GET no-leading-slash HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nheader without colon\r\n\r\n",
+            b"POST /v1/fit HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        ];
+        for (i, raw) in cases.iter().enumerate() {
+            let resp = exchange(addr, raw);
+            assert!(
+                status_of(&resp).starts_with("HTTP/1.1 400"),
+                "case {i}: {}",
+                status_of(&resp)
+            );
+            assert_still_serving(addr, &format!("garbage case {i}"));
+        }
+        // Transfer-Encoding is unimplemented by design: 501, not 400.
+        let resp = exchange(
+            addr,
+            b"POST /v1/fit HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        );
+        assert!(
+            status_of(&resp).starts_with("HTTP/1.1 501"),
+            "{}",
+            status_of(&resp)
+        );
+        assert_still_serving(addr, "a chunked request");
+        server.shutdown();
+    }
+
+    #[test]
+    fn premature_disconnect_mid_body_is_survived() {
+        let server = server("disconnect");
+        let addr = server.addr();
+        for sent in [0usize, 1, 50] {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"POST /v1/datasets/x HTTP/1.1\r\nContent-Length: 100\r\n\r\n")
+                .expect("headers");
+            s.write_all(&vec![b'a'; sent]).expect("partial body");
+            drop(s); // walk away mid-body
+            assert_still_serving(addr, &format!("disconnect after {sent}/100 body bytes"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_upload_bodies_are_400_not_fatal() {
+        let server = server("bad-upload");
+        let addr = server.addr();
+        // Correctly framed HTTP, hostile payloads: CSV garbage, a
+        // truncated PRCL header, a PRCK frame cut mid-stream. Every
+        // one must be a clean 400 through the decoder's typed-error
+        // path.
+        let bodies: &[&[u8]] = &[
+            b"1.0,2.0\nnot,a,number\n",
+            b"PRCL\x01",
+            b"PRCKtruncated-frame",
+            b"",
+        ];
+        for (i, body) in bodies.iter().enumerate() {
+            let mut raw = format!(
+                "POST /v1/datasets/d{i} HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .into_bytes();
+            raw.extend_from_slice(body);
+            let resp = exchange(addr, &raw);
+            assert!(
+                status_of(&resp).starts_with("HTTP/1.1 400"),
+                "upload case {i}: {}",
+                status_of(&resp)
+            );
+            assert_still_serving(addr, &format!("malformed upload {i}"));
+        }
+        // And none of the rejects left a phantom dataset behind.
+        let resp = exchange(
+            addr,
+            b"GET /v1/datasets HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        let text = String::from_utf8_lossy(&resp);
+        assert!(text.contains("{\"datasets\":[]}"), "{text}");
+        server.shutdown();
+    }
+}

@@ -20,6 +20,9 @@
 //!   (high-dimensional clusters, where the bounds genuinely prune);
 //!   also writes `BENCH_5.json` with the exact-distance-evaluation
 //!   reduction and wall-clock delta for both.
+//! * `columnar_round/*` — one round through the row-major vs the
+//!   dimension-major (columnar) kernels at N = 1M on the `projected`
+//!   and `separable` fixtures; writes `BENCH_6.json`.
 //! * `trace_overhead/2k` — a full `fit` with the default no-op
 //!   recorder vs an explicit `fit_traced(.., &NoopRecorder)` vs a live
 //!   `RingRecorder`. The first two must be indistinguishable (the
@@ -446,6 +449,128 @@ fn bench_indexed_assignment(c: &mut Criterion) {
     }
 }
 
+/// Columnar (dimension-major tiled) vs row-major kernels for one full
+/// round (fused locality + X pass → FindDimensions → assignment) on
+/// the two paper-scale fixtures of `bench_indexed_assignment`, at
+/// `N` = 1M by default (override with `PROCLUS_BENCH_N6`, falling back
+/// to `PROCLUS_BENCH_N`), single-threaded pool, no neighbor index —
+/// isolating the layout itself. Results go to `BENCH_6.json` (override
+/// with `PROCLUS_BENCH_OUT6`).
+///
+/// * `projected` (d = 20) — small per-medoid dimension sets; the round
+///   is dominated by the full-space locality sweep where both layouts
+///   stream the same bytes. Parity (speedup ≈ 1) is the goal.
+/// * `separable` (d = 100) — wide accumulations; the columnar loops
+///   update a tile of independent accumulators per dimension, which
+///   auto-vectorizes, while the row-major loop is one serial f64
+///   dependency chain per (point, medoid). This is where the layout
+///   must win.
+///
+/// Rounds alternate row-major and columnar on two pools over the same
+/// matrix so machine-load drift hits both configurations equally. No
+/// criterion group: at N = 1M criterion's sampling would swamp CI, and
+/// the JSON report is the artifact that matters.
+fn bench_columnar_kernels(_c: &mut Criterion) {
+    use proclus_core::pool::{with_pool_opts, PoolOptions};
+
+    let n: usize = std::env::var("PROCLUS_BENCH_N6")
+        .or_else(|_| std::env::var("PROCLUS_BENCH_N"))
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let rounds: usize = std::env::var("PROCLUS_BENCH_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let metric = DistanceKind::Manhattan;
+    let fixtures = [
+        ("projected", 20usize, 5usize, 5usize, 25usize),
+        ("separable", 100, 10, 80, 600),
+    ];
+    let mut rows = Vec::new();
+    for (name, d, k, cluster_dims, total_dims) in fixtures {
+        let data = SyntheticSpec::new(n, d, k, cluster_dims as f64)
+            .fixed_dims(vec![cluster_dims; k])
+            .seed(7)
+            .generate();
+        let points = &data.points;
+        let candidates: Vec<usize> = (0..points.rows()).step_by(31).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let medoids = greedy_select(points, &candidates, k, &metric, &mut rng);
+        let deltas = medoid_deltas(points, &medoids, metric);
+
+        let round = |pool: &mut proclus_core::pool::Pool<'_>| {
+            let (_locs, x) = pool.fused_round(&medoids, &deltas);
+            let dims = find_dimensions_from_averages(&x, total_dims, true);
+            black_box(pool.assign(&medoids, &dims));
+        };
+        let row_opts = PoolOptions {
+            columnar: false,
+            fast_math: false,
+        };
+        let col_opts = PoolOptions {
+            columnar: true,
+            fast_math: false,
+        };
+        let (rowmajor_secs, columnar_secs) = with_pool_opts(points, metric, 1, row_opts, |p0| {
+            with_pool_opts(points, metric, 1, col_opts, |p1| {
+                // Warm up both configurations (page-in, branch warmup).
+                round(p0);
+                round(p1);
+                let (mut row_secs, mut col_secs) = (0.0f64, 0.0f64);
+                for _ in 0..rounds {
+                    let t = std::time::Instant::now();
+                    round(p0);
+                    row_secs += t.elapsed().as_secs_f64();
+                    let t = std::time::Instant::now();
+                    round(p1);
+                    col_secs += t.elapsed().as_secs_f64();
+                }
+                (row_secs / rounds as f64, col_secs / rounds as f64)
+            })
+        });
+        let speedup = rowmajor_secs / columnar_secs;
+        eprintln!(
+            "columnar_round/{name}/{n}: row-major {:.1}ms columnar {:.1}ms speedup {speedup:.2}x",
+            rowmajor_secs * 1e3,
+            columnar_secs * 1e3,
+        );
+        rows.push(format!(
+            "    {{\n      \"fixture\": \"{name}\",\n      \
+             \"d\": {d},\n      \
+             \"k\": {k},\n      \
+             \"cluster_dims\": {cluster_dims},\n      \
+             \"rowmajor_ms_per_round\": {:.3},\n      \
+             \"columnar_ms_per_round\": {:.3},\n      \
+             \"speedup\": {speedup:.2}\n    }}",
+            rowmajor_secs * 1e3,
+            columnar_secs * 1e3,
+        ));
+    }
+
+    let out = std::env::var("PROCLUS_BENCH_OUT6")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json").to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"columnar_round\",\n  \"n\": {n},\n  \
+         \"rounds\": {rounds},\n  \
+         \"fixtures\": [\n{}\n  ],\n  \
+         \"caveat\": \"wall-clock means over {rounds} interleaved rounds (fused \
+         locality+X pass, FindDimensions, assignment) after one warm-up round \
+         per configuration, single-threaded pool, no neighbor index, measured \
+         in a 1-CPU dev container; both configurations are bit-identical in \
+         output (the columnar layout preserves the accumulation order), so \
+         the delta is pure layout/vectorization effect; absolute times on \
+         shared CI/dev hardware are noisy — the interleaved speedup ratio \
+         is the stable number\"\n}}\n",
+        rows.join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("warning: could not write {out}: {e}");
+    } else {
+        eprintln!("columnar_round -> {out}");
+    }
+}
+
 /// The disabled-recorder path must cost nothing: `fit` (which wires in
 /// `NoopRecorder` itself) and an explicit `fit_traced(.., &Noop)` are
 /// the same code path, and both must match the pre-observability
@@ -487,6 +612,7 @@ criterion_group!(
     bench_pooled_round_throughput,
     bench_cached_vs_uncached_round,
     bench_indexed_assignment,
+    bench_columnar_kernels,
     bench_trace_overhead
 );
 criterion_main!(benches);

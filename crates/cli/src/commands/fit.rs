@@ -29,6 +29,11 @@ proclus fit — PROCLUS projected clustering (SIGMOD 1999)
                     triangle bounds); every distance is then computed
                     directly (results are bit-identical either way;
                     see DESIGN.md §5e)
+  --fast-math       opt into the exactness-gated f32 screening fast
+                    path in the assignment kernels (results are
+                    bit-identical either way; engages where distances
+                    are evaluated directly, so pair with
+                    --no-round-cache; see DESIGN.md §5h)
   --verbose         print the recorded trace summary (convergence,
                     swap history) plus fit diagnostics
   --trace-out <dir> stream events.jsonl + run.json into this directory
@@ -57,6 +62,7 @@ fn params_json(input: &Path, params: &Proclus, metric: &str, paper_literal: bool
     Json::Obj(vec![
         ("round_cache".into(), Json::Bool(params.round_cache)),
         ("neighbor_index".into(), Json::Bool(params.neighbor_index)),
+        ("fast_math".into(), Json::Bool(params.fast_math)),
         ("algorithm".into(), Json::Str("proclus".into())),
         ("input".into(), Json::Str(input.display().to_string())),
         ("k".into(), Json::Num(params.k as f64)),
@@ -108,7 +114,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         .min_deviation(args.get_parsed("min-deviation", 0.1)?)
         .distance(parse_metric(&metric)?)
         .round_cache(!args.switch("no-round-cache"))
-        .neighbor_index(!args.switch("no-index"));
+        .neighbor_index(!args.switch("no-index"))
+        .fast_math(args.switch("fast-math"));
     if paper_literal {
         params = params.inner_refinements(0);
     }
@@ -283,7 +290,13 @@ mod tests {
         let run_with = |extra: &str| {
             let args = Args::parse(
                 toks(&format!("--input {input} --k 2 --l 3 --seed 2{extra}")),
-                &["paper-literal", "verbose", "no-round-cache", "no-index"],
+                &[
+                    "paper-literal",
+                    "verbose",
+                    "no-round-cache",
+                    "no-index",
+                    "fast-math",
+                ],
             )
             .unwrap();
             let mut buf = Vec::new();

@@ -52,11 +52,12 @@ fn cache_summary(manifest: &json::Json) -> Option<String> {
         let h = counter(hits)?;
         let r = counter(recomputes)?;
         let total = h + r;
-        let pct = if total == 0 {
-            0.0
-        } else {
-            h as f64 * 100.0 / total as f64
-        };
+        // A 0-lookup layer has no meaningful rate: "0.0%" would read
+        // as "nothing hit" when in fact nothing was ever asked.
+        if total == 0 {
+            return Some(format!("{label} n/a (0 lookups)"));
+        }
+        let pct = h as f64 * 100.0 / total as f64;
         Some(format!("{label} {h}/{total} hits ({pct:.1}%)"))
     };
     let fused = layer(
@@ -86,11 +87,12 @@ fn index_summary(manifest: &json::Json) -> Option<String> {
     };
     let rate = |pruned: usize, verified: usize| -> String {
         let total = pruned + verified;
-        let pct = if total == 0 {
-            0.0
-        } else {
-            pruned as f64 * 100.0 / total as f64
-        };
+        // No queries of this family ran (e.g. a fit that converged in
+        // 0 rounds): a rate is undefined, not 0%.
+        if total == 0 {
+            return "n/a (0 queries)".to_string();
+        }
+        let pct = pruned as f64 * 100.0 / total as f64;
         format!("{pruned}/{total} pruned ({pct:.1}%)")
     };
     let sketch = counter("index.range_sketch_pruned")?;
@@ -103,6 +105,52 @@ fn index_summary(manifest: &json::Json) -> Option<String> {
         "neighbor index: range {} (sketch {sketch}, triangle {triangle}, prefix {prefix}), nearest {}",
         rate(sketch + triangle + prefix, range_verified),
         rate(nearest_pruned, nearest_verified),
+    ))
+}
+
+/// Derived columnar-layout coverage from the `layout.*` manifest
+/// counters: how many block dispatches ran on a dimension-major tile
+/// vs the row-major fallback. `None` when the trace has no layout
+/// counters (layout disabled, or a pre-layout trace).
+fn layout_summary(manifest: &json::Json) -> Option<String> {
+    let counter = |name: &str| {
+        manifest
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(json::Json::as_usize)
+    };
+    let columnar = counter("layout.columnar_blocks")?;
+    let rowmajor = counter("layout.rowmajor_blocks")?;
+    let total = columnar + rowmajor;
+    if total == 0 {
+        return Some("columnar layout: n/a (0 blocks dispatched)".to_string());
+    }
+    let pct = columnar as f64 * 100.0 / total as f64;
+    Some(format!(
+        "columnar layout: {columnar}/{total} blocks columnar ({pct:.1}%)"
+    ))
+}
+
+/// Derived `f32` fast-path effectiveness from the `fastmath.*`
+/// manifest counters: pairs excluded by the conservative screen vs
+/// pairs verified exactly. `None` when the trace has no fast-math
+/// counters (the default — the fast path is opt-in).
+fn fastmath_summary(manifest: &json::Json) -> Option<String> {
+    let counter = |name: &str| {
+        manifest
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(json::Json::as_usize)
+    };
+    let screened = counter("fastmath.screened")?;
+    let excluded = counter("fastmath.excluded").unwrap_or(0);
+    let verified = counter("fastmath.verified").unwrap_or(0);
+    if screened == 0 {
+        return Some("fast math: n/a (0 pairs screened)".to_string());
+    }
+    let pct = excluded as f64 * 100.0 / screened as f64;
+    Some(format!(
+        "fast math: {excluded}/{screened} pairs excluded ({pct:.1}%), {verified} verified in f64"
     ))
 }
 
@@ -170,6 +218,12 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), Box<dyn Error>> {
         writeln!(out, "{line}")?;
     }
     if let Some(line) = index_summary(&manifest) {
+        writeln!(out, "{line}")?;
+    }
+    if let Some(line) = layout_summary(&manifest) {
+        writeln!(out, "{line}")?;
+    }
+    if let Some(line) = fastmath_summary(&manifest) {
         writeln!(out, "{line}")?;
     }
     if let Some(line) = stream_summary(&manifest) {
@@ -303,6 +357,70 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(!text.contains("round cache:"), "{text}");
         assert!(!text.contains("cache.fused_slot_hits"), "{text}");
+    }
+
+    /// Counters that exist but total zero (a fit that never exercised
+    /// a layer) must render as `n/a`, never as a misleading `0.0%`.
+    #[test]
+    fn zero_total_counters_render_as_not_applicable() {
+        let dir = tmp("zero-counters");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            concat!(
+                "{\"schema_version\":1,\"events\":0,\"phases\":{},\"counters\":{",
+                "\"cache.fused_slot_hits\":0,\"cache.fused_slot_recomputes\":0,",
+                "\"cache.column_hits\":0,\"cache.column_recomputes\":0,",
+                "\"cache.cluster_row_hits\":0,\"cache.cluster_row_recomputes\":0,",
+                "\"index.range_sketch_pruned\":0,\"index.range_triangle_pruned\":0,",
+                "\"index.range_prefix_pruned\":0,\"index.range_verified\":0,",
+                "\"index.nearest_pruned\":0,\"index.nearest_verified\":0,",
+                "\"layout.columnar_blocks\":0,\"layout.rowmajor_blocks\":0,",
+                "\"fastmath.screened\":0,\"fastmath.excluded\":0,",
+                "\"fastmath.verified\":0}}"
+            ),
+        )
+        .unwrap();
+        std::fs::write(dir.join(EVENTS_FILE), "").unwrap();
+        let args = Args::parse(toks(&format!("--input {}", dir.display())), &[]).unwrap();
+        let mut buf = Vec::new();
+        run(&args, &mut buf).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("fused n/a (0 lookups)"), "{text}");
+        assert!(text.contains("range n/a (0 queries)"), "{text}");
+        assert!(text.contains("nearest n/a (0 queries)"), "{text}");
+        assert!(text.contains("columnar layout: n/a"), "{text}");
+        assert!(text.contains("fast math: n/a"), "{text}");
+        assert!(!text.contains("0.0%"), "zero-total rate leaked: {text}");
+        assert!(!text.contains("NaN"), "{text}");
+    }
+
+    /// A real k=1 fit (no swaps possible, rounds end immediately) must
+    /// inspect cleanly — its zero-activity layers say `n/a`.
+    #[test]
+    fn k1_trace_inspects_without_bogus_rates() {
+        let dir = tmp("k1");
+        let data = SyntheticSpec::new(120, 4, 1, 2.0).seed(5).generate();
+        let rec = proclus_obs::JsonlRecorder::create(&dir).unwrap();
+        Proclus::new(1, 2.0)
+            .seed(1)
+            .restarts(1)
+            .fit_traced(&data.points, &rec)
+            .unwrap();
+        rec.finish(json::Json::Obj(Vec::new()), json::Json::Obj(Vec::new()))
+            .unwrap();
+        let args = Args::parse(toks(&format!("--input {}", dir.display())), &[]).unwrap();
+        let mut buf = Vec::new();
+        run(&args, &mut buf).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("columnar layout:"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+        // A genuinely-zero rate over a nonzero total (e.g. "0/1200
+        // pruned (0.0%)") is meaningful and allowed; what must never
+        // appear is a rate over a zero total.
+        assert!(!text.contains("0/0 "), "zero-total rate leaked: {text}");
     }
 
     #[test]

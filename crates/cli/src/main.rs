@@ -137,7 +137,13 @@ fn main() -> ExitCode {
         ),
         "fit" => (
             commands::fit::HELP,
-            &["paper-literal", "verbose", "no-round-cache", "no-index"],
+            &[
+                "paper-literal",
+                "verbose",
+                "no-round-cache",
+                "no-index",
+                "fast-math",
+            ],
             commands::fit::run,
         ),
         "clique" => (

@@ -446,6 +446,52 @@ mod tests {
         assert!((stats::sample_std(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
     }
 
+    /// Regression (offset-heavy columns): `X` rows of magnitude ~1e9
+    /// whose structure lives in a ~1e-3 spread. Standardization must
+    /// select the same dimensions as for the un-offset rows — before
+    /// the shifted two-pass mean in `stats::mean`, the naive sum's
+    /// rounding at 1e9 magnitudes contaminated `Yᵢ` enough to move
+    /// near-tied cross-row Z comparisons in the Figure 3 allocation.
+    #[test]
+    fn figure3_selection_survives_large_offsets() {
+        let d = 32;
+        let mk_row = |tight: [usize; 2], third: usize, third_bump: f64| -> Vec<f64> {
+            (0..d)
+                .map(|j| {
+                    if j == tight[0] || j == tight[1] {
+                        0.0
+                    } else if j == third {
+                        5.0e-4 + third_bump
+                    } else {
+                        1.0e-3 + j as f64 * 1.0e-5
+                    }
+                })
+                .collect()
+        };
+        // Row 1's third-tightest cell loses to row 0's by 1e-5: the
+        // fifth allocated dimension is a genuine cross-row near-tie.
+        let base = vec![mk_row([0, 1], 2, 0.0), mk_row([3, 4], 5, 1.0e-5)];
+        let offset: Vec<Vec<f64>> = base
+            .iter()
+            .map(|r| r.iter().map(|v| v + 1.0e9).collect())
+            .collect();
+
+        let want = find_dimensions_from_averages(&base, 5, true);
+        assert_eq!(want, vec![vec![0, 1, 2], vec![3, 4]]);
+        let got = find_dimensions_from_averages(&offset, 5, true);
+        assert_eq!(got, want, "dimension selection moved under a 1e9 offset");
+
+        // The Z-scores themselves stay close to the un-offset ones —
+        // the remaining discrepancy is the irreducible representation
+        // error of the row mean at 1e9 magnitude (~1 ulp / sigma).
+        let (za, zb) = (z_scores(&base), z_scores(&offset));
+        for (ra, rb) in za.iter().zip(&zb) {
+            for (a, b) in ra.iter().zip(rb) {
+                assert!((a - b).abs() < 5.0e-3, "z drifted: {a} vs {b}");
+            }
+        }
+    }
+
     #[test]
     fn find_dimensions_picks_tight_axes() {
         // Medoid 0 at origin. Locality points are tight on dims {0, 1}

@@ -20,7 +20,7 @@ use crate::init::candidate_medoids;
 use crate::locality::medoid_deltas;
 use crate::model::{Degradation, FitDiagnostics, ProclusModel};
 use crate::params::Proclus;
-use crate::pool::{with_pool, Pool};
+use crate::pool::{with_pool_opts, Pool, PoolOptions};
 use crate::refine::refine_with_pool;
 use proclus_math::Matrix;
 use proclus_obs::{timed, Event, NoopRecorder, Phase, Recorder};
@@ -71,7 +71,11 @@ pub fn run_traced(
             restarts,
         });
     }
-    let result = with_pool(points, params.distance, params.threads, |pool| {
+    let opts = PoolOptions {
+        columnar: true,
+        fast_math: params.fast_math,
+    };
+    let result = with_pool_opts(points, params.distance, params.threads, opts, |pool| {
         install_index(params, points, pool, rec);
         // One cache for the whole fit: its entries are value-keyed, so
         // state surviving a restart is either bit-identical (and
@@ -114,6 +118,8 @@ pub fn run_traced(
         record_pool_measurements(rec, pool);
         record_cache_measurements(rec, &cache);
         record_index_measurements(rec, pool);
+        record_layout_measurements(rec, pool);
+        record_fastmath_measurements(rec, pool);
         match best {
             Some(model) => Ok(model.with_diagnostics(diag.clone())),
             // Every restart collapsed. One restart: surface its error
@@ -157,6 +163,35 @@ fn record_index_measurements(rec: &dyn Recorder, pool: &Pool<'_>) {
     rec.counter("index.range_verified", stats.range_verified);
     rec.counter("index.nearest_pruned", stats.nearest_pruned);
     rec.counter("index.nearest_verified", stats.nearest_verified);
+}
+
+/// Columnar-layout coverage → `layout.*` counters (manifest channel
+/// only; emitted only when the layout is built, so a `columnar: false`
+/// pool's manifest stays silent). `columnar_blocks` counts block
+/// dispatches served by a dimension-major tile, `rowmajor_blocks` the
+/// dispatches that fell back to the row-major kernels.
+fn record_layout_measurements(rec: &dyn Recorder, pool: &Pool<'_>) {
+    if !rec.enabled() || !pool.layout_enabled() {
+        return;
+    }
+    let (columnar, rowmajor) = pool.layout_block_counts();
+    rec.counter("layout.columnar_blocks", columnar);
+    rec.counter("layout.rowmajor_blocks", rowmajor);
+}
+
+/// `f32` fast-path effectiveness → `fastmath.*` counters (manifest
+/// channel only; emitted only under `--fast-math`). The exactness gate
+/// guarantees `screened == excluded + verified` and that exclusions
+/// never change a winner, so these measure work saved, not accuracy
+/// lost.
+fn record_fastmath_measurements(rec: &dyn Recorder, pool: &Pool<'_>) {
+    if !rec.enabled() || !pool.fast_math_enabled() {
+        return;
+    }
+    let stats = pool.fast_math_stats();
+    rec.counter("fastmath.screened", stats.screened);
+    rec.counter("fastmath.excluded", stats.excluded);
+    rec.counter("fastmath.verified", stats.verified);
 }
 
 /// Pool work totals → counters, scheduling-dependent facts → gauges.
@@ -303,7 +338,11 @@ pub fn run_from_medoids_traced(
             seed: params.rng_seed,
         });
     }
-    let result = with_pool(points, params.distance, params.threads, |pool| {
+    let opts = PoolOptions {
+        columnar: true,
+        fast_math: params.fast_math,
+    };
+    let result = with_pool_opts(points, params.distance, params.threads, opts, |pool| {
         install_index(params, points, pool, rec);
         diag.restarts = 1;
         let mut cache = RoundCache::new(params.round_cache, params.k);
@@ -321,6 +360,8 @@ pub fn run_from_medoids_traced(
         record_pool_measurements(rec, pool);
         record_cache_measurements(rec, &cache);
         record_index_measurements(rec, pool);
+        record_layout_measurements(rec, pool);
+        record_fastmath_measurements(rec, pool);
         Ok(model.with_diagnostics(diag.clone()))
     });
     record_fit_end(rec, &result);

@@ -51,6 +51,7 @@ use crate::index::{
     NEAREST_MIN_DIMS, PREFIX_KEEP_DEN, PREFIX_KEEP_NUM, PROBE_DISABLE_SHIFT, PROBE_POINTS,
     PRUNE_CHUNK,
 };
+use crate::layout::{FastMathStats, TileView, FAST_MATH_TOLERANCE_SCALE};
 use proclus_math::{DistanceKind, Matrix};
 
 /// Rows per work block. Large enough that per-block dispatch overhead
@@ -557,6 +558,7 @@ pub fn fused_block_pruned(
     lo: usize,
     hi: usize,
     stats: &mut PruneStats,
+    tile: Option<&TileView<'_>>,
 ) -> FusedPartial {
     let d = points.cols();
     let k = medoids.len();
@@ -597,13 +599,19 @@ pub fn fused_block_pruned(
             prefix_on = abandoned * PREFIX_KEEP_DEN >= reached * PREFIX_KEEP_NUM;
             if !bounds_on && !prefix_on {
                 // Nothing left of the pruning machinery: hand the rest
-                // of the block to the plain loop, continuing the same
+                // of the block to the plain loop — columnar when the
+                // layout is available — continuing the same
                 // accumulators so membership order and `X` summation
                 // order stay bit-identical.
                 stats.range_verified += ((hi - p) * k) as u64;
-                fused_range(
-                    points, metric, medoids, deltas, p, hi, &mut locs, &mut xsums, &mut diffs,
-                );
+                match tile {
+                    Some(t) => fused_range_columnar(
+                        t, points, metric, medoids, deltas, p, hi, &mut locs, &mut xsums,
+                    ),
+                    None => fused_range(
+                        points, metric, medoids, deltas, p, hi, &mut locs, &mut xsums, &mut diffs,
+                    ),
+                }
                 return FusedPartial { locs, xsums };
             }
         }
@@ -649,6 +657,7 @@ pub fn fused_block_pruned(
 /// the incumbent best distance — the prefix is a certified lower bound
 /// (see [`crate::index`]), and `prefix ≥ best` already decides the
 /// strict `<` comparison against it. Winners are bit-identical.
+#[allow(clippy::too_many_arguments)]
 pub fn assign_block_pruned(
     points: &Matrix,
     metric: DistanceKind,
@@ -657,13 +666,28 @@ pub fn assign_block_pruned(
     lo: usize,
     hi: usize,
     stats: &mut PruneStats,
+    tile: Option<&TileView<'_>>,
+    mut fast: Option<&mut FastMathStats>,
 ) -> Vec<usize> {
     // When every projection is tiny, evaluating is cheaper than
     // reasoning about abandoning (see `NEAREST_MIN_DIMS`) — run the
-    // plain kernel unchanged and count everything as verified.
+    // plain kernel (columnar when the layout is available) unchanged
+    // and count everything as verified.
     if dims.iter().all(|di| di.len() < NEAREST_MIN_DIMS) {
         stats.nearest_verified += ((hi - lo) * medoids.len()) as u64;
-        return assign_block(points, metric, medoids, dims, lo, hi);
+        return match tile {
+            Some(t) => assign_block_columnar(
+                t,
+                points,
+                metric,
+                medoids,
+                dims,
+                lo,
+                hi,
+                fast.as_deref_mut(),
+            ),
+            None => assign_block(points, metric, medoids, dims, lo, hi),
+        };
     }
     // Hoisted threshold halves: the per-candidate raw threshold is the
     // single multiply `tbase · lens[i]` (see `raw_tbase`).
@@ -688,9 +712,23 @@ pub fn assign_block_pruned(
             let reached = ((probe_end - lo) as u64) * big_slots;
             if abandoned * PREFIX_KEEP_DEN < reached * PREFIX_KEEP_NUM {
                 // Abandonment is not paying for its branches: hand the
-                // rest of the block to the plain loop.
+                // rest of the block to the plain loop (columnar when
+                // the layout is available).
                 stats.nearest_verified += ((hi - p) * medoids.len()) as u64;
-                out.extend(assign_block(points, metric, medoids, dims, p, hi));
+                match tile {
+                    Some(t) => assign_range_columnar(
+                        t,
+                        points,
+                        metric,
+                        medoids,
+                        dims,
+                        p,
+                        hi,
+                        &mut out,
+                        fast.as_deref_mut(),
+                    ),
+                    None => out.extend(assign_block(points, metric, medoids, dims, p, hi)),
+                }
                 return out;
             }
         }
@@ -728,6 +766,7 @@ pub fn assign_block_pruned(
 /// [`assign_block_pruned`]. The `X` accumulation only ever reads the
 /// *winning* medoid's full-dimensional differences, which are computed
 /// outside the pruned comparison, so the sums are untouched by pruning.
+#[allow(clippy::too_many_arguments)]
 pub fn assign_x_block_pruned(
     points: &Matrix,
     metric: DistanceKind,
@@ -736,10 +775,24 @@ pub fn assign_x_block_pruned(
     lo: usize,
     hi: usize,
     stats: &mut PruneStats,
+    tile: Option<&TileView<'_>>,
+    mut fast: Option<&mut FastMathStats>,
 ) -> AssignXPartial {
     if dims.iter().all(|di| di.len() < NEAREST_MIN_DIMS) {
         stats.nearest_verified += ((hi - lo) * medoids.len()) as u64;
-        return assign_x_block(points, metric, medoids, dims, lo, hi);
+        return match tile {
+            Some(t) => assign_x_block_columnar(
+                t,
+                points,
+                metric,
+                medoids,
+                dims,
+                lo,
+                hi,
+                fast.as_deref_mut(),
+            ),
+            None => assign_x_block(points, metric, medoids, dims, lo, hi),
+        };
     }
     let d = points.cols();
     let lens: Vec<f64> = dims
@@ -759,20 +812,35 @@ pub fn assign_x_block_pruned(
             let abandoned = stats.nearest_pruned - base_pruned;
             let reached = ((probe_end - lo) as u64) * big_slots;
             if abandoned * PREFIX_KEEP_DEN < reached * PREFIX_KEEP_NUM {
-                // Hand the rest of the block to the plain loop,
-                // continuing the same accumulators so the `X` summation
-                // order stays bit-identical.
+                // Hand the rest of the block to the plain loop
+                // (columnar when the layout is available), continuing
+                // the same accumulators so the `X` summation order
+                // stays bit-identical.
                 stats.nearest_verified += ((hi - p) * medoids.len()) as u64;
-                assign_x_range(
-                    points,
-                    metric,
-                    medoids,
-                    dims,
-                    p,
-                    hi,
-                    &mut xsums,
-                    &mut assignment,
-                );
+                match tile {
+                    Some(t) => assign_x_range_columnar(
+                        t,
+                        points,
+                        metric,
+                        medoids,
+                        dims,
+                        p,
+                        hi,
+                        &mut xsums,
+                        &mut assignment,
+                        fast.as_deref_mut(),
+                    ),
+                    None => assign_x_range(
+                        points,
+                        metric,
+                        medoids,
+                        dims,
+                        p,
+                        hi,
+                        &mut xsums,
+                        &mut assignment,
+                    ),
+                }
                 return AssignXPartial { assignment, xsums };
             }
         }
@@ -828,10 +896,16 @@ pub fn refine_assign_block_pruned(
     lo: usize,
     hi: usize,
     stats: &mut PruneStats,
+    tile: Option<&TileView<'_>>,
 ) -> Vec<Option<usize>> {
     if dims.iter().all(|di| di.len() < NEAREST_MIN_DIMS) {
         stats.nearest_verified += ((hi - lo) * medoids.len()) as u64;
-        return refine_assign_block(points, metric, medoids, dims, spheres, lo, hi);
+        return match tile {
+            Some(t) => {
+                refine_assign_block_columnar(t, points, metric, medoids, dims, spheres, lo, hi)
+            }
+            None => refine_assign_block(points, metric, medoids, dims, spheres, lo, hi),
+        };
     }
     // Raw-unit "certainly outside the sphere" thresholds, one per slot
     // (spheres and dimension sets are fixed for the whole block).
@@ -856,11 +930,17 @@ pub fn refine_assign_block_pruned(
             let abandoned = stats.nearest_pruned - base_pruned;
             let reached = ((probe_end - lo) as u64) * big_slots;
             if abandoned * PREFIX_KEEP_DEN < reached * PREFIX_KEEP_NUM {
-                // Hand the rest of the block to the plain loop.
+                // Hand the rest of the block to the plain loop
+                // (columnar when the layout is available).
                 stats.nearest_verified += ((hi - p) * medoids.len()) as u64;
-                out.extend(refine_assign_block(
-                    points, metric, medoids, dims, spheres, p, hi,
-                ));
+                match tile {
+                    Some(t) => refine_assign_range_columnar(
+                        t, points, metric, medoids, dims, spheres, p, hi, &mut out,
+                    ),
+                    None => out.extend(refine_assign_block(
+                        points, metric, medoids, dims, spheres, p, hi,
+                    )),
+                }
                 return out;
             }
         }
@@ -905,10 +985,560 @@ pub fn refine_assign_block_pruned(
     out
 }
 
+// ---------------------------------------------------------------------
+// Columnar twins.
+//
+// Every kernel above loops points outermost and dimensions innermost:
+// per (point, candidate) pair the distance accumulator is a serial
+// dependency chain the compiler must not reassociate, so the loops stay
+// scalar. The twins below consume the dimension-major tiles of
+// [`crate::layout::ColumnarBlocks`] and loop dimensions outermost over
+// a whole block of points: each inner iteration updates `w`
+// *independent* accumulators (one per point), a branch-free form the
+// auto-vectorizer handles — while every individual accumulator still
+// receives exactly the same additions in exactly the same
+// (dimension-ascending) order as its row-major twin. Together with the
+// facts that `|x|·|x| == x·x` bitwise and that `f64::max` is the very
+// function the row-major fold uses, every distance, membership flag,
+// winner, and `X` cell is bit-identical (asserted by the agreement
+// tests below and by `tests/columnar.rs`).
+
+/// Divide/fold the raw per-point accumulators of a full- or
+/// projected-space sweep into final segmental distances, matching the
+/// tail arithmetic of [`segmental_from_diffs`] / `eval_segmental`
+/// element for element (plain division, not a reciprocal multiply).
+#[inline]
+fn finalize_segmental(metric: DistanceKind, dist: &mut [f64], len: usize) {
+    if len == 0 {
+        // eval_segmental defines the empty projection as 0.0 for the
+        // summing metrics; the accumulators already hold 0.0.
+        return;
+    }
+    let len = len as f64;
+    match metric {
+        DistanceKind::Manhattan => {
+            for v in dist.iter_mut() {
+                *v /= len;
+            }
+        }
+        DistanceKind::Euclidean => {
+            for v in dist.iter_mut() {
+                *v = (*v / len).sqrt();
+            }
+        }
+        DistanceKind::Chebyshev => {}
+    }
+}
+
+/// Raw full-space accumulators of `metric` between medoid row `mrow`
+/// and tile rows `lo..hi`, one per point, dimension-outer. The raw
+/// value per point is bit-identical to the fold over a row-major
+/// `diffs` buffer because each point's accumulator sees its dimensions
+/// in the same ascending order.
+fn raw_full_distances_columnar(
+    tile: &TileView<'_>,
+    metric: DistanceKind,
+    mrow: &[f64],
+    lo: usize,
+    hi: usize,
+    dist: &mut Vec<f64>,
+) {
+    let w = hi - lo;
+    dist.clear();
+    dist.resize(w, 0.0);
+    match metric {
+        DistanceKind::Manhattan => {
+            for (j, &mj) in mrow.iter().enumerate() {
+                let col = tile.col(j, lo, hi);
+                for (acc, &x) in dist.iter_mut().zip(col) {
+                    *acc += (x - mj).abs();
+                }
+            }
+        }
+        DistanceKind::Euclidean => {
+            for (j, &mj) in mrow.iter().enumerate() {
+                let col = tile.col(j, lo, hi);
+                for (acc, &x) in dist.iter_mut().zip(col) {
+                    let dv = x - mj;
+                    *acc += dv * dv;
+                }
+            }
+        }
+        DistanceKind::Chebyshev => {
+            for (j, &mj) in mrow.iter().enumerate() {
+                let col = tile.col(j, lo, hi);
+                for (acc, &x) in dist.iter_mut().zip(col) {
+                    *acc = f64::max(*acc, (x - mj).abs());
+                }
+            }
+        }
+    }
+}
+
+/// Projected segmental distances of one (medoid, dimension-set) slot
+/// over tile rows `lo..hi`, written into `out[p − lo]` — bit-identical
+/// to `metric.eval_segmental(points.row(p), mrow, di)` per point.
+fn segmental_column_columnar(
+    tile: &TileView<'_>,
+    metric: DistanceKind,
+    mrow: &[f64],
+    di: &[usize],
+    lo: usize,
+    hi: usize,
+    out: &mut [f64],
+) {
+    for v in out.iter_mut() {
+        *v = 0.0;
+    }
+    match metric {
+        DistanceKind::Manhattan => {
+            for &j in di {
+                let mj = mrow[j];
+                let col = tile.col(j, lo, hi);
+                for (acc, &x) in out.iter_mut().zip(col) {
+                    *acc += (x - mj).abs();
+                }
+            }
+        }
+        DistanceKind::Euclidean => {
+            for &j in di {
+                let mj = mrow[j];
+                let col = tile.col(j, lo, hi);
+                for (acc, &x) in out.iter_mut().zip(col) {
+                    let dv = x - mj;
+                    *acc += dv * dv;
+                }
+            }
+        }
+        DistanceKind::Chebyshev => {
+            for &j in di {
+                let mj = mrow[j];
+                let col = tile.col(j, lo, hi);
+                for (acc, &x) in out.iter_mut().zip(col) {
+                    *acc = f64::max(*acc, (x - mj).abs());
+                }
+            }
+        }
+    }
+    finalize_segmental(metric, out, di.len());
+}
+
+/// Add each listed member's `|p_j − m_j|` row into the cluster's `X`
+/// sums, dimension-outer. Per `X` cell the members are visited in the
+/// same ascending order as the row-major kernels, and the local
+/// read-accumulate-writeback is bitwise the sequential in-place adds.
+fn accumulate_members_columnar(
+    tile: &TileView<'_>,
+    mrow: &[f64],
+    members: &[usize],
+    lo: usize,
+    hi: usize,
+    xi: &mut [f64],
+) {
+    if members.is_empty() {
+        return;
+    }
+    for (j, &mj) in mrow.iter().enumerate() {
+        let col = tile.col(j, lo, hi);
+        let mut s = xi[j];
+        for &gp in members {
+            s += (col[gp - lo] - mj).abs();
+        }
+        xi[j] = s;
+    }
+}
+
+/// Columnar twin of `fused_range`: continues accumulation into existing
+/// `locs`/`xsums`, so the pruned kernel can hand it a gate-off tail.
+#[allow(clippy::too_many_arguments)]
+fn fused_range_columnar(
+    tile: &TileView<'_>,
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    deltas: &[f64],
+    lo: usize,
+    hi: usize,
+    locs: &mut [Vec<usize>],
+    xsums: &mut [Vec<f64>],
+) {
+    if hi == lo {
+        return;
+    }
+    let d = points.cols();
+    let mut dist = Vec::new();
+    for (i, &m) in medoids.iter().enumerate() {
+        let mrow = points.row(m);
+        raw_full_distances_columnar(tile, metric, mrow, lo, hi, &mut dist);
+        finalize_segmental(metric, &mut dist, d);
+        let delta = deltas[i];
+        let li = &mut locs[i];
+        let start = li.len();
+        for (o, &dv) in dist.iter().enumerate() {
+            if dv <= delta {
+                li.push(lo + o);
+            }
+        }
+        let (li, xi) = (&locs[i][start..], &mut xsums[i]);
+        accumulate_members_columnar(tile, mrow, li, lo, hi, xi);
+    }
+}
+
+/// Columnar twin of [`fused_block`].
+pub fn fused_block_columnar(
+    tile: &TileView<'_>,
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    deltas: &[f64],
+    lo: usize,
+    hi: usize,
+) -> FusedPartial {
+    let d = points.cols();
+    let k = medoids.len();
+    let mut locs: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut xsums = vec![vec![0.0; d]; k];
+    fused_range_columnar(
+        tile, points, metric, medoids, deltas, lo, hi, &mut locs, &mut xsums,
+    );
+    FusedPartial { locs, xsums }
+}
+
+/// The `f32` prefilter's per-pair tolerance coefficient: multiply by
+/// `‖p‖₁ + ‖m‖₁` for the absolute error bound τ(p, m) (see
+/// [`FAST_MATH_TOLERANCE_SCALE`] for the derivation).
+#[inline]
+fn fast_tau_coefficient(d: usize) -> f64 {
+    FAST_MATH_TOLERANCE_SCALE * (d as f64 + 4.0) * (f32::EPSILON as f64)
+}
+
+/// `f32`-screened argmin over one tile range: approximate distances
+/// give each candidate a conservative interval `[d₃₂ − τ, d₃₂ + τ]`; a
+/// candidate whose lower bound exceeds the smallest upper bound cannot
+/// win the strict-`<` lowest-index argmin and is excluded without `f64`
+/// work, every survivor is evaluated exactly (ascending index, same
+/// comparison), so the winners are bit-identical to the plain kernels.
+/// Any NaN/inf — in the data, the approximation, or the tolerance —
+/// fails the strict exclusion comparison and falls through to the
+/// exact path.
+#[allow(clippy::too_many_arguments)]
+fn assign_range_columnar_fast(
+    tile: &TileView<'_>,
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<usize>,
+    fstats: &mut FastMathStats,
+) {
+    let w = hi - lo;
+    let k = medoids.len();
+    let tau_coeff = fast_tau_coefficient(points.cols());
+    // k approximate distance columns plus the per-medoid magnitudes.
+    let mut approx = vec![0.0f32; k * w];
+    let mut mag_m = vec![0.0f64; k];
+    let mut m32: Vec<f32> = Vec::new();
+    for (i, (&m, di)) in medoids.iter().zip(dims).enumerate() {
+        let mrow = points.row(m);
+        mag_m[i] = tile.mag(m);
+        m32.clear();
+        m32.extend(di.iter().map(|&j| mrow[j] as f32));
+        let acc = &mut approx[i * w..(i + 1) * w];
+        match metric {
+            DistanceKind::Chebyshev => {
+                for (&j, &mj) in di.iter().zip(&m32) {
+                    if let Some(col) = tile.col32(j, lo, hi) {
+                        for (a, &x) in acc.iter_mut().zip(col) {
+                            *a = f32::max(*a, (x - mj).abs());
+                        }
+                    }
+                }
+            }
+            // Manhattan (Euclidean never reaches the fast path).
+            _ => {
+                for (&j, &mj) in di.iter().zip(&m32) {
+                    if let Some(col) = tile.col32(j, lo, hi) {
+                        for (a, &x) in acc.iter_mut().zip(col) {
+                            *a += (x - mj).abs();
+                        }
+                    }
+                }
+                let len = di.len() as f32;
+                if len > 0.0 {
+                    for a in acc.iter_mut() {
+                        *a /= len;
+                    }
+                }
+            }
+        }
+    }
+    for o in 0..w {
+        let p = lo + o;
+        let mag_p = tile.mag(p);
+        let mut min_hi = f64::INFINITY;
+        for i in 0..k {
+            let hi_bound = approx[i * w + o] as f64 + tau_coeff * (mag_p + mag_m[i]);
+            if hi_bound < min_hi {
+                min_hi = hi_bound;
+            }
+        }
+        let row = points.row(p);
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for (i, (&m, di)) in medoids.iter().zip(dims).enumerate() {
+            fstats.screened += 1;
+            let lo_bound = approx[i * w + o] as f64 - tau_coeff * (mag_p + mag_m[i]);
+            if lo_bound > min_hi {
+                fstats.excluded += 1;
+                continue;
+            }
+            fstats.verified += 1;
+            let dist = metric.eval_segmental(row, points.row(m), di);
+            if dist < best_dist {
+                best_dist = dist;
+                best = i;
+            }
+        }
+        out.push(best);
+    }
+}
+
+/// Columnar argmin over rows `lo..hi`, appending winners to `out`. With
+/// `fast` set (and an `f32` mirror present, and a metric whose
+/// segmental distance the screen's error model covers — Euclidean's
+/// squared accumulators need a different bound and simply take the
+/// exact columnar path), candidates are screened through
+/// [`assign_range_columnar_fast`] first; either way the winners are
+/// bit-identical to [`assign_block`].
+#[allow(clippy::too_many_arguments)]
+fn assign_range_columnar(
+    tile: &TileView<'_>,
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<usize>,
+    fast: Option<&mut FastMathStats>,
+) {
+    let w = hi - lo;
+    if w == 0 {
+        return;
+    }
+    if let Some(fstats) = fast {
+        if tile.has_fast() && !matches!(metric, DistanceKind::Euclidean) {
+            assign_range_columnar_fast(tile, points, metric, medoids, dims, lo, hi, out, fstats);
+            return;
+        }
+    }
+    let mut best = vec![0usize; w];
+    let mut best_dist = vec![f64::INFINITY; w];
+    let mut col = vec![0.0f64; w];
+    for (i, (&m, di)) in medoids.iter().zip(dims).enumerate() {
+        segmental_column_columnar(tile, metric, points.row(m), di, lo, hi, &mut col);
+        for ((bd, b), &dv) in best_dist.iter_mut().zip(best.iter_mut()).zip(col.iter()) {
+            if dv < *bd {
+                *bd = dv;
+                *b = i;
+            }
+        }
+    }
+    out.extend_from_slice(&best);
+}
+
+/// Columnar twin of [`assign_block`] (winners bit-identical; `fast`
+/// engages the `f32` exactness-gated screen).
+#[allow(clippy::too_many_arguments)]
+pub fn assign_block_columnar(
+    tile: &TileView<'_>,
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    lo: usize,
+    hi: usize,
+    fast: Option<&mut FastMathStats>,
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(hi - lo);
+    assign_range_columnar(tile, points, metric, medoids, dims, lo, hi, &mut out, fast);
+    out
+}
+
+/// Columnar twin of `assign_x_range`: winners first (optionally `f32`-
+/// screened), then the per-cluster `X` sums accumulated dimension-outer
+/// over each cluster's members in ascending order — the same per-cell
+/// addition sequence as the row-major sweep.
+#[allow(clippy::too_many_arguments)]
+fn assign_x_range_columnar(
+    tile: &TileView<'_>,
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    lo: usize,
+    hi: usize,
+    xsums: &mut [Vec<f64>],
+    assignment: &mut Vec<usize>,
+    fast: Option<&mut FastMathStats>,
+) {
+    let start = assignment.len();
+    assign_range_columnar(
+        tile, points, metric, medoids, dims, lo, hi, assignment, fast,
+    );
+    let winners = &assignment[start..];
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); medoids.len()];
+    for (o, &wi) in winners.iter().enumerate() {
+        members[wi].push(lo + o);
+    }
+    for ((&m, mem), xi) in medoids.iter().zip(&members).zip(xsums.iter_mut()) {
+        accumulate_members_columnar(tile, points.row(m), mem, lo, hi, xi);
+    }
+}
+
+/// Columnar twin of [`assign_x_block`].
+#[allow(clippy::too_many_arguments)]
+pub fn assign_x_block_columnar(
+    tile: &TileView<'_>,
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    lo: usize,
+    hi: usize,
+    fast: Option<&mut FastMathStats>,
+) -> AssignXPartial {
+    let d = points.cols();
+    let mut xsums = vec![vec![0.0; d]; medoids.len()];
+    let mut assignment = Vec::with_capacity(hi - lo);
+    assign_x_range_columnar(
+        tile,
+        points,
+        metric,
+        medoids,
+        dims,
+        lo,
+        hi,
+        &mut xsums,
+        &mut assignment,
+        fast,
+    );
+    AssignXPartial { assignment, xsums }
+}
+
+/// Columnar twin of [`columns_block`].
+pub fn columns_block_columnar(
+    tile: &TileView<'_>,
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    lo: usize,
+    hi: usize,
+) -> Vec<Vec<f64>> {
+    medoids
+        .iter()
+        .zip(dims)
+        .map(|(&m, di)| {
+            let mut col = vec![0.0f64; hi - lo];
+            segmental_column_columnar(tile, metric, points.row(m), di, lo, hi, &mut col);
+            col
+        })
+        .collect()
+}
+
+/// Columnar twin of [`cluster_x_block`].
+pub fn cluster_x_block_columnar(
+    tile: &TileView<'_>,
+    points: &Matrix,
+    medoids: &[usize],
+    assignment: &[Option<usize>],
+    lo: usize,
+    hi: usize,
+) -> Vec<Vec<f64>> {
+    let d = points.cols();
+    let mut xsums = vec![vec![0.0; d]; medoids.len()];
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); medoids.len()];
+    for (p, a) in assignment.iter().enumerate().take(hi).skip(lo) {
+        if let Some(i) = *a {
+            members[i].push(p);
+        }
+    }
+    for ((&m, mem), xi) in medoids.iter().zip(&members).zip(xsums.iter_mut()) {
+        accumulate_members_columnar(tile, points.row(m), mem, lo, hi, xi);
+    }
+    xsums
+}
+
+/// Columnar twin of `refine_assign_block` for a sub-range, appending to
+/// `out` — the gate-off tail of the pruned refine kernel.
+#[allow(clippy::too_many_arguments)]
+fn refine_assign_range_columnar(
+    tile: &TileView<'_>,
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    spheres: &[f64],
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<Option<usize>>,
+) {
+    let w = hi - lo;
+    if w == 0 {
+        return;
+    }
+    let mut best = vec![0usize; w];
+    let mut best_dist = vec![f64::INFINITY; w];
+    let mut inside = vec![false; w];
+    let mut col = vec![0.0f64; w];
+    for (i, (&m, di)) in medoids.iter().zip(dims).enumerate() {
+        segmental_column_columnar(tile, metric, points.row(m), di, lo, hi, &mut col);
+        let sphere = spheres[i];
+        for (((bd, b), ins), &dv) in best_dist
+            .iter_mut()
+            .zip(best.iter_mut())
+            .zip(inside.iter_mut())
+            .zip(col.iter())
+        {
+            if dv <= sphere {
+                *ins = true;
+            }
+            if dv < *bd {
+                *bd = dv;
+                *b = i;
+            }
+        }
+    }
+    out.extend(inside.iter().zip(&best).map(|(&ins, &b)| ins.then_some(b)));
+}
+
+/// Columnar twin of [`refine_assign_block`].
+#[allow(clippy::too_many_arguments)]
+pub fn refine_assign_block_columnar(
+    tile: &TileView<'_>,
+    points: &Matrix,
+    metric: DistanceKind,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    spheres: &[f64],
+    lo: usize,
+    hi: usize,
+) -> Vec<Option<usize>> {
+    let mut out = Vec::with_capacity(hi - lo);
+    refine_assign_range_columnar(
+        tile, points, metric, medoids, dims, spheres, lo, hi, &mut out,
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::index::NeighborIndex;
+    use crate::layout::ColumnarBlocks;
     use crate::locality::{localities, medoid_deltas};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -1129,7 +1759,7 @@ mod tests {
                 for (lo, hi) in blocks(points.rows()) {
                     let plain = fused_block(&points, metric, &medoids, &deltas, lo, hi);
                     let pruned = fused_block_pruned(
-                        &points, metric, &medoids, &deltas, &ctx, lo, hi, &mut stats,
+                        &points, metric, &medoids, &deltas, &ctx, lo, hi, &mut stats, None,
                     );
                     assert_eq!(plain.locs, pruned.locs, "{metric:?} seed {seed}");
                     for (a, b) in plain.xsums.iter().zip(&pruned.xsums) {
@@ -1171,12 +1801,15 @@ mod tests {
             for (lo, hi) in blocks(points.rows()) {
                 assert_eq!(
                     assign_block(&points, metric, &medoids, &dims, lo, hi),
-                    assign_block_pruned(&points, metric, &medoids, &dims, lo, hi, &mut stats),
+                    assign_block_pruned(
+                        &points, metric, &medoids, &dims, lo, hi, &mut stats, None, None
+                    ),
                     "{metric:?} assign"
                 );
                 let plain = assign_x_block(&points, metric, &medoids, &dims, lo, hi);
-                let pruned =
-                    assign_x_block_pruned(&points, metric, &medoids, &dims, lo, hi, &mut stats);
+                let pruned = assign_x_block_pruned(
+                    &points, metric, &medoids, &dims, lo, hi, &mut stats, None, None,
+                );
                 assert_eq!(plain.assignment, pruned.assignment, "{metric:?} assign_x");
                 for (a, b) in plain.xsums.iter().zip(&pruned.xsums) {
                     let ab: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
@@ -1186,7 +1819,7 @@ mod tests {
                 assert_eq!(
                     refine_assign_block(&points, metric, &medoids, &dims, &spheres, lo, hi),
                     refine_assign_block_pruned(
-                        &points, metric, &medoids, &dims, &spheres, lo, hi, &mut stats
+                        &points, metric, &medoids, &dims, &spheres, lo, hi, &mut stats, None
                     ),
                     "{metric:?} refine"
                 );
@@ -1207,13 +1840,198 @@ mod tests {
         let mut stats = PruneStats::default();
         assert_eq!(
             assign_block(&points, metric, &medoids, &dims, 0, 4),
-            assign_block_pruned(&points, metric, &medoids, &dims, 0, 4, &mut stats),
+            assign_block_pruned(&points, metric, &medoids, &dims, 0, 4, &mut stats, None, None),
         );
         let deltas = medoid_deltas(&points, &medoids, metric);
         let index = std::sync::Arc::new(NeighborIndex::build(&points, metric));
         let ctx = FusedPruneCtx::new(index, &points, &medoids, metric);
         let plain = fused_block(&points, metric, &medoids, &deltas, 0, 4);
-        let pruned = fused_block_pruned(&points, metric, &medoids, &deltas, &ctx, 0, 4, &mut stats);
+        let pruned = fused_block_pruned(
+            &points, metric, &medoids, &deltas, &ctx, 0, 4, &mut stats, None,
+        );
         assert_eq!(plain, pruned);
+    }
+
+    /// Matrices chosen to stress the bit-identity contract: exact
+    /// distance ties, duplicated rows, and mixed 1e±9 magnitudes where
+    /// any reassociation of the accumulation order would show up.
+    fn tricky_matrices() -> Vec<(&'static str, Matrix)> {
+        let mut rng = StdRng::seed_from_u64(77);
+        let (n, d) = (1_400usize, 6usize); // spans two canonical tiles
+        let tie: Vec<f64> = (0..n * d)
+            .map(|_| f64::from(rng.random_range(0u32..6)))
+            .collect();
+        let protos: Vec<Vec<f64>> = (0..40)
+            .map(|_| (0..d).map(|_| rng.random_range(0.0..10.0)).collect())
+            .collect();
+        let dup: Vec<f64> = (0..n).flat_map(|p| protos[p % 40].clone()).collect();
+        let huge: Vec<f64> = (0..n * d)
+            .map(|i| {
+                let base: f64 = rng.random_range(-1.0..1.0);
+                match i % 3 {
+                    0 => base * 1.0e9,
+                    1 => base * 1.0e-9,
+                    _ => base,
+                }
+            })
+            .collect();
+        vec![
+            ("tie-heavy", Matrix::from_vec(tie, n, d)),
+            ("duplicate-rows", Matrix::from_vec(dup, n, d)),
+            ("mixed-magnitude", Matrix::from_vec(huge, n, d)),
+        ]
+    }
+
+    fn assert_bits(a: &[Vec<f64>], b: &[Vec<f64>], ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}: shape");
+        for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+            assert_eq!(ra.len(), rb.len(), "{ctx}: row {i} shape");
+            for (j, (x, y)) in ra.iter().zip(rb).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: [{i}][{j}] {x:e} vs {y:e}");
+            }
+        }
+    }
+
+    /// Every columnar twin must be bit-identical to its row-major
+    /// original — localities, X sums, assignments, distance columns,
+    /// refine outcomes — across all three metrics on tie-heavy,
+    /// duplicate-row, and mixed-magnitude matrices.
+    #[test]
+    fn columnar_kernels_are_bit_identical_to_row_major() {
+        for (name, points) in tricky_matrices() {
+            let cb = ColumnarBlocks::build(&points, false);
+            let medoids = vec![3usize, 700, 1_200];
+            let dims = vec![vec![0, 1, 2], vec![1, 3], vec![0, 4, 5]];
+            for metric in [
+                DistanceKind::Manhattan,
+                DistanceKind::Euclidean,
+                DistanceKind::Chebyshev,
+            ] {
+                let deltas = medoid_deltas(&points, &medoids, metric);
+                let spheres: Vec<f64> = deltas.iter().map(|d| d * 0.8).collect();
+                let refined: Vec<Option<usize>> = blocks(points.rows())
+                    .into_iter()
+                    .flat_map(|(lo, hi)| {
+                        refine_assign_block(&points, metric, &medoids, &dims, &spheres, lo, hi)
+                    })
+                    .collect();
+                for (lo, hi) in blocks(points.rows()) {
+                    let ctx = format!("{name}/{metric:?}/[{lo},{hi})");
+                    let t = cb.tile(lo, hi).unwrap();
+                    let fa = fused_block(&points, metric, &medoids, &deltas, lo, hi);
+                    let fb = fused_block_columnar(&t, &points, metric, &medoids, &deltas, lo, hi);
+                    assert_eq!(fa.locs, fb.locs, "{ctx}: fused locs");
+                    assert_bits(&fa.xsums, &fb.xsums, &format!("{ctx}: fused X"));
+                    assert_eq!(
+                        assign_block(&points, metric, &medoids, &dims, lo, hi),
+                        assign_block_columnar(&t, &points, metric, &medoids, &dims, lo, hi, None),
+                        "{ctx}: assign"
+                    );
+                    let xa = assign_x_block(&points, metric, &medoids, &dims, lo, hi);
+                    let xb =
+                        assign_x_block_columnar(&t, &points, metric, &medoids, &dims, lo, hi, None);
+                    assert_eq!(xa.assignment, xb.assignment, "{ctx}: assign+X winners");
+                    assert_bits(&xa.xsums, &xb.xsums, &format!("{ctx}: assign+X sums"));
+                    assert_bits(
+                        &columns_block(&points, metric, &medoids, &dims, lo, hi),
+                        &columns_block_columnar(&t, &points, metric, &medoids, &dims, lo, hi),
+                        &format!("{ctx}: columns"),
+                    );
+                    assert_eq!(
+                        refine_assign_block(&points, metric, &medoids, &dims, &spheres, lo, hi),
+                        refine_assign_block_columnar(
+                            &t, &points, metric, &medoids, &dims, &spheres, lo, hi,
+                        ),
+                        "{ctx}: refine"
+                    );
+                    assert_bits(
+                        &cluster_x_block(&points, &medoids, &refined, lo, hi),
+                        &cluster_x_block_columnar(&t, &points, &medoids, &refined, lo, hi),
+                        &format!("{ctx}: cluster X"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The `f32` screen must never change a winner: gated assignment
+    /// equals the plain kernels element-wise, the counters balance, and
+    /// the screen actually engages for Manhattan/Chebyshev while
+    /// Euclidean falls through to the exact columnar path.
+    #[test]
+    fn fast_gated_assignment_matches_plain_winners_exactly() {
+        for (name, points) in tricky_matrices() {
+            let cb = ColumnarBlocks::build(&points, true);
+            let medoids = vec![3usize, 700, 1_200];
+            let dims = vec![vec![0, 1, 2], vec![1, 3], vec![0, 4, 5]];
+            for metric in [
+                DistanceKind::Manhattan,
+                DistanceKind::Euclidean,
+                DistanceKind::Chebyshev,
+            ] {
+                let mut fs = FastMathStats::default();
+                for (lo, hi) in blocks(points.rows()) {
+                    let ctx = format!("{name}/{metric:?}/[{lo},{hi})");
+                    let t = cb.tile(lo, hi).unwrap();
+                    assert_eq!(
+                        assign_block(&points, metric, &medoids, &dims, lo, hi),
+                        assign_block_columnar(
+                            &t,
+                            &points,
+                            metric,
+                            &medoids,
+                            &dims,
+                            lo,
+                            hi,
+                            Some(&mut fs),
+                        ),
+                        "{ctx}: gated assign"
+                    );
+                    let xa = assign_x_block(&points, metric, &medoids, &dims, lo, hi);
+                    let xb = assign_x_block_columnar(
+                        &t,
+                        &points,
+                        metric,
+                        &medoids,
+                        &dims,
+                        lo,
+                        hi,
+                        Some(&mut fs),
+                    );
+                    assert_eq!(xa.assignment, xb.assignment, "{ctx}: gated assign+X");
+                    assert_bits(&xa.xsums, &xb.xsums, &format!("{ctx}: gated assign+X sums"));
+                }
+                assert_eq!(
+                    fs.screened,
+                    fs.excluded + fs.verified,
+                    "{name}/{metric:?}: counter balance"
+                );
+                if metric == DistanceKind::Euclidean {
+                    assert_eq!(fs.screened, 0, "{name}: Euclidean must not be screened");
+                } else {
+                    assert!(fs.screened > 0, "{name}/{metric:?}: screen never engaged");
+                }
+            }
+        }
+    }
+
+    /// NaN rows fall through the `f32` screen to the exact path and
+    /// keep the plain kernels' NaN semantics.
+    #[test]
+    fn fast_gate_preserves_nan_semantics() {
+        let rows: Vec<[f64; 2]> = vec![[0.0, 0.0], [f64::NAN, 1.0], [2.0, 2.0], [50.0, 50.0]];
+        let points = Matrix::from_rows(&rows, 2);
+        let cb = ColumnarBlocks::build(&points, true);
+        let t = cb.tile(0, 4).unwrap();
+        let medoids = vec![1usize, 3];
+        let dims = vec![vec![0, 1], vec![0, 1]];
+        for metric in [DistanceKind::Manhattan, DistanceKind::Chebyshev] {
+            let mut fs = FastMathStats::default();
+            assert_eq!(
+                assign_block(&points, metric, &medoids, &dims, 0, 4),
+                assign_block_columnar(&t, &points, metric, &medoids, &dims, 0, 4, Some(&mut fs),),
+                "{metric:?}"
+            );
+        }
     }
 }

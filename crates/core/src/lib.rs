@@ -54,6 +54,7 @@ pub mod index;
 pub mod init;
 pub mod iterate;
 pub mod kernel;
+pub mod layout;
 pub mod locality;
 pub mod model;
 pub mod parallel;

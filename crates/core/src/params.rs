@@ -110,6 +110,16 @@ pub struct Proclus {
     /// counters report the work saved. Disable for the unpruned
     /// baseline (`fit --no-index` on the CLI).
     pub neighbor_index: bool,
+    /// Opt into the exactness-gated `f32` fast path (default `false`).
+    /// Assignment kernels prescreen candidates with `f32` distances
+    /// widened to conservative intervals (tolerance model:
+    /// [`crate::layout::FAST_MATH_TOLERANCE_SCALE`]); only provably
+    /// non-winning candidates are skipped and every accepted decision
+    /// is re-verified in `f64`, so fits, event streams, and golden
+    /// digests stay **bit-identical** with it on or off. `fastmath.*`
+    /// manifest counters report the work saved (`fit --fast-math` on
+    /// the CLI).
+    pub fast_math: bool,
 }
 
 impl Proclus {
@@ -133,6 +143,7 @@ impl Proclus {
             threads: 1,
             round_cache: true,
             neighbor_index: true,
+            fast_math: false,
         }
     }
 
@@ -147,6 +158,14 @@ impl Proclus {
     /// bit-identical either way — see [`crate::index`]).
     pub fn neighbor_index(mut self, v: bool) -> Self {
         self.neighbor_index = v;
+        self
+    }
+
+    /// Opt into the exactness-gated `f32` screening fast path (default
+    /// off; results are bit-identical either way — see
+    /// [`crate::layout`]).
+    pub fn fast_math(mut self, v: bool) -> Self {
+        self.fast_math = v;
         self
     }
 

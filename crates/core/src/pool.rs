@@ -27,6 +27,7 @@
 
 use crate::index::{FusedPruneCtx, NeighborIndex, PruneStats};
 use crate::kernel::{self, AssignXPartial, FusedPartial};
+use crate::layout::{ColumnarBlocks, FastMathStats};
 use proclus_math::{DistanceKind, Matrix};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex};
@@ -98,27 +99,59 @@ impl Task {
         &self,
         points: &Matrix,
         metric: DistanceKind,
+        layout: Option<&ColumnarBlocks>,
+        fast_math: bool,
         lo: usize,
         hi: usize,
-    ) -> (Partial, PruneStats) {
+    ) -> (Partial, PruneStats, FastMathStats) {
         let mut prune = PruneStats::default();
+        let mut fstats = FastMathStats::default();
+        // The canonical block ranges always lie within one tile, so a
+        // missing tile only happens without a layout — every arm below
+        // falls back to the row-major kernel in that case.
+        let tile = layout.and_then(|l| l.tile(lo, hi));
+        let tile = tile.as_ref();
         let partial = match self {
             Task::Fused {
                 medoids,
                 deltas,
                 ctx,
-            } => Partial::Fused(match ctx {
-                Some(ctx) => kernel::fused_block_pruned(
-                    points, metric, medoids, deltas, ctx, lo, hi, &mut prune,
+            } => Partial::Fused(match (ctx, tile) {
+                (Some(ctx), _) => kernel::fused_block_pruned(
+                    points, metric, medoids, deltas, ctx, lo, hi, &mut prune, tile,
                 ),
-                None => kernel::fused_block(points, metric, medoids, deltas, lo, hi),
+                (None, Some(t)) => {
+                    kernel::fused_block_columnar(t, points, metric, medoids, deltas, lo, hi)
+                }
+                (None, None) => kernel::fused_block(points, metric, medoids, deltas, lo, hi),
             }),
             Task::Assign {
                 medoids,
                 dims,
                 pruned,
             } => Partial::Assign(if *pruned {
-                kernel::assign_block_pruned(points, metric, medoids, dims, lo, hi, &mut prune)
+                kernel::assign_block_pruned(
+                    points,
+                    metric,
+                    medoids,
+                    dims,
+                    lo,
+                    hi,
+                    &mut prune,
+                    tile,
+                    fast_math.then_some(&mut fstats),
+                )
+            } else if let Some(t) = tile {
+                kernel::assign_block_columnar(
+                    t,
+                    points,
+                    metric,
+                    medoids,
+                    dims,
+                    lo,
+                    hi,
+                    fast_math.then_some(&mut fstats),
+                )
             } else {
                 kernel::assign_block(points, metric, medoids, dims, lo, hi)
             }),
@@ -127,17 +160,42 @@ impl Task {
                 dims,
                 pruned,
             } => Partial::AssignX(if *pruned {
-                kernel::assign_x_block_pruned(points, metric, medoids, dims, lo, hi, &mut prune)
+                kernel::assign_x_block_pruned(
+                    points,
+                    metric,
+                    medoids,
+                    dims,
+                    lo,
+                    hi,
+                    &mut prune,
+                    tile,
+                    fast_math.then_some(&mut fstats),
+                )
+            } else if let Some(t) = tile {
+                kernel::assign_x_block_columnar(
+                    t,
+                    points,
+                    metric,
+                    medoids,
+                    dims,
+                    lo,
+                    hi,
+                    fast_math.then_some(&mut fstats),
+                )
             } else {
                 kernel::assign_x_block(points, metric, medoids, dims, lo, hi)
             }),
-            Task::Columns { medoids, dims } => {
-                Partial::Columns(kernel::columns_block(points, metric, medoids, dims, lo, hi))
-            }
+            Task::Columns { medoids, dims } => Partial::Columns(match tile {
+                Some(t) => kernel::columns_block_columnar(t, points, metric, medoids, dims, lo, hi),
+                None => kernel::columns_block(points, metric, medoids, dims, lo, hi),
+            }),
             Task::ClusterX {
                 medoids,
                 assignment,
-            } => Partial::ClusterX(kernel::cluster_x_block(points, medoids, assignment, lo, hi)),
+            } => Partial::ClusterX(match tile {
+                Some(t) => kernel::cluster_x_block_columnar(t, points, medoids, assignment, lo, hi),
+                None => kernel::cluster_x_block(points, medoids, assignment, lo, hi),
+            }),
             Task::RefineAssign {
                 medoids,
                 dims,
@@ -145,13 +203,17 @@ impl Task {
                 pruned,
             } => Partial::RefineAssign(if *pruned {
                 kernel::refine_assign_block_pruned(
-                    points, metric, medoids, dims, spheres, lo, hi, &mut prune,
+                    points, metric, medoids, dims, spheres, lo, hi, &mut prune, tile,
+                )
+            } else if let Some(t) = tile {
+                kernel::refine_assign_block_columnar(
+                    t, points, metric, medoids, dims, spheres, lo, hi,
                 )
             } else {
                 kernel::refine_assign_block(points, metric, medoids, dims, spheres, lo, hi)
             }),
         };
-        (partial, prune)
+        (partial, prune, fstats)
     }
 
     fn clone_refs(&self) -> Task {
@@ -215,8 +277,33 @@ enum Mode {
     /// Persistent workers consuming from a shared job queue.
     Pooled {
         job_tx: Sender<Job>,
-        result_rx: Receiver<(usize, Partial, PruneStats)>,
+        result_rx: Receiver<(usize, Partial, PruneStats, FastMathStats)>,
     },
+}
+
+/// Configuration for [`with_pool_opts`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoolOptions {
+    /// Build the dimension-major [`ColumnarBlocks`] mirror and run
+    /// every pass through the columnar kernel twins (bit-identical to
+    /// the row-major kernels; on by default). Off is the row-major
+    /// baseline the benches and the cross-path property tests compare
+    /// against.
+    pub columnar: bool,
+    /// Also build the `f32` mirror and engage the exactness-gated
+    /// prefilter in assignment passes (off by default; requires
+    /// `columnar`). Results are bit-identical either way — only the
+    /// `fastmath.*` counters and the work saved change.
+    pub fast_math: bool,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        Self {
+            columnar: true,
+            fast_math: false,
+        }
+    }
 }
 
 /// Work counters maintained by the pool.
@@ -270,6 +357,18 @@ pub struct Pool<'env> {
     /// Cumulative pruning counters across all passes (manifest-only —
     /// see [`crate::index::PruneStats`]).
     prune: PruneStats,
+    /// The columnar mirror shared with the workers; `Some` routes every
+    /// pass through the columnar kernel twins.
+    layout: Option<Arc<ColumnarBlocks>>,
+    /// Whether assignment passes engage the `f32` exactness-gated
+    /// screen (requires `layout` with a fast mirror).
+    fast_math: bool,
+    /// Cumulative fast-path counters across all passes (manifest-only).
+    fstats: FastMathStats,
+    /// Row blocks dispatched with / without the columnar layout
+    /// (manifest-only `layout.*` counters).
+    columnar_blocks: u64,
+    rowmajor_blocks: u64,
 }
 
 /// Run `f` with a [`Pool`] over `points`. With `threads > 1` (and at
@@ -282,6 +381,23 @@ pub fn with_pool<R>(
     threads: usize,
     f: impl FnOnce(&mut Pool<'_>) -> R,
 ) -> R {
+    with_pool_opts(points, metric, threads, PoolOptions::default(), f)
+}
+
+/// [`with_pool`] with explicit layout/fast-math configuration. The
+/// columnar mirror is built once here (one pass over the matrix) and
+/// shared read-only with every worker.
+pub fn with_pool_opts<R>(
+    points: &Matrix,
+    metric: DistanceKind,
+    threads: usize,
+    opts: PoolOptions,
+    f: impl FnOnce(&mut Pool<'_>) -> R,
+) -> R {
+    let layout = opts
+        .columnar
+        .then(|| Arc::new(ColumnarBlocks::build(points, opts.fast_math)));
+    let fast_math = opts.fast_math && opts.columnar;
     let n_blocks = points.rows().div_ceil(kernel::BLOCK);
     // More workers than blocks would never all run; cap keeps the
     // spawn cost proportional to useful parallelism. (Results do not
@@ -299,16 +415,22 @@ pub fn with_pool<R>(
             queue_high_water: 0,
             index: None,
             prune: PruneStats::default(),
+            layout,
+            fast_math,
+            fstats: FastMathStats::default(),
+            columnar_blocks: 0,
+            rowmajor_blocks: 0,
         };
         return f(&mut pool);
     }
     std::thread::scope(|s| {
         let (job_tx, job_rx) = mpsc::channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
-        let (result_tx, result_rx) = mpsc::channel::<(usize, Partial, PruneStats)>();
+        let (result_tx, result_rx) = mpsc::channel::<(usize, Partial, PruneStats, FastMathStats)>();
         for _ in 0..workers {
             let rx = Arc::clone(&job_rx);
             let tx = result_tx.clone();
+            let worker_layout = layout.clone();
             s.spawn(move || {
                 loop {
                     // Hold the lock only to pop; compute unlocked. A
@@ -323,8 +445,10 @@ pub fn with_pool<R>(
                         Err(_) => break, // pool dropped: fit is over
                     };
                     let (lo, hi) = job.block;
-                    let (partial, prune) = job.task.run(points, metric, lo, hi);
-                    if tx.send((job.index, partial, prune)).is_err() {
+                    let (partial, prune, fstats) =
+                        job.task
+                            .run(points, metric, worker_layout.as_deref(), fast_math, lo, hi);
+                    if tx.send((job.index, partial, prune, fstats)).is_err() {
                         break;
                     }
                 }
@@ -342,6 +466,11 @@ pub fn with_pool<R>(
             queue_high_water: 0,
             index: None,
             prune: PruneStats::default(),
+            layout,
+            fast_math,
+            fstats: FastMathStats::default(),
+            columnar_blocks: 0,
+            rowmajor_blocks: 0,
         };
         let out = f(&mut pool);
         // Dropping the pool closes the job channel; every worker's next
@@ -431,6 +560,30 @@ impl<'env> Pool<'env> {
         self.prune
     }
 
+    /// Whether the columnar layout is installed (every pass then runs
+    /// the columnar kernel twins).
+    pub fn layout_enabled(&self) -> bool {
+        self.layout.is_some()
+    }
+
+    /// Whether assignment passes engage the `f32` exactness-gated
+    /// screen.
+    pub fn fast_math_enabled(&self) -> bool {
+        self.fast_math
+    }
+
+    /// Cumulative fast-path counters since pool creation
+    /// (manifest-only, like [`Pool::prune_stats`]).
+    pub fn fast_math_stats(&self) -> FastMathStats {
+        self.fstats
+    }
+
+    /// Row blocks dispatched `(with, without)` the columnar layout
+    /// since pool creation (manifest-only `layout.*` counters).
+    pub fn layout_block_counts(&self) -> (u64, u64) {
+        (self.columnar_blocks, self.rowmajor_blocks)
+    }
+
     /// Fan a task out over all row blocks, booking both a logical and a
     /// physical pass (the default for the uncached full passes).
     fn dispatch(&mut self, task: Task) -> Vec<Partial> {
@@ -446,12 +599,25 @@ impl<'env> Pool<'env> {
         let blocks = kernel::blocks(self.points.rows());
         self.physical.dispatches += 1;
         self.physical.blocks += blocks.len() as u64;
+        if self.layout.is_some() {
+            self.columnar_blocks += blocks.len() as u64;
+        } else {
+            self.rowmajor_blocks += blocks.len() as u64;
+        }
         match &self.mode {
             Mode::Serial => blocks
                 .into_iter()
                 .map(|(lo, hi)| {
-                    let (partial, prune) = task.run(self.points, self.metric, lo, hi);
+                    let (partial, prune, fstats) = task.run(
+                        self.points,
+                        self.metric,
+                        self.layout.as_deref(),
+                        self.fast_math,
+                        lo,
+                        hi,
+                    );
                     self.prune.merge(prune);
+                    self.fstats.merge(fstats);
                     partial
                 })
                 .collect(),
@@ -473,12 +639,14 @@ impl<'env> Pool<'env> {
                 self.queue_high_water = self.queue_high_water.max(queued as u64);
                 let mut received = 0usize;
                 let mut prune = PruneStats::default();
+                let mut fstats = FastMathStats::default();
                 while received < queued {
                     match result_rx.recv() {
-                        Ok((index, partial, block_prune)) => {
+                        Ok((index, partial, block_prune, block_fstats)) => {
                             if slots[index].replace(partial).is_none() {
                                 received += 1;
                                 prune.merge(block_prune);
+                                fstats.merge(block_fstats);
                             }
                         }
                         Err(_) => break, // all workers gone mid-dispatch
@@ -489,12 +657,21 @@ impl<'env> Pool<'env> {
                 // pass always completes with the exact serial result.
                 for (slot, &(lo, hi)) in slots.iter_mut().zip(&blocks) {
                     if slot.is_none() {
-                        let (partial, block_prune) = task.run(self.points, self.metric, lo, hi);
+                        let (partial, block_prune, block_fstats) = task.run(
+                            self.points,
+                            self.metric,
+                            self.layout.as_deref(),
+                            self.fast_math,
+                            lo,
+                            hi,
+                        );
                         *slot = Some(partial);
                         prune.merge(block_prune);
+                        fstats.merge(block_fstats);
                     }
                 }
                 self.prune.merge(prune);
+                self.fstats.merge(fstats);
                 slots.into_iter().flatten().collect()
             }
         }

@@ -14,11 +14,16 @@
 //! ```
 //!
 //! The per-chunk checksum localizes damage: a bit flip fails only its
-//! own chunk's verification, and [`ChunkReader`] resynchronizes at the
-//! next frame boundary (the header's lengths are checksum-protected
-//! along with the payload, so the boundary itself is trustworthy for a
-//! chunk whose header bytes survived). Truncation and header damage
-//! are unrecoverable — the reader reports one located error and ends.
+//! own chunk's verification, and [`ChunkReader`] resynchronizes by
+//! scanning forward for the next frame that validates *completely*
+//! (magic, version, plausible dimensions, full length, checksum). A
+//! failed checksum means the header's own length field cannot be
+//! trusted — the damage may be in the header — so the reader never
+//! skips by the announced frame length; nor is a stray `b"PRCK"`
+//! inside a payload enough to fool the scan, since a candidate is only
+//! accepted once its checksum verifies. Truncation and header damage
+//! before the first chunk are unrecoverable — the reader reports one
+//! located error and ends.
 
 use crate::error::DataError;
 use proclus_math::{fnv1a64, Matrix};
@@ -195,9 +200,12 @@ impl Iterator for ChunkReader<'_> {
             rest[frame - 8..frame].try_into().unwrap_or([0; 8]), // length checked above; never hit
         );
         if fnv1a64(body) != stored {
-            // Recoverable: skip this frame, resume at the next.
+            // Recoverable — but the frame length above came from the
+            // very header the failed checksum no longer vouches for, so
+            // it cannot be used to skip. Scan for the next frame that
+            // validates end-to-end instead.
             let at = self.offset;
-            self.offset += frame;
+            self.offset = resync_from(self.buf, at + 1);
             return Some(Err(DataError::Binary {
                 path: None,
                 offset: at,
@@ -214,6 +222,43 @@ impl Iterator for ChunkReader<'_> {
         self.offset += frame;
         Some(Ok(Matrix::from_vec(data, rows, cols)))
     }
+}
+
+/// Whether a complete, checksum-verified frame starts at the front of
+/// `rest`. Used only for resynchronization after a checksum failure,
+/// where nothing about the damaged frame (including its announced
+/// length) can be trusted.
+fn frame_validates(rest: &[u8]) -> bool {
+    if rest.len() < CHUNK_HEADER_LEN + 8 || rest[..4] != *CHUNK_MAGIC || rest[4] != CHUNK_VERSION {
+        return false;
+    }
+    let rows = u32::from_le_bytes([rest[5], rest[6], rest[7], rest[8]]) as usize;
+    let cols = u32::from_le_bytes([rest[9], rest[10], rest[11], rest[12]]) as usize;
+    let cells = match rows.checked_mul(cols) {
+        Some(c) if c <= MAX_CHUNK_CELLS => c,
+        _ => return false,
+    };
+    let frame = CHUNK_HEADER_LEN + cells * 8 + 8;
+    if rest.len() < frame {
+        return false;
+    }
+    let stored = u64::from_le_bytes(rest[frame - 8..frame].try_into().unwrap_or([0; 8]));
+    fnv1a64(&rest[..frame - 8]) == stored
+}
+
+/// Byte-by-byte scan from `from` for the next fully valid frame; magic
+/// bytes alone are only a candidate (payloads can contain `b"PRCK"`),
+/// acceptance requires [`frame_validates`]. No valid frame → the end
+/// of the buffer.
+fn resync_from(buf: &[u8], from: usize) -> usize {
+    let mut at = from;
+    while at + CHUNK_HEADER_LEN + 8 <= buf.len() {
+        if buf[at..at + 4] == *CHUNK_MAGIC && frame_validates(&buf[at..]) {
+            return at;
+        }
+        at += 1;
+    }
+    buf.len()
 }
 
 #[cfg(test)]

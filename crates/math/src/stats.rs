@@ -5,13 +5,61 @@
 //! (`n − 1` denominator — the paper's formula divides by `d − 1`), so the
 //! helpers here default to sample statistics.
 
+/// Magnitude (2²⁶) above which [`mean`] switches to a shifted two-pass
+/// sum. Below it the naive sum of `n ≲ 10⁶` values keeps enough spare
+/// mantissa bits that its rounding error is negligible next to the
+/// spread of any non-degenerate column; above it, a column of values
+/// near 10⁹ with spread ~10⁻³ loses the spread entirely to the partial
+/// sums' rounding, which is exactly the catastrophic-cancellation case
+/// that flips near-tied FindDimensions Z-score rankings.
+const SHIFT_MAGNITUDE: f64 = 67_108_864.0;
+
+/// The shift [`mean`] subtracts before summing: the element of largest
+/// magnitude when that magnitude exceeds [`SHIFT_MAGNITUDE`] and every
+/// element is finite, `0.0` otherwise. Subtracting a like-magnitude
+/// shift makes each `v - shift` exact (Sterbenz) for clustered data,
+/// so the residual sum carries the column's *spread* instead of its
+/// offset. Non-finite inputs keep shift 0 so `inf`/NaN propagate
+/// through the historical code path unchanged.
+fn cancellation_shift(xs: &[f64]) -> f64 {
+    let mut shift = 0.0f64;
+    let mut max_abs = 0.0f64;
+    for &v in xs {
+        if !v.is_finite() {
+            return 0.0;
+        }
+        let a = v.abs();
+        if a > max_abs {
+            max_abs = a;
+            shift = v;
+        }
+    }
+    if max_abs > SHIFT_MAGNITUDE {
+        shift
+    } else {
+        0.0
+    }
+}
+
 /// Arithmetic mean of a slice. Returns `0.0` for an empty slice.
+///
+/// Large-magnitude columns (max |x| > 2²⁶) are averaged with a shifted
+/// two-pass sum so that values like `10⁹ ± 10⁻³` keep their spread;
+/// everything else takes the plain sum, bit-for-bit identical to what
+/// this function has always returned (the determinism golden digests
+/// pin that path).
 #[inline]
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    xs.iter().sum::<f64>() / xs.len() as f64
+    let shift = cancellation_shift(xs);
+    if shift == 0.0 {
+        // Historical path: must stay byte-identical (a literal `- 0.0
+        // + 0.0` would turn -0.0 sums into +0.0 and move the digests).
+        return xs.iter().sum::<f64>() / xs.len() as f64;
+    }
+    shift + xs.iter().map(|&v| v - shift).sum::<f64>() / xs.len() as f64
 }
 
 /// Sample variance (denominator `n − 1`). Returns `0.0` for slices with
@@ -124,6 +172,68 @@ mod tests {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[4.0]), 4.0);
         assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn shifted_mean_is_exact_at_large_magnitude() {
+        // 1000 values near 1e9 with a ~1e-3 spread: the naive partial
+        // sums reach 1e12 where one ulp is ~1.2e-4, so the plain sum
+        // loses the spread to rounding (mean error ~1e-5). The shifted
+        // two-pass mean keeps it to ~1 ulp of the result.
+        let xs: Vec<f64> = (0..1000).map(|j| 1.0e9 + j as f64 * 0.001).collect();
+        let exact = 1.0e9 + 0.4995;
+        assert!(
+            (mean(&xs) - exact).abs() < 1.0e-9,
+            "shifted mean error {:e}",
+            (mean(&xs) - exact).abs()
+        );
+        // Welford roughly agrees (its incremental update re-rounds the
+        // running mean at 1e9 magnitude every step, so it drifts by
+        // ~n·ulp(1e9) — the shifted two-pass mean is the tighter one).
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert!((mean(&xs) - w.mean()).abs() < 1.0e-3);
+        // Variance rides on the corrected mean: the spread is the grid
+        // a + j·s for j = 0..n, whose exact sample variance is
+        // s²·n·(n+1)/12.
+        let v = sample_variance(&xs);
+        let exact_var = 1.0e-6 * 1000.0 * 1001.0 / 12.0;
+        assert!(
+            (v - exact_var).abs() < 1.0e-9 * exact_var,
+            "variance {v} vs exact {exact_var}"
+        );
+    }
+
+    #[test]
+    fn moderate_magnitude_mean_is_bitwise_the_naive_sum() {
+        // Below the 2^26 shift threshold the historical code path must
+        // be taken verbatim — the fit's golden event digests pin it.
+        let cases: Vec<Vec<f64>> = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![-0.0, -0.0],
+            vec![67_108_864.0, -67_108_864.0, 0.25],
+            vec![1.0e-300, 2.0e-300],
+            vec![f64::NAN, 1.0],
+            vec![f64::INFINITY, 1.0e12],
+            vec![1.0e12, f64::NEG_INFINITY],
+        ];
+        for xs in cases {
+            let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+            assert_eq!(
+                mean(&xs).to_bits(),
+                naive.to_bits(),
+                "mean({xs:?}) diverged from the naive sum"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_large_magnitude_columns_shift_too() {
+        let xs: Vec<f64> = (0..500).map(|j| -1.0e9 - j as f64 * 0.001).collect();
+        let exact = -1.0e9 - 0.2495;
+        assert!((mean(&xs) - exact).abs() < 1.0e-9);
     }
 
     #[test]

@@ -412,6 +412,33 @@ fn stream_quarantines_flipped_checksum_but_resyncs_to_next_frame() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A checksum failure invalidates the frame's own length field, so the
+/// reader must not skip by it — and a stray `b"PRCK"` in a payload
+/// must not fool the scan either. Frame 1 gets its row count shrunk
+/// (so the announced length points mid-payload) *and* carries payload
+/// cells whose little-endian bytes spell a plausible chunk header;
+/// only full frame validation (checksum included) finds frames 2-3.
+#[test]
+fn length_corrupted_chunk_with_decoy_magic_resyncs_to_true_frames() {
+    let decoy = f64::from_le_bytes(*b"PRCK\x01\x02\x00\x00");
+    let b1 = Matrix::from_rows(&[[decoy, 1.5], [2.5, decoy]], 2);
+    let b2 = Matrix::from_rows(&[[7.0, 8.0], [9.0, 10.0]], 2);
+    let b3 = Matrix::from_rows(&[[11.0, 12.0]], 2);
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&encode_chunk(&b1).expect("frame 1"));
+    bytes.extend_from_slice(&encode_chunk(&b2).expect("frame 2"));
+    bytes.extend_from_slice(&encode_chunk(&b3).expect("frame 3"));
+    // Shrink frame 1's row count 2 → 1: checksum now fails and the
+    // header announces a frame ending mid-payload.
+    bytes[5..9].copy_from_slice(&1u32.to_le_bytes());
+    let results: Vec<_> = ChunkReader::new(&bytes).collect();
+    assert_eq!(results.len(), 3, "expected 1 error + 2 recovered chunks");
+    let err = results[0].as_ref().expect_err("frame 1 must fail");
+    assert!(err.to_string().contains("checksum"), "{err}");
+    assert_eq!(results[1].as_ref().expect("frame 2"), &b2);
+    assert_eq!(results[2].as_ref().expect("frame 3"), &b3);
+}
+
 #[test]
 fn stream_quarantines_decodable_but_malformed_batches() {
     let dir = tmp("stream-malformed");

@@ -7,5 +7,6 @@ pub mod generate;
 pub mod inspect;
 pub mod inspect_trace;
 pub mod orclus;
+pub mod scenario;
 pub mod serve;
 pub mod stream;

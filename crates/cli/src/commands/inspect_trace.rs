@@ -423,6 +423,34 @@ mod tests {
         assert!(!text.contains("0/0 "), "zero-total rate leaked: {text}");
     }
 
+    /// A trace that begins with a `scenario_meta` event (written by
+    /// `proclus scenario --trace-out`) leads its summary with a
+    /// `scenario:` identity line.
+    #[test]
+    fn scenario_trace_leads_with_the_scenario_line() {
+        let dir = tmp("scn");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            "{\"schema_version\":1,\"events\":1,\"phases\":{}}",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join(EVENTS_FILE),
+            "{\"type\":\"scenario_meta\",\"name\":\"zipf-sizes\",\"seed\":17,\"epochs\":4}\n",
+        )
+        .unwrap();
+        let args = Args::parse(toks(&format!("--input {}", dir.display())), &[]).unwrap();
+        let mut buf = Vec::new();
+        run(&args, &mut buf).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("scenario: zipf-sizes  seed=17 epochs=4"),
+            "{text}"
+        );
+    }
+
     #[test]
     fn missing_directory_errors() {
         let args = Args::parse(toks("--input /nonexistent/trace-dir"), &[]).unwrap();

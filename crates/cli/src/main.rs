@@ -20,6 +20,7 @@ usage: proclus <command> [options]
 
 commands:
   generate   synthesize a projected-cluster dataset (paper 4.1)
+  scenario   generate a declarative workload scenario from a .scn spec
   fit        PROCLUS projected clustering
   clique     CLIQUE subspace clustering baseline
   orclus     generalized (oriented) projected clustering
@@ -134,6 +135,11 @@ fn main() -> ExitCode {
             commands::generate::HELP,
             &["no-labels"],
             commands::generate::run,
+        ),
+        "scenario" => (
+            commands::scenario::HELP,
+            &["print-canonical"],
+            commands::scenario::run,
         ),
         "fit" => (
             commands::fit::HELP,

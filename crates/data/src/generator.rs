@@ -195,7 +195,11 @@ impl GeneratedDataset {
 /// inherits `min(|D_{i−1}|, |D_i| / 2)` dimensions from cluster `i − 1`
 /// and draws the rest from the remaining dimensions — §4.1's model of
 /// clusters that "frequently share subsets of correlated dimensions".
-fn choose_dimension_sets(counts: &[usize], d: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
+pub(crate) fn choose_dimension_sets(
+    counts: &[usize],
+    d: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<usize>> {
     let mut sets: Vec<Vec<usize>> = Vec::with_capacity(counts.len());
     for (i, &c) in counts.iter().enumerate() {
         debug_assert!((2..=d).contains(&c));
@@ -220,7 +224,7 @@ fn choose_dimension_sets(counts: &[usize], d: usize, rng: &mut StdRng) -> Vec<Ve
 /// largest clusters to any cluster below `min_size` until the floor
 /// holds (no-op when `min_size * k > total`, which a valid spec never
 /// produces).
-fn apportion_with_floor(total: usize, weights: &[f64], min_size: usize) -> Vec<usize> {
+pub(crate) fn apportion_with_floor(total: usize, weights: &[f64], min_size: usize) -> Vec<usize> {
     let k = weights.len();
     let mut out = apportion(total, weights);
     if min_size * k > total {
@@ -239,7 +243,7 @@ fn apportion_with_floor(total: usize, weights: &[f64], min_size: usize) -> Vec<u
 /// Apportion `total` points among clusters proportionally to `weights`
 /// (largest-remainder method), guaranteeing every cluster at least one
 /// point when `total >= weights.len()`.
-fn apportion(total: usize, weights: &[f64]) -> Vec<usize> {
+pub(crate) fn apportion(total: usize, weights: &[f64]) -> Vec<usize> {
     let k = weights.len();
     assert!(k > 0);
     let wsum: f64 = weights.iter().sum();

@@ -5,19 +5,22 @@
 //! matching the paper's tables — or `Out.` for outliers). A single
 //! header line `x0,x1,…[,label]` is always written.
 
-use crate::binio::write_atomic;
+use crate::binio::tmp_path;
 use crate::error::DataError;
 use crate::label::Label;
 use proclus_math::Matrix;
 use std::fs::File;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 /// Write `points` (and optionally aligned `labels`) as CSV.
 ///
-/// Crash-safe: the CSV is rendered in memory and published with
-/// [`write_atomic`] (temp file + rename), so a crash can never leave a
-/// half-written dataset under the final name.
+/// Crash-safe and constant-memory: rows are streamed one at a time
+/// through a [`BufWriter`] into `<path>.tmp`, fsynced, and renamed over
+/// `path` (the same temp-file + rename contract as
+/// [`write_atomic`](crate::binio::write_atomic)), so a crash can never
+/// leave a half-written dataset under the final name and the full text
+/// is never materialized in RAM.
 ///
 /// # Errors
 ///
@@ -34,32 +37,75 @@ pub fn write_csv(path: &Path, points: &Matrix, labels: Option<&[Label]>) -> Resu
             });
         }
     }
-    let oserr = |e| DataError::io(path, e);
-    let mut w: Vec<u8> = Vec::new();
-    for j in 0..points.cols() {
+    let rows = points.rows();
+    write_csv_rows(
+        path,
+        points.cols(),
+        labels.is_some(),
+        (0..rows).map(|i| (points.row(i), labels.map(|ls| ls[i]))),
+    )
+}
+
+/// Stream CSV rows from any iterator into `path` under the crash-safe
+/// temp-file + rename contract. Shared by [`write_csv`] and the
+/// scenario engine's epoch streamer; never holds more than one row
+/// (plus the `BufWriter` block) in memory.
+///
+/// When `with_labels` is set, every row must carry `Some(label)`.
+///
+/// # Errors
+///
+/// [`DataError::Io`] naming the staged or final path on any failure.
+pub(crate) fn write_csv_rows<'a>(
+    path: &Path,
+    cols: usize,
+    with_labels: bool,
+    rows: impl Iterator<Item = (&'a [f64], Option<Label>)>,
+) -> Result<(), DataError> {
+    let tmp = tmp_path(path);
+    let tmperr = |e| DataError::io(&tmp, e);
+    let mut w = BufWriter::new(File::create(&tmp).map_err(tmperr)?);
+    for j in 0..cols {
         if j > 0 {
-            write!(w, ",").map_err(oserr)?;
+            write!(w, ",").map_err(tmperr)?;
         }
-        write!(w, "x{j}").map_err(oserr)?;
+        write!(w, "x{j}").map_err(tmperr)?;
     }
-    if labels.is_some() {
-        write!(w, ",label").map_err(oserr)?;
+    if with_labels {
+        write!(w, ",label").map_err(tmperr)?;
     }
-    writeln!(w).map_err(oserr)?;
-    for i in 0..points.rows() {
-        let row = points.row(i);
+    writeln!(w).map_err(tmperr)?;
+    for (row, label) in rows {
         for (j, v) in row.iter().enumerate() {
             if j > 0 {
-                write!(w, ",").map_err(oserr)?;
+                write!(w, ",").map_err(tmperr)?;
             }
-            write!(w, "{v}").map_err(oserr)?;
+            write!(w, "{v}").map_err(tmperr)?;
         }
-        if let Some(ls) = labels {
-            write!(w, ",{}", label_token(ls[i])).map_err(oserr)?;
+        if with_labels {
+            let l = label.ok_or(DataError::LengthMismatch {
+                what: "labels for write_csv_rows",
+                expected: 1,
+                got: 0,
+            })?;
+            write!(w, ",{}", label_token(l)).map_err(tmperr)?;
         }
-        writeln!(w).map_err(oserr)?;
+        writeln!(w).map_err(tmperr)?;
     }
-    write_atomic(path, &w)
+    let f = w
+        .into_inner()
+        .map_err(|e| DataError::io(&tmp, e.into_error()))?;
+    f.sync_all().map_err(tmperr)?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| DataError::io(path, e))?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Read a CSV produced by [`write_csv`] (header required).
@@ -181,7 +227,7 @@ fn read_csv_from(path: &Path, r: impl BufRead) -> Result<(Matrix, Option<Vec<Lab
     ))
 }
 
-fn label_token(l: Label) -> String {
+pub(crate) fn label_token(l: Label) -> String {
     match l {
         Label::Cluster(i) => format!("C{i}"),
         Label::Outlier => "O".to_string(),
@@ -327,6 +373,29 @@ mod tests {
         let err = read_csv(&path).unwrap_err();
         assert!(err.to_string().contains("bad label token"), "{err}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streamed_write_leaves_no_tmp_and_matches_roundtrip() {
+        let path = tmp("streamed.csv");
+        let m = Matrix::from_rows(&[[1.0, 2.0], [3.5, -0.25], [1e-9, 4e12]], 2);
+        let labels = vec![Label::Cluster(1), Label::Outlier, Label::Cluster(0)];
+        write_csv(&path, &m, Some(&labels)).unwrap();
+        // The staging file must be gone after a successful publish.
+        assert!(!crate::binio::tmp_path(&path).exists());
+        let (m2, l2) = read_csv(&path).unwrap();
+        assert_eq!(m, m2);
+        assert_eq!(l2, Some(labels));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_csv_into_missing_directory_is_a_located_io_error() {
+        let path = std::path::PathBuf::from("/nonexistent-proclus-dir/x.csv");
+        let m = Matrix::from_rows(&[[1.0]], 1);
+        let err = write_csv(&path, &m, None).unwrap_err();
+        assert!(matches!(err, DataError::Io { .. }), "{err:?}");
+        assert!(err.to_string().contains("nonexistent-proclus-dir"), "{err}");
     }
 
     #[test]

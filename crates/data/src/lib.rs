@@ -45,10 +45,15 @@ pub mod fault;
 pub mod generator;
 pub mod io;
 pub mod label;
+pub mod scenario;
 pub mod spec;
 
 pub use chunks::{encode_chunk, encode_chunk_stream, ChunkReader};
 pub use error::DataError;
 pub use generator::{GeneratedCluster, GeneratedDataset};
 pub use label::Label;
+pub use scenario::{
+    ClusterDistribution, DriftKind, EpochTruth, ExtraColumn, GeneratedScenario, ScenarioSpec,
+    ScenarioTruth, SizeLaw,
+};
 pub use spec::{DimensionSpec, SyntheticSpec};

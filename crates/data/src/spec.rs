@@ -151,9 +151,23 @@ impl SyntheticSpec {
             return Err(format!("d must be at least 2, got {}", self.d));
         }
         if !(0.0..=0.5).contains(&self.outlier_fraction) {
+            // NaN fails the range check too. The upper bound is a
+            // hard requirement, not taste: at 1.0 every point is an
+            // outlier and no cluster exists to recover, and beyond 0.5
+            // the "clusters" are a minority signal no projected method
+            // is specified against.
             return Err(format!(
-                "outlier_fraction must be in [0, 0.5], got {}",
+                "outlier_fraction must be in [0, 0.5] (1.0 would leave no cluster points), got {}",
                 self.outlier_fraction
+            ));
+        }
+        // A non-finite bound passes `lo >= hi` comparisons (NaN
+        // compares false) and then silently produces garbage
+        // coordinates, so finiteness is checked explicitly.
+        if !(self.domain.0.is_finite() && self.domain.1.is_finite()) {
+            return Err(format!(
+                "domain bounds must be finite, got [{}, {}]",
+                self.domain.0, self.domain.1
             ));
         }
         if self.domain.0 >= self.domain.1 {
@@ -162,8 +176,19 @@ impl SyntheticSpec {
                 self.domain.0, self.domain.1
             ));
         }
-        if self.spread <= 0.0 || self.scale_max < 1.0 {
-            return Err("spread must be > 0 and scale_max >= 1".into());
+        // Same trap as the domain: NaN spread/scale_max slip past
+        // one-sided comparisons and panic inside the Gaussian sampler.
+        if !(self.spread.is_finite() && self.spread > 0.0) {
+            return Err(format!(
+                "spread must be finite and > 0, got {}",
+                self.spread
+            ));
+        }
+        if !(self.scale_max.is_finite() && self.scale_max >= 1.0) {
+            return Err(format!(
+                "scale_max must be finite and >= 1, got {}",
+                self.scale_max
+            ));
         }
         if !(0.0..=1.0).contains(&self.min_size_ratio) {
             return Err(format!(
@@ -175,6 +200,14 @@ impl SyntheticSpec {
             DimensionSpec::Poisson { mean } => {
                 if !(mean.is_finite() && *mean > 0.0) {
                     return Err(format!("Poisson mean must be positive, got {mean}"));
+                }
+                // Knuth's sampler underflows above 700; the generated
+                // count is clamped to [2, d] anyway, so means beyond
+                // the sampler's range are spec errors, not data.
+                if *mean > 700.0 {
+                    return Err(format!(
+                        "Poisson mean must be at most 700 (sampler range), got {mean}"
+                    ));
                 }
             }
             DimensionSpec::Fixed(v) => {
@@ -253,6 +286,72 @@ mod tests {
             .is_err());
         // Too few cluster points for k clusters.
         assert!(SyntheticSpec::new(5, 20, 10, 5.0).validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_non_finite_fields() {
+        // Every one of these used to slip past one-sided comparisons
+        // (NaN compares false) and panic or emit garbage downstream.
+        let base = || SyntheticSpec::new(100, 10, 3, 4.0);
+        let mut s = base();
+        s.domain = (f64::NAN, 100.0);
+        assert!(s.validate().is_err());
+        let mut s = base();
+        s.domain = (0.0, f64::INFINITY);
+        assert!(s.validate().is_err());
+        let mut s = base();
+        s.spread = f64::NAN;
+        assert!(s.validate().is_err());
+        let mut s = base();
+        s.scale_max = f64::NAN;
+        assert!(s.validate().is_err());
+        let mut s = base();
+        s.outlier_fraction = f64::NAN;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validation_bounds_the_poisson_mean() {
+        // The Knuth sampler asserts lambda <= 700; a huge mean must be
+        // a typed spec error, not a generation-time panic.
+        let s = SyntheticSpec::new(100, 10, 3, 1e6);
+        assert!(s.validate().is_err());
+        let err = s.try_generate().unwrap_err();
+        assert!(matches!(err, crate::DataError::InvalidSpec(_)), "{err}");
+        assert!(SyntheticSpec::new(100, 10, 3, 700.0).validate().is_ok());
+    }
+
+    #[test]
+    fn k1_and_d2_specs_generate_usable_files() {
+        // k = 1: no sharing rule, single cluster plus outliers.
+        let ds = SyntheticSpec::new(300, 6, 1, 3.0).seed(3).generate();
+        assert_eq!(ds.clusters.len(), 1);
+        assert_eq!(ds.len(), 300);
+        assert!(ds.clusters[0].size > 0);
+        // d = 2: every cluster is clamped to the full 2-dim space.
+        let ds = SyntheticSpec::new(300, 2, 3, 2.0).seed(3).generate();
+        assert_eq!(ds.points.cols(), 2);
+        assert!(ds.clusters.iter().all(|c| c.dims == vec![0, 1]));
+        assert!(ds.clusters.iter().all(|c| c.size > 0));
+    }
+
+    #[test]
+    fn outlier_fraction_edges() {
+        // 0.0 is fully supported: no outlier rows at all.
+        let ds = SyntheticSpec::new(400, 8, 4, 3.0)
+            .outlier_fraction(0.0)
+            .seed(11)
+            .generate();
+        assert_eq!(ds.outlier_count(), 0);
+        assert_eq!(ds.clusters.iter().map(|c| c.size).sum::<usize>(), 400);
+        // 1.0 (and anything past 0.5) is a typed error: there would be
+        // no cluster points left to cluster.
+        let err = SyntheticSpec::new(400, 8, 4, 3.0)
+            .outlier_fraction(1.0)
+            .try_generate()
+            .unwrap_err();
+        assert!(matches!(err, crate::DataError::InvalidSpec(_)), "{err}");
+        assert!(err.to_string().contains("outlier_fraction"), "{err}");
     }
 
     #[test]

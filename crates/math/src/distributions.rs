@@ -7,7 +7,9 @@
 //! * Exponential (inverse CDF) — cluster-size proportions,
 //! * Poisson (Knuth's product method; mean values here are ≤ `d`, i.e.
 //!   tiny, so the O(λ) method is the right tool) — dimensions per
-//!   cluster.
+//!   cluster,
+//! * Laplace (inverse CDF) — heavy-tailed cluster coordinates in the
+//!   scenario engine's workload zoo.
 
 use rand::Rng;
 
@@ -52,6 +54,27 @@ pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
     // random() yields [0, 1); use 1 - u in (0, 1] so ln never sees 0.
     let u: f64 = rng.random();
     -(1.0 - u).ln() / rate
+}
+
+/// Sample `Laplace(mean, scale)` via inverse CDF.
+///
+/// Variance is `2·scale²`; the distribution's heavier-than-Gaussian
+/// tails make it the workload-zoo stand-in for noisy sensor columns.
+///
+/// # Panics
+///
+/// Panics if `scale` is not strictly positive and finite, or `mean` is
+/// non-finite.
+pub fn laplace<R: Rng + ?Sized>(rng: &mut R, mean: f64, scale: f64) -> f64 {
+    assert!(
+        mean.is_finite() && scale.is_finite() && scale > 0.0,
+        "mean must be finite and scale finite and positive, got mean {mean}, scale {scale}"
+    );
+    // u ∈ [-0.5, 0.5); the signed inverse CDF keeps both tails. Nudge
+    // u away from the closed endpoint so ln never sees 0.
+    let u: f64 = rng.random::<f64>() - 0.5;
+    let t = (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE);
+    mean - scale * u.signum() * t.ln()
 }
 
 /// Sample `Poisson(lambda)` with Knuth's product-of-uniforms method.
@@ -142,6 +165,47 @@ mod tests {
     fn exponential_rejects_zero_rate() {
         let mut r = rng();
         let _ = exponential(&mut r, 0.0);
+    }
+
+    #[test]
+    fn laplace_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = laplace(&mut r, -1.0, 2.0);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        // Laplace: mean, variance 2·scale².
+        assert!((mean + 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 8.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn laplace_has_heavier_tails_than_gaussian() {
+        let mut r = rng();
+        let n = 100_000;
+        // Same variance: Laplace scale 1 ⇒ var 2 ⇒ Gaussian std sqrt(2).
+        let lap_tail = (0..n)
+            .filter(|_| laplace(&mut r, 0.0, 1.0).abs() > 4.0)
+            .count();
+        let gauss_tail = (0..n)
+            .filter(|_| normal(&mut r, 0.0, 2f64.sqrt()).abs() > 4.0)
+            .count();
+        assert!(
+            lap_tail > gauss_tail,
+            "laplace {lap_tail} vs gaussian {gauss_tail}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn laplace_rejects_bad_scale() {
+        let mut r = rng();
+        let _ = laplace(&mut r, 0.0, 0.0);
     }
 
     #[test]

@@ -227,6 +227,18 @@ pub enum Event {
         /// Target state, one of [`JOB_STATES`].
         to: &'static str,
     },
+    /// A declarative scenario was generated — emitted once by `proclus
+    /// scenario` before any rows are written, so a trace identifies the
+    /// workload it ran against.
+    ScenarioMeta {
+        /// Scenario name (the parser restricts it to `[a-z0-9-]+`, so
+        /// it embeds in JSON without escaping).
+        name: String,
+        /// The spec's base PRNG seed.
+        seed: u64,
+        /// Epoch count (1 + drift schedule length).
+        epochs: usize,
+    },
 }
 
 /// The closed set of batch quarantine reasons.
@@ -282,6 +294,7 @@ impl Event {
             Event::ModelPublished { .. } => "model_published",
             Event::ServeRequest { .. } => "serve_request",
             Event::ServeJob { .. } => "serve_job",
+            Event::ScenarioMeta { .. } => "scenario_meta",
         }
     }
 
@@ -478,6 +491,11 @@ impl Event {
             Event::ServeJob { job, from, to } => {
                 s.push_str(&format!(
                     ",\"job\":{job},\"from\":\"{from}\",\"to\":\"{to}\""
+                ));
+            }
+            Event::ScenarioMeta { name, seed, epochs } => {
+                s.push_str(&format!(
+                    ",\"name\":\"{name}\",\"seed\":{seed},\"epochs\":{epochs}"
                 ));
             }
         }
@@ -695,6 +713,26 @@ impl Event {
                 from: vocab("from", &JOB_STATES)?,
                 to: vocab("to", &JOB_STATES)?,
             }),
+            "scenario_meta" => {
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("missing \"name\"")?;
+                // Open field, but keep it to the parser's charset so
+                // round-tripping never needs JSON string escaping.
+                if name.is_empty()
+                    || !name
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+                {
+                    return Err(format!("invalid scenario name {name:?}"));
+                }
+                Ok(Event::ScenarioMeta {
+                    name: name.to_string(),
+                    seed: get_u64("seed")?,
+                    epochs: get_usize("epochs")?,
+                })
+            }
             other => Err(format!("unknown event type {other:?}")),
         }
     }
@@ -828,6 +866,11 @@ mod tests {
                 job: 1,
                 from: "queued",
                 to: "running",
+            },
+            Event::ScenarioMeta {
+                name: "zipf-sizes".to_string(),
+                seed: 17,
+                epochs: 3,
             },
         ]
     }

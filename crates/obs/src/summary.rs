@@ -83,6 +83,9 @@ pub struct TraceSummary {
     pub serve_jobs_done: usize,
     /// Fit jobs that reached the `failed` state.
     pub serve_jobs_failed: usize,
+    /// Scenario identity `(name, seed, epochs)` from `scenario_meta`,
+    /// when the trace came from a declarative workload.
+    pub scenario: Option<(String, u64, usize)>,
 }
 
 impl TraceSummary {
@@ -209,6 +212,9 @@ impl TraceSummary {
                     "failed" => s.serve_jobs_failed += 1,
                     _ => {}
                 },
+                Event::ScenarioMeta { name, seed, epochs } => {
+                    s.scenario = Some((name.clone(), *seed, *epochs));
+                }
             }
         }
         s
@@ -217,6 +223,9 @@ impl TraceSummary {
     /// Render the summary with a fixed, timing-free layout.
     pub fn render(&self) -> String {
         let mut out = String::new();
+        if let Some((name, seed, epochs)) = &self.scenario {
+            out.push_str(&format!("scenario: {name}  seed={seed} epochs={epochs}\n"));
+        }
         let algorithm = if self.algorithm.is_empty() {
             "(unknown)"
         } else {
@@ -485,6 +494,24 @@ mod tests {
     fn render_reports_eviction() {
         let s = TraceSummary::from_events(&stream()[5..], 5);
         assert!(s.render().contains("5 early events evicted"));
+    }
+
+    #[test]
+    fn scenario_meta_leads_the_summary() {
+        let mut events = vec![Event::ScenarioMeta {
+            name: "zipf-sizes".to_string(),
+            seed: 17,
+            epochs: 4,
+        }];
+        events.extend(stream());
+        let s = TraceSummary::from_events(&events, 0);
+        assert_eq!(s.scenario, Some(("zipf-sizes".to_string(), 17, 4)));
+        let text = s.render();
+        assert!(
+            text.starts_with("scenario: zipf-sizes  seed=17 epochs=4\n"),
+            "{text}"
+        );
+        assert!(text.contains("algorithm: proclus"));
     }
 
     #[test]

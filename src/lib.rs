@@ -51,7 +51,7 @@ pub use proclus_serve as serve;
 pub mod prelude {
     pub use proclus_clique::{Clique, CliqueModel};
     pub use proclus_core::{Proclus, ProclusModel, ProjectedCluster};
-    pub use proclus_data::{GeneratedDataset, Label, SyntheticSpec};
+    pub use proclus_data::{GeneratedDataset, Label, ScenarioSpec, SyntheticSpec};
     pub use proclus_eval::ConfusionMatrix;
     pub use proclus_math::{DistanceKind, Matrix};
     pub use proclus_orclus::{Orclus, OrclusModel};

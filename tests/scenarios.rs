@@ -1,0 +1,659 @@
+//! Scenario-zoo tier: sweep every `.scn` workload in `scenarios/`
+//! against PROCLUS, ORCLUS, CLIQUE, k-means, and CLARANS under
+//! explicit per-scenario **accuracy budgets** (ARI / matched-accuracy
+//! / coverage floors via `proclus-eval`) and **perf budgets**
+//! (round-count ceilings and cache/index counter floors from the obs
+//! layer), plus the determinism contract of the scenario engine
+//! itself (digest-pinned generation) and a drift scenario driven end
+//! to end through the streaming rollover pipeline.
+//!
+//! Each sweep writes a machine-readable budget report to
+//! `target/scenario-report/<algorithm>.json`; the CI `scenario-sweep`
+//! job uploads that directory as an artifact.
+
+use proclus::baselines::{Clarans, KMeans};
+use proclus::core::{GateConfig, StreamConfig, StreamServer};
+use proclus::data::{ChunkReader, DimensionSpec, ScenarioSpec};
+use proclus::eval::checked_agreement;
+use proclus::obs::{Event, RingRecorder};
+use proclus::prelude::*;
+use std::path::PathBuf;
+
+// ---------------------------------------------------------------
+// Zoo loading
+// ---------------------------------------------------------------
+
+fn zoo_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+/// Every scenario in the zoo, sorted by name so sweeps are ordered.
+fn zoo() -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(zoo_dir())
+        .expect("scenarios/ directory")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "scn"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec = ScenarioSpec::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            path.file_stem().and_then(|s| s.to_str()),
+            Some(spec.name.as_str()),
+            "file name must match the scenario name"
+        );
+        specs.push(spec);
+    }
+    specs
+}
+
+fn by_name(name: &str) -> ScenarioSpec {
+    zoo()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("scenario {name} missing from the zoo"))
+}
+
+/// Epoch-0 slice of a scenario: the static snapshot every batch
+/// algorithm is swept on (drift epochs are exercised by the streaming
+/// test instead).
+fn epoch0(spec: &ScenarioSpec) -> (Matrix, Vec<Option<usize>>) {
+    let mut data = Vec::with_capacity(spec.base.n * spec.cols());
+    let mut truth = Vec::with_capacity(spec.base.n);
+    spec.for_each_row(|epoch, row, label| {
+        if epoch == 0 {
+            data.extend_from_slice(row);
+            truth.push(label.cluster());
+        }
+    })
+    .unwrap();
+    (Matrix::from_vec(data, spec.base.n, spec.cols()), truth)
+}
+
+/// Target average subspace dimensionality for the fitters.
+fn avg_l(spec: &ScenarioSpec) -> f64 {
+    match &spec.base.dims {
+        DimensionSpec::Poisson { mean } => *mean,
+        DimensionSpec::Fixed(v) => v.iter().sum::<usize>() as f64 / v.len() as f64,
+    }
+}
+
+// ---------------------------------------------------------------
+// Budget report (uploaded by the CI scenario-sweep job)
+// ---------------------------------------------------------------
+
+struct ReportRow {
+    scenario: String,
+    metric: &'static str,
+    value: f64,
+    floor: f64,
+    pass: bool,
+}
+
+fn write_report(algorithm: &str, rows: &[ReportRow]) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/scenario-report");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut out = String::from("{\"algorithm\":\"");
+    out.push_str(algorithm);
+    out.push_str("\",\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"scenario\":\"{}\",\"metric\":\"{}\",\"value\":{:.4},\"floor\":{},\"pass\":{}}}",
+            r.scenario, r.metric, r.value, r.floor, r.pass
+        ));
+    }
+    out.push_str("]}");
+    std::fs::write(dir.join(format!("{algorithm}.json")), out).unwrap();
+}
+
+fn assert_budgets(algorithm: &str, rows: Vec<ReportRow>) {
+    write_report(algorithm, &rows);
+    let failures: Vec<String> = rows
+        .iter()
+        .filter(|r| !r.pass)
+        .map(|r| {
+            format!(
+                "{}: {} {:.4} below floor {}",
+                r.scenario, r.metric, r.value, r.floor
+            )
+        })
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "{algorithm} budget breaches:\n  {}",
+        failures.join("\n  ")
+    );
+    // The sweep contract: every zoo scenario was scored.
+    assert_eq!(rows.len(), zoo().len(), "{algorithm} skipped a scenario");
+}
+
+fn row(scenario: &str, metric: &'static str, value: f64, floor: f64) -> ReportRow {
+    ReportRow {
+        scenario: scenario.to_string(),
+        metric,
+        value,
+        floor,
+        pass: value >= floor,
+    }
+}
+
+// ---------------------------------------------------------------
+// Accuracy sweeps: one test per algorithm so they run in parallel
+// ---------------------------------------------------------------
+
+/// PROCLUS ARI floors (matched-accuracy floor for the ARI-undefined
+/// k=1 scenario). Budgets are deliberately below the observed values
+/// (margin for hill-climbing noise across toolchains) but high enough
+/// that a real regression trips them.
+fn proclus_floor(name: &str) -> (&'static str, f64) {
+    match name {
+        "tiny-k1" => ("accuracy", 0.95),
+        "baseline-case1" => ("ari", 0.95),
+        "subset-dims" => ("ari", 0.85),
+        "zipf-sizes" => ("ari", 0.75),
+        "laplace-noise" => ("ari", 0.65),
+        "uniform-blobs" => ("ari", 0.40),
+        "rotated-subspaces" => ("ari", 0.95),
+        "rotated-laplace" => ("ari", 0.95),
+        "categorical-mix" => ("ari", 0.95),
+        "ordinal-grid" => ("ari", 0.80),
+        "heavy-outliers" => ("ari", 0.60),
+        "no-outliers" => ("ari", 0.80),
+        "low-dim-d2" => ("ari", 0.95),
+        "drift-mean-shift" => ("ari", 0.95),
+        other => panic!("no PROCLUS budget for scenario {other}"),
+    }
+}
+
+#[test]
+fn proclus_sweep_meets_accuracy_budgets() {
+    let mut rows = Vec::new();
+    for spec in zoo() {
+        let (points, truth) = epoch0(&spec);
+        let model = Proclus::new(spec.base.k, avg_l(&spec))
+            .seed(7)
+            .restarts(2)
+            .fit(&points)
+            .unwrap();
+        let (metric, floor) = proclus_floor(&spec.name);
+        let value = match metric {
+            "accuracy" => {
+                ConfusionMatrix::build(model.assignment(), spec.base.k, &truth, spec.base.k)
+                    .unwrap()
+                    .matched_accuracy()
+            }
+            _ => checked_agreement(model.assignment(), &truth).unwrap(),
+        };
+        rows.push(row(&spec.name, metric, value, floor));
+    }
+    assert_budgets("proclus", rows);
+}
+
+fn orclus_floor(name: &str) -> (&'static str, f64) {
+    match name {
+        // ORCLUS declares no outliers, so heavy outlier fractions and
+        // fat noise tails drag its ARI; rotation is where it shines
+        // (rotated-laplace 0.96 vs PROCLUS-style axis parallelism).
+        "tiny-k1" => ("accuracy", 0.85),
+        "baseline-case1" => ("ari", 0.85),
+        "subset-dims" => ("ari", 0.55),
+        "zipf-sizes" => ("ari", 0.30),
+        "laplace-noise" => ("ari", 0.10),
+        "uniform-blobs" => ("ari", 0.10),
+        "rotated-subspaces" => ("ari", 0.45),
+        "rotated-laplace" => ("ari", 0.85),
+        "categorical-mix" => ("ari", 0.40),
+        "ordinal-grid" => ("ari", 0.18),
+        "heavy-outliers" => ("ari", 0.02),
+        "no-outliers" => ("ari", 0.70),
+        "low-dim-d2" => ("ari", 0.85),
+        "drift-mean-shift" => ("ari", 0.85),
+        other => panic!("no ORCLUS budget for scenario {other}"),
+    }
+}
+
+#[test]
+fn orclus_sweep_meets_accuracy_budgets() {
+    let mut rows = Vec::new();
+    for spec in zoo() {
+        let (points, truth) = epoch0(&spec);
+        let l = (avg_l(&spec).round() as usize).clamp(1, spec.base.d);
+        let model = Orclus::new(spec.base.k, l).seed(7).fit(&points).unwrap();
+        let assignment = model.assignment_options();
+        let (metric, floor) = orclus_floor(&spec.name);
+        let value = match metric {
+            "accuracy" => ConfusionMatrix::build(&assignment, spec.base.k, &truth, spec.base.k)
+                .unwrap()
+                .matched_accuracy(),
+            _ => checked_agreement(&assignment, &truth).unwrap(),
+        };
+        rows.push(row(&spec.name, metric, value, floor));
+    }
+    assert_budgets("orclus", rows);
+}
+
+/// CLIQUE is not a partitioner, so its budget is coverage: the
+/// fraction of points inside some dense unit of the deepest level.
+fn clique_floor(name: &str) -> f64 {
+    // With xi = 8 coarse intervals the grid covers essentially every
+    // point on every zoo scenario (observed 0.998–1.000); 0.90 leaves
+    // margin while still catching a broken dense-unit pass.
+    match name {
+        "baseline-case1" | "subset-dims" | "zipf-sizes" | "laplace-noise" | "uniform-blobs"
+        | "rotated-subspaces" | "rotated-laplace" | "categorical-mix" | "ordinal-grid"
+        | "heavy-outliers" | "no-outliers" | "tiny-k1" | "low-dim-d2" | "drift-mean-shift" => 0.90,
+        other => panic!("no CLIQUE budget for scenario {other}"),
+    }
+}
+
+#[test]
+fn clique_sweep_meets_coverage_budgets() {
+    let mut rows = Vec::new();
+    for spec in zoo() {
+        let (points, _) = epoch0(&spec);
+        let max_dim = 2.min(spec.base.d);
+        let model = Clique::new(8, 0.01)
+            .max_subspace_dim(Some(max_dim))
+            .fit(&points)
+            .unwrap();
+        let floor = clique_floor(&spec.name);
+        rows.push(row(&spec.name, "coverage", model.coverage(), floor));
+    }
+    assert_budgets("clique", rows);
+}
+
+/// Full-dimensional baselines: uniform noise on the non-cluster
+/// dimensions caps what they can recover (that gap is the paper's
+/// motivation), so floors are low — but the easy full-space scenarios
+/// (d=2, d=20-with-7-of-20-dims) still demand real structure.
+fn kmeans_floor(name: &str) -> (&'static str, f64) {
+    match name {
+        "tiny-k1" => ("accuracy", 0.85),
+        "baseline-case1" => ("ari", 0.85),
+        "subset-dims" => ("ari", 0.25),
+        "zipf-sizes" => ("ari", 0.18),
+        "laplace-noise" => ("ari", 0.08),
+        "uniform-blobs" => ("ari", 0.12),
+        "rotated-subspaces" => ("ari", 0.30),
+        "rotated-laplace" => ("ari", 0.20),
+        "categorical-mix" => ("ari", 0.30),
+        "ordinal-grid" => ("ari", 0.20),
+        "heavy-outliers" => ("ari", 0.30),
+        "no-outliers" => ("ari", 0.35),
+        "low-dim-d2" => ("ari", 0.55),
+        "drift-mean-shift" => ("ari", 0.20),
+        other => panic!("no k-means budget for scenario {other}"),
+    }
+}
+
+fn clarans_floor(name: &str) -> (&'static str, f64) {
+    match name {
+        "tiny-k1" => ("accuracy", 0.85),
+        "baseline-case1" => ("ari", 0.45),
+        "subset-dims" => ("ari", 0.25),
+        "zipf-sizes" => ("ari", 0.25),
+        "laplace-noise" => ("ari", 0.08),
+        "uniform-blobs" => ("ari", 0.25),
+        "rotated-subspaces" => ("ari", 0.35),
+        "rotated-laplace" => ("ari", 0.25),
+        "categorical-mix" => ("ari", 0.80),
+        "ordinal-grid" => ("ari", 0.75),
+        "heavy-outliers" => ("ari", 0.35),
+        "no-outliers" => ("ari", 0.35),
+        "low-dim-d2" => ("ari", 0.85),
+        "drift-mean-shift" => ("ari", 0.25),
+        other => panic!("no CLARANS budget for scenario {other}"),
+    }
+}
+
+#[test]
+fn kmeans_sweep_meets_accuracy_budgets() {
+    let mut rows = Vec::new();
+    for spec in zoo() {
+        let (points, truth) = epoch0(&spec);
+        let model = KMeans::new(spec.base.k).seed(7).fit(&points).unwrap();
+        let assignment: Vec<Option<usize>> = model.assignment.iter().map(|&c| Some(c)).collect();
+        let (metric, floor) = kmeans_floor(&spec.name);
+        let value = match metric {
+            "accuracy" => ConfusionMatrix::build(&assignment, spec.base.k, &truth, spec.base.k)
+                .unwrap()
+                .matched_accuracy(),
+            _ => checked_agreement(&assignment, &truth).unwrap(),
+        };
+        rows.push(row(&spec.name, metric, value, floor));
+    }
+    assert_budgets("kmeans", rows);
+}
+
+#[test]
+fn clarans_sweep_meets_accuracy_budgets() {
+    let mut rows = Vec::new();
+    for spec in zoo() {
+        let (points, truth) = epoch0(&spec);
+        let model = Clarans::new(spec.base.k).seed(7).fit(&points).unwrap();
+        let assignment: Vec<Option<usize>> = model.assignment.iter().map(|&c| Some(c)).collect();
+        let (metric, floor) = clarans_floor(&spec.name);
+        let value = match metric {
+            "accuracy" => ConfusionMatrix::build(&assignment, spec.base.k, &truth, spec.base.k)
+                .unwrap()
+                .matched_accuracy(),
+            _ => checked_agreement(&assignment, &truth).unwrap(),
+        };
+        rows.push(row(&spec.name, metric, value, floor));
+    }
+    assert_budgets("clarans", rows);
+}
+
+// ---------------------------------------------------------------
+// Perf budgets: facts from the obs layer, not wall-clock
+// ---------------------------------------------------------------
+
+/// PROCLUS on the easiest scenario must converge within a bounded
+/// number of hill-climbing rounds and actually exercise its round
+/// cache and pruning index (a silent fallback to the slow path is a
+/// perf regression even when the answer stays right).
+#[test]
+fn proclus_perf_budgets_hold_on_the_baseline_scenario() {
+    let spec = by_name("baseline-case1");
+    let (points, _) = epoch0(&spec);
+    let rec = RingRecorder::new(4096);
+    let model = Proclus::new(spec.base.k, avg_l(&spec))
+        .seed(7)
+        .restarts(2)
+        .fit_traced(&points, &rec)
+        .unwrap();
+    let rounds = rec
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::Round { .. }))
+        .count();
+    assert!(
+        (1..=100).contains(&rounds),
+        "round budget breached: {rounds} rounds recorded across restarts"
+    );
+    assert!(
+        model.rounds() <= 60,
+        "winning restart ran {} rounds",
+        model.rounds()
+    );
+    let fused = rec.counter_value("cache.fused_slot_hits");
+    assert!(fused > 0, "round cache never hit (fused_slot_hits = 0)");
+    let pruned = rec.counter_value("index.range_sketch_pruned")
+        + rec.counter_value("index.range_triangle_pruned")
+        + rec.counter_value("index.range_prefix_pruned")
+        + rec.counter_value("index.nearest_pruned");
+    assert!(pruned > 0, "neighbor index never pruned an evaluation");
+}
+
+// ---------------------------------------------------------------
+// Determinism: digest-pinned generation
+// ---------------------------------------------------------------
+
+/// Golden digests: scenario generation is a pure function of
+/// `(spec, seed)`. Any engine change that moves bytes must be a
+/// deliberate format bump (update these constants in the same PR).
+fn pinned_digest(name: &str) -> u64 {
+    match name {
+        "baseline-case1" => 0x6a46_dbd1_21d3_d9c5,
+        "subset-dims" => 0xc6e7_1d24_6ede_4eae,
+        "zipf-sizes" => 0x2b11_33c2_81a2_870f,
+        "laplace-noise" => 0xf21f_81cd_30be_a0b8,
+        "uniform-blobs" => 0xefce_30b1_9ce0_ac9c,
+        "rotated-subspaces" => 0xeda8_3923_3a96_434f,
+        "rotated-laplace" => 0x3496_f7c3_793f_af4f,
+        "categorical-mix" => 0x7af1_0834_a42f_a042,
+        "ordinal-grid" => 0x4bba_22f7_c380_8deb,
+        "heavy-outliers" => 0x6829_2776_0519_852a,
+        "no-outliers" => 0xcd24_bbd0_9520_ba0d,
+        "tiny-k1" => 0xbafa_c899_47e0_069e,
+        "low-dim-d2" => 0x6f4e_8976_0f5f_dff9,
+        "drift-mean-shift" => 0x9dd3_7cb5_1c0d_92f0,
+        other => panic!("no pinned digest for scenario {other}"),
+    }
+}
+
+#[test]
+fn generation_matches_pinned_digests_across_threads() {
+    // Compute every digest concurrently from several threads AND
+    // serially on this one: generation is single-threaded by
+    // construction, so the bytes must be identical regardless of the
+    // threading around it — pinned to the golden value.
+    let specs = zoo();
+    let concurrent: Vec<(String, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|spec| scope.spawn(move || (spec.name.clone(), spec.digest().unwrap())))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (name, digest) in concurrent {
+        let serial = specs
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap()
+            .digest()
+            .unwrap();
+        assert_eq!(digest, serial, "{name}: digest depends on threading");
+        assert_eq!(
+            digest,
+            pinned_digest(&name),
+            "{name}: digest {digest:#018x} departed from the pinned value"
+        );
+    }
+}
+
+/// Canonical text form round-trips for every zoo file, and the
+/// canonical rendering re-parses to an identical spec.
+#[test]
+fn zoo_files_round_trip_through_the_canonical_form() {
+    for spec in zoo() {
+        let text = spec.to_canonical();
+        let back = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(back, spec, "{}", spec.name);
+    }
+}
+
+// ---------------------------------------------------------------
+// Spec <-> data fidelity (property tests over seeded specs)
+// ---------------------------------------------------------------
+
+/// Ten seeded variants of a mixed spec: the realized data must honor
+/// the declared outlier fraction exactly, keep every cluster's
+/// dimension count within [2, d], satisfy the size law, and confine
+/// every coordinate to the declared domain (cluster rows may exceed it
+/// only through distribution tails on cluster dims; outlier rows and
+/// non-cluster dims are uniform draws and must stay inside).
+#[test]
+fn realized_data_is_faithful_to_the_spec_across_seeds() {
+    for seed in 0..10u64 {
+        let mut spec = ScenarioSpec::new("fidelity", 500, 9, 3, 3.0);
+        spec.base.seed = seed;
+        spec.base.outlier_fraction = 0.08;
+        let g = spec.generate().unwrap();
+        let truth = &g.truth.epochs[0];
+
+        // Outlier fraction realized exactly (round(n * f)).
+        let expected = (500.0f64 * 0.08).round() as usize;
+        assert_eq!(truth.outliers, expected, "seed {seed}");
+        let labeled_outliers = g.labels.iter().filter(|l| l.is_outlier()).count();
+        assert_eq!(labeled_outliers, expected, "seed {seed}");
+
+        // Dimension sets within [2, d], sorted, in range.
+        for c in &truth.clusters {
+            assert!((2..=9).contains(&c.dims.len()), "seed {seed}: {:?}", c.dims);
+            assert!(c.dims.iter().all(|&j| j < 9), "seed {seed}");
+            assert!(c.dims.windows(2).all(|w| w[0] < w[1]), "seed {seed}");
+        }
+
+        // ExpFloor size law: every cluster at or above the floor.
+        let n_cluster = 500 - expected;
+        let floor = ((n_cluster as f64 / 3.0) * spec.base.min_size_ratio).floor() as usize;
+        for c in &truth.clusters {
+            assert!(
+                c.size >= floor,
+                "seed {seed}: size {} under floor {floor}",
+                c.size
+            );
+        }
+        let total: usize = truth.clusters.iter().map(|c| c.size).sum();
+        assert_eq!(total, n_cluster, "seed {seed}");
+
+        // Outlier rows strictly inside the domain on every coordinate.
+        let (lo, hi) = spec.base.domain;
+        for p in 0..g.points.rows() {
+            if g.labels[p].is_outlier() {
+                for j in 0..g.points.cols() {
+                    let v = g.points.get(p, j);
+                    assert!((lo..hi).contains(&v), "seed {seed}: outlier coord {v}");
+                }
+            }
+        }
+    }
+}
+
+/// Zipf sizes are monotone non-increasing for every seed (the law is
+/// deterministic by rank, unlike ExpFloor).
+#[test]
+fn zipf_size_law_is_rank_monotone_across_seeds() {
+    use proclus::data::SizeLaw;
+    for seed in 0..10u64 {
+        let mut spec = ScenarioSpec::new("zipf-prop", 600, 8, 4, 3.0);
+        spec.base.seed = seed;
+        spec.size_law = SizeLaw::Zipf { exponent: 1.4 };
+        let g = spec.generate().unwrap();
+        let sizes: Vec<usize> = g.truth.epochs[0].clusters.iter().map(|c| c.size).collect();
+        assert!(
+            sizes.windows(2).all(|w| w[0] >= w[1]),
+            "seed {seed}: {sizes:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------
+// Drift end to end: scenario -> chunks -> stream server -> promote
+// ---------------------------------------------------------------
+
+#[test]
+fn drift_scenario_drives_the_stream_pipeline_to_a_promotion() {
+    let spec = by_name("drift-mean-shift");
+    let dir = std::env::temp_dir().join(format!("proclus-scenario-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let chunks = dir.join("drift.chunks");
+    spec.write_chunks(&chunks, 100).unwrap();
+
+    let registry = dir.join("registry");
+    let params = Proclus::new(spec.base.k, avg_l(&spec)).seed(17).restarts(2);
+    let config = StreamConfig {
+        window: 600,
+        min_fit_points: 300,
+        reservoir: 128,
+        projections: 8,
+        // Scenario mean-shift moves each cluster's anchor with an
+        // independent random sign per dimension, so cluster shifts
+        // partially cancel in any one projection — scores land at
+        // 0.37–0.40 on drifted batches vs <= 0.26 in steady state
+        // (unlike the streaming tier's coherent all-coordinate shift,
+        // which clears 0.6). The threshold splits those bands.
+        drift_threshold: 0.32,
+        patience: 2,
+        cooldown: 2,
+        seed: 5,
+    };
+    let rec = RingRecorder::new(8192);
+    let (mut server, recovery) =
+        StreamServer::new(params, config, GateConfig::default(), &registry, &rec).unwrap();
+    assert!(recovery.is_clean());
+
+    let bytes = std::fs::read(&chunks).unwrap();
+    for chunk in ChunkReader::new(&bytes) {
+        let batch = chunk.unwrap();
+        server.ingest_batch(&batch);
+    }
+    let scores: Vec<String> = rec
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::StreamBatch {
+                batch, drift_score, ..
+            } => Some(format!("{batch}:{drift_score:.2}")),
+            _ => None,
+        })
+        .collect();
+    println!("drift scores: {}", scores.join(" "));
+    let diag = server.diagnostics();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        diag.quarantined.is_empty(),
+        "clean chunks must not quarantine: {:?}",
+        diag.quarantined
+    );
+    assert!(
+        diag.drift_detections >= 1,
+        "mean-shift epochs never tripped the drift detector: {diag:?}"
+    );
+    assert!(
+        diag.promotions >= 1,
+        "no rebuild survived the gates: {diag:?}"
+    );
+}
+
+// ---------------------------------------------------------------
+// Calibration (ignored): prints observed metrics and digests
+// ---------------------------------------------------------------
+
+/// Not a test — a harness for re-calibrating budgets and digests:
+/// `cargo test --release --test scenarios -- --ignored --nocapture`.
+#[test]
+#[ignore = "calibration harness, not a gate"]
+fn print_calibration() {
+    for spec in zoo() {
+        let digest = spec.digest().unwrap();
+        let (points, truth) = epoch0(&spec);
+        let l = avg_l(&spec);
+        let pm = Proclus::new(spec.base.k, l)
+            .seed(7)
+            .restarts(2)
+            .fit(&points)
+            .unwrap();
+        let p_ari = checked_agreement(pm.assignment(), &truth)
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|e| format!("[{e}]"));
+        let p_acc = ConfusionMatrix::build(pm.assignment(), spec.base.k, &truth, spec.base.k)
+            .unwrap()
+            .matched_accuracy();
+        let om = Orclus::new(spec.base.k, (l.round() as usize).clamp(1, spec.base.d))
+            .seed(7)
+            .fit(&points)
+            .unwrap();
+        let o_assign = om.assignment_options();
+        let o_ari = checked_agreement(&o_assign, &truth)
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|e| format!("[{e}]"));
+        let cm = Clique::new(8, 0.01)
+            .max_subspace_dim(Some(2.min(spec.base.d)))
+            .fit(&points)
+            .unwrap();
+        let km = KMeans::new(spec.base.k).seed(7).fit(&points).unwrap();
+        let k_assign: Vec<Option<usize>> = km.assignment.iter().map(|&c| Some(c)).collect();
+        let k_ari = checked_agreement(&k_assign, &truth)
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|e| format!("[{e}]"));
+        let cl = Clarans::new(spec.base.k).seed(7).fit(&points).unwrap();
+        let c_assign: Vec<Option<usize>> = cl.assignment.iter().map(|&c| Some(c)).collect();
+        let c_ari = checked_agreement(&c_assign, &truth)
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|e| format!("[{e}]"));
+        println!(
+            "{:<18} digest {digest:#018x} proclus {p_ari} (acc {p_acc:.3}) orclus {o_ari} \
+             clique-cov {:.3} kmeans {k_ari} clarans {c_ari}",
+            spec.name,
+            cm.coverage(),
+        );
+    }
+}
